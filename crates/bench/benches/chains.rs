@@ -1,0 +1,60 @@
+//! Benchmarks for process-chain detection and the constructive
+//! Theorem 1 decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpl_core::decompose;
+use hpl_model::{find_chain, CausalClosure, ProcessSet};
+use std::hint::black_box;
+
+fn bench_causal_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("causal_closure");
+    group.sample_size(30);
+    for steps in [100usize, 400, 1600] {
+        let z = hpl_bench::random_computation(4, steps, 3);
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &z, |b, z| {
+            b.iter(|| black_box(CausalClosure::new(z).pair_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_find_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_chain");
+    group.sample_size(30);
+    let sets = [
+        ProcessSet::from_indices([0]),
+        ProcessSet::from_indices([1]),
+        ProcessSet::from_indices([2]),
+        ProcessSet::from_indices([3]),
+    ];
+    for steps in [100usize, 400, 1600] {
+        let z = hpl_bench::random_computation(4, steps, 9);
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &z, |b, z| {
+            b.iter(|| black_box(find_chain(z, 0, &sets).is_some()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_decompose");
+    group.sample_size(20);
+    let sets = [
+        ProcessSet::from_indices([2]),
+        ProcessSet::from_indices([1]),
+        ProcessSet::from_indices([0]),
+    ];
+    for steps in [50usize, 200, 800] {
+        let z = hpl_bench::random_computation(3, steps, 5);
+        let x = z.prefix(steps / 4);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &(x, z), |b, (x, z)| {
+            b.iter(|| black_box(decompose(x, z, &sets).expect("prefix").is_path()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_causal_closure, bench_find_chain, bench_decompose);
+criterion_main!(benches);

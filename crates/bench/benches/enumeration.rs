@@ -1,0 +1,57 @@
+//! Benchmarks for exhaustive protocol enumeration (universe
+//! construction), the substrate of every model-checking experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpl_core::{enumerate, EnumerationLimits};
+use hpl_protocols::token_bus::TokenBus;
+use hpl_protocols::two_generals::TwoGenerals;
+use std::hint::black_box;
+
+fn bench_token_bus_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_token_bus");
+    group.sample_size(10);
+    for depth in [4usize, 5, 6, 7] {
+        // report throughput in computations produced
+        let size = enumerate(&TokenBus::new(3), EnumerationLimits::depth(depth))
+            .expect("within budget")
+            .universe()
+            .len();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                black_box(
+                    enumerate(&TokenBus::new(3), EnumerationLimits::depth(d))
+                        .expect("within budget")
+                        .universe()
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_generals_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_two_generals");
+    group.sample_size(10);
+    for depth in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                black_box(
+                    enumerate(&TwoGenerals { max_rounds: 4 }, EnumerationLimits::depth(d))
+                        .expect("within budget")
+                        .universe()
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_token_bus_enumeration,
+    bench_two_generals_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Benchmarks for the extension systems: gossip dissemination, leader
+//! election, and the §6 ablation machinery (state views, belief).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpl_core::belief::{BeliefIndex, Plausibility};
+use hpl_core::views::{BoundedMemory, ViewIndex};
+use hpl_core::CompSet;
+use hpl_model::ProcessSet;
+use hpl_protocols::election::run_election;
+use hpl_protocols::gossip::{knowledge_price, run_push_gossip};
+use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig};
+use std::hint::black_box;
+
+fn net(fifo: bool) -> NetworkConfig {
+    NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform { lo: 1, hi: 10 },
+        drop_probability: 0.0,
+        fifo,
+    })
+}
+
+fn bench_gossip_dissemination(c: &mut Criterion) {
+    let network = net(false);
+    let mut group = c.benchmark_group("gossip_dissemination");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let out = run_push_gossip(n, 2, 20, &network, 7);
+                assert_eq!(out.informed, n);
+                black_box(out.messages)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_knowledge_price(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_price");
+    g.sample_size(10);
+    g.bench_function("gossip_knowledge_price_d6", |b| {
+        b.iter(|| black_box(knowledge_price(3, 6, 2).expect("within budget").len()));
+    });
+    g.finish();
+}
+
+fn bench_election(c: &mut Criterion) {
+    let network = net(true);
+    let mut group = c.benchmark_group("election");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let out = run_election(n, &network, 3);
+                assert!(out.leader.is_some());
+                black_box(out.messages)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_indices(c: &mut Criterion) {
+    let pu = hpl_bench::token_bus_universe(3, 6);
+    let u = pu.universe();
+    let mut sat = CompSet::new(u.len());
+    for (id, comp) in u.iter() {
+        if comp.sends() > 0 {
+            sat.insert(id.index());
+        }
+    }
+    let p = ProcessSet::from_indices([1]);
+    c.bench_function("view_knows_bounded_memory", |b| {
+        b.iter(|| {
+            let view = ViewIndex::new(u, BoundedMemory { window: 2 });
+            black_box(view.knows_set(p, &sat).count())
+        });
+    });
+    let ranking = Plausibility::new("by-length", |comp| comp.len() as u64);
+    c.bench_function("belief_set", |b| {
+        b.iter(|| {
+            let belief = BeliefIndex::new(u, &ranking);
+            black_box(belief.believes_set(p, &sat).count())
+        });
+    });
+}
+
+fn bench_cut_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_lattice");
+    for steps in [6usize, 10, 14] {
+        let z = hpl_bench::random_computation(3, steps, 21);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &z, |b, z| {
+            b.iter(|| black_box(hpl_model::CutLattice::new(z).count()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gossip_dissemination,
+    bench_knowledge_price,
+    bench_election,
+    bench_ablation_indices,
+    bench_cut_lattice
+);
+criterion_main!(benches);

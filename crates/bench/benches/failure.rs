@@ -1,0 +1,48 @@
+//! Benchmarks for §5's failure-detection experiment: the heartbeat
+//! timeout sweep (timed side) and the impossibility model-check (async
+//! side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpl_protocols::failure::{sweep_timeouts, verify_impossibility};
+use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig};
+use std::hint::black_box;
+
+fn bench_timeout_sweep(c: &mut Criterion) {
+    let net = NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform { lo: 1, hi: 40 },
+        drop_probability: 0.0,
+        fifo: false,
+    });
+    let mut group = c.benchmark_group("heartbeat_sweep");
+    group.sample_size(20);
+    for timeout in [100u64, 400, 1600] {
+        group.bench_with_input(BenchmarkId::from_parameter(timeout), &timeout, |b, &t| {
+            b.iter(|| {
+                let rows = sweep_timeouts(&[t], 50, 5_000, &net, 17, 60_000);
+                black_box(rows[0].detection_latency)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_impossibility_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("impossibility_modelcheck");
+    group.sample_size(10);
+    // depth ≥ 5: at depth 4 the crash variant of a maximal computation
+    // exceeds the bound and the observer spuriously "knows" (a finite-
+    // universe boundary artifact, see DESIGN.md §7)
+    for depth in [5usize, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                let report = verify_impossibility(2, d).expect("within budget");
+                assert!(report.verified());
+                black_box(report.universe_size)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeout_sweep, bench_impossibility_check);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates the paper's figures as benchmarks: the point is not the
+//! timing but that `cargo bench` reproduces every figure artifact; the
+//! timing shows diagram construction scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpl_core::{IsomorphismDiagram, Universe};
+use hpl_model::{ActionId, ProcessId, ScenarioPool};
+use std::hint::black_box;
+
+/// The Figure 3-1 universe (x, y, z, w over two processes).
+fn fig31_universe() -> Universe {
+    let (p, q) = (ProcessId::new(0), ProcessId::new(1));
+    let mut pool = ScenarioPool::new(2);
+    let ep = pool.internal_with(p, ActionId::new(0));
+    let eq = pool.internal_with(q, ActionId::new(1));
+    let eq2 = pool.internal_with(q, ActionId::new(2));
+    let ep2 = pool.internal_with(p, ActionId::new(3));
+    let mut u = Universe::new(2);
+    u.insert(pool.compose([ep, eq]).expect("valid")).expect("ok");
+    u.insert(pool.compose([ep, eq2]).expect("valid")).expect("ok");
+    u.insert(pool.compose([eq, ep]).expect("valid")).expect("ok");
+    u.insert(pool.compose([eq, ep2]).expect("valid")).expect("ok");
+    u
+}
+
+fn bench_figure_3_1(c: &mut Criterion) {
+    let u = fig31_universe();
+    c.bench_function("figure_3_1_diagram", |b| {
+        b.iter(|| {
+            let d = IsomorphismDiagram::build(&u);
+            black_box(d.to_dot().len())
+        });
+    });
+}
+
+fn bench_diagram_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagram_scaling");
+    for depth in [4usize, 5, 6] {
+        let pu = hpl_bench::token_bus_universe(3, depth);
+        let n = pu.universe().len();
+        group.bench_with_input(BenchmarkId::new("vertices", n), &pu, |b, pu| {
+            b.iter(|| black_box(IsomorphismDiagram::build(pu.universe()).edges().len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure_3_1, bench_diagram_scaling);
+criterion_main!(benches);

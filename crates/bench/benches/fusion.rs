@@ -1,0 +1,51 @@
+//! Benchmarks for the fusion constructions (Lemma 1 / Theorem 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpl_core::fuse_theorem2;
+use hpl_model::{Computation, Event, ProcessSet};
+use std::hint::black_box;
+
+/// Builds `x ≤ y` and `x ≤ z` where `y` extends on P = {0,1} and `z` on
+/// P̄ = {2,3}, guaranteeing Theorem 2's chain conditions.
+fn fixture(ext: usize) -> (Computation, Computation, Computation, ProcessSet) {
+    let x = hpl_bench::random_computation(4, 40, 11);
+    let extension = hpl_bench::random_computation(4, 4 * ext, 17);
+    let p = ProcessSet::from_indices([0, 1]);
+    let pbar = ProcessSet::from_indices([2, 3]);
+    // re-id the extension events to avoid clashes with x, then filter by
+    // side; internal events only, to keep both extensions valid
+    let mut next = 10_000;
+    let mut y_ext: Vec<Event> = Vec::new();
+    let mut z_ext: Vec<Event> = Vec::new();
+    for e in extension.iter().filter(|e| e.is_internal()) {
+        let renamed = Event::new(hpl_model::EventId::new(next), e.process(), e.kind());
+        next += 1;
+        if e.is_on_set(p) {
+            y_ext.push(renamed);
+        } else if e.is_on_set(pbar) {
+            z_ext.push(renamed);
+        }
+    }
+    let y = x.extended(y_ext).expect("internal-only extension");
+    let z = x.extended(z_ext).expect("internal-only extension");
+    (x, y, z, p)
+}
+
+fn bench_fuse_theorem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuse_theorem2");
+    for ext in [10usize, 40, 160] {
+        let (x, y, z, p) = fixture(ext);
+        group.throughput(Throughput::Elements((y.len() + z.len()) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ext),
+            &(x, y, z, p),
+            |b, (x, y, z, p)| {
+                b.iter(|| black_box(fuse_theorem2(x, y, z, *p).expect("conditions hold").len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuse_theorem2);
+criterion_main!(benches);

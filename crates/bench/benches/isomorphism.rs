@@ -1,0 +1,62 @@
+//! Benchmarks for the isomorphism engine: class building and composed
+//! relations, as a function of universe size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpl_core::IsoIndex;
+use hpl_model::ProcessSet;
+use std::hint::black_box;
+
+fn bench_class_building(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iso_classes");
+    for depth in [4usize, 5, 6] {
+        let pu = hpl_bench::token_bus_universe(3, depth);
+        let n = pu.universe().len();
+        group.bench_with_input(BenchmarkId::new("build", n), &pu, |b, pu| {
+            b.iter(|| {
+                // fresh index every iteration: measures partitioning
+                let iso = IsoIndex::new(pu.universe());
+                black_box(iso.classes(ProcessSet::from_indices([0])).class_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_composed_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iso_reachable");
+    let pu = hpl_bench::token_bus_universe(3, 6);
+    let iso = IsoIndex::new(pu.universe());
+    let p0 = ProcessSet::from_indices([0]);
+    let p1 = ProcessSet::from_indices([1]);
+    let p2 = ProcessSet::from_indices([2]);
+    // warm the class cache so the bench isolates BFS
+    let _ = iso.classes(p0);
+    let _ = iso.classes(p1);
+    let _ = iso.classes(p2);
+    let start = pu.universe().ids().next().expect("nonempty");
+    for len in [1usize, 2, 4, 8] {
+        let seq: Vec<ProcessSet> = (0..len)
+            .map(|i| [p0, p1, p2][i % 3])
+            .collect();
+        group.bench_with_input(BenchmarkId::new("chain_len", len), &seq, |b, seq| {
+            b.iter(|| black_box(iso.reachable(start, seq).count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairwise_agreement(c: &mut Criterion) {
+    let x = hpl_bench::random_computation(4, 400, 1);
+    let y = x.clone();
+    c.bench_function("agrees_on_full_400", |b| {
+        b.iter(|| black_box(x.agrees_on(&y, ProcessSet::full(4))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_class_building,
+    bench_composed_reachability,
+    bench_pairwise_agreement
+);
+criterion_main!(benches);

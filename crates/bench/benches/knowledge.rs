@@ -1,0 +1,63 @@
+//! Benchmarks for knowledge-formula evaluation: nesting depth and
+//! common knowledge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpl_core::{Evaluator, Formula, Interpretation};
+use hpl_model::ProcessSet;
+use hpl_protocols::token_bus::token_atoms;
+use std::hint::black_box;
+
+fn bench_nested_knowledge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knows_depth");
+    group.sample_size(20);
+    let pu = hpl_bench::token_bus_universe(3, 6);
+    let mut interp = Interpretation::new();
+    let atoms = token_atoms(&mut interp, 3);
+    for depth in [1usize, 2, 3, 4] {
+        let sets: Vec<ProcessSet> = (0..depth)
+            .map(|i| ProcessSet::from_indices([i % 3]))
+            .collect();
+        let formula = Formula::knows_chain(&sets, atoms[0].clone());
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &formula, |b, f| {
+            b.iter(|| {
+                // fresh evaluator: measures un-memoized evaluation
+                let mut eval = Evaluator::new(pu.universe(), &interp);
+                black_box(eval.sat_set(f).count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_common_knowledge(c: &mut Criterion) {
+    let pu = hpl_bench::token_bus_universe(3, 6);
+    let mut interp = Interpretation::new();
+    let atoms = token_atoms(&mut interp, 3);
+    let ck = Formula::common(atoms[0].clone());
+    c.bench_function("common_knowledge", |b| {
+        b.iter(|| {
+            let mut eval = Evaluator::new(pu.universe(), &interp);
+            black_box(eval.sat_set(&ck).count())
+        });
+    });
+}
+
+fn bench_memoized_requery(c: &mut Criterion) {
+    let pu = hpl_bench::token_bus_universe(3, 6);
+    let mut interp = Interpretation::new();
+    let atoms = token_atoms(&mut interp, 3);
+    let f = Formula::knows(ProcessSet::from_indices([1]), atoms[0].clone());
+    let mut eval = Evaluator::new(pu.universe(), &interp);
+    let _ = eval.sat_set(&f); // warm
+    c.bench_function("memoized_requery", |b| {
+        b.iter(|| black_box(eval.sat_set(&f).count()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_nested_knowledge,
+    bench_common_knowledge,
+    bench_memoized_requery
+);
+criterion_main!(benches);

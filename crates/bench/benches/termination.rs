@@ -1,0 +1,51 @@
+//! Benchmarks for §5's termination-detection experiment: full detector
+//! runs per workload size (the time axis of the overhead table; the
+//! message-count axis is printed by `repro --termination`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpl_protocols::termination::{run_detector, DetectorKind, WorkloadConfig};
+use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig, SimTime};
+use std::hint::black_box;
+
+fn net() -> NetworkConfig {
+    NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform { lo: 1, hi: 30 },
+        drop_probability: 0.0,
+        fifo: false,
+    })
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let network = net();
+    for kind in [
+        DetectorKind::DijkstraScholten,
+        DetectorKind::SafraRing,
+        DetectorKind::Credit,
+        DetectorKind::Naive { period: 200 },
+    ] {
+        let mut group = c.benchmark_group(format!("terminate_{}", kind.name()));
+        group.sample_size(10);
+        for budget in [16u64, 64, 256] {
+            let cfg = WorkloadConfig {
+                n: 5,
+                budget,
+                fanout: 2,
+                work_time: 4,
+                seed: budget,
+                spare_root: false,
+            };
+            group.throughput(Throughput::Elements(budget));
+            group.bench_with_input(BenchmarkId::from_parameter(budget), &cfg, |b, &cfg| {
+                b.iter(|| {
+                    let out = run_detector(kind, cfg, &network, 42, SimTime::MAX);
+                    assert!(out.detected && out.detection_valid);
+                    black_box(out.overhead_messages)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks for §5's tracking experiment: accuracy runs across delays
+//! and the exhaustive unsure-at-change model-check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpl_protocols::tracking::{accuracy_run, verify_unsure_at_change};
+use std::hint::black_box;
+
+fn bench_accuracy_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking_accuracy");
+    group.sample_size(20);
+    for delay in [5u64, 200, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(delay), &delay, |b, &d| {
+            b.iter(|| black_box(accuracy_run(d, 1_000, 30, 13).accuracy));
+        });
+    }
+    group.finish();
+}
+
+fn bench_unsure_modelcheck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking_modelcheck");
+    group.sample_size(10);
+    // depth ≥ 5 avoids the finite-universe boundary artifact
+    for depth in [5usize, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                let report = verify_unsure_at_change(2, d).expect("within budget");
+                assert!(report.verified());
+                black_box(report.universe_size)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_runs, bench_unsure_modelcheck);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Shared fixtures for the benchmark suite and the `repro` binary.
+//!
+//! Centralizes the workload generators so that every bench and the
+//! reproduction report measure the same artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hpl_core::{enumerate, EnumerationLimits, ProtocolUniverse};
+use hpl_model::{Computation, ComputationBuilder, MessageId, ProcessId};
+use hpl_protocols::token_bus::TokenBus;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A reproducible random computation over `n` processes with `steps`
+/// events (mixed sends/receives/internal).
+#[must_use]
+pub fn random_computation(n: usize, steps: usize, seed: u64) -> Computation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ComputationBuilder::new(n);
+    let mut in_flight: Vec<(ProcessId, MessageId)> = Vec::new();
+    for _ in 0..steps {
+        match rng.random_range(0..3) {
+            0 => {
+                let from = ProcessId::new(rng.random_range(0..n));
+                let to = ProcessId::new(rng.random_range(0..n));
+                let m = b.send(from, to).expect("valid send");
+                in_flight.push((to, m));
+            }
+            1 if !in_flight.is_empty() => {
+                let k = rng.random_range(0..in_flight.len());
+                let (to, m) = in_flight.remove(k);
+                b.receive(to, m).expect("valid receive");
+            }
+            _ => {
+                b.internal(ProcessId::new(rng.random_range(0..n)))
+                    .expect("valid internal");
+            }
+        }
+    }
+    b.finish()
+}
+
+/// The enumerated token-bus universe used across benches.
+///
+/// # Panics
+///
+/// Panics if enumeration exceeds its budget (it does not for the depths
+/// used here).
+#[must_use]
+pub fn token_bus_universe(n: usize, depth: usize) -> ProtocolUniverse {
+    enumerate(&TokenBus::new(n), EnumerationLimits::depth(depth)).expect("within budget")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_computation_is_reproducible() {
+        let a = random_computation(4, 50, 7);
+        let b = random_computation(4, 50, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let c = random_computation(4, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn token_bus_universe_is_prefix_closed() {
+        let pu = token_bus_universe(3, 4);
+        assert!(pu.universe().is_prefix_closed());
+        assert!(pu.universe().len() > 1);
+    }
+}

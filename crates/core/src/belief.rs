@@ -1,0 +1,408 @@
+//! Belief — the paper's third proposed generalization.
+//!
+//! Discussion (§6): "we can define belief in terms of isomorphism …
+//! Most of the results in this paper are applicable in the first case
+//! **but not in the other two**."
+//!
+//! This module makes the *failure* precise. Belief is knowledge
+//! relativized to a **plausibility ranking**: `(P believes b) at x` iff
+//! `b` holds at every *most-plausible* member of `x`'s `[P]`-class
+//! (lower rank = more plausible; e.g. "crashes are implausible").
+//!
+//! Executable results, mirrored in the tests and the ablation report:
+//!
+//! * **KD45 survives**: belief distributes over conjunction (K), is
+//!   consistent when every class has a most-plausible world (D), and is
+//!   positively/negatively introspective (4, 5) — these use only the
+//!   equivalence structure plus minimization.
+//! * **T fails**: `P believes b` does **not** imply `b` — the paper's
+//!   fact 4 ("knowledge implies truth") is exactly what is lost, and
+//!   [`find_t_counterexamples`] produces the concrete worlds (a crashed
+//!   run where the observer believes all is well).
+//! * Lemma 4's event semantics also fail: a receive can *destroy* a
+//!   belief (belief revision), demonstrated in tests.
+
+use crate::bitset::CompSet;
+use crate::isomorphism::IsoIndex;
+use crate::universe::{CompId, Universe};
+use hpl_model::{Computation, ProcessSet};
+use std::fmt;
+
+/// A plausibility ranking over computations: lower = more plausible.
+pub struct Plausibility {
+    rank: Box<dyn Fn(&Computation) -> u64>,
+    name: String,
+}
+
+impl Plausibility {
+    /// Creates a ranking from a closure.
+    pub fn new<F>(name: &str, rank: F) -> Self
+    where
+        F: Fn(&Computation) -> u64 + 'static,
+    {
+        Plausibility {
+            rank: Box::new(rank),
+            name: name.to_owned(),
+        }
+    }
+
+    /// The uniform ranking: belief coincides with knowledge.
+    #[must_use]
+    pub fn uniform() -> Self {
+        Plausibility::new("uniform", |_| 0)
+    }
+
+    /// Evaluates the rank of a computation.
+    #[must_use]
+    pub fn rank(&self, c: &Computation) -> u64 {
+        (self.rank)(c)
+    }
+}
+
+impl fmt::Debug for Plausibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Plausibility({})", self.name)
+    }
+}
+
+/// Belief evaluation over a universe: knowledge restricted to the
+/// most-plausible members of each isomorphism class.
+pub struct BeliefIndex<'u> {
+    iso: IsoIndex<'u>,
+    ranks: Vec<u64>,
+}
+
+impl<'u> BeliefIndex<'u> {
+    /// Creates the index, pre-computing every computation's rank.
+    #[must_use]
+    pub fn new(universe: &'u Universe, plausibility: &Plausibility) -> Self {
+        let ranks = universe
+            .iter()
+            .map(|(_, c)| plausibility.rank(c))
+            .collect();
+        BeliefIndex {
+            iso: IsoIndex::new(universe),
+            ranks,
+        }
+    }
+
+    /// The underlying universe.
+    #[must_use]
+    pub fn universe(&self) -> &'u Universe {
+        self.iso.universe()
+    }
+
+    /// The most-plausible members of `x`'s `[P]`-class.
+    #[must_use]
+    pub fn plausible_class(&self, x: CompId, p: ProcessSet) -> CompSet {
+        let class = self.iso.class_set(x, p);
+        let best = class
+            .iter()
+            .map(|i| self.ranks[i])
+            .min()
+            .expect("classes are nonempty (contain x)");
+        let mut out = CompSet::new(self.universe().len());
+        for i in class.iter() {
+            if self.ranks[i] == best {
+                out.insert(i);
+            }
+        }
+        out
+    }
+
+    /// `(P believes ⟨sat⟩) at x`: `sat` holds at every most-plausible
+    /// member of `x`'s class.
+    #[must_use]
+    pub fn believes_at(&self, x: CompId, p: ProcessSet, sat: &CompSet) -> bool {
+        self.plausible_class(x, p).is_subset(sat)
+    }
+
+    /// The satisfaction set of `P believes ⟨sat⟩`.
+    #[must_use]
+    pub fn believes_set(&self, p: ProcessSet, sat: &CompSet) -> CompSet {
+        let mut out = CompSet::new(self.universe().len());
+        for x in self.universe().ids() {
+            if self.believes_at(x, p, sat) {
+                out.insert(x.index());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for BeliefIndex<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BeliefIndex(universe of {})", self.universe().len())
+    }
+}
+
+/// A concrete failure of the truth axiom: `x` where `P believes b` but
+/// `¬b at x`.
+#[derive(Clone, Debug)]
+pub struct TViolation {
+    /// The believing-but-wrong computation.
+    pub x: CompId,
+}
+
+/// Finds every computation where `P believes ⟨sat⟩` holds but `⟨sat⟩`
+/// does not — empty under the uniform ranking (belief = knowledge),
+/// nonempty in general: the paper's fact 4 does not survive belief.
+#[must_use]
+pub fn find_t_counterexamples(
+    belief: &BeliefIndex<'_>,
+    p: ProcessSet,
+    sat: &CompSet,
+) -> Vec<TViolation> {
+    let believes = belief.believes_set(p, sat);
+    belief
+        .universe()
+        .ids()
+        .filter(|x| believes.contains(x.index()) && !sat.contains(x.index()))
+        .map(|x| TViolation { x })
+        .collect()
+}
+
+/// Checks the KD45 core for belief on a universe, returning violation
+/// descriptions (expected: none — these axioms survive the
+/// generalization).
+#[must_use]
+pub fn check_kd45(belief: &BeliefIndex<'_>, p: ProcessSet, sat: &CompSet) -> Vec<String> {
+    let mut violations = Vec::new();
+    let universe = belief.universe();
+    let b_sat = belief.believes_set(p, sat);
+
+    // D (consistency): P never believes both sat and ¬sat.
+    let mut not_sat = sat.clone();
+    not_sat.complement();
+    let b_not = belief.believes_set(p, &not_sat);
+    let mut both = b_sat.clone();
+    both.intersect_with(&b_not);
+    if !both.is_empty() {
+        violations.push(format!("D fails at {:?}", both.first()));
+    }
+
+    // 4 (positive introspection): believes(sat) ⊆ believes(believes(sat)).
+    let b_b = belief.believes_set(p, &b_sat);
+    if !b_sat.is_subset(&b_b) {
+        violations.push("4 fails: believes ⊄ believes-believes".to_owned());
+    }
+
+    // 5 (negative introspection): ¬believes(sat) ⊆ believes(¬believes(sat)).
+    let mut not_b = b_sat.clone();
+    not_b.complement();
+    let b_not_b = belief.believes_set(p, &not_b);
+    if !not_b.is_subset(&b_not_b) {
+        violations.push("5 fails".to_owned());
+    }
+
+    // K (distribution over intersections): believes(A) ∩ believes(B) =
+    // believes(A ∩ B) — check against a second set derived from sat.
+    let mut shifted = CompSet::new(universe.len());
+    for x in universe.ids() {
+        if universe.get(x).len() % 2 == 0 {
+            shifted.insert(x.index());
+        }
+    }
+    let mut inter = sat.clone();
+    inter.intersect_with(&shifted);
+    let lhs = {
+        let mut a = belief.believes_set(p, sat);
+        a.intersect_with(&belief.believes_set(p, &shifted));
+        a
+    };
+    let rhs = belief.believes_set(p, &inter);
+    if lhs != rhs {
+        violations.push("K fails: conjunction does not distribute".to_owned());
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate, EnumerationLimits, LocalView, ProtoAction, Protocol};
+    use hpl_model::{ActionId, ProcessId};
+
+    const CRASH: u32 = 99;
+
+    /// p0 may crash silently (as in the §5 failure model) or report
+    /// progress to p1.
+    struct Crashable;
+
+    impl Protocol for Crashable {
+        fn system_size(&self) -> usize {
+            2
+        }
+        fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+            if p.index() != 0 {
+                return vec![];
+            }
+            let crashed = view.count_matching(
+                |s| matches!(s, crate::enumerate::LocalStep::Did { action } if action.tag() == CRASH),
+            ) > 0;
+            if crashed {
+                return vec![];
+            }
+            let sent = view.count_matching(|s| {
+                matches!(s, crate::enumerate::LocalStep::Sent { .. })
+            });
+            let mut out = vec![ProtoAction::Internal {
+                action: ActionId::new(CRASH),
+            }];
+            if sent < 1 {
+                out.push(ProtoAction::Send {
+                    to: ProcessId::new(1),
+                    payload: 1,
+                });
+            }
+            out
+        }
+    }
+
+    fn alive_sat(u: &Universe) -> CompSet {
+        let mut s = CompSet::new(u.len());
+        for (id, c) in u.iter() {
+            let crashed = c.iter().any(|e| {
+                matches!(e.kind(), hpl_model::EventKind::Internal { action } if action.tag() == CRASH)
+            });
+            if !crashed {
+                s.insert(id.index());
+            }
+        }
+        s
+    }
+
+    fn setup() -> crate::enumerate::ProtocolUniverse {
+        enumerate(&Crashable, EnumerationLimits::depth(4)).unwrap()
+    }
+
+    #[test]
+    fn uniform_belief_is_knowledge() {
+        let pu = setup();
+        let u = pu.universe();
+        let belief = BeliefIndex::new(u, &Plausibility::uniform());
+        let sat = alive_sat(u);
+        let p = ProcessSet::singleton(ProcessId::new(1));
+        // under the uniform ranking, belief = knowledge, so T holds
+        assert!(find_t_counterexamples(&belief, p, &sat).is_empty());
+        // and the observer never "knows" the worker is alive
+        let b = belief.believes_set(p, &sat);
+        // knowledge of aliveness is impossible (crash is silent), so the
+        // belief set must avoid any crashed computation's class…
+        for x in b.iter() {
+            assert!(sat.contains(x));
+        }
+    }
+
+    #[test]
+    fn optimistic_belief_violates_truth() {
+        // ranking: crashes are implausible (rank = 1 if crashed)
+        let pu = setup();
+        let u = pu.universe();
+        let optimist = Plausibility::new("crash-implausible", |c| {
+            u64::from(c.iter().any(|e| {
+                matches!(e.kind(), hpl_model::EventKind::Internal { action } if action.tag() == CRASH)
+            }))
+        });
+        let belief = BeliefIndex::new(u, &optimist);
+        let sat = alive_sat(u);
+        let p = ProcessSet::singleton(ProcessId::new(1));
+        let violations = find_t_counterexamples(&belief, p, &sat);
+        assert!(
+            !violations.is_empty(),
+            "the observer must wrongly believe a crashed worker alive"
+        );
+        // every counterexample is a crashed computation
+        for v in &violations {
+            assert!(!sat.contains(v.x.index()));
+        }
+    }
+
+    #[test]
+    fn kd45_survives_for_belief() {
+        let pu = setup();
+        let u = pu.universe();
+        let optimist = Plausibility::new("crash-implausible", |c| {
+            u64::from(c.iter().any(|e| {
+                matches!(e.kind(), hpl_model::EventKind::Internal { action } if action.tag() == CRASH)
+            }))
+        });
+        let belief = BeliefIndex::new(u, &optimist);
+        let sat = alive_sat(u);
+        for pi in 0..2 {
+            let p = ProcessSet::singleton(ProcessId::new(pi));
+            let violations = check_kd45(&belief, p, &sat);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn beliefs_can_be_destroyed_by_receives() {
+        // with a "reports are implausible" ranking, receiving a report
+        // destroys p1's belief that no report was sent — receives can
+        // lose belief, violating Lemma 4's case 1 analogue.
+        let pu = setup();
+        let u = pu.universe();
+        let ranking = Plausibility::new("quiet-worlds-plausible", |c| c.sends() as u64);
+        let belief = BeliefIndex::new(u, &ranking);
+        let mut no_send = CompSet::new(u.len());
+        for (id, c) in u.iter() {
+            if c.sends() == 0 {
+                no_send.insert(id.index());
+            }
+        }
+        let p = ProcessSet::singleton(ProcessId::new(1));
+        let believes = belief.believes_set(p, &no_send);
+        // find (x, x;receive) where belief held and was destroyed
+        let mut destroyed = false;
+        for (xe_id, xe) in u.iter() {
+            let Some(e) = xe.events().last().copied() else {
+                continue;
+            };
+            if !e.is_receive() || !e.is_on(ProcessId::new(1)) {
+                continue;
+            }
+            if let Some(x_id) = u.id_of(&xe.prefix(xe.len() - 1)) {
+                if believes.contains(x_id.index()) && !believes.contains(xe_id.index()) {
+                    destroyed = true;
+                }
+            }
+        }
+        assert!(destroyed, "belief revision by receive must occur");
+    }
+
+    #[test]
+    fn plausible_class_picks_minima() {
+        let pu = setup();
+        let u = pu.universe();
+        let ranking = Plausibility::new("by-length", |c| c.len() as u64);
+        let belief = BeliefIndex::new(u, &ranking);
+        let p = ProcessSet::singleton(ProcessId::new(1));
+        for x in u.ids() {
+            let plausible = belief.plausible_class(x, p);
+            assert!(!plausible.is_empty());
+            let full = belief.iso.class_set(x, p);
+            assert!(plausible.is_subset(&full));
+            let best = plausible
+                .iter()
+                .map(|i| u.get(crate::universe::CompId::from_index(i)).len())
+                .max()
+                .unwrap();
+            let class_min = full
+                .iter()
+                .map(|i| u.get(crate::universe::CompId::from_index(i)).len())
+                .min()
+                .unwrap();
+            assert_eq!(best, class_min, "plausible members are exactly the minima");
+        }
+    }
+
+    #[test]
+    fn debug_impls() {
+        let pu = setup();
+        let belief = BeliefIndex::new(pu.universe(), &Plausibility::uniform());
+        assert!(format!("{belief:?}").contains("BeliefIndex"));
+        assert!(format!("{:?}", Plausibility::uniform()).contains("uniform"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Isomorphism diagrams (paper §3, Figure 3-1).
+//!
+//! "It is convenient to represent all such isomorphism relations by an
+//! *isomorphism diagram*: an undirected labelled graph whose vertices are
+//! computations and there is an edge labelled `[P]` between vertices `x`,
+//! `y` if `P` is the **largest** set of processes for which `x [P] y`."
+//!
+//! Because `[P] = ⋂ₚ∈P [p]`, the largest such set is simply
+//! `{p : x [p] y}`; every vertex carries the self-loop `[D]`.
+//! [`IsomorphismDiagram::to_dot`] renders Graphviz output; the `repro`
+//! binary uses it to regenerate Figure 3-1.
+
+use crate::universe::{CompId, Universe};
+use hpl_model::{ProcessId, ProcessSet};
+use std::collections::HashMap;
+
+/// The isomorphism diagram of a universe: maximal edge labels between all
+/// pairs of computations.
+#[derive(Clone, Debug)]
+pub struct IsomorphismDiagram {
+    n: usize,
+    system_size: usize,
+    /// labels\[i\]\[j\] for i < j; the maximal `P` with `cᵢ [P] cⱼ`.
+    labels: HashMap<(u32, u32), ProcessSet>,
+    names: Vec<String>,
+}
+
+impl IsomorphismDiagram {
+    /// Builds the diagram for every pair of computations in the universe.
+    ///
+    /// Vertices are named `c0, c1, …` by default; use
+    /// [`IsomorphismDiagram::with_names`] for custom labels.
+    #[must_use]
+    pub fn build(universe: &Universe) -> Self {
+        let n = universe.len();
+        let mut labels = HashMap::new();
+        for (i, x) in universe.iter() {
+            for (j, y) in universe.iter() {
+                if i >= j {
+                    continue;
+                }
+                let mut set = ProcessSet::new();
+                for pi in 0..universe.system_size() {
+                    let p = ProcessId::new(pi);
+                    if x.agrees_on_process(y, p) {
+                        set.insert(p);
+                    }
+                }
+                labels.insert((i.index() as u32, j.index() as u32), set);
+            }
+        }
+        IsomorphismDiagram {
+            n,
+            system_size: universe.system_size(),
+            labels,
+            names: (0..n).map(|i| format!("c{i}")).collect(),
+        }
+    }
+
+    /// Replaces the vertex names (must supply one per computation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of names differs from the number of vertices.
+    #[must_use]
+    pub fn with_names<S: Into<String>>(mut self, names: Vec<S>) -> Self {
+        assert_eq!(names.len(), self.n, "one name per vertex required");
+        self.names = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the diagram has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The maximal label between two distinct computations (unordered).
+    /// `None` for identical ids (the self-loop is always `[D]`).
+    #[must_use]
+    pub fn label(&self, x: CompId, y: CompId) -> Option<ProcessSet> {
+        let (i, j) = (x.index() as u32, y.index() as u32);
+        if i == j {
+            return None;
+        }
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.labels.get(&key).copied()
+    }
+
+    /// All edges with nonempty labels: `(x, y, P)` with `x < y`.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(CompId, CompId, ProcessSet)> {
+        let mut out: Vec<_> = self
+            .labels
+            .iter()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(&(i, j), &p)| {
+                (
+                    CompId::from_index(i as usize),
+                    CompId::from_index(j as usize),
+                    p,
+                )
+            })
+            .collect();
+        out.sort_by_key(|&(i, j, _)| (i, j));
+        out
+    }
+
+    /// Renders the diagram in Graphviz DOT format. Edges labelled with the
+    /// empty set are omitted (every pair is trivially `[{}]`-related);
+    /// self-loops (`[D]`) are implicit.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph isomorphism {\n  node [shape=circle];\n");
+        for name in &self.names {
+            out.push_str(&format!("  \"{name}\";\n"));
+        }
+        for (x, y, p) in self.edges() {
+            out.push_str(&format!(
+                "  \"{}\" -- \"{}\" [label=\"{}\"];\n",
+                self.names[x.index()],
+                self.names[y.index()],
+                p
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The full process set `D` (the implicit self-loop label).
+    #[must_use]
+    pub fn self_loop_label(&self) -> ProcessSet {
+        ProcessSet::full(self.system_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_model::{ActionId, ScenarioPool};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A miniature of Figure 3-1: four computations over two processes
+    /// with the paper's edge structure.
+    fn fig31_like() -> (Universe, Vec<CompId>) {
+        let mut pool = ScenarioPool::new(2);
+        let ep = pool.internal_with(pid(0), ActionId::new(0));
+        let eq = pool.internal_with(pid(1), ActionId::new(1));
+        let eq2 = pool.internal_with(pid(1), ActionId::new(2));
+        let ep2 = pool.internal_with(pid(0), ActionId::new(3));
+
+        let mut u = Universe::new(2);
+        // x and z: same events, different order → [D]
+        let x = u.insert(pool.compose([ep, eq]).unwrap()).unwrap();
+        let z = u.insert(pool.compose([eq, ep]).unwrap()).unwrap();
+        // y: same p-events as x, different q-event → [p]
+        let y = u.insert(pool.compose([ep, eq2]).unwrap()).unwrap();
+        // w: same q-events as z, different p-event → [q] with z
+        let w = u.insert(pool.compose([eq, ep2]).unwrap()).unwrap();
+        (u, vec![x, y, z, w])
+    }
+
+    #[test]
+    fn maximal_labels() {
+        let (u, ids) = fig31_like();
+        let d = IsomorphismDiagram::build(&u);
+        let (x, y, z, w) = (ids[0], ids[1], ids[2], ids[3]);
+        assert_eq!(d.label(x, z), Some(ProcessSet::full(2)));
+        assert_eq!(d.label(x, y), Some(ProcessSet::from_indices([0])));
+        assert_eq!(d.label(z, w), Some(ProcessSet::from_indices([1])));
+        // y vs w: different p-events and different q-events → empty
+        assert_eq!(d.label(y, w), Some(ProcessSet::EMPTY));
+        // self loop
+        assert_eq!(d.label(x, x), None);
+        assert_eq!(d.self_loop_label(), ProcessSet::full(2));
+    }
+
+    #[test]
+    fn edges_skip_empty_labels() {
+        let (u, _) = fig31_like();
+        let d = IsomorphismDiagram::build(&u);
+        let edges = d.edges();
+        // pairs: (x,y):p, (x,z):D, (x,w):? x vs w: p differs (ep vs ep2),
+        // q: x has eq, w has eq → same! → {q}. (y,z): y vs z: p same (ep),
+        // q differs → {p}… wait y=[ep,eq2], z=[eq,ep] → p: [ep] vs [ep] ✓,
+        // q: [eq2] vs [eq] ✗ → {p}. (y,w): empty. (z,w): {q}.
+        assert_eq!(edges.len(), 5); // all pairs except (y,w)
+        assert!(edges.iter().all(|(_, _, p)| !p.is_empty()));
+    }
+
+    #[test]
+    fn dot_output_contains_names_and_labels() {
+        let (u, _) = fig31_like();
+        let d = IsomorphismDiagram::build(&u)
+            .with_names(vec!["x", "y", "z", "w"]);
+        let dot = d.to_dot();
+        assert!(dot.starts_with("graph isomorphism"));
+        for n in ["x", "y", "z", "w"] {
+            assert!(dot.contains(&format!("\"{n}\"")));
+        }
+        assert!(dot.contains("label=\"{p0,p1}\""));
+        assert!(dot.contains("--"));
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per vertex")]
+    fn names_must_match() {
+        let (u, _) = fig31_like();
+        let _ = IsomorphismDiagram::build(&u).with_names(vec!["a"]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for the calculus layer.
+
+use hpl_model::{EventId, ModelError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by universe construction and enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A computation refers to a different system size than the universe.
+    SystemSizeMismatch {
+        /// The universe's system size.
+        expected: usize,
+        /// The offending computation's system size.
+        found: usize,
+    },
+    /// Two computations bind the same event id to different events — the
+    /// "all events are distinguished" convention is violated.
+    InconsistentEvent {
+        /// The ambiguous event id.
+        event: EventId,
+    },
+    /// Enumeration exceeded the configured computation budget.
+    EnumerationBudgetExceeded {
+        /// The configured maximum number of computations.
+        max_computations: usize,
+    },
+    /// An underlying model-layer error.
+    Model(ModelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SystemSizeMismatch { expected, found } => write!(
+                f,
+                "computation is over {found} processes but the universe has {expected}"
+            ),
+            CoreError::InconsistentEvent { event } => {
+                write!(f, "event id {event} bound to two different events")
+            }
+            CoreError::EnumerationBudgetExceeded { max_computations } => write!(
+                f,
+                "enumeration exceeded the budget of {max_computations} computations"
+            ),
+            CoreError::Model(e) => write!(f, "invalid computation: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors = [
+            CoreError::SystemSizeMismatch {
+                expected: 2,
+                found: 3,
+            },
+            CoreError::InconsistentEvent {
+                event: EventId::new(1),
+            },
+            CoreError::EnumerationBudgetExceeded {
+                max_computations: 10,
+            },
+            CoreError::Model(ModelError::NotAPrefix),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chain() {
+        let e = CoreError::from(ModelError::NotAPrefix);
+        assert!(e.source().is_some());
+        assert!(CoreError::InconsistentEvent {
+            event: EventId::new(0)
+        }
+        .source()
+        .is_none());
+    }
+}

@@ -1,0 +1,512 @@
+//! The model checker: formula satisfaction over a finite universe.
+//!
+//! [`Evaluator`] computes, for each formula, the *satisfaction set* — the
+//! bit-set of universe computations at which the formula holds — with
+//! memoization. Knowledge is evaluated per the paper's definition:
+//! `(P knows b) at x` iff `b` holds at every member of `x`'s
+//! `[P]`-equivalence class; common knowledge via connected components of
+//! `⋃ₚ [p]` (the greatest-fixpoint characterization).
+
+use crate::bitset::CompSet;
+use crate::formula::{Formula, Interpretation};
+use crate::isomorphism::IsoIndex;
+use crate::universe::{CompId, Universe};
+use hpl_model::{ProcessId, ProcessSet};
+use std::collections::HashMap;
+
+/// Evaluates formulas over a universe under an interpretation.
+///
+/// Holds the isomorphism-class cache and a formula→satisfaction-set memo;
+/// reuse one evaluator for many queries on the same universe.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Evaluator<'u> {
+    universe: &'u Universe,
+    interp: &'u Interpretation,
+    iso: IsoIndex<'u>,
+    memo: HashMap<Formula, CompSet>,
+    components: Option<Vec<u32>>,
+}
+
+impl<'u> Evaluator<'u> {
+    /// Creates an evaluator for a universe and interpretation.
+    #[must_use]
+    pub fn new(universe: &'u Universe, interp: &'u Interpretation) -> Self {
+        Evaluator {
+            universe,
+            interp,
+            iso: IsoIndex::new(universe),
+            memo: HashMap::new(),
+            components: None,
+        }
+    }
+
+    /// The universe being evaluated over.
+    #[must_use]
+    pub fn universe(&self) -> &'u Universe {
+        self.universe
+    }
+
+    /// The interpretation supplying atoms.
+    #[must_use]
+    pub fn interpretation(&self) -> &'u Interpretation {
+        self.interp
+    }
+
+    /// The underlying isomorphism index (shared class cache).
+    #[must_use]
+    pub fn iso(&self) -> &IsoIndex<'u> {
+        &self.iso
+    }
+
+    /// The satisfaction set of `f`: all computations at which `f` holds.
+    pub fn sat_set(&mut self, f: &Formula) -> CompSet {
+        if let Some(s) = self.memo.get(f) {
+            return s.clone();
+        }
+        let s = self.compute(f);
+        self.memo.insert(f.clone(), s.clone());
+        s
+    }
+
+    /// Does `f` hold at computation `x`? (The paper's `f at x`.)
+    pub fn holds_at(&mut self, f: &Formula, x: CompId) -> bool {
+        self.sat_set(f).contains(x.index())
+    }
+
+    /// Does `f` hold at every computation of the universe?
+    pub fn holds_everywhere(&mut self, f: &Formula) -> bool {
+        self.sat_set(f).count() == self.universe.len()
+    }
+
+    /// Is the valuation of `f` constant across the universe (everywhere
+    /// true or everywhere false)? Used for the paper's "common knowledge
+    /// is a constant" corollaries.
+    pub fn is_constant(&mut self, f: &Formula) -> bool {
+        let s = self.sat_set(f);
+        s.is_empty() || s.count() == self.universe.len()
+    }
+
+    fn compute(&mut self, f: &Formula) -> CompSet {
+        let n = self.universe.len();
+        match f {
+            Formula::True => CompSet::full(n),
+            Formula::False => CompSet::new(n),
+            Formula::Atom(id) => {
+                let mut s = CompSet::new(n);
+                for (i, c) in self.universe.iter() {
+                    if self.interp.eval(*id, c) {
+                        s.insert(i.index());
+                    }
+                }
+                s
+            }
+            Formula::Not(g) => {
+                let mut s = self.sat_set(g);
+                s.complement();
+                s
+            }
+            Formula::And(gs) => {
+                let mut s = CompSet::full(n);
+                for g in gs {
+                    let sg = self.sat_set(g);
+                    s.intersect_with(&sg);
+                }
+                s
+            }
+            Formula::Or(gs) => {
+                let mut s = CompSet::new(n);
+                for g in gs {
+                    let sg = self.sat_set(g);
+                    s.union_with(&sg);
+                }
+                s
+            }
+            Formula::Implies(a, b) => {
+                // ¬a ∨ b
+                let mut s = self.sat_set(a);
+                s.complement();
+                let sb = self.sat_set(b);
+                s.union_with(&sb);
+                s
+            }
+            Formula::Iff(a, b) => {
+                let sa = self.sat_set(a);
+                let sb = self.sat_set(b);
+                let mut s = CompSet::new(n);
+                for i in 0..n {
+                    if sa.contains(i) == sb.contains(i) {
+                        s.insert(i);
+                    }
+                }
+                s
+            }
+            Formula::Knows(p, g) => {
+                let sg = self.sat_set(g);
+                self.knows_set(*p, &sg)
+            }
+            Formula::Sure(p, g) => {
+                // (P knows g) ∨ (P knows ¬g): the [P]-class is uniform.
+                let sg = self.sat_set(g);
+                let mut not_sg = sg.clone();
+                not_sg.complement();
+                let mut s = self.knows_set(*p, &sg);
+                let s2 = self.knows_set(*p, &not_sg);
+                s.union_with(&s2);
+                s
+            }
+            Formula::Everyone(g) => {
+                let sg = self.sat_set(g);
+                let mut s = CompSet::full(n);
+                for pi in 0..self.universe.system_size() {
+                    let kp = self.knows_set(ProcessSet::singleton(ProcessId::new(pi)), &sg);
+                    s.intersect_with(&kp);
+                }
+                s
+            }
+            Formula::Common(g) => {
+                let sg = self.sat_set(g);
+                let comp = self.components().to_vec();
+                // component satisfies iff all its members satisfy g
+                let mut comp_ok: HashMap<u32, bool> = HashMap::new();
+                for i in 0..n {
+                    let entry = comp_ok.entry(comp[i]).or_insert(true);
+                    *entry &= sg.contains(i);
+                }
+                let mut s = CompSet::new(n);
+                for i in 0..n {
+                    if comp_ok[&comp[i]] {
+                        s.insert(i);
+                    }
+                }
+                s
+            }
+        }
+    }
+
+    /// `{x : [P]-class of x ⊆ sat}` — the satisfaction set of
+    /// `P knows ⟨sat⟩`.
+    fn knows_set(&self, p: ProcessSet, sat: &CompSet) -> CompSet {
+        let classes = self.iso.classes(p);
+        let mut s = CompSet::new(self.universe.len());
+        for class in 0..classes.class_count() {
+            let mset = classes.member_set(class);
+            if mset.is_subset(sat) {
+                s.union_with(mset);
+            }
+        }
+        s
+    }
+
+    /// Connected components of `⋃ₚ [p]` over the universe — the
+    /// reachability relation underlying common knowledge. Component labels
+    /// are representative indices.
+    fn components(&mut self) -> &[u32] {
+        if self.components.is_none() {
+            let n = self.universe.len();
+            let mut dsu = Dsu::new(n);
+            for pi in 0..self.universe.system_size() {
+                let classes = self.iso.classes(ProcessSet::singleton(ProcessId::new(pi)));
+                for class in 0..classes.class_count() {
+                    let members = classes.members(class);
+                    for w in members.windows(2) {
+                        dsu.union(w[0] as usize, w[1] as usize);
+                    }
+                }
+            }
+            let labels: Vec<u32> = (0..n).map(|i| dsu.find(i) as u32).collect();
+            self.components = Some(labels);
+        }
+        self.components.as_deref().expect("just initialized")
+    }
+
+    /// Public view of the common-knowledge components (for diagnostics and
+    /// the reproduction report): the component label of each computation.
+    pub fn common_knowledge_components(&mut self) -> Vec<u32> {
+        self.components().to_vec()
+    }
+
+    /// Clears the formula memo (e.g. between parameter sweeps that reuse
+    /// the evaluator with logically fresh atoms).
+    pub fn clear_memo(&mut self) {
+        self.memo.clear();
+    }
+}
+
+/// Minimal union-find with path halving.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_model::ScenarioPool;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn ps(i: usize) -> ProcessSet {
+        ProcessSet::singleton(pid(i))
+    }
+
+    /// Universe over {send, receive}: {null, s, sr} — the message example
+    /// from the crate docs.
+    fn msg_universe() -> (Universe, Vec<CompId>) {
+        let mut pool = ScenarioPool::new(2);
+        let (s, m) = pool.send(pid(0), pid(1));
+        let r = pool.receive(pid(1), pid(0), m);
+        let mut u = Universe::new(2);
+        let ids = vec![
+            u.insert(pool.compose([]).unwrap()).unwrap(),
+            u.insert(pool.compose([s]).unwrap()).unwrap(),
+            u.insert(pool.compose([s, r]).unwrap()).unwrap(),
+        ];
+        (u, ids)
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let (u, ids) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+
+        let a = Formula::atom(sent);
+        assert!(!ev.holds_at(&a, ids[0]));
+        assert!(ev.holds_at(&a, ids[1]));
+        assert!(ev.holds_at(&a.clone().not(), ids[0]));
+        assert!(ev.holds_at(&Formula::True, ids[0]));
+        assert!(!ev.holds_at(&Formula::False, ids[0]));
+        assert!(ev.holds_at(&a.clone().and(Formula::True), ids[1]));
+        assert!(ev.holds_at(&a.clone().or(Formula::False), ids[1]));
+        assert!(ev.holds_at(&Formula::False.implies(a.clone()), ids[0]));
+        assert!(ev.holds_at(&a.clone().iff(a.clone()), ids[0]));
+        assert!(ev.holds_everywhere(&Formula::True));
+        assert!(ev.is_constant(&Formula::True));
+        assert!(!ev.is_constant(&a));
+    }
+
+    #[test]
+    fn knowledge_via_receive() {
+        let (u, ids) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+
+        let b = Formula::atom(sent);
+        // p (the sender) knows immediately:
+        let p_knows = Formula::knows(ps(0), b.clone());
+        assert!(!ev.holds_at(&p_knows, ids[0]));
+        assert!(ev.holds_at(&p_knows, ids[1]));
+        // q cannot distinguish null from s until it receives:
+        let q_knows = Formula::knows(ps(1), b.clone());
+        assert!(!ev.holds_at(&q_knows, ids[0]));
+        assert!(!ev.holds_at(&q_knows, ids[1]));
+        assert!(ev.holds_at(&q_knows, ids[2]));
+        // knowledge axiom: K implies truth
+        let mut kb = ev.sat_set(&q_knows);
+        let sb = ev.sat_set(&b);
+        kb.difference_with(&sb);
+        assert!(kb.is_empty());
+    }
+
+    #[test]
+    fn group_knowledge_is_joint_view() {
+        let (u, ids) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        // {p,q} jointly know as soon as p knows (their combined view
+        // distinguishes s from null).
+        let pq_knows = Formula::knows(ProcessSet::full(2), Formula::atom(sent));
+        assert!(ev.holds_at(&pq_knows, ids[1]));
+        assert!(!ev.holds_at(&pq_knows, ids[0]));
+    }
+
+    #[test]
+    fn sure_and_unsure() {
+        let (u, ids) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        let b = Formula::atom(sent);
+        // p always knows whether it sent: sure everywhere.
+        assert!(ev.holds_everywhere(&Formula::sure(ps(0), b.clone())));
+        // q is unsure at null and at s, sure at sr.
+        let q_sure = Formula::sure(ps(1), b.clone());
+        assert!(!ev.holds_at(&q_sure, ids[0]));
+        assert!(!ev.holds_at(&q_sure, ids[1]));
+        assert!(ev.holds_at(&q_sure, ids[2]));
+        let q_unsure = Formula::unsure(ps(1), b);
+        assert!(ev.holds_at(&q_unsure, ids[0]));
+        assert!(!ev.holds_at(&q_unsure, ids[2]));
+    }
+
+    #[test]
+    fn everyone_and_common() {
+        let (u, ids) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        let b = Formula::atom(sent);
+
+        let e = Formula::everyone(b.clone());
+        assert!(!ev.holds_at(&e, ids[1])); // q doesn't know yet
+        assert!(ev.holds_at(&e, ids[2])); // both know at sr
+
+        // common knowledge of `sent` can never hold: null is reachable
+        // from every computation via [q] then [p] steps.
+        let c = Formula::common(b.clone());
+        for &x in &ids {
+            assert!(!ev.holds_at(&c, x));
+        }
+        // CK of a constant-true predicate holds everywhere.
+        assert!(ev.holds_everywhere(&Formula::common(Formula::True)));
+        // and CK valuations are constant on this connected universe:
+        assert!(ev.is_constant(&c));
+        let comps = ev.common_knowledge_components();
+        assert!(comps.iter().all(|&l| l == comps[0]));
+    }
+
+    #[test]
+    fn knows_depends_on_universe_scope() {
+        // With only {null, s} in the universe (no receive), q never knows.
+        let mut pool = ScenarioPool::new(2);
+        let (s, _m) = pool.send(pid(0), pid(1));
+        let mut u = Universe::new(2);
+        let c0 = u.insert(pool.compose([]).unwrap()).unwrap();
+        let c1 = u.insert(pool.compose([s]).unwrap()).unwrap();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        let q_knows = Formula::knows(ps(1), Formula::atom(sent));
+        assert!(!ev.holds_at(&q_knows, c0));
+        assert!(!ev.holds_at(&q_knows, c1));
+    }
+
+    #[test]
+    fn everyone_is_conjunction_of_singleton_knows() {
+        let (u, _) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        let b = Formula::atom(sent);
+        let e = Formula::everyone(b.clone());
+        let conj = Formula::And(
+            (0..2)
+                .map(|i| Formula::knows(ps(i), b.clone()))
+                .collect(),
+        );
+        assert_eq!(ev.sat_set(&e), ev.sat_set(&conj));
+    }
+
+    #[test]
+    fn sure_is_symmetric_in_negation() {
+        let (u, _) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        let b = Formula::atom(sent);
+        let s1 = ev.sat_set(&Formula::sure(ps(1), b.clone()));
+        let s2 = ev.sat_set(&Formula::sure(ps(1), b.not()));
+        assert_eq!(s1, s2, "P sure b ≡ P sure ¬b");
+    }
+
+    /// Growing the universe can only destroy knowledge: if `P knows b`
+    /// over a superset universe, it also holds over any subset containing
+    /// the same computation (the class can only shrink).
+    #[test]
+    fn knowledge_monotone_under_universe_restriction() {
+        use hpl_model::ScenarioPool;
+        let mut pool = ScenarioPool::new(2);
+        let (s, m) = pool.send(pid(0), pid(1));
+        let r = pool.receive(pid(1), pid(0), m);
+        let a = pool.internal(pid(0));
+
+        let sequences: Vec<Vec<hpl_model::EventId>> = vec![
+            vec![],
+            vec![s],
+            vec![a],
+            vec![s, r],
+            vec![a, s],
+            vec![s, a],
+            vec![s, r, a],
+            vec![s, a, r],
+            vec![a, s, r],
+        ];
+        // big universe
+        let mut big = Universe::new(2);
+        for seq in &sequences {
+            big.insert(pool.compose(seq.iter().copied()).unwrap())
+                .unwrap();
+        }
+        // small universe: drop some members (keep a few)
+        let mut small = Universe::new(2);
+        for seq in sequences.iter().step_by(2) {
+            small.insert(pool.compose(seq.iter().copied()).unwrap())
+                .unwrap();
+        }
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev_big = Evaluator::new(&big, &interp);
+        let mut ev_small = Evaluator::new(&small, &interp);
+        for pi in 0..2 {
+            let f = Formula::knows(ps(pi), Formula::atom(sent));
+            let sat_big = ev_big.sat_set(&f);
+            let sat_small = ev_small.sat_set(&f);
+            for (id_small, c) in small.iter() {
+                if let Some(id_big) = big.id_of(c) {
+                    if sat_big.contains(id_big.index()) {
+                        assert!(
+                            sat_small.contains(id_small.index()),
+                            "knowledge in the larger universe must persist in the smaller"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_is_reused_and_clearable() {
+        let (u, _) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        let f = Formula::knows(ps(1), Formula::atom(sent));
+        let s1 = ev.sat_set(&f);
+        let s2 = ev.sat_set(&f);
+        assert_eq!(s1, s2);
+        ev.clear_memo();
+        let s3 = ev.sat_set(&f);
+        assert_eq!(s1, s3);
+    }
+}

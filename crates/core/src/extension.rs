@@ -1,0 +1,358 @@
+//! The Principle of Computation Extension and Theorem 3 (paper §3.4).
+//!
+//! These results give the semantics of event types in terms of
+//! isomorphism:
+//!
+//! * **Principle of Computation Extension.** Let `e` be an event on `P`.
+//!   1. `e` internal or send: (`x [P] y` and `(x;e)` a computation)
+//!      implies `(y;e)` is a computation.
+//!   2. `e` internal or receive: `(x;e) [P] y` implies `(y − e)` is a
+//!      computation.
+//! * **Theorem 3.** For `(x;e)` a computation with `e` on `P`:
+//!   * receive: `(x;e) [P P̄] z ⇒ x [P P̄] z` — receives *shrink* the
+//!     reachable set;
+//!   * send: `x [P P̄] z ⇒ (x;e) [P P̄] z` — sends *grow* it;
+//!   * internal: `(x;e) [P P̄] z ⇔ x [P P̄] z`.
+//!
+//! The checkers run the quantifiers exhaustively over a universe and
+//! report any violation (none exist, by the paper's proofs; the checkers
+//! are regression armour for the implementation and are exercised in the
+//! test suites and the reproduction report).
+
+use crate::isomorphism::IsoIndex;
+use crate::universe::{CompId, Universe};
+use hpl_model::{EventKind, ProcessSet};
+
+/// Outcome of an exhaustive principle/theorem check.
+#[derive(Clone, Debug, Default)]
+pub struct ExtensionReport {
+    /// Human-readable violation descriptions (empty = all checks passed).
+    pub violations: Vec<String>,
+    /// Number of instantiations checked.
+    pub checks: usize,
+}
+
+impl ExtensionReport {
+    /// Returns `true` if no violation was found.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Exhaustively checks the Principle of Computation Extension over a
+/// universe: for every member of the form `(x;e)` and every member `y`
+/// isomorphic to `x` (resp. `(x;e)`) with respect to `e`'s process, the
+/// promised extension/deletion is a valid computation.
+///
+/// When `check_membership` is set, additionally requires `(y;e)` to be a
+/// member whenever its length does not exceed the universe's maximum
+/// member length (exact for enumerated, depth-bounded universes).
+#[must_use]
+pub fn check_extension_principle(universe: &Universe, check_membership: bool) -> ExtensionReport {
+    let mut report = ExtensionReport::default();
+    let iso = IsoIndex::new(universe);
+    let max_len = universe.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+
+    for (xe_id, xe) in universe.iter() {
+        let Some(e) = xe.events().last().copied() else {
+            continue;
+        };
+        let x = xe.prefix(xe.len() - 1);
+        let Some(x_id) = universe.id_of(&x) else {
+            continue; // not prefix closed; skip this instantiation
+        };
+        let p = ProcessSet::singleton(e.process());
+
+        // Part 1: e internal or send.
+        if matches!(
+            e.kind(),
+            EventKind::Internal { .. } | EventKind::Send { .. }
+        ) {
+            for (y_id, y) in universe.iter() {
+                if !iso.isomorphic(x_id, y_id, p) {
+                    continue;
+                }
+                report.checks += 1;
+                match y.extended([e]) {
+                    Ok(ye) => {
+                        if check_membership
+                            && ye.len() <= max_len
+                            && universe.id_of(&ye).is_none()
+                        {
+                            report.violations.push(format!(
+                                "(y;e) = {ye} missing from universe (y={y_id}, e={e})"
+                            ));
+                        }
+                    }
+                    Err(err) => report.violations.push(format!(
+                        "(y;e) invalid for y={y_id}, e={e}: {err}"
+                    )),
+                }
+            }
+        }
+
+        // Part 2: e internal or receive.
+        if matches!(
+            e.kind(),
+            EventKind::Internal { .. } | EventKind::Receive { .. }
+        ) {
+            for (y_id, y) in universe.iter() {
+                if !iso.isomorphic(xe_id, y_id, p) {
+                    continue;
+                }
+                report.checks += 1;
+                match y.without_event(e.id()) {
+                    Ok(_reduced) => {}
+                    Err(err) => report.violations.push(format!(
+                        "(y−e) invalid for y={y_id}, e={e}: {err}"
+                    )),
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Exhaustively checks Theorem 3 over a universe, for every member pair
+/// `(x, (x;e))`, every `z`, and every process set `P ∋ proc(e)` drawn
+/// from `sets` (pass e.g. all singletons).
+///
+/// ## Finite-universe boundary
+///
+/// Any witness `y` of `x [P P̄] z` satisfies `y|P = x|P` and
+/// `y|P̄ = z|P̄`, so its length is *determined*:
+/// `|x|P| + |z|P̄|`. On a depth-bounded universe, instantiations whose
+/// required witness would exceed the maximum member length are skipped —
+/// the implication's antecedent could only be established outside the
+/// bound. For complete (enumerated) universes the remaining checks are
+/// exact.
+#[must_use]
+pub fn check_theorem3(universe: &Universe, sets: &[ProcessSet]) -> ExtensionReport {
+    let mut report = ExtensionReport::default();
+    let iso = IsoIndex::new(universe);
+    let d = ProcessSet::full(universe.system_size());
+    let max_len = universe.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+
+    for (xe_id, xe) in universe.iter() {
+        let Some(e) = xe.events().last().copied() else {
+            continue;
+        };
+        let x = xe.prefix(xe.len() - 1);
+        let Some(x_id) = universe.id_of(&x) else {
+            continue;
+        };
+        for &p in sets {
+            if !p.contains(e.process()) {
+                continue;
+            }
+            let pbar = p.complement(d);
+            let seq = [p, pbar];
+            let from_xe = iso.reachable(xe_id, &seq);
+            let from_x = iso.reachable(x_id, &seq);
+            // |y| for a witness of (x;e) [P P̄] z is |xe|P| + |z|P̄|;
+            // the witness for x [P P̄] z is one shorter.
+            let xe_p_len = xe.project_set(p).len();
+            for (z, zc) in universe.iter() {
+                let witness_xe_len = xe_p_len + zc.project_set(pbar).len();
+                let at_xe = from_xe.contains(z.index());
+                let at_x = from_x.contains(z.index());
+                let violated = match e.kind() {
+                    // receive shrinks: (x;e)[P P̄]z ⇒ x[P P̄]z; the x-side
+                    // witness is shorter, so this is always checkable.
+                    EventKind::Receive { .. } => at_xe && !at_x,
+                    // send grows: x[P P̄]z ⇒ (x;e)[P P̄]z; needs the
+                    // (x;e)-side witness to fit the bound.
+                    EventKind::Send { .. } => {
+                        if witness_xe_len > max_len {
+                            continue;
+                        }
+                        at_x && !at_xe
+                    }
+                    // internal: equality; the backward direction needs the
+                    // (x;e)-side witness to fit.
+                    EventKind::Internal { .. } => {
+                        if witness_xe_len > max_len {
+                            // forward direction still checkable
+                            at_xe && !at_x
+                        } else {
+                            at_xe != at_x
+                        }
+                    }
+                };
+                report.checks += 1;
+                if violated {
+                    report.violations.push(format!(
+                        "theorem 3 violated at x={x_id}, e={e}, P={p}, z={z}"
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Corollary to the extension principle: for a receive `e` on `P` whose
+/// send is on `Q`, (`x [P∪Q] y` and `(x;e)` a computation) implies
+/// `(y;e)` is a computation — `e` is internal to `P ∪ Q`.
+#[must_use]
+pub fn check_extension_corollary(universe: &Universe) -> ExtensionReport {
+    let mut report = ExtensionReport::default();
+    let iso = IsoIndex::new(universe);
+
+    for (_, xe) in universe.iter() {
+        let Some(e) = xe.events().last().copied() else {
+            continue;
+        };
+        let EventKind::Receive { from, .. } = e.kind() else {
+            continue;
+        };
+        let x = xe.prefix(xe.len() - 1);
+        let Some(x_id) = universe.id_of(&x) else {
+            continue;
+        };
+        let pq = ProcessSet::singleton(e.process()).union(ProcessSet::singleton(from));
+        for (y_id, y) in universe.iter() {
+            if !iso.isomorphic(x_id, y_id, pq) {
+                continue;
+            }
+            report.checks += 1;
+            if let Err(err) = y.extended([e]) {
+                report
+                    .violations
+                    .push(format!("corollary violated: y={y_id}, e={e}: {err}"));
+            }
+        }
+    }
+    report
+}
+
+/// Measures Theorem 3's intuition quantitatively: the size of the set
+/// `{z : x [P P̄] z}` before and after each event of `z0`, returning
+/// `(event description, size before, size after)` rows. Receives must not
+/// grow the set; sends must not shrink it.
+#[must_use]
+pub fn reachable_set_trajectory(
+    universe: &Universe,
+    z0: CompId,
+    p: ProcessSet,
+) -> Vec<(String, usize, usize)> {
+    let iso = IsoIndex::new(universe);
+    let d = ProcessSet::full(universe.system_size());
+    let seq = [p, p.complement(d)];
+    let z = universe.get(z0).clone();
+    let mut rows = Vec::new();
+    for l in 1..=z.len() {
+        let before = universe
+            .id_of(&z.prefix(l - 1))
+            .map(|id| iso.reachable(id, &seq).count());
+        let after = universe
+            .id_of(&z.prefix(l))
+            .map(|id| iso.reachable(id, &seq).count());
+        if let (Some(b), Some(a)) = (before, after) {
+            rows.push((z.events()[l - 1].to_string(), b, a));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_model::{ProcessId, ScenarioPool};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Prefix-closed universe over one message exchange plus an
+    /// independent internal event on each side.
+    fn message_universe() -> Universe {
+        let mut pool = ScenarioPool::new(2);
+        let (s, m) = pool.send(pid(0), pid(1));
+        let r = pool.receive(pid(1), pid(0), m);
+        let a = pool.internal(pid(0));
+        let b = pool.internal(pid(1));
+
+        let sequences: Vec<Vec<hpl_model::EventId>> = vec![
+            vec![],
+            vec![s],
+            vec![b],
+            vec![s, b],
+            vec![b, s],
+            vec![s, r],
+            vec![s, r, a],
+            vec![s, a],
+            vec![a, s],
+            vec![a],
+            vec![a, b],
+            vec![b, a],
+            vec![s, b, r],
+            vec![b, s, r],
+            vec![s, r, b],
+            vec![s, a, r],
+            vec![a, s, r],
+            vec![a, b, s],
+            vec![b, a, s],
+            vec![s, a, b],
+            vec![s, b, a],
+            vec![a, s, b],
+            vec![b, s, a],
+        ];
+        let mut u = Universe::new(2);
+        for seq in sequences {
+            u.insert(pool.compose(seq).unwrap()).unwrap();
+        }
+        u.close_under_prefixes();
+        u
+    }
+
+    #[test]
+    fn extension_principle_holds() {
+        let u = message_universe();
+        let report = check_extension_principle(&u, false);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn extension_corollary_holds() {
+        let u = message_universe();
+        let report = check_extension_corollary(&u);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn theorem3_holds_on_message_universe() {
+        let u = message_universe();
+        let sets = [
+            ProcessSet::singleton(pid(0)),
+            ProcessSet::singleton(pid(1)),
+        ];
+        let report = check_theorem3(&u, &sets);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn trajectory_shows_monotonicity() {
+        let u = message_universe();
+        // follow z = s;r — the receive must not grow q's reachable set.
+        let mut pool_check = None;
+        for (id, c) in u.iter() {
+            if c.len() == 2 && c.events()[1].is_receive() {
+                pool_check = Some(id);
+                break;
+            }
+        }
+        let z0 = pool_check.expect("s;r is in the universe");
+        let rows = reachable_set_trajectory(&u, z0, ProcessSet::singleton(pid(1)));
+        assert_eq!(rows.len(), 2);
+        for (desc, before, after) in &rows {
+            if desc.contains('?') {
+                assert!(after <= before, "receive grew the set: {desc}");
+            }
+        }
+    }
+}

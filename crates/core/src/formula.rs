@@ -1,0 +1,418 @@
+//! Epistemic formulas: predicates on system computations with `knows`.
+//!
+//! The paper's knowledge predicates (§4.1):
+//!
+//! * `(P knows b) at x ≜ ∀y: x [P] y ⇒ b at y`
+//! * `(P sure b) ≜ (P knows b) ∨ (P knows ¬b)` (§4.2)
+//! * `b is common knowledge` is the greatest fixpoint of
+//!   `b ∧ ∀p: (p knows (b is common knowledge))`.
+//!
+//! Base predicates ("atoms") are arbitrary Rust closures over
+//! computations, registered in an [`Interpretation`]. Per the paper,
+//! predicates must be functions of the per-process computations only:
+//! `x [D] y ⇒ (b at x = b at y)` — [`Interpretation::validate`] checks
+//! this on a universe.
+
+use crate::universe::Universe;
+use hpl_model::{Computation, ProcessSet};
+use std::fmt;
+
+/// Identifier of a registered atomic predicate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AtomId(usize);
+
+impl AtomId {
+    /// The raw registry index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A registry of named atomic predicates over computations.
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::Interpretation;
+/// let mut interp = Interpretation::new();
+/// let quiet = interp.register("quiet", |c| c.sends() == 0);
+/// assert_eq!(interp.name(quiet), "quiet");
+/// ```
+pub struct Interpretation {
+    atoms: Vec<(String, Box<dyn Fn(&Computation) -> bool>)>,
+}
+
+impl Interpretation {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Interpretation { atoms: Vec::new() }
+    }
+
+    /// Registers a named predicate and returns its id.
+    pub fn register<F>(&mut self, name: &str, predicate: F) -> AtomId
+    where
+        F: Fn(&Computation) -> bool + 'static,
+    {
+        self.atoms.push((name.to_owned(), Box::new(predicate)));
+        AtomId(self.atoms.len() - 1)
+    }
+
+    /// Number of registered atoms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` if no atoms are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The name of an atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not from this registry.
+    #[must_use]
+    pub fn name(&self, id: AtomId) -> &str {
+        &self.atoms[id.0].0
+    }
+
+    /// Evaluates an atom on a computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not from this registry.
+    #[must_use]
+    pub fn eval(&self, id: AtomId, c: &Computation) -> bool {
+        (self.atoms[id.0].1)(c)
+    }
+
+    /// All registered atom ids.
+    pub fn ids(&self) -> impl Iterator<Item = AtomId> + use<> {
+        (0..self.atoms.len()).map(AtomId)
+    }
+
+    /// Verifies the paper's well-formedness condition for every atom on a
+    /// universe: `x [D] y ⇒ b at x = b at y` (predicates depend only on
+    /// per-process computations, not the interleaving). Returns the ids of
+    /// violating atoms (empty = all fine).
+    #[must_use]
+    pub fn validate(&self, universe: &Universe) -> Vec<AtomId> {
+        let d = ProcessSet::full(universe.system_size());
+        let mut bad = Vec::new();
+        'atoms: for id in self.ids() {
+            for (i, x) in universe.iter() {
+                for (j, y) in universe.iter() {
+                    if i < j && x.agrees_on(y, d) && self.eval(id, x) != self.eval(id, y) {
+                        bad.push(id);
+                        continue 'atoms;
+                    }
+                }
+            }
+        }
+        bad
+    }
+}
+
+impl Default for Interpretation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Interpretation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Interpretation[")?;
+        for (i, (name, _)) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An epistemic formula over a system of processes.
+///
+/// Built with the constructor methods; evaluated by
+/// [`Evaluator`](crate::Evaluator) against a universe and an
+/// [`Interpretation`].
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::Formula;
+/// use hpl_model::ProcessSet;
+/// let p = ProcessSet::from_indices([0]);
+/// let q = ProcessSet::from_indices([1]);
+/// // p knows q knows b
+/// let f = Formula::knows(p, Formula::knows(q, Formula::atom_raw(0)));
+/// assert_eq!(f.knowledge_depth(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A registered atomic predicate.
+    Atom(AtomId),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = `true`).
+    And(Vec<Formula>),
+    /// Disjunction (empty = `false`).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// `P knows φ`.
+    Knows(ProcessSet, Box<Formula>),
+    /// `P sure φ ≜ (P knows φ) ∨ (P knows ¬φ)`.
+    Sure(ProcessSet, Box<Formula>),
+    /// `E φ`: every (singleton) process knows `φ`.
+    Everyone(Box<Formula>),
+    /// `C φ`: common knowledge of `φ` (greatest fixpoint).
+    Common(Box<Formula>),
+}
+
+impl Formula {
+    /// An atomic predicate.
+    #[must_use]
+    pub fn atom(id: AtomId) -> Formula {
+        Formula::Atom(id)
+    }
+
+    /// An atom from a raw registry index (for doc examples and tests).
+    #[must_use]
+    pub fn atom_raw(index: usize) -> Formula {
+        Formula::Atom(AtomId(index))
+    }
+
+    /// Negation `¬self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Conjunction of two formulas.
+    #[must_use]
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(vec![self, other])
+    }
+
+    /// Disjunction of two formulas.
+    #[must_use]
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(vec![self, other])
+    }
+
+    /// Implication `self ⇒ other`.
+    #[must_use]
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Bi-implication `self ⇔ other`.
+    #[must_use]
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::Iff(Box::new(self), Box::new(other))
+    }
+
+    /// `P knows φ`.
+    #[must_use]
+    pub fn knows(p: ProcessSet, phi: Formula) -> Formula {
+        Formula::Knows(p, Box::new(phi))
+    }
+
+    /// `P sure φ`.
+    #[must_use]
+    pub fn sure(p: ProcessSet, phi: Formula) -> Formula {
+        Formula::Sure(p, Box::new(phi))
+    }
+
+    /// `P unsure φ ≜ ¬(P sure φ)` (§4.2).
+    #[must_use]
+    pub fn unsure(p: ProcessSet, phi: Formula) -> Formula {
+        Formula::sure(p, phi).not()
+    }
+
+    /// `E φ` — everyone knows.
+    #[must_use]
+    pub fn everyone(phi: Formula) -> Formula {
+        Formula::Everyone(Box::new(phi))
+    }
+
+    /// `C φ` — common knowledge.
+    #[must_use]
+    pub fn common(phi: Formula) -> Formula {
+        Formula::Common(Box::new(phi))
+    }
+
+    /// The nested-knowledge chain
+    /// `P₁ knows P₂ knows … Pₙ knows φ` (paper §4.3).
+    ///
+    /// For an empty slice this is just `φ`.
+    #[must_use]
+    pub fn knows_chain(sets: &[ProcessSet], phi: Formula) -> Formula {
+        sets.iter()
+            .rev()
+            .fold(phi, |acc, &p| Formula::knows(p, acc))
+    }
+
+    /// Maximum nesting depth of `knows`/`sure`/`everyone`/`common`.
+    #[must_use]
+    pub fn knowledge_depth(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 0,
+            Formula::Not(f) => f.knowledge_depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::knowledge_depth).max().unwrap_or(0)
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.knowledge_depth().max(b.knowledge_depth())
+            }
+            Formula::Knows(_, f) | Formula::Sure(_, f) => 1 + f.knowledge_depth(),
+            Formula::Everyone(f) | Formula::Common(f) => 1 + f.knowledge_depth(),
+        }
+    }
+
+    /// Renders the formula with atom names resolved through an
+    /// interpretation.
+    #[must_use]
+    pub fn display_with(&self, interp: &Interpretation) -> String {
+        match self {
+            Formula::True => "true".to_owned(),
+            Formula::False => "false".to_owned(),
+            Formula::Atom(id) => interp.name(*id).to_owned(),
+            Formula::Not(f) => format!("¬{}", f.display_with(interp)),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    "true".to_owned()
+                } else {
+                    let parts: Vec<String> =
+                        fs.iter().map(|f| f.display_with(interp)).collect();
+                    format!("({})", parts.join(" ∧ "))
+                }
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    "false".to_owned()
+                } else {
+                    let parts: Vec<String> =
+                        fs.iter().map(|f| f.display_with(interp)).collect();
+                    format!("({})", parts.join(" ∨ "))
+                }
+            }
+            Formula::Implies(a, b) => format!(
+                "({} ⇒ {})",
+                a.display_with(interp),
+                b.display_with(interp)
+            ),
+            Formula::Iff(a, b) => format!(
+                "({} ⇔ {})",
+                a.display_with(interp),
+                b.display_with(interp)
+            ),
+            Formula::Knows(p, f) => format!("K{} {}", p, f.display_with(interp)),
+            Formula::Sure(p, f) => format!("Sure{} {}", p, f.display_with(interp)),
+            Formula::Everyone(f) => format!("E {}", f.display_with(interp)),
+            Formula::Common(f) => format!("C {}", f.display_with(interp)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_model::ProcessId;
+
+    #[test]
+    fn interpretation_registry() {
+        let mut interp = Interpretation::new();
+        assert!(interp.is_empty());
+        let a = interp.register("a", |c| c.len() > 0);
+        let b = interp.register("b", |_| true);
+        assert_eq!(interp.len(), 2);
+        assert_eq!(interp.name(a), "a");
+        assert_eq!(interp.name(b), "b");
+        assert_eq!(interp.ids().count(), 2);
+        let c = Computation::empty(1);
+        assert!(!interp.eval(a, &c));
+        assert!(interp.eval(b, &c));
+        assert!(format!("{interp:?}").contains('a'));
+    }
+
+    #[test]
+    fn validate_flags_interleaving_sensitive_atoms() {
+        // Universe: two orderings of two independent events.
+        use hpl_model::ScenarioPool;
+        let mut pool = ScenarioPool::new(2);
+        let a = pool.internal(ProcessId::new(0));
+        let b = pool.internal(ProcessId::new(1));
+        let mut u = Universe::new(2);
+        u.insert(pool.compose([a, b]).unwrap()).unwrap();
+        u.insert(pool.compose([b, a]).unwrap()).unwrap();
+
+        let mut interp = Interpretation::new();
+        let good = interp.register("len", |c| c.len() == 2);
+        // depends on the interleaving → ill-formed per the paper
+        let bad = interp.register("first-is-p0", |c| {
+            c.get(0).map(|e| e.process().index() == 0).unwrap_or(false)
+        });
+        let violations = interp.validate(&u);
+        assert_eq!(violations, vec![bad]);
+        assert_ne!(good, bad);
+    }
+
+    #[test]
+    fn constructors_and_depth() {
+        let p = ProcessSet::from_indices([0]);
+        let q = ProcessSet::from_indices([1]);
+        let b = Formula::atom_raw(0);
+        assert_eq!(b.knowledge_depth(), 0);
+        assert_eq!(Formula::knows(p, b.clone()).knowledge_depth(), 1);
+        let nested = Formula::knows_chain(&[p, q], b.clone());
+        assert_eq!(nested.knowledge_depth(), 2);
+        assert_eq!(nested, Formula::knows(p, Formula::knows(q, b.clone())));
+        assert_eq!(Formula::knows_chain(&[], b.clone()), b.clone());
+        assert_eq!(Formula::common(b.clone()).knowledge_depth(), 1);
+        assert_eq!(
+            b.clone().and(Formula::True).knowledge_depth(),
+            0
+        );
+        assert_eq!(
+            Formula::everyone(Formula::sure(p, b)).knowledge_depth(),
+            2
+        );
+    }
+
+    #[test]
+    fn display_with_names() {
+        let mut interp = Interpretation::new();
+        let b = interp.register("token-at-r", |_| true);
+        let p = ProcessSet::from_indices([0]);
+        let f = Formula::knows(p, Formula::atom(b).not());
+        assert_eq!(f.display_with(&interp), "K{p0} ¬token-at-r");
+        let g = Formula::atom(b).implies(Formula::True);
+        assert_eq!(g.display_with(&interp), "(token-at-r ⇒ true)");
+        let h = Formula::And(vec![]);
+        assert_eq!(h.display_with(&interp), "true");
+        let i = Formula::Or(vec![]);
+        assert_eq!(i.display_with(&interp), "false");
+        let j = Formula::sure(p, Formula::atom(b));
+        assert!(j.display_with(&interp).starts_with("Sure"));
+        let k = Formula::common(Formula::atom(b)).iff(Formula::everyone(Formula::atom(b)));
+        assert!(k.display_with(&interp).contains('C'));
+        assert!(k.display_with(&interp).contains('E'));
+    }
+
+    use hpl_model::Computation;
+}

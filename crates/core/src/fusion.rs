@@ -1,0 +1,543 @@
+//! Fusing separate computations into one (paper §3.3).
+//!
+//! Two results let us "fuse" computations that extend a common prefix:
+//!
+//! * **Lemma 1** — if `x ≤ y`, `x ≤ z`, `P ∪ Q = D`, `x [P] y` and
+//!   `x [Q] z`, then `w = x;(x,y);(x,z)` is a computation with `x ≤ w`,
+//!   `y [Q] w` and `z [P] w` (the commutative square of Figure 3-2).
+//!
+//! * **Theorem 2** (Fusion of Computations) — if `x ≤ y`, `x ≤ z`, there
+//!   is no chain `⟨P̄ P⟩` in `(x, y)` and no chain `⟨P P̄⟩` in `(x, z)`,
+//!   then `w = x; (x,y)|P ; (x,z)|P̄` is a computation with `x ≤ w`,
+//!   `y [P] w` and `z [P̄] w` — `w` consists of all events on `P` from `y`
+//!   and all events on `P̄` from `z` (Figure 3-3).
+//!
+//! Both constructions are implemented as total functions returning the
+//! fused computation, or a [`FusionError`] that *names the obstruction*
+//! (including the offending process chain, when there is one).
+
+use hpl_model::chain::ChainWitness;
+use hpl_model::{Computation, Event, ModelError, ProcessSet};
+use std::error::Error;
+use std::fmt;
+
+/// Why a fusion could not be performed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FusionError {
+    /// `x` is not a prefix of `y` (or of `z`).
+    NotAPrefix,
+    /// Lemma 1 requires `P ∪ Q = D`.
+    NotCovering {
+        /// The union that failed to cover the system.
+        union: ProcessSet,
+        /// The full process set `D`.
+        d: ProcessSet,
+    },
+    /// Lemma 1 requires `x [P] y`: the suffix `(x, y)` may not contain
+    /// events on `P`.
+    SuffixTouchesSet {
+        /// Which argument violated it (`"y"` or `"z"`).
+        which: &'static str,
+        /// The set that must not act in the suffix.
+        set: ProcessSet,
+    },
+    /// Theorem 2's chain conditions are violated.
+    ChainObstruction {
+        /// Which suffix carries the chain (`"y"` or `"z"`).
+        which: &'static str,
+        /// The offending chain.
+        witness: ChainWitness,
+    },
+    /// The fused sequence failed validation (indicates violated
+    /// preconditions not caught above).
+    Invalid(ModelError),
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::NotAPrefix => write!(f, "fusion requires x to be a prefix of y and z"),
+            FusionError::NotCovering { union, d } => {
+                write!(f, "process sets must cover the system: {union} ≠ {d}")
+            }
+            FusionError::SuffixTouchesSet { which, set } => {
+                write!(f, "suffix (x,{which}) contains events on {set}")
+            }
+            FusionError::ChainObstruction { which, .. } => {
+                write!(f, "suffix (x,{which}) carries an obstructing process chain")
+            }
+            FusionError::Invalid(e) => write!(f, "fused sequence is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for FusionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FusionError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for FusionError {
+    fn from(e: ModelError) -> Self {
+        FusionError::Invalid(e)
+    }
+}
+
+/// Lemma 1: fuses `y` and `z` over their common prefix `x`.
+///
+/// Preconditions: `x ≤ y`, `x ≤ z`, `P ∪ Q = D`, `x [P] y`, `x [Q] z`.
+/// Returns `w = x;(x,y);(x,z)` satisfying `x ≤ w`, `y [Q] w`, `z [P] w`.
+///
+/// # Errors
+///
+/// Returns a [`FusionError`] naming the violated precondition.
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::fuse_lemma1;
+/// use hpl_model::{ComputationBuilder, ProcessId, ProcessSet};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (p, q) = (ProcessId::new(0), ProcessId::new(1));
+/// let mut b = ComputationBuilder::new(2);
+/// b.internal(p)?;
+/// let x = b.finish();
+/// let y = x.extended([])?; // y extends x with q-events only … here none
+/// // z extends x with a p-event:
+/// let mut b2 = ComputationBuilder::with_id_offsets(2, 10, 10);
+/// b2.internal(p)?;
+/// let z = x.extended(b2.finish().events().iter().copied())?;
+///
+/// let ps = ProcessSet::singleton(p);
+/// let qs = ProcessSet::singleton(q);
+/// let w = fuse_lemma1(&x, &y, &z, ps, qs)?;
+/// assert!(y.agrees_on(&w, qs));
+/// assert!(z.agrees_on(&w, ps));
+/// # Ok(())
+/// # }
+/// ```
+pub fn fuse_lemma1(
+    x: &Computation,
+    y: &Computation,
+    z: &Computation,
+    p: ProcessSet,
+    q: ProcessSet,
+) -> Result<Computation, FusionError> {
+    if !x.is_prefix_of(y) || !x.is_prefix_of(z) {
+        return Err(FusionError::NotAPrefix);
+    }
+    let d = ProcessSet::full(x.system_size());
+    if p.union(q) != d {
+        return Err(FusionError::NotCovering {
+            union: p.union(q),
+            d,
+        });
+    }
+    // x [P] y given x ≤ y ⟺ the suffix has no P-events.
+    if y.suffix_after(x.len()).iter().any(|e| e.is_on_set(p)) {
+        return Err(FusionError::SuffixTouchesSet { which: "y", set: p });
+    }
+    if z.suffix_after(x.len()).iter().any(|e| e.is_on_set(q)) {
+        return Err(FusionError::SuffixTouchesSet { which: "z", set: q });
+    }
+    let mut events: Vec<Event> = y.events().to_vec();
+    events.extend_from_slice(z.suffix_after(x.len()));
+    Ok(Computation::from_events(x.system_size(), events)?)
+}
+
+/// Theorem 2 (Fusion of Computations): fuses the `P`-side of `y` with the
+/// `P̄`-side of `z` over their common prefix `x`.
+///
+/// Preconditions: `x ≤ y`, `x ≤ z`, no process chain `⟨P̄ P⟩` in `(x, y)`,
+/// no process chain `⟨P P̄⟩` in `(x, z)`. Returns
+/// `w = x; (x,y)|P ; (x,z)|P̄` satisfying `x ≤ w`, `y [P] w`, `z [P̄] w`.
+///
+/// # Errors
+///
+/// Returns a [`FusionError`]; chain violations carry the offending chain
+/// as a [`ChainWitness`].
+pub fn fuse_theorem2(
+    x: &Computation,
+    y: &Computation,
+    z: &Computation,
+    p: ProcessSet,
+) -> Result<Computation, FusionError> {
+    if !x.is_prefix_of(y) || !x.is_prefix_of(z) {
+        return Err(FusionError::NotAPrefix);
+    }
+    let d = ProcessSet::full(x.system_size());
+    let pbar = p.complement(d);
+
+    if let Some(w) = hpl_model::find_chain(y, x.len(), &[pbar, p]) {
+        return Err(FusionError::ChainObstruction {
+            which: "y",
+            witness: w,
+        });
+    }
+    if let Some(w) = hpl_model::find_chain(z, x.len(), &[p, pbar]) {
+        return Err(FusionError::ChainObstruction {
+            which: "z",
+            witness: w,
+        });
+    }
+
+    let mut events: Vec<Event> = x.events().to_vec();
+    events.extend(
+        y.suffix_after(x.len())
+            .iter()
+            .filter(|e| e.is_on_set(p))
+            .copied(),
+    );
+    events.extend(
+        z.suffix_after(x.len())
+            .iter()
+            .filter(|e| e.is_on_set(pbar))
+            .copied(),
+    );
+    Ok(Computation::from_events(x.system_size(), events)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_model::{ComputationBuilder, ProcessId, ScenarioPool};
+    use proptest::prelude::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Shared pool for a 2-process system: p-events and q-events plus a
+    /// message each way.
+    struct Fixture {
+        pool: ScenarioPool,
+        x: Computation,
+    }
+
+    fn fixture() -> (Fixture, Vec<hpl_model::EventId>) {
+        let mut pool = ScenarioPool::new(2);
+        let base = pool.internal(pid(0)); // event in the common prefix
+        let ep = pool.internal_with(pid(0), hpl_model::ActionId::new(1));
+        let eq = pool.internal_with(pid(1), hpl_model::ActionId::new(2));
+        let (sp, mp) = pool.send(pid(0), pid(1)); // p → q
+        let rq = pool.receive(pid(1), pid(0), mp);
+        let x = pool.compose([base]).unwrap();
+        (Fixture { pool, x }, vec![base, ep, eq, sp, rq])
+    }
+
+    #[test]
+    fn lemma1_happy_path() {
+        let (fx, ev) = fixture();
+        let (p, q) = (
+            ProcessSet::singleton(pid(0)),
+            ProcessSet::singleton(pid(1)),
+        );
+        // y = x + q-event (so x [p] y); z = x + p-event (so x [q] z)
+        let y = fx.pool.compose([ev[0], ev[2]]).unwrap();
+        let z = fx.pool.compose([ev[0], ev[1]]).unwrap();
+        let w = fuse_lemma1(&fx.x, &y, &z, p, q).unwrap();
+        assert!(fx.x.is_prefix_of(&w));
+        assert!(y.agrees_on(&w, q));
+        assert!(z.agrees_on(&w, p));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn lemma1_rejects_non_prefix() {
+        let (fx, ev) = fixture();
+        let y = fx.pool.compose([ev[2]]).unwrap(); // does not extend x
+        let z = fx.pool.compose([ev[0]]).unwrap();
+        let err = fuse_lemma1(
+            &fx.x,
+            &y,
+            &z,
+            ProcessSet::singleton(pid(0)),
+            ProcessSet::singleton(pid(1)),
+        )
+        .unwrap_err();
+        assert_eq!(err, FusionError::NotAPrefix);
+    }
+
+    #[test]
+    fn lemma1_rejects_non_covering() {
+        let (fx, ev) = fixture();
+        let y = fx.pool.compose([ev[0], ev[2]]).unwrap();
+        let z = fx.pool.compose([ev[0], ev[1]]).unwrap();
+        let p0 = ProcessSet::singleton(pid(0));
+        let err = fuse_lemma1(&fx.x, &y, &z, p0, p0).unwrap_err();
+        assert!(matches!(err, FusionError::NotCovering { .. }));
+    }
+
+    #[test]
+    fn lemma1_rejects_suffix_violations() {
+        let (fx, ev) = fixture();
+        let (p, q) = (
+            ProcessSet::singleton(pid(0)),
+            ProcessSet::singleton(pid(1)),
+        );
+        // y's suffix contains a P event: x [P] y fails
+        let y = fx.pool.compose([ev[0], ev[1]]).unwrap();
+        let z = fx.pool.compose([ev[0]]).unwrap();
+        let err = fuse_lemma1(&fx.x, &y, &z, p, q).unwrap_err();
+        assert_eq!(
+            err,
+            FusionError::SuffixTouchesSet {
+                which: "y",
+                set: p
+            }
+        );
+        // z's suffix contains a Q event
+        let y2 = fx.pool.compose([ev[0]]).unwrap();
+        let z2 = fx.pool.compose([ev[0], ev[2]]).unwrap();
+        let err2 = fuse_lemma1(&fx.x, &y2, &z2, p, q).unwrap_err();
+        assert_eq!(
+            err2,
+            FusionError::SuffixTouchesSet {
+                which: "z",
+                set: q
+            }
+        );
+    }
+
+    #[test]
+    fn theorem2_happy_path() {
+        let (fx, ev) = fixture();
+        let p = ProcessSet::singleton(pid(0));
+        // y extends x with independent p and q events (no cross chain);
+        // z extends x with a q event only.
+        let y = fx.pool.compose([ev[0], ev[1], ev[2]]).unwrap();
+        let z = fx
+            .pool
+            .compose([ev[0], ev[2]])
+            .unwrap();
+        let w = fuse_theorem2(&fx.x, &y, &z, p).unwrap();
+        assert!(fx.x.is_prefix_of(&w));
+        assert!(y.agrees_on(&w, p));
+        let pbar = p.complement(ProcessSet::full(2));
+        assert!(z.agrees_on(&w, pbar));
+        // w = x + p-events of (x,y) + p̄-events of (x,z)
+        assert_eq!(w.len(), 1 + 1 + 1);
+    }
+
+    #[test]
+    fn theorem2_chain_obstruction_in_y() {
+        let (fx, ev) = fixture();
+        // y: q does something, then p sends after q's event? Build a
+        // chain P̄ → P in (x,y): we need a message q → p; extend pool.
+        let mut pool = fx.pool;
+        let (sq, mq) = pool.send(pid(1), pid(0));
+        let rp = pool.receive(pid(0), pid(1), mq);
+        let y = pool.compose([ev[0], sq, rp]).unwrap();
+        let z = pool.compose([ev[0]]).unwrap();
+        let p = ProcessSet::singleton(pid(0));
+        let err = fuse_theorem2(&fx.x, &y, &z, p).unwrap_err();
+        match err {
+            FusionError::ChainObstruction { which, witness } => {
+                assert_eq!(which, "y");
+                assert_eq!(witness.len(), 2);
+            }
+            other => panic!("expected chain obstruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn theorem2_chain_obstruction_in_z() {
+        let (fx, ev) = fixture();
+        let p = ProcessSet::singleton(pid(0));
+        let y = fx.pool.compose([ev[0]]).unwrap();
+        // z carries p → q message: chain ⟨P P̄⟩ in (x,z)
+        let z = fx.pool.compose([ev[0], ev[3], ev[4]]).unwrap();
+        let err = fuse_theorem2(&fx.x, &y, &z, p).unwrap_err();
+        assert!(matches!(
+            err,
+            FusionError::ChainObstruction { which: "z", .. }
+        ));
+    }
+
+    #[test]
+    fn theorem2_degenerate_full_and_empty_sets() {
+        let (fx, ev) = fixture();
+        let d = ProcessSet::full(2);
+        let y = fx.pool.compose([ev[0], ev[1], ev[2]]).unwrap();
+        let z = fx.pool.compose([ev[0]]).unwrap();
+        // P = D: pbar empty; chain ⟨∅ …⟩ can never exist; w keeps all of y.
+        let w = fuse_theorem2(&fx.x, &y, &z, d).unwrap();
+        assert!(y.agrees_on(&w, d));
+        // P = ∅: w keeps all of z.
+        let w2 = fuse_theorem2(&fx.x, &y, &z, ProcessSet::EMPTY).unwrap();
+        assert!(z.agrees_on(&w2, d));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let errors = [
+            FusionError::NotAPrefix,
+            FusionError::NotCovering {
+                union: ProcessSet::EMPTY,
+                d: ProcessSet::full(1),
+            },
+            FusionError::SuffixTouchesSet {
+                which: "y",
+                set: ProcessSet::full(1),
+            },
+            FusionError::Invalid(ModelError::NotAPrefix),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(FusionError::Invalid(ModelError::NotAPrefix)
+            .source()
+            .is_some());
+        assert!(FusionError::NotAPrefix.source().is_none());
+    }
+
+    /// Random prefix-extension generator for property tests: extends `x`
+    /// with `steps` random events, allowing messages.
+    fn random_extension(
+        x: &Computation,
+        steps: usize,
+        seed: u64,
+        id_base: usize,
+    ) -> Computation {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let n = x.system_size();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = ComputationBuilder::with_id_offsets(n, id_base, id_base);
+        let mut in_flight: Vec<(ProcessId, hpl_model::MessageId)> = Vec::new();
+        for _ in 0..steps {
+            match rng.random_range(0..3) {
+                0 => {
+                    let from = pid(rng.random_range(0..n));
+                    let to = pid(rng.random_range(0..n));
+                    let m = b.send(from, to).unwrap();
+                    in_flight.push((to, m));
+                }
+                1 if !in_flight.is_empty() => {
+                    let k = rng.random_range(0..in_flight.len());
+                    let (to, m) = in_flight.remove(k);
+                    b.receive(to, m).unwrap();
+                }
+                _ => {
+                    b.internal(pid(rng.random_range(0..n))).unwrap();
+                }
+            }
+        }
+        x.extended(b.finish().events().iter().copied()).unwrap()
+    }
+
+    proptest! {
+        /// Whenever Theorem 2's conditions hold, the fusion succeeds and
+        /// has the promised projections.
+        #[test]
+        fn prop_theorem2_on_random_extensions(
+            seed_y in 0u64..80,
+            seed_z in 100u64..180,
+            steps_y in 0usize..8,
+            steps_z in 0usize..8,
+            pbits in 0u8..8,
+        ) {
+            let mut b = ComputationBuilder::new(3);
+            b.internal(pid(0)).unwrap();
+            b.internal(pid(1)).unwrap();
+            let x = b.finish();
+            let y = random_extension(&x, steps_y, seed_y, 100);
+            let z = random_extension(&x, steps_z, seed_z, 200);
+            let p = ProcessSet::from_bits(u128::from(pbits));
+            let d = ProcessSet::full(3);
+            let pbar = p.complement(d);
+
+            match fuse_theorem2(&x, &y, &z, p) {
+                Ok(w) => {
+                    prop_assert!(x.is_prefix_of(&w));
+                    prop_assert!(y.agrees_on(&w, p));
+                    prop_assert!(z.agrees_on(&w, pbar));
+                    // w has exactly y's P-suffix plus z's P̄-suffix on top of x
+                    let expect_len = x.len()
+                        + y.suffix_after(x.len()).iter().filter(|e| e.is_on_set(p)).count()
+                        + z.suffix_after(x.len()).iter().filter(|e| e.is_on_set(pbar)).count();
+                    prop_assert_eq!(w.len(), expect_len);
+                }
+                Err(FusionError::ChainObstruction { which, witness }) => {
+                    // the named obstruction must be a real chain
+                    let (target, sets) = if which == "y" {
+                        (&y, [pbar, p])
+                    } else {
+                        (&z, [p, pbar])
+                    };
+                    prop_assert!(witness.verify(target, x.len(), &sets));
+                }
+                Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            }
+        }
+
+        /// Lemma 1 on disjointly-extending computations always fuses, and
+        /// the fused computation commutes (Figure 3-2).
+        #[test]
+        fn prop_lemma1_commutative_square(
+            seed_y in 0u64..80,
+            seed_z in 100u64..180,
+            steps in 0usize..8,
+            split in 0u8..4,
+        ) {
+            let mut b = ComputationBuilder::new(2);
+            b.internal(pid(0)).unwrap();
+            let x = b.finish();
+            // P/Q split of D = {p0, p1}
+            let p = ProcessSet::from_bits(u128::from(split & 0b11));
+            let d = ProcessSet::full(2);
+            let q = p.complement(d);
+            // y extends x only on P̄ ⊆ Q; z only on Q̄ ⊆ P.
+            let y = random_restricted_extension(&x, q, steps, seed_y, 100);
+            let z = random_restricted_extension(&x, p, steps, seed_z, 200);
+            let w = fuse_lemma1(&x, &y, &z, p, q);
+            prop_assert!(w.is_ok(), "lemma 1 preconditions hold by construction: {:?}", w);
+            let w = w.unwrap();
+            prop_assert!(y.agrees_on(&w, q));
+            prop_assert!(z.agrees_on(&w, p));
+        }
+    }
+
+    /// Extends `x` with events only on processes in `allowed` (internal
+    /// events and messages inside the set).
+    fn random_restricted_extension(
+        x: &Computation,
+        allowed: ProcessSet,
+        steps: usize,
+        seed: u64,
+        id_base: usize,
+    ) -> Computation {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let procs: Vec<ProcessId> = allowed.iter().collect();
+        if procs.is_empty() {
+            return x.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = ComputationBuilder::with_id_offsets(x.system_size(), id_base, id_base);
+        let mut in_flight: Vec<(ProcessId, hpl_model::MessageId)> = Vec::new();
+        for _ in 0..steps {
+            match rng.random_range(0..3) {
+                0 => {
+                    let from = procs[rng.random_range(0..procs.len())];
+                    let to = procs[rng.random_range(0..procs.len())];
+                    let m = b.send(from, to).unwrap();
+                    in_flight.push((to, m));
+                }
+                1 if !in_flight.is_empty() => {
+                    let k = rng.random_range(0..in_flight.len());
+                    let (to, m) = in_flight.remove(k);
+                    b.receive(to, m).unwrap();
+                }
+                _ => {
+                    b.internal(procs[rng.random_range(0..procs.len())]).unwrap();
+                }
+            }
+        }
+        x.extended(b.finish().events().iter().copied()).unwrap()
+    }
+}

@@ -1,0 +1,606 @@
+//! Isomorphism between system computations (paper §3).
+//!
+//! `x [p] y` iff `x|p = y|p`; `x [P] y` iff `x [p] y` for all `p ∈ P`;
+//! and the composed relation is relational composition:
+//! `[P₀ … Pₙ] = [P₀] ∘ … ∘ [Pₙ]`.
+//!
+//! [`IsoIndex`] materializes, per process set `P`, the partition of a
+//! [`Universe`] into `[P]`-equivalence classes (cached), from which
+//! composed relations are evaluated by breadth-first closure over classes.
+//!
+//! The module also provides executable checkers for the paper's ten
+//! algebraic properties of isomorphism relations ([`properties`]).
+
+use crate::bitset::CompSet;
+use crate::universe::{CompId, Universe};
+use hpl_model::ProcessSet;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The `[P]`-partition of a universe: each computation's class, and each
+/// class's members.
+#[derive(Clone, Debug)]
+pub struct Classes {
+    class_of: Vec<u32>,
+    members: Vec<Vec<u32>>,
+    member_sets: Vec<CompSet>,
+}
+
+impl Classes {
+    /// The class index of a computation.
+    #[must_use]
+    pub fn class_of(&self, c: CompId) -> usize {
+        self.class_of[c.index()] as usize
+    }
+
+    /// Number of equivalence classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Member ids of a class.
+    #[must_use]
+    pub fn members(&self, class: usize) -> &[u32] {
+        &self.members[class]
+    }
+
+    /// Member set of a class, as a bit-set over the universe.
+    #[must_use]
+    pub fn member_set(&self, class: usize) -> &CompSet {
+        &self.member_sets[class]
+    }
+
+    /// Tests whether two computations are in the same class.
+    #[must_use]
+    pub fn same_class(&self, x: CompId, y: CompId) -> bool {
+        self.class_of[x.index()] == self.class_of[y.index()]
+    }
+}
+
+/// Cached isomorphism-class index over a universe.
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::{IsoIndex, Universe};
+/// use hpl_model::{ProcessId, ProcessSet, ScenarioPool};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (p, q) = (ProcessId::new(0), ProcessId::new(1));
+/// let mut pool = ScenarioPool::new(2);
+/// let a = pool.internal(p);
+/// let b = pool.internal(q);
+///
+/// let mut u = Universe::new(2);
+/// let x = u.insert(pool.compose([a])?)?;
+/// let y = u.insert(pool.compose([a, b])?)?;
+///
+/// let iso = IsoIndex::new(&u);
+/// assert!(iso.isomorphic(x, y, ProcessSet::singleton(p)));   // x [p] y
+/// assert!(!iso.isomorphic(x, y, ProcessSet::singleton(q)));  // ¬ x [q] y
+/// // composed: x [p][q] y via x itself? x [p] x [q] ... BFS finds it iff
+/// // some intermediate agrees with x on p and with y on q — here x [p] y
+/// // already, and y [q] y, so the path x →p y →q y works:
+/// assert!(iso.related(x, y, &[ProcessSet::singleton(p), ProcessSet::singleton(q)]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct IsoIndex<'u> {
+    universe: &'u Universe,
+    cache: RefCell<HashMap<u128, Rc<Classes>>>,
+}
+
+impl<'u> IsoIndex<'u> {
+    /// Creates an index over the universe. Class partitions are computed
+    /// lazily per process set and cached.
+    #[must_use]
+    pub fn new(universe: &'u Universe) -> Self {
+        IsoIndex {
+            universe,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The universe this index serves.
+    #[must_use]
+    pub fn universe(&self) -> &'u Universe {
+        self.universe
+    }
+
+    /// The `[P]`-partition (cached).
+    #[must_use]
+    pub fn classes(&self, p: ProcessSet) -> Rc<Classes> {
+        if let Some(c) = self.cache.borrow().get(&p.bits()) {
+            return Rc::clone(c);
+        }
+        let classes = self.build_classes(p);
+        let rc = Rc::new(classes);
+        self.cache.borrow_mut().insert(p.bits(), Rc::clone(&rc));
+        rc
+    }
+
+    fn build_classes(&self, p: ProcessSet) -> Classes {
+        let n = self.universe.len();
+        let mut key_to_class: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut class_of = vec![0u32; n];
+        let mut members: Vec<Vec<u32>> = Vec::new();
+
+        for (id, c) in self.universe.iter() {
+            // signature: per process in P, the projected event-id sequence,
+            // separated by sentinels.
+            let mut key: Vec<u64> = Vec::new();
+            for proc in p.iter() {
+                key.push(u64::MAX); // separator
+                for e in c.iter().filter(|e| e.is_on(proc)) {
+                    key.push(e.id().index() as u64);
+                }
+            }
+            let next = members.len() as u32;
+            let class = *key_to_class.entry(key).or_insert_with(|| {
+                members.push(Vec::new());
+                next
+            });
+            class_of[id.index()] = class;
+            members[class as usize].push(id.index() as u32);
+        }
+
+        let member_sets = members
+            .iter()
+            .map(|m| {
+                let mut s = CompSet::new(n);
+                for &i in m {
+                    s.insert(i as usize);
+                }
+                s
+            })
+            .collect();
+
+        Classes {
+            class_of,
+            members,
+            member_sets,
+        }
+    }
+
+    /// Tests `x [P] y`.
+    #[must_use]
+    pub fn isomorphic(&self, x: CompId, y: CompId, p: ProcessSet) -> bool {
+        self.classes(p).same_class(x, y)
+    }
+
+    /// The `[P]`-class of `x` as a bit-set.
+    #[must_use]
+    pub fn class_set(&self, x: CompId, p: ProcessSet) -> CompSet {
+        let classes = self.classes(p);
+        classes.member_set(classes.class_of(x)).clone()
+    }
+
+    /// The set of computations reachable from `x` through the composed
+    /// relation `[sets[0] … sets[n-1]]` (BFS over classes). For an empty
+    /// slice the result is `{x}` (the identity relation).
+    #[must_use]
+    pub fn reachable(&self, x: CompId, sets: &[ProcessSet]) -> CompSet {
+        let mut frontier = self.universe.empty_set();
+        frontier.insert(x.index());
+        for &p in sets {
+            let classes = self.classes(p);
+            let mut next = self.universe.empty_set();
+            for class in 0..classes.class_count() {
+                let mset = classes.member_set(class);
+                if mset.intersects(&frontier) {
+                    next.union_with(mset);
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    }
+
+    /// Tests the composed relation `x [sets[0] … sets[n-1]] z`.
+    #[must_use]
+    pub fn related(&self, x: CompId, z: CompId, sets: &[ProcessSet]) -> bool {
+        self.reachable(x, sets).contains(z.index())
+    }
+
+    /// The relation `[sets…]` as a set of pairs, for relation-equality
+    /// checks (O(|U|²); intended for the property checkers and tests).
+    #[must_use]
+    pub fn relation_pairs(&self, sets: &[ProcessSet]) -> Vec<(CompId, CompId)> {
+        let mut out = Vec::new();
+        for x in self.universe.ids() {
+            let reach = self.reachable(x, sets);
+            for zi in reach.iter() {
+                out.push((x, CompId::from_index(zi)));
+            }
+        }
+        out
+    }
+
+    /// Tests extensional equality of two composed relations over this
+    /// universe: `[a…] = [b…]`.
+    #[must_use]
+    pub fn relations_equal(&self, a: &[ProcessSet], b: &[ProcessSet]) -> bool {
+        self.universe
+            .ids()
+            .all(|x| self.reachable(x, a) == self.reachable(x, b))
+    }
+
+    /// Tests relation containment `[a…] ⊆ [b…]` over this universe.
+    #[must_use]
+    pub fn relation_subset(&self, a: &[ProcessSet], b: &[ProcessSet]) -> bool {
+        self.universe
+            .ids()
+            .all(|x| self.reachable(x, a).is_subset(&self.reachable(x, b)))
+    }
+}
+
+/// Executable checkers for the paper's ten algebraic properties of
+/// isomorphism relations (§3, properties 1–10).
+///
+/// Each checker verifies a property *extensionally* on the index's
+/// universe and returns `Ok(())` or a description of the first violation.
+/// Properties 8 (reverse direction) and 9 rely on the paper's model
+/// assumption that every process has an event in some computation; the
+/// checkers verify that assumption holds before using it.
+pub mod properties {
+    use super::IsoIndex;
+    use hpl_model::{ProcessId, ProcessSet};
+
+    /// Property 1: `[P]` is an equivalence relation (checked pairwise:
+    /// reflexive, symmetric, transitive).
+    pub fn equivalence(iso: &IsoIndex<'_>, p: ProcessSet) -> Result<(), String> {
+        let u = iso.universe();
+        for x in u.ids() {
+            if !iso.isomorphic(x, x, p) {
+                return Err(format!("not reflexive at {x}"));
+            }
+            for y in u.ids() {
+                if iso.isomorphic(x, y, p) != iso.isomorphic(y, x, p) {
+                    return Err(format!("not symmetric at ({x},{y})"));
+                }
+                for z in u.ids() {
+                    if iso.isomorphic(x, y, p)
+                        && iso.isomorphic(y, z, p)
+                        && !iso.isomorphic(x, z, p)
+                    {
+                        return Err(format!("not transitive at ({x},{y},{z})"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Property 2 (substitution): `[β] = [δ]` implies
+    /// `[α β γ] = [α δ γ]`.
+    pub fn substitution(
+        iso: &IsoIndex<'_>,
+        alpha: &[ProcessSet],
+        beta: &[ProcessSet],
+        delta: &[ProcessSet],
+        gamma: &[ProcessSet],
+    ) -> Result<(), String> {
+        if !iso.relations_equal(beta, delta) {
+            return Ok(()); // hypothesis fails; vacuous
+        }
+        let mut abc: Vec<ProcessSet> = alpha.to_vec();
+        abc.extend_from_slice(beta);
+        abc.extend_from_slice(gamma);
+        let mut adc: Vec<ProcessSet> = alpha.to_vec();
+        adc.extend_from_slice(delta);
+        adc.extend_from_slice(gamma);
+        if iso.relations_equal(&abc, &adc) {
+            Ok(())
+        } else {
+            Err("substitution failed".to_owned())
+        }
+    }
+
+    /// Property 3 (idempotence): `[P P] = [P]`.
+    pub fn idempotence(iso: &IsoIndex<'_>, p: ProcessSet) -> Result<(), String> {
+        if iso.relations_equal(&[p, p], &[p]) {
+            Ok(())
+        } else {
+            Err(format!("[{p} {p}] ≠ [{p}]"))
+        }
+    }
+
+    /// Property 4 (reflexivity of compositions): `x [P₁ … Pₙ] x`.
+    pub fn reflexivity(iso: &IsoIndex<'_>, sets: &[ProcessSet]) -> Result<(), String> {
+        for x in iso.universe().ids() {
+            if !iso.related(x, x, sets) {
+                return Err(format!("x not related to itself at {x}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Property 5 (inversion): `x [P₁ … Pₙ] y = y [Pₙ … P₁] x`.
+    pub fn inversion(iso: &IsoIndex<'_>, sets: &[ProcessSet]) -> Result<(), String> {
+        let mut rev: Vec<ProcessSet> = sets.to_vec();
+        rev.reverse();
+        let u = iso.universe();
+        for x in u.ids() {
+            for y in u.ids() {
+                if iso.related(x, y, sets) != iso.related(y, x, &rev) {
+                    return Err(format!("inversion fails at ({x},{y})"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Property 6 (concatenation): `x [α β] z ⟺ ∃y: x [α] y ∧ y [β] z`.
+    pub fn concatenation(
+        iso: &IsoIndex<'_>,
+        alpha: &[ProcessSet],
+        beta: &[ProcessSet],
+    ) -> Result<(), String> {
+        let mut seq: Vec<ProcessSet> = alpha.to_vec();
+        seq.extend_from_slice(beta);
+        let u = iso.universe();
+        for x in u.ids() {
+            let via_seq = iso.reachable(x, &seq);
+            // explicit midpoint quantifier
+            let mid = iso.reachable(x, alpha);
+            let mut via_mid = u.empty_set();
+            for y in mid.iter() {
+                via_mid.union_with(&iso.reachable(super::CompId::from_index(y), beta));
+            }
+            if via_seq != via_mid {
+                return Err(format!("concatenation fails from {x}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Property 7: `[P ∪ Q] = [P] ∩ [Q]` (as relations).
+    pub fn union_is_intersection(
+        iso: &IsoIndex<'_>,
+        p: ProcessSet,
+        q: ProcessSet,
+    ) -> Result<(), String> {
+        let u = iso.universe();
+        for x in u.ids() {
+            for y in u.ids() {
+                let lhs = iso.isomorphic(x, y, p.union(q));
+                let rhs = iso.isomorphic(x, y, p) && iso.isomorphic(x, y, q);
+                if lhs != rhs {
+                    return Err(format!("[P∪Q] ≠ [P]∩[Q] at ({x},{y})"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Property 8: `Q ⊇ P ⟺ [Q] ⊆ [P]`. The reverse direction needs the
+    /// model assumption that every process has an event in some
+    /// computation; it is checked only when that holds in the universe.
+    pub fn subset_antitone(
+        iso: &IsoIndex<'_>,
+        p: ProcessSet,
+        q: ProcessSet,
+    ) -> Result<(), String> {
+        if q.is_superset(p) && !iso.relation_subset(&[q], &[p]) {
+            return Err(format!("Q ⊇ P but [Q] ⊄ [P] for P={p}, Q={q}"));
+        }
+        if every_process_acts(iso) && iso.relation_subset(&[q], &[p]) && !q.is_superset(p) {
+            return Err(format!("[Q] ⊆ [P] but Q ⊉ P for P={p}, Q={q}"));
+        }
+        Ok(())
+    }
+
+    /// Property 9: `P = Q ⟺ [P] = [Q]` (reverse direction under the same
+    /// model assumption as property 8).
+    pub fn extensionality(
+        iso: &IsoIndex<'_>,
+        p: ProcessSet,
+        q: ProcessSet,
+    ) -> Result<(), String> {
+        if p == q && !iso.relations_equal(&[p], &[q]) {
+            return Err("equal sets, different relations".to_owned());
+        }
+        if every_process_acts(iso) && iso.relations_equal(&[p], &[q]) && p != q {
+            return Err(format!("[{p}] = [{q}] but sets differ"));
+        }
+        Ok(())
+    }
+
+    /// Property 10: `Q ⊇ P` implies `[Q P] = [P] = [P Q]` (composing
+    /// with the finer relation `[Q] ⊆ [P]` is absorbed by `[P]`).
+    pub fn absorption(iso: &IsoIndex<'_>, p: ProcessSet, q: ProcessSet) -> Result<(), String> {
+        if !q.is_superset(p) {
+            return Ok(());
+        }
+        if !iso.relations_equal(&[q, p], &[p]) {
+            return Err(format!("[Q P] ≠ [P] for P={p}, Q={q}"));
+        }
+        if !iso.relations_equal(&[p, q], &[p]) {
+            return Err(format!("[P Q] ≠ [P] for P={p}, Q={q}"));
+        }
+        Ok(())
+    }
+
+    /// The paper's model assumption: every process has an event in some
+    /// computation of the system ("we rule out processes which have no
+    /// event in any computation").
+    #[must_use]
+    pub fn every_process_acts(iso: &IsoIndex<'_>) -> bool {
+        let u = iso.universe();
+        (0..u.system_size()).all(|pi| {
+            let p = ProcessId::new(pi);
+            u.iter().any(|(_, c)| c.iter().any(|e| e.is_on(p)))
+        })
+    }
+
+    /// Runs all ten properties over every pair drawn from `sets` (and a
+    /// fixed small family of composition shapes), collecting violations.
+    pub fn check_all(iso: &IsoIndex<'_>, sets: &[ProcessSet]) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut push = |r: Result<(), String>, name: &str| {
+            if let Err(e) = r {
+                violations.push(format!("{name}: {e}"));
+            }
+        };
+        for &p in sets {
+            push(equivalence(iso, p), "P1 equivalence");
+            push(idempotence(iso, p), "P3 idempotence");
+            for &q in sets {
+                push(union_is_intersection(iso, p, q), "P7 union");
+                push(subset_antitone(iso, p, q), "P8 subset");
+                push(extensionality(iso, p, q), "P9 extensionality");
+                push(absorption(iso, p, q), "P10 absorption");
+                push(reflexivity(iso, &[p, q]), "P4 reflexivity");
+                push(inversion(iso, &[p, q]), "P5 inversion");
+                push(concatenation(iso, &[p], &[q]), "P6 concatenation");
+                push(
+                    substitution(iso, &[p], &[q, q], &[q], &[p]),
+                    "P2 substitution",
+                );
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_model::{ProcessId, ScenarioPool};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn ps(i: usize) -> ProcessSet {
+        ProcessSet::singleton(pid(i))
+    }
+
+    /// Universe with two independent internal events on p0, p1 and all
+    /// interleavings/prefixes.
+    fn two_indep() -> (Universe, Vec<CompId>) {
+        let mut pool = ScenarioPool::new(2);
+        let a = pool.internal(pid(0));
+        let b = pool.internal(pid(1));
+        let mut u = Universe::new(2);
+        let ids = vec![
+            u.insert(pool.compose([]).unwrap()).unwrap(),
+            u.insert(pool.compose([a]).unwrap()).unwrap(),
+            u.insert(pool.compose([b]).unwrap()).unwrap(),
+            u.insert(pool.compose([a, b]).unwrap()).unwrap(),
+            u.insert(pool.compose([b, a]).unwrap()).unwrap(),
+        ];
+        (u, ids)
+    }
+
+    #[test]
+    fn classes_partition() {
+        let (u, ids) = two_indep();
+        let iso = IsoIndex::new(&u);
+        let classes = iso.classes(ps(0));
+        // [p0] classes: {null, b} (p0 empty) and {a, ab, ba} (p0 did a)
+        assert_eq!(classes.class_count(), 2);
+        assert!(classes.same_class(ids[0], ids[2]));
+        assert!(classes.same_class(ids[1], ids[3]));
+        assert!(classes.same_class(ids[3], ids[4]));
+        assert!(!classes.same_class(ids[0], ids[1]));
+    }
+
+    #[test]
+    fn empty_set_relates_everything() {
+        let (u, ids) = two_indep();
+        let iso = IsoIndex::new(&u);
+        for &x in &ids {
+            for &y in &ids {
+                assert!(iso.isomorphic(x, y, ProcessSet::EMPTY));
+            }
+        }
+    }
+
+    #[test]
+    fn full_set_is_permutation() {
+        let (u, ids) = two_indep();
+        let iso = IsoIndex::new(&u);
+        let d = ProcessSet::full(2);
+        assert!(iso.isomorphic(ids[3], ids[4], d));
+        assert!(u.get(ids[3]).is_permutation_of(u.get(ids[4])));
+        assert!(!iso.isomorphic(ids[0], ids[3], d));
+    }
+
+    #[test]
+    fn composed_relation_bfs() {
+        let (u, ids) = two_indep();
+        let iso = IsoIndex::new(&u);
+        // null [p0] b? null and b agree on p0 → yes directly.
+        assert!(iso.related(ids[0], ids[2], &[ps(0)]));
+        // null [p0 p1] ab: null [p0] b, b [p1] ab? b|p1 = [b] = ab|p1 ✓
+        assert!(iso.related(ids[0], ids[3], &[ps(0), ps(1)]));
+        // null [p0] ab fails (ab has a p0 event)
+        assert!(!iso.related(ids[0], ids[3], &[ps(0)]));
+        // reachable with empty sequence is identity
+        let r = iso.reachable(ids[3], &[]);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![ids[3].index()]);
+    }
+
+    #[test]
+    fn relation_algebra_helpers() {
+        let (u, _) = two_indep();
+        let iso = IsoIndex::new(&u);
+        // idempotence [P P] = [P]
+        assert!(iso.relations_equal(&[ps(0), ps(0)], &[ps(0)]));
+        // subset: [{p0,p1}] ⊆ [p0]
+        assert!(iso.relation_subset(&[ProcessSet::full(2)], &[ps(0)]));
+        assert!(!iso.relation_subset(&[ps(0)], &[ProcessSet::full(2)]));
+        let pairs = iso.relation_pairs(&[ps(0)]);
+        // classes of sizes 2 and 3 → 4 + 9 = 13 pairs
+        assert_eq!(pairs.len(), 13);
+    }
+
+    #[test]
+    fn all_ten_properties_hold() {
+        let (u, _) = two_indep();
+        let iso = IsoIndex::new(&u);
+        let sets = [
+            ProcessSet::EMPTY,
+            ps(0),
+            ps(1),
+            ProcessSet::full(2),
+        ];
+        let violations = properties::check_all(&iso, &sets);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(properties::every_process_acts(&iso));
+    }
+
+    #[test]
+    fn property8_reverse_needs_model_assumption() {
+        // A universe where p1 never acts: [p0] = [{p0,p1}] extensionally,
+        // so the reverse of P8/P9 must be suppressed.
+        let mut pool = ScenarioPool::new(2);
+        let a = pool.internal(pid(0));
+        let mut u = Universe::new(2);
+        u.insert(pool.compose([]).unwrap()).unwrap();
+        u.insert(pool.compose([a]).unwrap()).unwrap();
+        let iso = IsoIndex::new(&u);
+        assert!(!properties::every_process_acts(&iso));
+        // with the assumption properly gated, no spurious violation:
+        assert!(properties::extensionality(&iso, ps(0), ProcessSet::full(2)).is_ok());
+        assert!(properties::subset_antitone(&iso, ps(0), ProcessSet::full(2)).is_ok());
+    }
+
+    #[test]
+    fn class_sets_cover_universe() {
+        let (u, _) = two_indep();
+        let iso = IsoIndex::new(&u);
+        for p in [ps(0), ps(1), ProcessSet::full(2), ProcessSet::EMPTY] {
+            let classes = iso.classes(p);
+            let mut seen = u.empty_set();
+            for cl in 0..classes.class_count() {
+                assert!(!classes.member_set(cl).intersects(&seen), "disjoint");
+                seen.union_with(classes.member_set(cl));
+            }
+            assert_eq!(seen.count(), u.len(), "classes cover the universe");
+        }
+    }
+}

@@ -1,0 +1,697 @@
+//! System computations.
+//!
+//! A finite sequence of events `z` is a **system computation** iff
+//!
+//! 1. for all processes `p`, the projection `z|p` is a process computation
+//!    of `p`, and
+//! 2. for every receive event in `z` there is a *corresponding send* that
+//!    occurs earlier in `z`.
+//!
+//! (Paper §2.) Condition 1 is relative to a protocol; in the free model any
+//! sequence of events on a process is a process computation, and protocol
+//! layers impose their own membership checks. Condition 2, together with
+//! the "all events and messages are distinguished" convention, is enforced
+//! structurally by [`Computation::from_events`].
+//!
+//! System computations are prefix closed — [`Computation::prefix`] is total.
+
+use crate::error::ModelError;
+use crate::event::{Event, EventKind};
+use crate::id::{EventId, MessageId, ProcessId};
+use crate::procset::ProcessSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A validated system computation over a system of `n` processes.
+///
+/// Immutable once constructed; all mutating operations return new values.
+///
+/// # Example
+///
+/// ```
+/// use hpl_model::{Computation, ComputationBuilder, ProcessId, ProcessSet};
+/// # fn main() -> Result<(), hpl_model::ModelError> {
+/// let p = ProcessId::new(0);
+/// let q = ProcessId::new(1);
+/// let mut b = ComputationBuilder::new(2);
+/// let m = b.send(p, q)?;
+/// b.receive(q, m)?;
+/// let z = b.finish();
+///
+/// let x = z.prefix(1); // prefixes of computations are computations
+/// assert!(x.is_prefix_of(&z));
+/// // x and z are isomorphic with respect to p (no p-events in the suffix):
+/// assert!(x.agrees_on(&z, ProcessSet::singleton(p)));
+/// assert!(!x.agrees_on(&z, ProcessSet::singleton(q)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Computation {
+    system_size: usize,
+    events: Vec<Event>,
+}
+
+impl Computation {
+    /// Creates the empty computation (`null` in the paper) for a system of
+    /// `system_size` processes.
+    #[must_use]
+    pub fn empty(system_size: usize) -> Self {
+        Computation {
+            system_size,
+            events: Vec::new(),
+        }
+    }
+
+    /// Validates an event sequence as a system computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any receive lacks an earlier corresponding send,
+    /// a message is sent or received twice, an event id repeats, a message
+    /// is delivered to a process other than its addressee, or an event
+    /// names a process outside `0..system_size`.
+    pub fn from_events(system_size: usize, events: Vec<Event>) -> Result<Self, ModelError> {
+        validate(system_size, &events)?;
+        Ok(Computation {
+            system_size,
+            events,
+        })
+    }
+
+    /// Number of processes in the system this computation belongs to.
+    #[must_use]
+    pub fn system_size(&self) -> usize {
+        self.system_size
+    }
+
+    /// The full process set `D` of the system.
+    #[must_use]
+    pub fn all_processes(&self) -> ProcessSet {
+        ProcessSet::full(self.system_size)
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if this is the empty computation `null`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, in computation order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The event at position `i`, if any.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<Event> {
+        self.events.get(i).copied()
+    }
+
+    /// Iterates over the events in order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Event>> {
+        self.events.iter().copied()
+    }
+
+    /// The projection `z|p`: the subsequence of events on process `p`.
+    #[must_use]
+    pub fn project(&self, p: ProcessId) -> Vec<Event> {
+        self.events.iter().filter(|e| e.is_on(p)).copied().collect()
+    }
+
+    /// The projection as a sequence of event ids (sufficient for
+    /// isomorphism checks, since ids determine events).
+    #[must_use]
+    pub fn projection_ids(&self, p: ProcessId) -> Vec<EventId> {
+        self.events
+            .iter()
+            .filter(|e| e.is_on(p))
+            .map(|e| e.id())
+            .collect()
+    }
+
+    /// The subsequence of events on any process in `set`.
+    #[must_use]
+    pub fn project_set(&self, set: ProcessSet) -> Vec<Event> {
+        self.events
+            .iter()
+            .filter(|e| e.is_on_set(set))
+            .copied()
+            .collect()
+    }
+
+    /// Tests the paper's relation `x [p] y` directly between two
+    /// computations: the projections on `p` are equal.
+    #[must_use]
+    pub fn agrees_on_process(&self, other: &Computation, p: ProcessId) -> bool {
+        let mut a = self.events.iter().filter(|e| e.is_on(p));
+        let mut b = other.events.iter().filter(|e| e.is_on(p));
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (Some(x), Some(y)) if x.id() == y.id() => {}
+                _ => return false,
+            }
+        }
+    }
+
+    /// Tests `x [P] y`: for all `p ∈ P`, `x|p = y|p`.
+    ///
+    /// Note `x [{ }] y` holds for all computations, per the paper.
+    #[must_use]
+    pub fn agrees_on(&self, other: &Computation, set: ProcessSet) -> bool {
+        set.iter().all(|p| self.agrees_on_process(other, p))
+    }
+
+    /// Returns `true` if `self ≤ other` (`self` is a prefix of `other`).
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &Computation) -> bool {
+        self.system_size == other.system_size
+            && self.events.len() <= other.events.len()
+            && self
+                .events
+                .iter()
+                .zip(&other.events)
+                .all(|(a, b)| a.id() == b.id())
+    }
+
+    /// The prefix of length `len` (system computations are prefix closed,
+    /// so this is total).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    #[must_use]
+    pub fn prefix(&self, len: usize) -> Computation {
+        assert!(len <= self.events.len(), "prefix length out of range");
+        Computation {
+            system_size: self.system_size,
+            events: self.events[..len].to_vec(),
+        }
+    }
+
+    /// All proper and improper prefixes, shortest first (including `null`
+    /// and `self`).
+    #[must_use]
+    pub fn prefixes(&self) -> Vec<Computation> {
+        (0..=self.events.len()).map(|l| self.prefix(l)).collect()
+    }
+
+    /// The suffix `(x, z)` of `self = z` after the prefix `x`: the events
+    /// of `z` with the first `prefix_len` removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > self.len()`.
+    #[must_use]
+    pub fn suffix_after(&self, prefix_len: usize) -> &[Event] {
+        assert!(
+            prefix_len <= self.events.len(),
+            "suffix start out of range"
+        );
+        &self.events[prefix_len..]
+    }
+
+    /// The suffix `(x, z)` by explicit prefix computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotAPrefix`] if `x` is not a prefix of `self`.
+    pub fn suffix_of(&self, x: &Computation) -> Result<&[Event], ModelError> {
+        if !x.is_prefix_of(self) {
+            return Err(ModelError::NotAPrefix);
+        }
+        Ok(self.suffix_after(x.len()))
+    }
+
+    /// Concatenation `(y; E)`: extends this computation with more events,
+    /// revalidating the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the extended sequence is not a valid system
+    /// computation.
+    pub fn extended<I: IntoIterator<Item = Event>>(
+        &self,
+        events: I,
+    ) -> Result<Computation, ModelError> {
+        let mut all = self.events.clone();
+        all.extend(events);
+        Computation::from_events(self.system_size, all)
+    }
+
+    /// The computation `(y − e)` obtained by deleting event `e` (used by
+    /// part 2 of the Principle of Computation Extension).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the remaining sequence is not a valid
+    /// computation (e.g. deleting a send whose receive remains).
+    pub fn without_event(&self, e: EventId) -> Result<Computation, ModelError> {
+        let remaining: Vec<Event> = self
+            .events
+            .iter()
+            .filter(|ev| ev.id() != e)
+            .copied()
+            .collect();
+        Computation::from_events(self.system_size, remaining)
+    }
+
+    /// Returns `true` if `other` is a permutation of `self` (same event
+    /// multiset). The paper observes `x [D] y ∧ x ≠ y ⇒ y is a permutation
+    /// of x`.
+    #[must_use]
+    pub fn is_permutation_of(&self, other: &Computation) -> bool {
+        if self.events.len() != other.events.len() {
+            return false;
+        }
+        let mut a: Vec<EventId> = self.events.iter().map(|e| e.id()).collect();
+        let mut b: Vec<EventId> = other.events.iter().map(|e| e.id()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    /// The last event on process `p`, if any.
+    #[must_use]
+    pub fn last_event_of(&self, p: ProcessId) -> Option<Event> {
+        self.events.iter().rev().find(|e| e.is_on(p)).copied()
+    }
+
+    /// Number of send events (= number of messages sent).
+    #[must_use]
+    pub fn sends(&self) -> usize {
+        self.events.iter().filter(|e| e.is_send()).count()
+    }
+
+    /// Number of receive events.
+    #[must_use]
+    pub fn receives(&self) -> usize {
+        self.events.iter().filter(|e| e.is_receive()).count()
+    }
+
+    /// Messages sent but not yet received ("in flight" at the end of this
+    /// computation).
+    #[must_use]
+    pub fn in_flight(&self) -> Vec<MessageId> {
+        let mut sent: Vec<MessageId> = Vec::new();
+        let mut received: Vec<MessageId> = Vec::new();
+        for e in &self.events {
+            match e.kind() {
+                EventKind::Send { message, .. } => sent.push(message),
+                EventKind::Receive { message, .. } => received.push(message),
+                EventKind::Internal { .. } => {}
+            }
+        }
+        sent.retain(|m| !received.contains(m));
+        sent
+    }
+
+    /// The position of the event with id `e`, if present.
+    #[must_use]
+    pub fn position_of(&self, e: EventId) -> Option<usize> {
+        self.events.iter().position(|ev| ev.id() == e)
+    }
+
+    /// A compact single-line rendering, used by `Display` and diagnostics.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::from("⟨");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&e.to_string());
+        }
+        s.push('⟩');
+        s
+    }
+}
+
+impl fmt::Debug for Computation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Computation[n={}]{}", self.system_size, self.render())
+    }
+}
+
+impl fmt::Display for Computation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn validate(system_size: usize, events: &[Event]) -> Result<(), ModelError> {
+    let mut seen_events: HashMap<EventId, ()> = HashMap::with_capacity(events.len());
+    // message -> (sender, addressee)
+    let mut sends: HashMap<MessageId, (ProcessId, ProcessId)> = HashMap::new();
+    let mut receives: HashMap<MessageId, ()> = HashMap::new();
+
+    for e in events {
+        if e.process().index() >= system_size {
+            return Err(ModelError::ProcessOutOfRange {
+                process: e.process(),
+                system_size,
+            });
+        }
+        if seen_events.insert(e.id(), ()).is_some() {
+            return Err(ModelError::DuplicateEvent { event: e.id() });
+        }
+        match e.kind() {
+            EventKind::Send { to, message } => {
+                if to.index() >= system_size {
+                    return Err(ModelError::ProcessOutOfRange {
+                        process: to,
+                        system_size,
+                    });
+                }
+                if sends.insert(message, (e.process(), to)).is_some() {
+                    return Err(ModelError::DuplicateSend { message });
+                }
+            }
+            EventKind::Receive { from, message } => {
+                let Some(&(sender, addressee)) = sends.get(&message) else {
+                    return Err(ModelError::ReceiveBeforeSend {
+                        receive: e.id(),
+                        message,
+                    });
+                };
+                if sender != from {
+                    return Err(ModelError::MismatchedReceive {
+                        receive: e.id(),
+                        message,
+                    });
+                }
+                if addressee != e.process() {
+                    return Err(ModelError::MisdeliveredMessage {
+                        message,
+                        addressed_to: addressee,
+                        received_by: e.process(),
+                    });
+                }
+                if receives.insert(message, ()).is_some() {
+                    return Err(ModelError::DuplicateReceive { message });
+                }
+            }
+            EventKind::Internal { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputationBuilder;
+    use crate::id::ActionId;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn two_proc_send_recv() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(pid(0), pid(1)).unwrap();
+        b.receive(pid(1), m).unwrap();
+        b.internal(pid(1)).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn empty_is_valid_and_null() {
+        let z = Computation::empty(3);
+        assert!(z.is_empty());
+        assert_eq!(z.len(), 0);
+        assert_eq!(z.system_size(), 3);
+        assert_eq!(z.all_processes(), ProcessSet::full(3));
+    }
+
+    #[test]
+    fn projections() {
+        let z = two_proc_send_recv();
+        assert_eq!(z.project(pid(0)).len(), 1);
+        assert_eq!(z.project(pid(1)).len(), 2);
+        assert_eq!(z.project_set(ProcessSet::full(2)).len(), 3);
+        assert_eq!(z.projection_ids(pid(1)).len(), 2);
+    }
+
+    #[test]
+    fn prefix_closure() {
+        let z = two_proc_send_recv();
+        for pfx in z.prefixes() {
+            assert!(pfx.is_prefix_of(&z));
+            // Re-validating every prefix must succeed (prefix closure).
+            assert!(
+                Computation::from_events(z.system_size(), pfx.events().to_vec()).is_ok(),
+                "prefix {pfx} should be a valid computation"
+            );
+        }
+        assert_eq!(z.prefixes().len(), z.len() + 1);
+    }
+
+    #[test]
+    fn receive_before_send_rejected() {
+        let recv = Event::new(
+            EventId::new(0),
+            pid(1),
+            EventKind::Receive {
+                from: pid(0),
+                message: MessageId::new(0),
+            },
+        );
+        let err = Computation::from_events(2, vec![recv]).unwrap_err();
+        assert!(matches!(err, ModelError::ReceiveBeforeSend { .. }));
+    }
+
+    #[test]
+    fn duplicate_event_rejected() {
+        let e = Event::new(
+            EventId::new(0),
+            pid(0),
+            EventKind::Internal {
+                action: ActionId::new(0),
+            },
+        );
+        let err = Computation::from_events(1, vec![e, e]).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateEvent { .. }));
+    }
+
+    #[test]
+    fn duplicate_send_and_receive_rejected() {
+        let m = MessageId::new(0);
+        let s1 = Event::new(
+            EventId::new(0),
+            pid(0),
+            EventKind::Send {
+                to: pid(1),
+                message: m,
+            },
+        );
+        let s2 = Event::new(
+            EventId::new(1),
+            pid(0),
+            EventKind::Send {
+                to: pid(1),
+                message: m,
+            },
+        );
+        assert!(matches!(
+            Computation::from_events(2, vec![s1, s2]).unwrap_err(),
+            ModelError::DuplicateSend { .. }
+        ));
+
+        let r1 = Event::new(
+            EventId::new(2),
+            pid(1),
+            EventKind::Receive {
+                from: pid(0),
+                message: m,
+            },
+        );
+        let r2 = Event::new(
+            EventId::new(3),
+            pid(1),
+            EventKind::Receive {
+                from: pid(0),
+                message: m,
+            },
+        );
+        assert!(matches!(
+            Computation::from_events(2, vec![s1, r1, r2]).unwrap_err(),
+            ModelError::DuplicateReceive { .. }
+        ));
+    }
+
+    #[test]
+    fn misdelivery_rejected() {
+        let m = MessageId::new(0);
+        let s = Event::new(
+            EventId::new(0),
+            pid(0),
+            EventKind::Send {
+                to: pid(1),
+                message: m,
+            },
+        );
+        let r = Event::new(
+            EventId::new(1),
+            pid(2),
+            EventKind::Receive {
+                from: pid(0),
+                message: m,
+            },
+        );
+        assert!(matches!(
+            Computation::from_events(3, vec![s, r]).unwrap_err(),
+            ModelError::MisdeliveredMessage { .. }
+        ));
+    }
+
+    #[test]
+    fn mismatched_source_rejected() {
+        let m = MessageId::new(0);
+        let s = Event::new(
+            EventId::new(0),
+            pid(0),
+            EventKind::Send {
+                to: pid(1),
+                message: m,
+            },
+        );
+        let r = Event::new(
+            EventId::new(1),
+            pid(1),
+            EventKind::Receive {
+                from: pid(2), // claims the wrong sender
+                message: m,
+            },
+        );
+        assert!(matches!(
+            Computation::from_events(3, vec![s, r]).unwrap_err(),
+            ModelError::MismatchedReceive { .. }
+        ));
+    }
+
+    #[test]
+    fn process_out_of_range_rejected() {
+        let e = Event::new(
+            EventId::new(0),
+            pid(5),
+            EventKind::Internal {
+                action: ActionId::new(0),
+            },
+        );
+        assert!(matches!(
+            Computation::from_events(2, vec![e]).unwrap_err(),
+            ModelError::ProcessOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn agrees_on_prefix_suffix() {
+        let z = two_proc_send_recv();
+        let x = z.prefix(1); // just the send by p0
+        assert!(x.agrees_on(&z, ProcessSet::singleton(pid(0))));
+        assert!(!x.agrees_on(&z, ProcessSet::singleton(pid(1))));
+        // x [{}] z always:
+        assert!(x.agrees_on(&z, ProcessSet::EMPTY));
+        // suffix is the rest:
+        assert_eq!(z.suffix_after(1).len(), 2);
+        assert_eq!(z.suffix_of(&x).unwrap().len(), 2);
+        assert!(z.suffix_of(&two_proc_send_recv().prefix(0)).is_ok());
+    }
+
+    #[test]
+    fn suffix_of_non_prefix_errors() {
+        let z = two_proc_send_recv();
+        // Disjoint id range: genuinely different events, hence not a prefix.
+        let mut b = ComputationBuilder::with_id_offsets(2, 500, 500);
+        b.internal(pid(0)).unwrap();
+        let other = b.finish();
+        assert_eq!(z.suffix_of(&other).unwrap_err(), ModelError::NotAPrefix);
+    }
+
+    #[test]
+    fn permutation_detection() {
+        // Build z = send;internal(p1) and y = internal(p1);send — same
+        // events, different order, both valid.
+        let s = Event::new(
+            EventId::new(0),
+            pid(0),
+            EventKind::Send {
+                to: pid(1),
+                message: MessageId::new(0),
+            },
+        );
+        let i = Event::new(
+            EventId::new(1),
+            pid(1),
+            EventKind::Internal {
+                action: ActionId::new(0),
+            },
+        );
+        let z = Computation::from_events(2, vec![s, i]).unwrap();
+        let y = Computation::from_events(2, vec![i, s]).unwrap();
+        assert!(z.is_permutation_of(&y));
+        assert!(z.agrees_on(&y, ProcessSet::full(2))); // x [D] y
+        assert_ne!(z, y);
+        assert!(!z.is_permutation_of(&z.prefix(1)));
+    }
+
+    #[test]
+    fn extended_and_without_event() {
+        let z = two_proc_send_recv();
+        let extra = Event::new(
+            EventId::new(99),
+            pid(0),
+            EventKind::Internal {
+                action: ActionId::new(7),
+            },
+        );
+        let z2 = z.extended([extra]).unwrap();
+        assert_eq!(z2.len(), z.len() + 1);
+
+        // deleting the trailing internal event is fine
+        let last = z.events()[2].id();
+        let z3 = z.without_event(last).unwrap();
+        assert_eq!(z3.len(), 2);
+
+        // deleting the send while its receive remains is invalid
+        let send_id = z.events()[0].id();
+        assert!(z.without_event(send_id).is_err());
+    }
+
+    #[test]
+    fn in_flight_accounting() {
+        let mut b = ComputationBuilder::new(2);
+        let m1 = b.send(pid(0), pid(1)).unwrap();
+        let _m2 = b.send(pid(0), pid(1)).unwrap();
+        b.receive(pid(1), m1).unwrap();
+        let z = b.finish();
+        assert_eq!(z.sends(), 2);
+        assert_eq!(z.receives(), 1);
+        assert_eq!(z.in_flight().len(), 1);
+    }
+
+    #[test]
+    fn last_event_and_position() {
+        let z = two_proc_send_recv();
+        assert_eq!(z.last_event_of(pid(1)).unwrap().id(), z.events()[2].id());
+        assert_eq!(z.position_of(z.events()[1].id()), Some(1));
+        assert_eq!(z.position_of(EventId::new(1234)), None);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let z = two_proc_send_recv();
+        assert!(z.to_string().starts_with('⟨'));
+        assert!(format!("{z:?}").contains("n=2"));
+        assert_eq!(Computation::empty(1).to_string(), "⟨⟩");
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types for the model layer.
+
+use crate::id::{EventId, MessageId, ProcessId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or validating computations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A receive event occurs with no earlier corresponding send.
+    ReceiveBeforeSend {
+        /// The offending receive event.
+        receive: EventId,
+        /// The message that was never sent (earlier).
+        message: MessageId,
+    },
+    /// The same message is received more than once.
+    DuplicateReceive {
+        /// The message received twice.
+        message: MessageId,
+    },
+    /// The same message is sent more than once (messages are
+    /// distinguished, paper §2).
+    DuplicateSend {
+        /// The message sent twice.
+        message: MessageId,
+    },
+    /// The same event id occurs twice in one computation.
+    DuplicateEvent {
+        /// The repeated event id.
+        event: EventId,
+    },
+    /// A receive's source or message does not match the send it claims.
+    MismatchedReceive {
+        /// The offending receive event.
+        receive: EventId,
+        /// The message in question.
+        message: MessageId,
+    },
+    /// A message was addressed to one process but received by another.
+    MisdeliveredMessage {
+        /// The message in question.
+        message: MessageId,
+        /// The process the send addressed.
+        addressed_to: ProcessId,
+        /// The process that performed the receive.
+        received_by: ProcessId,
+    },
+    /// A process index is outside the declared system size.
+    ProcessOutOfRange {
+        /// The offending process.
+        process: ProcessId,
+        /// The declared number of processes.
+        system_size: usize,
+    },
+    /// The same event id maps to different (process, kind) payloads in two
+    /// computations of one event space.
+    InconsistentEvent {
+        /// The ambiguous event id.
+        event: EventId,
+    },
+    /// An operation expected `x ≤ z` (prefix) but it does not hold.
+    NotAPrefix,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ReceiveBeforeSend { receive, message } => {
+                write!(f, "receive {receive} of {message} has no earlier send")
+            }
+            ModelError::DuplicateReceive { message } => {
+                write!(f, "message {message} received more than once")
+            }
+            ModelError::DuplicateSend { message } => {
+                write!(f, "message {message} sent more than once")
+            }
+            ModelError::DuplicateEvent { event } => {
+                write!(f, "event {event} occurs more than once")
+            }
+            ModelError::MismatchedReceive { receive, message } => {
+                write!(f, "receive {receive} does not match the send of {message}")
+            }
+            ModelError::MisdeliveredMessage {
+                message,
+                addressed_to,
+                received_by,
+            } => write!(
+                f,
+                "message {message} addressed to {addressed_to} but received by {received_by}"
+            ),
+            ModelError::ProcessOutOfRange {
+                process,
+                system_size,
+            } => write!(
+                f,
+                "process {process} outside system of {system_size} processes"
+            ),
+            ModelError::InconsistentEvent { event } => {
+                write!(f, "event id {event} bound to two different events")
+            }
+            ModelError::NotAPrefix => write!(f, "expected a prefix relationship between computations"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors: Vec<ModelError> = vec![
+            ModelError::ReceiveBeforeSend {
+                receive: EventId::new(1),
+                message: MessageId::new(2),
+            },
+            ModelError::DuplicateReceive {
+                message: MessageId::new(2),
+            },
+            ModelError::DuplicateSend {
+                message: MessageId::new(2),
+            },
+            ModelError::DuplicateEvent {
+                event: EventId::new(3),
+            },
+            ModelError::MismatchedReceive {
+                receive: EventId::new(1),
+                message: MessageId::new(2),
+            },
+            ModelError::MisdeliveredMessage {
+                message: MessageId::new(2),
+                addressed_to: ProcessId::new(0),
+                received_by: ProcessId::new(1),
+            },
+            ModelError::ProcessOutOfRange {
+                process: ProcessId::new(9),
+                system_size: 3,
+            },
+            ModelError::InconsistentEvent {
+                event: EventId::new(4),
+            },
+            ModelError::NotAPrefix,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("expected"));
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+        let e: Box<dyn Error> = Box::new(ModelError::NotAPrefix);
+        assert!(e.source().is_none());
+    }
+}

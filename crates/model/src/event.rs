@@ -1,0 +1,271 @@
+//! Events: sends, receives and internal steps.
+//!
+//! An event on a process is either a *send*, a *receive* or an *internal*
+//! event (paper §2). For a process set `P`, a *send by `P`* is a send by a
+//! member of `P` to a process outside `P`; communication among members of
+//! `P` is internal to `P` — [`Event::is_send_by`], [`Event::is_receive_by`]
+//! and [`Event::is_internal_to`] implement exactly that lifting.
+
+use crate::id::{ActionId, EventId, MessageId, ProcessId};
+use crate::procset::ProcessSet;
+use std::fmt;
+
+/// The kind of an event, including its communication payload.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EventKind {
+    /// Sending of message `message` to process `to`.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// The (globally distinguished) message.
+        message: MessageId,
+    },
+    /// Reception of message `message` sent by process `from`.
+    Receive {
+        /// Originating process.
+        from: ProcessId,
+        /// The (globally distinguished) message.
+        message: MessageId,
+    },
+    /// An event with no external communication.
+    Internal {
+        /// Opaque action tag distinguishing internal steps.
+        action: ActionId,
+    },
+}
+
+impl EventKind {
+    /// Returns the message carried by a send or receive, if any.
+    #[must_use]
+    pub fn message(self) -> Option<MessageId> {
+        match self {
+            EventKind::Send { message, .. } | EventKind::Receive { message, .. } => Some(message),
+            EventKind::Internal { .. } => None,
+        }
+    }
+}
+
+/// A single event in a system computation.
+///
+/// Events are globally distinguished by [`EventId`]; two computations over
+/// the same event space contain "the same event" exactly when the ids are
+/// equal. `Event` is a small `Copy` value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Event {
+    id: EventId,
+    process: ProcessId,
+    kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event. Builders and enumerators are the intended callers;
+    /// they are responsible for keeping ids unique.
+    #[must_use]
+    pub fn new(id: EventId, process: ProcessId, kind: EventKind) -> Self {
+        Event { id, process, kind }
+    }
+
+    /// The globally unique id of this event.
+    #[must_use]
+    pub fn id(self) -> EventId {
+        self.id
+    }
+
+    /// The process on which this event occurs.
+    #[must_use]
+    pub fn process(self) -> ProcessId {
+        self.process
+    }
+
+    /// The kind (send / receive / internal) of this event.
+    #[must_use]
+    pub fn kind(self) -> EventKind {
+        self.kind
+    }
+
+    /// Returns `true` if the event is a send (to any destination).
+    #[must_use]
+    pub fn is_send(self) -> bool {
+        matches!(self.kind, EventKind::Send { .. })
+    }
+
+    /// Returns `true` if the event is a receive (from any source).
+    #[must_use]
+    pub fn is_receive(self) -> bool {
+        matches!(self.kind, EventKind::Receive { .. })
+    }
+
+    /// Returns `true` if the event is internal to its own process.
+    #[must_use]
+    pub fn is_internal(self) -> bool {
+        matches!(self.kind, EventKind::Internal { .. })
+    }
+
+    /// Returns `true` if the event is *on* `p` (paper: "e is on P").
+    #[must_use]
+    pub fn is_on(self, p: ProcessId) -> bool {
+        self.process == p
+    }
+
+    /// Returns `true` if the event is on some process in `set`.
+    #[must_use]
+    pub fn is_on_set(self, set: ProcessSet) -> bool {
+        set.contains(self.process)
+    }
+
+    /// Returns `true` if this is a *send by the process set* `p`: a send by
+    /// a member of `p` to a process **outside** `p` (paper §2).
+    #[must_use]
+    pub fn is_send_by(self, p: ProcessSet) -> bool {
+        match self.kind {
+            EventKind::Send { to, .. } => p.contains(self.process) && !p.contains(to),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if this is a *receive by the process set* `p`:
+    /// receipt by a member of `p` of a message sent from outside `p`.
+    #[must_use]
+    pub fn is_receive_by(self, p: ProcessSet) -> bool {
+        match self.kind {
+            EventKind::Receive { from, .. } => p.contains(self.process) && !p.contains(from),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the event is internal *to the set* `p`: an
+    /// internal event of a member, or a communication both of whose
+    /// endpoints lie in `p` (paper §2: "communication among processes in P
+    /// are internal events of P").
+    #[must_use]
+    pub fn is_internal_to(self, p: ProcessSet) -> bool {
+        if !p.contains(self.process) {
+            return false;
+        }
+        match self.kind {
+            EventKind::Internal { .. } => true,
+            EventKind::Send { to, .. } => p.contains(to),
+            EventKind::Receive { from, .. } => p.contains(from),
+        }
+    }
+
+    /// The message sent or received, if this is a communication event.
+    #[must_use]
+    pub fn message(self) -> Option<MessageId> {
+        self.kind.message()
+    }
+
+    /// The communication peer: destination of a send or source of a
+    /// receive.
+    #[must_use]
+    pub fn peer(self) -> Option<ProcessId> {
+        match self.kind {
+            EventKind::Send { to, .. } => Some(to),
+            EventKind::Receive { from, .. } => Some(from),
+            EventKind::Internal { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EventKind::Send { to, message } => {
+                write!(f, "{}:{}!{}→{}", self.id, self.process, message, to)
+            }
+            EventKind::Receive { from, message } => {
+                write!(f, "{}:{}?{}←{}", self.id, self.process, message, from)
+            }
+            EventKind::Internal { action } => {
+                write!(f, "{}:{}·{}", self.id, self.process, action)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(id: usize, from: usize, to: usize, m: usize) -> Event {
+        Event::new(
+            EventId::new(id),
+            ProcessId::new(from),
+            EventKind::Send {
+                to: ProcessId::new(to),
+                message: MessageId::new(m),
+            },
+        )
+    }
+
+    fn recv(id: usize, at: usize, from: usize, m: usize) -> Event {
+        Event::new(
+            EventId::new(id),
+            ProcessId::new(at),
+            EventKind::Receive {
+                from: ProcessId::new(from),
+                message: MessageId::new(m),
+            },
+        )
+    }
+
+    fn internal(id: usize, at: usize) -> Event {
+        Event::new(
+            EventId::new(id),
+            ProcessId::new(at),
+            EventKind::Internal {
+                action: ActionId::new(0),
+            },
+        )
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(send(0, 0, 1, 0).is_send());
+        assert!(recv(1, 1, 0, 0).is_receive());
+        assert!(internal(2, 0).is_internal());
+        assert!(!send(0, 0, 1, 0).is_receive());
+    }
+
+    #[test]
+    fn on_process_and_set() {
+        let e = send(0, 2, 3, 0);
+        assert!(e.is_on(ProcessId::new(2)));
+        assert!(!e.is_on(ProcessId::new(3)));
+        assert!(e.is_on_set(ProcessSet::from_indices([1, 2])));
+        assert!(!e.is_on_set(ProcessSet::from_indices([3])));
+    }
+
+    #[test]
+    fn set_lifted_send_receive() {
+        let p = ProcessSet::from_indices([0, 1]);
+        // send from inside P to outside P: a "send by P"
+        assert!(send(0, 0, 2, 0).is_send_by(p));
+        // send inside P: internal to P
+        assert!(!send(0, 0, 1, 0).is_send_by(p));
+        assert!(send(0, 0, 1, 0).is_internal_to(p));
+        // receive by P from outside
+        assert!(recv(1, 1, 2, 0).is_receive_by(p));
+        assert!(!recv(1, 1, 0, 0).is_receive_by(p));
+        assert!(recv(1, 1, 0, 0).is_internal_to(p));
+        // events not on P are nothing to P
+        assert!(!send(0, 2, 0, 0).is_send_by(p));
+        assert!(!send(0, 2, 0, 0).is_internal_to(p));
+    }
+
+    #[test]
+    fn message_and_peer() {
+        assert_eq!(send(0, 0, 1, 7).message(), Some(MessageId::new(7)));
+        assert_eq!(internal(0, 0).message(), None);
+        assert_eq!(send(0, 0, 1, 7).peer(), Some(ProcessId::new(1)));
+        assert_eq!(recv(0, 1, 0, 7).peer(), Some(ProcessId::new(0)));
+        assert_eq!(internal(0, 0).peer(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for e in [send(0, 0, 1, 0), recv(1, 1, 0, 0), internal(2, 1)] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Identifier newtypes.
+//!
+//! The paper assumes "all events and all messages are distinguished; for
+//! instance, multiple occurrences of the same message are distinguished by
+//! affixing sequence numbers to them". We realize that convention with
+//! dense integer identifiers: [`EventId`] identifies an event *across*
+//! computations of the same system (two computations contain "the same
+//! event" iff the ids are equal), and [`MessageId`] identifies a message,
+//! which by construction equals the id of its send event's message slot.
+
+use std::fmt;
+
+/// Identifier of a process in a distributed system.
+///
+/// Processes are numbered densely from `0` to `n - 1`. The limit of a
+/// single system is [`ProcessSet::CAPACITY`](crate::ProcessSet::CAPACITY)
+/// processes.
+///
+/// # Example
+///
+/// ```
+/// use hpl_model::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(u16);
+
+impl ProcessId {
+    /// Creates a process id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in the supported process range
+    /// (`0..=u16::MAX`).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index <= usize::from(u16::MAX),
+            "process index {index} out of range"
+        );
+        ProcessId(index as u16)
+    }
+
+    /// Returns the dense index of this process.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u16> for ProcessId {
+    fn from(v: u16) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Identifier of an event.
+///
+/// Event ids are unique within an event space: the same id appearing in two
+/// different [`Computation`](crate::Computation)s denotes *the same event*
+/// (the paper's convention that all events are distinguished). Equality of
+/// projections — the basis of isomorphism — therefore reduces to equality
+/// of id sequences.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EventId(u32);
+
+impl EventId {
+    /// Creates an event id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index <= u32::MAX as usize,
+            "event index {index} out of range"
+        );
+        EventId(index as u32)
+    }
+
+    /// Returns the raw index of this event id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a message.
+///
+/// Messages are distinguished (paper §2); a message id is unique per send
+/// event. Builders assign message ids densely.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MessageId(u32);
+
+impl MessageId {
+    /// Creates a message id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index <= u32::MAX as usize,
+            "message index {index} out of range"
+        );
+        MessageId(index as u32)
+    }
+
+    /// Returns the raw index of this message id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of an internal action, used to distinguish internal events
+/// that are otherwise indistinguishable (e.g. "toggle bit" vs "crash").
+///
+/// Protocol layers map their action vocabulary onto `ActionId`s; the model
+/// layer treats them as opaque.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ActionId(u32);
+
+impl ActionId {
+    /// Creates an action id from a raw tag.
+    #[must_use]
+    pub const fn new(tag: u32) -> Self {
+        ActionId(tag)
+    }
+
+    /// Returns the raw tag of this action.
+    #[must_use]
+    pub const fn tag(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        for i in [0usize, 1, 5, 127] {
+            assert_eq!(ProcessId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn process_id_out_of_range() {
+        let _ = ProcessId::new(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId::new(2).to_string(), "p2");
+        assert_eq!(EventId::new(7).to_string(), "e7");
+        assert_eq!(MessageId::new(9).to_string(), "m9");
+        assert_eq!(ActionId::new(1).to_string(), "a1");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(EventId::new(1) < EventId::new(2));
+        assert!(ProcessId::new(0) < ProcessId::new(1));
+        assert!(MessageId::new(3) < MessageId::new(30));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_copy() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        let e = EventId::new(4);
+        s.insert(e);
+        s.insert(e); // Copy
+        assert_eq!(s.len(), 1);
+    }
+}

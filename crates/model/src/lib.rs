@@ -1,0 +1,87 @@
+//! # hpl-model — the distributed-computation substrate
+//!
+//! This crate implements Section 2 ("Model of a Distributed System") and
+//! Section 3.1 ("Process Chains") of Chandy & Misra, *How Processes Learn*
+//! (PODC 1985): processes, events, system computations, Lamport causality
+//! and process chains.
+//!
+//! The model, verbatim from the paper:
+//!
+//! * a distributed system is a finite set of processes;
+//! * a process is characterized by a prefix-closed set of *process
+//!   computations*, each a finite sequence of events on that process;
+//! * an event is a *send*, a *receive* or an *internal* event;
+//! * a finite event sequence `z` is a **system computation** iff every
+//!   projection `z|p` is a process computation and every receive in `z` is
+//!   preceded in `z` by its corresponding send;
+//! * all events and all messages are distinguished.
+//!
+//! The central type is [`Computation`], a validated system computation.
+//! [`ProcessSet`] provides the set algebra the isomorphism calculus needs,
+//! [`causality`] the happened-before relation (`→` in the paper),
+//! [`chain`] detection of process chains `⟨P₁ … Pₙ⟩` inside a suffix
+//! `(x, z)` — the combinatorial core of the paper's Theorem 1 — and
+//! [`cuts`] the lattice of consistent global states.
+//!
+//! # Example
+//!
+//! ```
+//! use hpl_model::{ComputationBuilder, ProcessId, ProcessSet};
+//!
+//! # fn main() -> Result<(), hpl_model::ModelError> {
+//! let p = ProcessId::new(0);
+//! let q = ProcessId::new(1);
+//!
+//! // p sends a message which q receives, then q does some local work.
+//! let mut b = ComputationBuilder::new(2);
+//! let m = b.send(p, q)?;
+//! b.receive(q, m)?;
+//! b.internal(q)?;
+//! let z = b.finish();
+//!
+//! assert_eq!(z.len(), 3);
+//! assert_eq!(z.project(p).len(), 1);
+//! assert_eq!(z.project(q).len(), 2);
+//!
+//! // The suffix after the send contains a process chain <{p} {q}>.
+//! let x = z.prefix(1);
+//! let chain = hpl_model::chain::find_chain(
+//!     &z,
+//!     x.len(),
+//!     &[ProcessSet::singleton(p), ProcessSet::singleton(q)],
+//! );
+//! assert!(chain.is_none()); // the send itself is in the prefix, so no chain
+//! let chain = hpl_model::chain::find_chain(
+//!     &z,
+//!     0,
+//!     &[ProcessSet::singleton(p), ProcessSet::singleton(q)],
+//! );
+//! assert!(chain.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod causality;
+pub mod chain;
+pub mod computation;
+pub mod cuts;
+pub mod error;
+pub mod event;
+pub mod id;
+pub mod procset;
+pub mod trace;
+
+pub use builder::{ComputationBuilder, ScenarioPool};
+pub use causality::{CausalClosure, VectorClock};
+pub use chain::{find_chain, has_chain, ChainWitness};
+pub use computation::Computation;
+pub use cuts::{Cut, CutLattice};
+pub use error::ModelError;
+pub use event::{Event, EventKind};
+pub use id::{ActionId, EventId, MessageId, ProcessId};
+pub use procset::ProcessSet;

@@ -1,0 +1,394 @@
+//! Process sets and their algebra.
+//!
+//! The paper quantifies almost everything over *sets* of processes `P`,
+//! with `P̄ = D − P` denoting the complement against the full system `D`.
+//! [`ProcessSet`] is a dense bit-set over process indices supporting the
+//! full algebra: union, intersection, difference, complement (w.r.t. an
+//! explicit universe), subset tests and iteration.
+
+use crate::id::ProcessId;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+/// A set of processes, represented as a dense bit-set.
+///
+/// Supports systems of up to [`ProcessSet::CAPACITY`] processes, which
+/// comfortably covers the paper's examples (≤ 5 processes) and the largest
+/// simulations in this repository.
+///
+/// # Example
+///
+/// ```
+/// use hpl_model::{ProcessId, ProcessSet};
+///
+/// let d = ProcessSet::full(5); // D = {p0..p4}
+/// let p = ProcessSet::from_indices([0, 1]);
+/// let pbar = p.complement(d); // P̄ = D − P
+/// assert_eq!(pbar, ProcessSet::from_indices([2, 3, 4]));
+/// assert!(p.union(pbar) == d);
+/// assert!(p.intersection(pbar).is_empty());
+/// assert!(p.contains(ProcessId::new(0)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessSet(u128);
+
+impl ProcessSet {
+    /// Maximum number of processes in a single system.
+    pub const CAPACITY: usize = 128;
+
+    /// The empty set `{ }`.
+    ///
+    /// Note the paper's convention: `x [{ }] y` holds for *all* pairs of
+    /// computations — the empty set cannot distinguish anything.
+    pub const EMPTY: ProcessSet = ProcessSet(0);
+
+    /// Creates the empty process set.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates the full set `D = {p0, …, p(n-1)}` for a system of `n`
+    /// processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > ProcessSet::CAPACITY`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "system size {n} exceeds capacity");
+        if n == Self::CAPACITY {
+            ProcessSet(u128::MAX)
+        } else {
+            ProcessSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Creates a singleton set `{p}`.
+    #[must_use]
+    pub fn singleton(p: ProcessId) -> Self {
+        ProcessSet(1u128 << p.index())
+    }
+
+    /// Creates a set from an iterator of process indices.
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut bits = 0u128;
+        for i in indices {
+            assert!(i < Self::CAPACITY, "process index {i} exceeds capacity");
+            bits |= 1u128 << i;
+        }
+        ProcessSet(bits)
+    }
+
+    /// Returns `true` if `p ∈ self`.
+    #[must_use]
+    pub fn contains(self, p: ProcessId) -> bool {
+        self.0 & (1u128 << p.index()) != 0
+    }
+
+    /// Inserts a process, returning `true` if it was newly added.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let bit = 1u128 << p.index();
+        let added = self.0 & bit == 0;
+        self.0 |= bit;
+        added
+    }
+
+    /// Removes a process, returning `true` if it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let bit = 1u128 << p.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Returns `true` if the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the number of processes in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Set union `self ∪ other`.
+    #[must_use]
+    pub fn union(self, other: Self) -> Self {
+        ProcessSet(self.0 | other.0)
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[must_use]
+    pub fn intersection(self, other: Self) -> Self {
+        ProcessSet(self.0 & other.0)
+    }
+
+    /// Set difference `self − other`.
+    #[must_use]
+    pub fn difference(self, other: Self) -> Self {
+        ProcessSet(self.0 & !other.0)
+    }
+
+    /// Complement `P̄ = D − P` with respect to an explicit universe `d`.
+    ///
+    /// The paper writes `P̄` for `D − P` where `D` is the set of all
+    /// processes of the system under consideration; the universe must be
+    /// supplied because a `ProcessSet` does not know its system.
+    #[must_use]
+    pub fn complement(self, d: Self) -> Self {
+        d.difference(self)
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` if `self ⊇ other`.
+    #[must_use]
+    pub fn is_superset(self, other: Self) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Returns `true` if the sets share no process.
+    #[must_use]
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Returns the raw bit representation (for hashing/indexing layers).
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Reconstructs a set from raw bits produced by [`ProcessSet::bits`].
+    #[must_use]
+    pub fn from_bits(bits: u128) -> Self {
+        ProcessSet(bits)
+    }
+}
+
+impl BitOr for ProcessSet {
+    type Output = ProcessSet;
+    fn bitor(self, rhs: Self) -> Self {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for ProcessSet {
+    type Output = ProcessSet;
+    fn bitand(self, rhs: Self) -> Self {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for ProcessSet {
+    type Output = ProcessSet;
+    fn sub(self, rhs: Self) -> Self {
+        self.difference(rhs)
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl From<ProcessId> for ProcessSet {
+    fn from(p: ProcessId) -> Self {
+        ProcessSet::singleton(p)
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`], in increasing index
+/// order. Produced by [`ProcessSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter(u128);
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(ProcessId::new(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcessSet{self}")
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(ProcessSet::EMPTY.is_empty());
+        assert_eq!(ProcessSet::full(0), ProcessSet::EMPTY);
+        assert_eq!(ProcessSet::full(3).len(), 3);
+        assert_eq!(
+            ProcessSet::full(ProcessSet::CAPACITY).len(),
+            ProcessSet::CAPACITY
+        );
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::new();
+        let p = ProcessId::new(5);
+        assert!(!s.contains(p));
+        assert!(s.insert(p));
+        assert!(!s.insert(p));
+        assert!(s.contains(p));
+        assert!(s.remove(p));
+        assert!(!s.remove(p));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn complement_against_universe() {
+        let d = ProcessSet::full(4);
+        let p = ProcessSet::from_indices([1, 3]);
+        let pbar = p.complement(d);
+        assert_eq!(pbar, ProcessSet::from_indices([0, 2]));
+        assert_eq!(pbar.complement(d), p);
+        assert_eq!(p.union(pbar), d);
+        assert!(p.is_disjoint(pbar));
+    }
+
+    #[test]
+    fn subset_and_superset() {
+        let a = ProcessSet::from_indices([0, 1]);
+        let b = ProcessSet::from_indices([0, 1, 2]);
+        assert!(a.is_subset(b));
+        assert!(b.is_superset(a));
+        assert!(!b.is_subset(a));
+        assert!(ProcessSet::EMPTY.is_subset(a));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = ProcessSet::from_indices([7, 2, 0, 100]);
+        let got: Vec<usize> = s.iter().map(ProcessId::index).collect();
+        assert_eq!(got, vec![0, 2, 7, 100]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = ProcessSet::from_indices([0, 2]);
+        assert_eq!(s.to_string(), "{p0,p2}");
+        assert_eq!(ProcessSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn operators() {
+        let a = ProcessSet::from_indices([0, 1]);
+        let b = ProcessSet::from_indices([1, 2]);
+        assert_eq!(a | b, ProcessSet::from_indices([0, 1, 2]));
+        assert_eq!(a & b, ProcessSet::from_indices([1]));
+        assert_eq!(a - b, ProcessSet::from_indices([0]));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let ps: ProcessSet = (0..3).map(ProcessId::new).collect();
+        assert_eq!(ps, ProcessSet::full(3));
+        let mut s = ProcessSet::new();
+        s.extend([ProcessId::new(9)]);
+        assert!(s.contains(ProcessId::new(9)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_commutative(a in 0u128.., b in 0u128..) {
+            let (a, b) = (ProcessSet::from_bits(a), ProcessSet::from_bits(b));
+            prop_assert_eq!(a.union(b), b.union(a));
+        }
+
+        #[test]
+        fn prop_de_morgan(a in 0u128.., b in 0u128..) {
+            let d = ProcessSet::full(ProcessSet::CAPACITY);
+            let (a, b) = (ProcessSet::from_bits(a), ProcessSet::from_bits(b));
+            prop_assert_eq!(
+                a.union(b).complement(d),
+                a.complement(d).intersection(b.complement(d))
+            );
+        }
+
+        #[test]
+        fn prop_len_matches_iter(a in 0u128..) {
+            let a = ProcessSet::from_bits(a);
+            prop_assert_eq!(a.len(), a.iter().count());
+        }
+
+        #[test]
+        fn prop_subset_iff_union(a in 0u128.., b in 0u128..) {
+            let (a, b) = (ProcessSet::from_bits(a), ProcessSet::from_bits(b));
+            prop_assert_eq!(a.is_subset(b), a.union(b) == b);
+        }
+    }
+}

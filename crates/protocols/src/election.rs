@@ -1,0 +1,199 @@
+//! Chang–Roberts leader election on a ring, epistemically validated.
+//!
+//! Electing a leader is a knowledge-gain problem: the winner must come
+//! to *know* that its identifier is the ring maximum — a fact whose
+//! falsification could sit at any other process, so by Theorem 5 the
+//! winner's declaration must causally depend on a chain that visits
+//! **every** process. [`leadership_chains_ok`] checks exactly that in
+//! each recorded trace.
+//!
+//! The protocol: each process sends its id clockwise; a process forwards
+//! ids larger than its own, swallows smaller ones, and declares itself
+//! leader when its own id returns.
+
+use hpl_model::{ActionId, CausalClosure, Computation, EventKind, ProcessId};
+use hpl_sim::{Context, NetworkConfig, Node, Payload, SimTime, Simulation};
+
+/// Payload tag of election messages (candidate id in `a`).
+pub const ELECT: u32 = 60;
+/// Internal action recorded when a process declares itself leader.
+pub const LEADER: ActionId = ActionId::new(800);
+
+/// One ring process with a unique identifier.
+#[derive(Debug)]
+pub struct ElectionNode {
+    me: ProcessId,
+    n: usize,
+    /// This process's election identifier (unique).
+    pub id: u64,
+    /// Set when this node declares itself leader.
+    pub leader_at: Option<SimTime>,
+}
+
+impl ElectionNode {
+    /// Creates a node with the given identifier.
+    #[must_use]
+    pub fn new(me: ProcessId, n: usize, id: u64) -> Self {
+        ElectionNode {
+            me,
+            n,
+            id,
+            leader_at: None,
+        }
+    }
+
+    fn next(&self) -> ProcessId {
+        ProcessId::new((self.me.index() + 1) % self.n)
+    }
+}
+
+impl Node for ElectionNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.send(self.next(), Payload::with(ELECT, self.id as i64));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, msg: Payload) {
+        if msg.tag != ELECT {
+            return;
+        }
+        let candidate = msg.a as u64;
+        if candidate > self.id {
+            ctx.send(self.next(), Payload::with(ELECT, msg.a));
+        } else if candidate == self.id && self.leader_at.is_none() {
+            self.leader_at = Some(ctx.now());
+            ctx.internal(LEADER);
+        }
+        // smaller ids are swallowed
+    }
+}
+
+/// Outcome of one election run.
+#[derive(Clone, Debug)]
+pub struct ElectionOutcome {
+    /// The elected process.
+    pub leader: Option<ProcessId>,
+    /// Election messages sent.
+    pub messages: usize,
+    /// The recorded trace.
+    pub trace: Computation,
+}
+
+/// Runs an election over `n` processes whose ids are a seeded
+/// permutation of `0..n`.
+#[must_use]
+pub fn run_election(n: usize, net: &NetworkConfig, seed: u64) -> ElectionOutcome {
+    // a simple seeded permutation of ids
+    let mut ids: Vec<u64> = (1..=n as u64).collect();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for i in (1..ids.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ids.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+
+    let mut sim = Simulation::builder(n)
+        .seed(seed)
+        .network(net.clone())
+        .build(|p| -> Box<dyn Node> {
+            Box::new(ElectionNode::new(p, n, ids[p.index()]))
+        });
+    sim.run_until(SimTime::MAX);
+
+    let leader = (0..n)
+        .map(ProcessId::new)
+        .find(|&p| {
+            sim.node_as::<ElectionNode>(p)
+                .is_some_and(|node| node.leader_at.is_some())
+        });
+    ElectionOutcome {
+        leader,
+        messages: sim.stats().sent_with_tag(ELECT),
+        trace: sim.trace(),
+    }
+}
+
+/// The Theorem-5 footprint: the LEADER declaration is causally preceded
+/// by at least one event of **every** process (the winner can only know
+/// it is the maximum by hearing, transitively, from everyone).
+#[must_use]
+pub fn leadership_chains_ok(trace: &Computation) -> bool {
+    let Some(pos) = trace.iter().position(|e| {
+        matches!(e.kind(), EventKind::Internal { action } if action == LEADER)
+    }) else {
+        return false;
+    };
+    let hb = CausalClosure::new(trace);
+    (0..trace.system_size()).all(|pi| {
+        let p = ProcessId::new(pi);
+        trace
+            .iter()
+            .enumerate()
+            .any(|(i, e)| e.is_on(p) && hb.happened_before(i, pos))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_sim::{ChannelConfig, DelayModel};
+
+    fn net(hi: u64) -> NetworkConfig {
+        NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi },
+            drop_probability: 0.0,
+            fifo: true, // ring channels are FIFO in Chang–Roberts
+        })
+    }
+
+    #[test]
+    fn exactly_one_leader_and_its_the_max() {
+        for seed in 0..8u64 {
+            let out = run_election(6, &net(20), seed);
+            let leader = out.leader.expect("a leader must emerge");
+            // count LEADER events: exactly one
+            let declarations = out
+                .trace
+                .iter()
+                .filter(|e| {
+                    matches!(e.kind(), EventKind::Internal { action } if action == LEADER)
+                })
+                .count();
+            assert_eq!(declarations, 1, "seed {seed}");
+            let _ = leader;
+        }
+    }
+
+    #[test]
+    fn theorem5_footprint_present() {
+        for seed in 0..8u64 {
+            let out = run_election(5, &net(15), seed);
+            assert!(
+                leadership_chains_ok(&out.trace),
+                "seed {seed}: the winner must have heard from everyone"
+            );
+        }
+    }
+
+    #[test]
+    fn message_complexity_bounds() {
+        // Chang–Roberts: between n (best case) and n(n+1)/2 + n-ish
+        // (worst case: ids sorted against the ring direction)
+        for n in [3usize, 6, 10] {
+            let out = run_election(n, &net(5), 1);
+            assert!(out.messages >= n, "every process initiates");
+            assert!(
+                out.messages <= n * (n + 1) / 2 + n,
+                "n={n}: {} messages exceeds the worst case",
+                out.messages
+            );
+        }
+    }
+
+    #[test]
+    fn no_leader_without_declaration() {
+        // sanity for the chain checker on non-election traces
+        let trace = crate::token_ring::run_ring(3, 1, 2, 0);
+        assert!(!leadership_chains_ok(&trace));
+    }
+}

@@ -1,0 +1,322 @@
+//! Gossip: how fast does *nested* knowledge spread?
+//!
+//! The paper's Theorem 5 prices knowledge in messages: depth-`k` nested
+//! knowledge needs a chain per level. Gossip makes the price schedule
+//! concrete:
+//!
+//! * **Exhaustive side** — [`knowledge_price`] enumerates a small push
+//!   protocol and reports, for each knowledge formula (`rumor`,
+//!   `E rumor`, `E² rumor`, …), the *minimum number of messages* in any
+//!   computation satisfying it. The prices climb with depth, and common
+//!   knowledge has no finite price (Corollary to Lemma 3).
+//! * **Simulated side** — [`run_push_gossip`] measures dissemination
+//!   time and message counts of randomized push gossip at scale.
+
+use hpl_core::{
+    enumerate, CoreError, EnumerationLimits, Evaluator, Formula, Interpretation, LocalView,
+    ProtoAction, Protocol,
+};
+use hpl_model::{Computation, ProcessId};
+use hpl_sim::{Context, NetworkConfig, Node, Payload, SimTime, Simulation, TimerId};
+
+/// Payload tag of rumor messages.
+pub const RUMOR: u32 = 50;
+
+// ---------------------------------------------------------------------
+// Exhaustive side
+// ---------------------------------------------------------------------
+
+/// A bounded push protocol: every process that knows the rumor (p0
+/// initially) may tell any process it has not already told.
+#[derive(Clone, Copy, Debug)]
+pub struct PushGossip {
+    /// Number of processes.
+    pub n: usize,
+}
+
+impl Protocol for PushGossip {
+    fn system_size(&self) -> usize {
+        self.n
+    }
+
+    fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+        let informed = p.index() == 0
+            || view.count_matching(|s| matches!(s, hpl_core::LocalStep::Received { .. })) > 0;
+        if !informed {
+            return vec![];
+        }
+        let mut told = vec![false; self.n];
+        for s in view.steps() {
+            if let hpl_core::LocalStep::Sent { to, .. } = s {
+                told[to.index()] = true;
+            }
+        }
+        (0..self.n)
+            .filter(|&i| i != p.index() && !told[i])
+            .map(|i| ProtoAction::Send {
+                to: ProcessId::new(i),
+                payload: RUMOR,
+            })
+            .collect()
+    }
+}
+
+/// The rumor is "out" as soon as the system starts (p0 knows it at
+/// birth); this atom is what nested knowledge is about. To make the
+/// base fact informative we use "p0 has told somebody" — false at null.
+#[must_use]
+pub fn rumor_started(x: &Computation) -> bool {
+    x.iter().any(|e| e.is_on(ProcessId::new(0)) && e.is_send())
+}
+
+/// One row of the knowledge price list.
+#[derive(Clone, Debug)]
+pub struct PriceRow {
+    /// Knowledge depth (`0` = the fact itself, `1` = everyone knows, …).
+    pub depth: usize,
+    /// Minimum messages over all computations satisfying the formula,
+    /// or `None` if no computation in the universe satisfies it.
+    pub min_messages: Option<usize>,
+}
+
+/// Computes the minimum message count needed for each `Eᵏ(rumor)` level,
+/// `k = 0..=max_depth`, over the exhaustively enumerated universe.
+///
+/// # Errors
+///
+/// Propagates enumeration budget errors.
+pub fn knowledge_price(
+    n: usize,
+    depth: usize,
+    max_depth: usize,
+) -> Result<Vec<PriceRow>, CoreError> {
+    let pu = enumerate(&PushGossip { n }, EnumerationLimits::depth(depth))?;
+    let mut interp = Interpretation::new();
+    let base = Formula::atom(interp.register("rumor-started", rumor_started));
+    let mut eval = Evaluator::new(pu.universe(), &interp);
+
+    let mut rows = Vec::new();
+    let mut formula = base;
+    for k in 0..=max_depth {
+        let sat = eval.sat_set(&formula);
+        let min_messages = pu
+            .universe()
+            .iter()
+            .filter(|(id, _)| sat.contains(id.index()))
+            .map(|(_, c)| c.sends())
+            .min();
+        rows.push(PriceRow {
+            depth: k,
+            min_messages,
+        });
+        formula = Formula::everyone(formula);
+    }
+    Ok(rows)
+}
+
+/// Common knowledge of the rumor is never achieved (at any price).
+///
+/// # Errors
+///
+/// Propagates enumeration budget errors.
+pub fn common_knowledge_unattainable(n: usize, depth: usize) -> Result<bool, CoreError> {
+    let pu = enumerate(&PushGossip { n }, EnumerationLimits::depth(depth))?;
+    let mut interp = Interpretation::new();
+    let base = Formula::atom(interp.register("rumor-started", rumor_started));
+    let mut eval = Evaluator::new(pu.universe(), &interp);
+    let ck = Formula::common(base);
+    Ok(eval.sat_set(&ck).is_empty() && eval.is_constant(&ck))
+}
+
+// ---------------------------------------------------------------------
+// Simulated side
+// ---------------------------------------------------------------------
+
+/// A push-gossip node: once informed, pushes the rumor to `fanout`
+/// random peers every `period` ticks, for `rounds` rounds.
+#[derive(Debug)]
+pub struct GossipNode {
+    me: ProcessId,
+    n: usize,
+    fanout: usize,
+    period: u64,
+    rounds_left: usize,
+    /// Time this node first learned the rumor.
+    pub informed_at: Option<SimTime>,
+    rng_state: u64,
+}
+
+impl GossipNode {
+    /// Creates a node; node 0 starts informed.
+    #[must_use]
+    pub fn new(me: ProcessId, n: usize, fanout: usize, period: u64, rounds: usize) -> Self {
+        GossipNode {
+            me,
+            n,
+            fanout,
+            period,
+            rounds_left: rounds,
+            informed_at: None,
+            rng_state: (me.index() as u64).wrapping_mul(0x2545_f491_4f6c_dd1d) | 1,
+        }
+    }
+
+    fn random_peer(&mut self) -> ProcessId {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        let mut t = (self.rng_state % (self.n as u64 - 1)) as usize;
+        if t >= self.me.index() {
+            t += 1;
+        }
+        ProcessId::new(t)
+    }
+
+    fn push_round(&mut self, ctx: &mut Context<'_>) {
+        if self.rounds_left == 0 {
+            return;
+        }
+        self.rounds_left -= 1;
+        for _ in 0..self.fanout {
+            let peer = self.random_peer();
+            ctx.send(peer, Payload::tag(RUMOR));
+        }
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+impl Node for GossipNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.me.index() == 0 {
+            self.informed_at = Some(ctx.now());
+            self.push_round(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, msg: Payload) {
+        if msg.tag == RUMOR && self.informed_at.is_none() {
+            self.informed_at = Some(ctx.now());
+            self.push_round(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _id: TimerId, _tag: u32) {
+        self.push_round(ctx);
+    }
+}
+
+/// Outcome of a gossip run.
+#[derive(Clone, Debug)]
+pub struct GossipOutcome {
+    /// Processes informed by the end.
+    pub informed: usize,
+    /// Total rumor messages sent.
+    pub messages: usize,
+    /// Time the last process was informed, if all were.
+    pub full_dissemination_at: Option<SimTime>,
+}
+
+/// Runs push gossip over `n` nodes and reports dissemination metrics.
+#[must_use]
+pub fn run_push_gossip(
+    n: usize,
+    fanout: usize,
+    rounds: usize,
+    net: &NetworkConfig,
+    seed: u64,
+) -> GossipOutcome {
+    let mut sim = Simulation::builder(n)
+        .seed(seed)
+        .network(net.clone())
+        .build(|p| -> Box<dyn Node> {
+            Box::new(GossipNode::new(p, n, fanout, 50, rounds))
+        });
+    sim.run_until(SimTime::MAX);
+    let mut informed = 0;
+    let mut latest: Option<SimTime> = None;
+    for i in 0..n {
+        if let Some(t) = sim
+            .node_as::<GossipNode>(ProcessId::new(i))
+            .and_then(|g| g.informed_at)
+        {
+            informed += 1;
+            latest = Some(latest.map_or(t, |l: SimTime| l.max(t)));
+        }
+    }
+    GossipOutcome {
+        informed,
+        messages: sim.stats().sent_with_tag(RUMOR),
+        full_dissemination_at: if informed == n { latest } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_sim::{ChannelConfig, DelayModel};
+
+    #[test]
+    fn knowledge_gets_more_expensive_with_depth() {
+        let rows = knowledge_price(3, 6, 2).unwrap();
+        assert_eq!(rows.len(), 3);
+        // depth 0 (the fact): 1 message (p0 told someone)
+        assert_eq!(rows[0].min_messages, Some(1));
+        // E(rumor): everyone must have learned — at least 2 messages
+        let e1 = rows[1].min_messages.expect("E attainable at depth 6");
+        assert!(e1 >= 2, "E costs at least n-1 messages, got {e1}");
+        // E² costs strictly more than E (if attainable in the bound)
+        if let Some(e2) = rows[2].min_messages {
+            assert!(e2 > e1, "E² ({e2}) must cost more than E ({e1})");
+        }
+        // prices are monotone in depth where defined
+        let defined: Vec<usize> = rows.iter().filter_map(|r| r.min_messages).collect();
+        assert!(defined.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn common_knowledge_has_no_price() {
+        assert!(common_knowledge_unattainable(3, 5).unwrap());
+        assert!(common_knowledge_unattainable(2, 6).unwrap());
+    }
+
+    fn fast_net() -> NetworkConfig {
+        NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 10 },
+            drop_probability: 0.0,
+            fifo: false,
+        })
+    }
+
+    #[test]
+    fn gossip_disseminates() {
+        let out = run_push_gossip(16, 2, 8, &fast_net(), 3);
+        assert_eq!(out.informed, 16, "all nodes must learn the rumor");
+        assert!(out.full_dissemination_at.is_some());
+        assert!(out.messages >= 15, "at least n-1 messages required");
+    }
+
+    #[test]
+    fn higher_fanout_faster_but_costlier() {
+        let slow = run_push_gossip(24, 1, 20, &fast_net(), 5);
+        let fast = run_push_gossip(24, 4, 20, &fast_net(), 5);
+        assert_eq!(fast.informed, 24);
+        if slow.informed == 24 {
+            assert!(
+                fast.full_dissemination_at.unwrap() <= slow.full_dissemination_at.unwrap(),
+                "higher fanout must not be slower"
+            );
+        }
+        assert!(fast.messages > slow.messages, "higher fanout costs more");
+    }
+
+    #[test]
+    fn lossy_network_still_disseminates_with_retries() {
+        let lossy = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 10 },
+            drop_probability: 0.3,
+            fifo: false,
+        });
+        let out = run_push_gossip(12, 3, 25, &lossy, 9);
+        assert_eq!(out.informed, 12, "repeated pushes beat 30% loss");
+    }
+}

@@ -1,0 +1,225 @@
+//! Mattern-style credit-recovery termination detection.
+//!
+//! The controller (process 0) starts with the entire credit `TOTAL`.
+//! Every work message carries a share of its sender's credit; a node
+//! going passive returns its remaining credit to the controller in one
+//! `CREDIT` message. The controller declares termination when all credit
+//! has been recovered: credit can only sit with an active process or an
+//! in-flight work message, so full recovery ⟺ termination.
+//!
+//! Overhead: one `CREDIT` message per passive transition of a non-root
+//! node — `Θ(M)` like Dijkstra–Scholten, but returns go directly to the
+//! controller instead of up a tree.
+//!
+//! ## Precision bound
+//!
+//! Credit is an integer share of `TOTAL = 2⁶²` (work messages carry
+//! their budget in payload field `a` and their credit in field `b`, so
+//! credit is limited to 62 bits). Every activation splits credit by at
+//! most `fanout + 1`, so causal activation chains up to
+//! `62 / log₂(fanout + 1)` deep are exact (≈ 39 activations deep at
+//! fanout 2, 62 at fanout 1). [`CreditNode`] debug-asserts the bound;
+//! the workloads in this repository stay inside it. Mattern's full
+//! scheme tops credit up from the controller instead; that refinement is
+//! out of scope (documented substitution, DESIGN.md §7).
+
+use super::{WorkCore, WorkloadConfig, CREDIT, DETECT, GO_PASSIVE, WORK, WORK_TIMER};
+use hpl_model::ProcessId;
+use hpl_sim::{Context, Node, Payload, SimTime, TimerId};
+
+/// Total credit held by the controller at the start.
+pub const TOTAL: u128 = 1 << 62;
+
+const LO_BITS: u32 = 62;
+const LO_MASK: u128 = (1 << LO_BITS) - 1;
+
+/// Packs a credit value into the two payload integers.
+#[must_use]
+pub fn pack(credit: u128) -> (i64, i64) {
+    ((credit >> LO_BITS) as i64, (credit & LO_MASK) as i64)
+}
+
+/// Unpacks a credit value from the two payload integers.
+#[must_use]
+pub fn unpack(a: i64, b: i64) -> u128 {
+    ((a as u128) << LO_BITS) | (b as u128 & LO_MASK)
+}
+
+/// One process of the credit-instrumented computation.
+#[derive(Debug)]
+pub struct CreditNode {
+    /// The embedded underlying workload.
+    pub core: WorkCore,
+    /// Credit currently held (non-zero only while active).
+    pub credit: u128,
+    /// Credit recovered so far (controller only).
+    pub recovered: u128,
+    /// Time of detection (controller only).
+    pub detected_at: Option<SimTime>,
+}
+
+impl CreditNode {
+    /// Creates the node for process `me`.
+    #[must_use]
+    pub fn new(me: ProcessId, cfg: WorkloadConfig) -> Self {
+        CreditNode {
+            core: WorkCore::new(me, cfg),
+            credit: 0,
+            recovered: 0,
+            detected_at: None,
+        }
+    }
+
+    fn controller() -> ProcessId {
+        ProcessId::new(0)
+    }
+
+    fn check_detect(&mut self, ctx: &mut Context<'_>) {
+        if self.core.is_root() && self.recovered == TOTAL && self.detected_at.is_none() {
+            self.detected_at = Some(ctx.now());
+            ctx.internal(DETECT);
+        }
+    }
+}
+
+impl Node for CreditNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.core.is_root() {
+            self.credit = TOTAL;
+            self.core.start_root(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, msg: Payload) {
+        match msg.tag {
+            WORK => {
+                self.credit += unpack(0, msg.b);
+                let _ = self.core.on_work(ctx, msg.a as u64);
+            }
+            CREDIT => {
+                debug_assert!(self.core.is_root(), "credit returns go to the controller");
+                self.recovered += unpack(msg.a, msg.b);
+                self.check_detect(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _id: TimerId, tag: u32) {
+        if tag != WORK_TIMER {
+            return;
+        }
+        let plan = self.core.complete_work();
+        let k = plan.len() as u128;
+        let share = if k == 0 { 0 } else { self.credit / (k + 1) };
+        debug_assert!(
+            k == 0 || share >= 1,
+            "credit exhausted: activation chain exceeded the precision bound"
+        );
+        for (to, budget) in plan {
+            // work message carries its credit in field b (budget in a);
+            // shares stay below 2^62 after the first split
+            let (hi, lo) = pack(share);
+            debug_assert_eq!(hi, 0, "share fits the low field");
+            self.credit -= share;
+            ctx.send(to, Payload::with2(WORK, budget as i64, lo));
+        }
+        ctx.internal(GO_PASSIVE);
+        // return all remaining credit
+        let rest = self.credit;
+        self.credit = 0;
+        if self.core.is_root() {
+            self.recovered += rest;
+            self.check_detect(ctx);
+        } else if rest > 0 {
+            let (hi, lo) = pack(rest);
+            ctx.send(Self::controller(), Payload::with2(CREDIT, hi, lo));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::termination::{run_detector, DetectorKind};
+    use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig};
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for c in [0u128, 1, LO_MASK, LO_MASK + 1, TOTAL, TOTAL - 1, 123 << 50] {
+            let (a, b) = pack(c);
+            assert_eq!(unpack(a, b), c, "roundtrip of {c}");
+        }
+    }
+
+    #[test]
+    fn credit_is_conserved_and_recovered() {
+        let cfg = WorkloadConfig {
+            n: 4,
+            budget: 14,
+            fanout: 2,
+            work_time: 3,
+            seed: 6,
+            spare_root: false,
+        };
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 40 },
+            drop_probability: 0.0,
+            fifo: false,
+        });
+        let out = run_detector(DetectorKind::Credit, cfg, &net, 12, SimTime::MAX);
+        assert!(out.detected);
+        assert!(out.detection_valid);
+        assert!(out.chains_ok);
+    }
+
+    #[test]
+    fn overhead_scales_with_activations() {
+        // every non-root passive transition returns credit: overhead is
+        // Θ(M) — at least one credit return per work message received by
+        // a non-root node that was passive.
+        let cfg = WorkloadConfig {
+            n: 5,
+            budget: 24,
+            fanout: 2,
+            work_time: 2,
+            seed: 3,
+            spare_root: false,
+        };
+        let out = run_detector(
+            DetectorKind::Credit,
+            cfg,
+            &NetworkConfig::default(),
+            4,
+            SimTime::MAX,
+        );
+        assert!(out.detected);
+        assert!(
+            out.overhead_messages > 0 && out.overhead_messages <= out.work_messages + 5,
+            "credit returns ≈ activations: {} for {} messages",
+            out.overhead_messages,
+            out.work_messages
+        );
+    }
+
+    #[test]
+    fn sequential_chain_within_precision() {
+        // fanout 1, budget 50: 50 halvings < 120-bit budget
+        let cfg = WorkloadConfig {
+            n: 3,
+            budget: 50,
+            fanout: 1,
+            work_time: 1,
+            seed: 5,
+            spare_root: false,
+        };
+        let out = run_detector(
+            DetectorKind::Credit,
+            cfg,
+            &NetworkConfig::default(),
+            6,
+            SimTime::MAX,
+        );
+        assert!(out.detected && out.detection_valid);
+    }
+}

@@ -1,0 +1,171 @@
+//! Dijkstra–Scholten termination detection for diffusing computations.
+//!
+//! Every work message is eventually acknowledged. A process is *engaged*
+//! from the first unacknowledged work message it received (its tree
+//! parent) until it is passive with no outstanding acknowledgements of
+//! its own; it then acks its parent. The root detects termination when
+//! it is passive with zero deficit.
+//!
+//! Overhead: **exactly one ACK per work message** — the detector meets
+//! the paper's `Ω(M)` lower bound with constant 1.
+
+use super::{WorkCore, WorkloadConfig, ACK, DETECT, GO_PASSIVE, WORK, WORK_TIMER};
+use hpl_model::ProcessId;
+use hpl_sim::{Context, Node, Payload, SimTime, TimerId};
+
+/// One process of the Dijkstra–Scholten-instrumented computation.
+#[derive(Debug)]
+pub struct DsNode {
+    /// The embedded underlying workload.
+    pub core: WorkCore,
+    /// Tree parent while engaged.
+    pub parent: Option<ProcessId>,
+    /// Work messages sent and not yet acknowledged.
+    pub deficit: u64,
+    /// Time of detection (root only).
+    pub detected_at: Option<SimTime>,
+}
+
+impl DsNode {
+    /// Creates the node for process `me`.
+    #[must_use]
+    pub fn new(me: ProcessId, cfg: WorkloadConfig) -> Self {
+        DsNode {
+            core: WorkCore::new(me, cfg),
+            parent: None,
+            deficit: 0,
+            detected_at: None,
+        }
+    }
+
+    fn maybe_disengage(&mut self, ctx: &mut Context<'_>) {
+        if self.core.active || self.deficit != 0 {
+            return;
+        }
+        if self.core.is_root() {
+            if self.detected_at.is_none() {
+                self.detected_at = Some(ctx.now());
+                ctx.internal(DETECT);
+            }
+        } else if let Some(parent) = self.parent.take() {
+            ctx.send(parent, Payload::tag(ACK));
+        }
+    }
+}
+
+impl Node for DsNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.core.is_root() {
+            self.core.start_root(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, msg: Payload) {
+        match msg.tag {
+            WORK => {
+                let _newly = self.core.on_work(ctx, msg.a as u64);
+                if self.core.is_root() || self.parent.is_some() {
+                    // not a first (engaging) message: ack immediately
+                    ctx.send(from, Payload::tag(ACK));
+                } else {
+                    self.parent = Some(from);
+                }
+            }
+            ACK => {
+                debug_assert!(self.deficit > 0, "ack without deficit");
+                self.deficit -= 1;
+                self.maybe_disengage(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _id: TimerId, tag: u32) {
+        if tag != WORK_TIMER {
+            return;
+        }
+        let plan = self.core.complete_work();
+        self.deficit += plan.len() as u64;
+        for (to, budget) in plan {
+            ctx.send(to, Payload::with(WORK, budget as i64));
+        }
+        ctx.internal(GO_PASSIVE);
+        self.maybe_disengage(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::termination::{run_detector, DetectorKind};
+    use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig};
+
+    #[test]
+    fn detects_trivial_empty_workload() {
+        let cfg = WorkloadConfig {
+            n: 3,
+            budget: 0,
+            fanout: 2,
+            work_time: 2,
+            seed: 0,
+            spare_root: false,
+        };
+        let out = run_detector(
+            DetectorKind::DijkstraScholten,
+            cfg,
+            &NetworkConfig::default(),
+            0,
+            SimTime::MAX,
+        );
+        assert!(out.detected);
+        assert_eq!(out.work_messages, 0);
+        assert_eq!(out.overhead_messages, 0);
+    }
+
+    #[test]
+    fn ack_per_message_invariant_across_topologies() {
+        for (n, fanout, budget) in [(2, 1, 8), (6, 3, 30), (4, 2, 17)] {
+            let cfg = WorkloadConfig {
+                n,
+                budget,
+                fanout,
+                work_time: 3,
+                seed: 11,
+                spare_root: false,
+            };
+            let net = NetworkConfig::uniform(ChannelConfig {
+                delay: DelayModel::Uniform { lo: 1, hi: 25 },
+                drop_probability: 0.0,
+                fifo: false,
+            });
+            let out = run_detector(DetectorKind::DijkstraScholten, cfg, &net, 5, SimTime::MAX);
+            assert!(out.detected && out.detection_valid);
+            assert_eq!(out.overhead_messages, budget as usize);
+            assert_eq!(out.overhead_ratio(), 1.0);
+        }
+    }
+
+    #[test]
+    fn sequential_chain_workload() {
+        // fanout 1 produces a pure chain — the adversarial shape from the
+        // paper's lower-bound construction.
+        let cfg = WorkloadConfig {
+            n: 3,
+            budget: 10,
+            fanout: 1,
+            work_time: 1,
+            seed: 2,
+            spare_root: false,
+        };
+        let out = run_detector(
+            DetectorKind::DijkstraScholten,
+            cfg,
+            &NetworkConfig::default(),
+            9,
+            SimTime::MAX,
+        );
+        assert!(out.detected && out.detection_valid && out.chains_ok);
+        assert_eq!(out.work_messages, 10);
+        assert_eq!(out.overhead_messages, 10);
+    }
+}

@@ -1,0 +1,216 @@
+//! Safra-style ring-token termination detection with message counting.
+//!
+//! A token circulates on the logical ring `0 → 1 → … → n−1 → 0`. Each
+//! process keeps a message counter (`sent − received` of work messages)
+//! and a colour: it turns **black** on receiving work. The token
+//! accumulates counters as it passes passive processes and turns black
+//! when it passes a black process (which then whitens). When the token
+//! returns to the initiator: if the token is white, the initiator is
+//! white and the accumulated count plus the initiator's counter is zero,
+//! termination is declared; otherwise a fresh round starts.
+//!
+//! Message counting makes the detector sound on **non-FIFO** links (the
+//! published Misra marker algorithm assumes channel-flushing FIFO rings,
+//! which our reordering networks violate).
+//!
+//! Overhead: `n` token hops per round; rounds repeat until a clean round
+//! after termination — `Θ(n · rounds)`, at least one full round after
+//! the last work message.
+
+use super::{WorkCore, WorkloadConfig, DETECT, GO_PASSIVE, MARKER, WORK, WORK_TIMER};
+use hpl_model::ProcessId;
+use hpl_sim::{Context, Node, Payload, SimTime, TimerId};
+
+const WHITE: i64 = 0;
+const BLACK: i64 = 1;
+
+/// One process of the Safra-ring-instrumented computation.
+#[derive(Debug)]
+pub struct RingNode {
+    /// The embedded underlying workload.
+    pub core: WorkCore,
+    /// Cumulative work messages sent minus received.
+    pub counter: i64,
+    /// Black after receiving work, whitened by the token.
+    pub black: bool,
+    /// Token held while active: `(accumulated count, token colour)`.
+    pub holding: Option<(i64, i64)>,
+    /// Time of detection (initiator only).
+    pub detected_at: Option<SimTime>,
+    started: bool,
+}
+
+impl RingNode {
+    /// Creates the node for process `me`.
+    #[must_use]
+    pub fn new(me: ProcessId, cfg: WorkloadConfig) -> Self {
+        RingNode {
+            core: WorkCore::new(me, cfg),
+            counter: 0,
+            black: false,
+            holding: None,
+            detected_at: None,
+            started: false,
+        }
+    }
+
+    fn next(&self) -> ProcessId {
+        ProcessId::new((self.core.me.index() + 1) % self.core.cfg.n)
+    }
+
+    fn handle_token(&mut self, ctx: &mut Context<'_>, q: i64, colour: i64) {
+        if self.core.active {
+            self.holding = Some((q, colour));
+            return;
+        }
+        if self.core.is_root() {
+            // round completed
+            if colour == WHITE && !self.black && q + self.counter == 0 {
+                if self.detected_at.is_none() {
+                    self.detected_at = Some(ctx.now());
+                    ctx.internal(DETECT);
+                }
+            } else {
+                // start a fresh round (the token starts empty; the
+                // initiator's own counter is added at the return test)
+                self.black = false;
+                ctx.send(self.next(), Payload::with2(MARKER, 0, WHITE));
+            }
+        } else {
+            let colour_out = if self.black { BLACK } else { colour };
+            self.black = false;
+            ctx.send(self.next(), Payload::with2(MARKER, q + self.counter, colour_out));
+        }
+    }
+
+    fn flush_held_token(&mut self, ctx: &mut Context<'_>) {
+        if let Some((q, colour)) = self.holding.take() {
+            self.handle_token(ctx, q, colour);
+        }
+    }
+}
+
+impl Node for RingNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.core.is_root() {
+            self.core.start_root(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, msg: Payload) {
+        match msg.tag {
+            WORK => {
+                self.black = true;
+                self.counter -= 1;
+                let _ = self.core.on_work(ctx, msg.a as u64);
+            }
+            MARKER => self.handle_token(ctx, msg.a, msg.b),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _id: TimerId, tag: u32) {
+        if tag != WORK_TIMER {
+            return;
+        }
+        let plan = self.core.complete_work();
+        self.counter += plan.len() as i64;
+        for (to, budget) in plan {
+            ctx.send(to, Payload::with(WORK, budget as i64));
+        }
+        ctx.internal(GO_PASSIVE);
+        // the initiator launches the first round after its first passive
+        // transition
+        if self.core.is_root() && !self.started {
+            self.started = true;
+            ctx.send(self.next(), Payload::with2(MARKER, 0, WHITE));
+        } else {
+            self.flush_held_token(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::termination::{run_detector, DetectorKind};
+    use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig};
+
+    fn reordering_net(hi: u64) -> NetworkConfig {
+        NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi },
+            drop_probability: 0.0,
+            fifo: false,
+        })
+    }
+
+    #[test]
+    fn detects_and_validates_under_reordering() {
+        for seed in 0..4u64 {
+            let cfg = WorkloadConfig {
+                n: 5,
+                budget: 18,
+                fanout: 2,
+                work_time: 4,
+                seed,
+                spare_root: false,
+            };
+            let out = run_detector(
+                DetectorKind::SafraRing,
+                cfg,
+                &reordering_net(60),
+                seed + 100,
+                SimTime::MAX,
+            );
+            assert!(out.detected, "seed {seed}");
+            assert!(out.detection_valid, "seed {seed}: premature detection");
+            assert!(out.chains_ok, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn overhead_is_whole_rounds() {
+        let cfg = WorkloadConfig {
+            n: 4,
+            budget: 8,
+            fanout: 2,
+            work_time: 2,
+            seed: 1,
+            spare_root: false,
+        };
+        let out = run_detector(
+            DetectorKind::SafraRing,
+            cfg,
+            &NetworkConfig::default(),
+            3,
+            SimTime::MAX,
+        );
+        assert!(out.detected);
+        // hops = n per full round; the final (detecting) round still
+        // takes n hops: total is a positive multiple of n
+        assert!(out.overhead_messages >= 4);
+        assert_eq!(out.overhead_messages % 4, 0, "hops {}", out.overhead_messages);
+    }
+
+    #[test]
+    fn token_waits_for_active_nodes() {
+        // long work_time forces the token to park at active nodes; the
+        // run must still detect exactly once at the end
+        let cfg = WorkloadConfig {
+            n: 3,
+            budget: 9,
+            fanout: 1,
+            work_time: 50,
+            seed: 4,
+            spare_root: false,
+        };
+        let out = run_detector(
+            DetectorKind::SafraRing,
+            cfg,
+            &reordering_net(10),
+            8,
+            SimTime::MAX,
+        );
+        assert!(out.detected && out.detection_valid && out.chains_ok);
+    }
+}

@@ -1,0 +1,386 @@
+//! Tracking a remote local predicate (§5, first application).
+//!
+//! The paper: "We show that it is impossible for process P to track the
+//! change in value of a local predicate of P̄ exactly at all times; P must
+//! be unsure about the value of this predicate while it is undergoing
+//! change. We also show that a necessary condition for changing a local
+//! predicate b of P̄ is that P̄ knows (P unsure b) at the point of
+//! change."
+//!
+//! [`Toggler`] is the enumerable owner/tracker protocol;
+//! [`verify_unsure_at_change`] model-checks the necessary condition, and
+//! [`accuracy_run`] measures, on the simulator, the fraction of time a
+//! best-effort tracker's belief matches the true bit as a function of
+//! notification delay — exact tracking is impossible, and the measured
+//! error grows with the delay.
+
+use hpl_core::{
+    enumerate, CoreError, EnumerationLimits, Evaluator, Formula, Interpretation, LocalView,
+    ProtoAction, Protocol,
+};
+use hpl_model::{ActionId, Computation, ProcessId, ProcessSet};
+use hpl_sim::{ChannelConfig, Context, DelayModel, NetworkConfig, Node, Payload, SimTime,
+              Simulation, TimerId};
+
+/// Internal action tag for the owner's toggle.
+pub const TOGGLE: u32 = 11;
+/// Payload tag for update notifications.
+pub const UPDATE: u32 = 12;
+
+// ---------------------------------------------------------------------
+// Exhaustive side: the necessary condition for change
+// ---------------------------------------------------------------------
+
+/// `p0` owns a bit it may toggle; it notifies the tracker `p1` of every
+/// toggle (one message per toggle, sent before the next toggle).
+#[derive(Clone, Copy, Debug)]
+pub struct Toggler {
+    /// Maximum number of toggles.
+    pub max_toggles: usize,
+}
+
+impl Protocol for Toggler {
+    fn system_size(&self) -> usize {
+        2
+    }
+
+    fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+        if p.index() != 0 {
+            return vec![];
+        }
+        let toggles = view.count_matching(
+            |s| matches!(s, hpl_core::LocalStep::Did { action } if action.tag() == TOGGLE),
+        );
+        let sent = view.count_matching(|s| matches!(s, hpl_core::LocalStep::Sent { .. }));
+        let mut out = Vec::new();
+        if sent < toggles {
+            // owe the tracker a notification before toggling again
+            out.push(ProtoAction::Send {
+                to: ProcessId::new(1),
+                payload: UPDATE,
+            });
+        } else if toggles < self.max_toggles {
+            out.push(ProtoAction::Internal {
+                action: ActionId::new(TOGGLE),
+            });
+        }
+        out
+    }
+}
+
+/// The owner's bit: parity of toggles so far (starts `false`).
+#[must_use]
+pub fn bit(x: &Computation) -> bool {
+    x.iter()
+        .filter(|e| {
+            e.is_on(ProcessId::new(0))
+                && matches!(e.kind(), hpl_model::EventKind::Internal { action } if action.tag() == TOGGLE)
+        })
+        .count()
+        % 2
+        == 1
+}
+
+/// Report of the exhaustive tracking checks.
+#[derive(Clone, Debug)]
+pub struct TrackingReport {
+    /// Computations ending in a toggle event.
+    pub change_points: usize,
+    /// Of those, how many satisfy the necessary condition
+    /// `P̄ knows (P unsure b)` at the prefix before the change.
+    pub owner_knew_tracker_unsure: usize,
+    /// Computations in the universe *interior* (length ≤ depth − 2) at
+    /// which the tracker is sure of the bit. Interior only: at the depth
+    /// boundary the bit-flipping extension (at most two more events) may
+    /// not fit the bound, so boundary computations over-approximate
+    /// knowledge — a finite-universe artifact, not a property of the
+    /// protocol.
+    pub tracker_sure_count: usize,
+    /// Universe size.
+    pub universe_size: usize,
+}
+
+impl TrackingReport {
+    /// Both §5 tracking claims hold.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.change_points > 0 && self.owner_knew_tracker_unsure == self.change_points
+    }
+}
+
+/// Model-checks the §5 tracking claims:
+///
+/// 1. at every change point (a toggle event), the owner knows the tracker
+///    is unsure of the bit *just before the change*;
+/// 2. the tracker is never sure of a bit that is still allowed to change
+///    (it may become sure only when no further toggles are possible).
+///
+/// # Errors
+///
+/// Propagates enumeration budget errors.
+pub fn verify_unsure_at_change(
+    max_toggles: usize,
+    depth: usize,
+) -> Result<TrackingReport, CoreError> {
+    let pu = enumerate(&Toggler { max_toggles }, EnumerationLimits::depth(depth))?;
+    let mut interp = Interpretation::new();
+    let b = Formula::atom(interp.register("bit", bit));
+    let owner = ProcessSet::singleton(ProcessId::new(0));
+    let tracker = ProcessSet::singleton(ProcessId::new(1));
+
+    let mut eval = Evaluator::new(pu.universe(), &interp);
+    let tracker_unsure = Formula::unsure(tracker, b.clone());
+    let owner_knows_unsure = Formula::knows(owner, tracker_unsure);
+    let condition_sat = eval.sat_set(&owner_knows_unsure);
+    let sure_sat = eval.sat_set(&Formula::sure(tracker, b.clone()));
+    let interior = depth.saturating_sub(2);
+    let tracker_sure_count = pu
+        .universe()
+        .iter()
+        .filter(|(id, c)| c.len() <= interior && sure_sat.contains(id.index()))
+        .count();
+
+    let mut change_points = 0;
+    let mut owner_knew = 0;
+    for (_, c) in pu.universe().iter() {
+        let Some(last) = c.events().last() else {
+            continue;
+        };
+        let is_toggle = matches!(
+            last.kind(),
+            hpl_model::EventKind::Internal { action } if action.tag() == TOGGLE
+        );
+        if !is_toggle {
+            continue;
+        }
+        change_points += 1;
+        let before = c.prefix(c.len() - 1);
+        let before_id = pu
+            .universe()
+            .id_of(&before)
+            .expect("enumerated universes are prefix closed");
+        if condition_sat.contains(before_id.index()) {
+            owner_knew += 1;
+        }
+    }
+
+    Ok(TrackingReport {
+        change_points,
+        owner_knew_tracker_unsure: owner_knew,
+        tracker_sure_count,
+        universe_size: pu.universe().len(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Simulated side: best-effort tracking accuracy vs delay
+// ---------------------------------------------------------------------
+
+/// Owner node: toggles the bit every `period` ticks and notifies the
+/// tracker.
+#[derive(Debug)]
+pub struct OwnerNode {
+    /// Toggle period in ticks.
+    pub period: u64,
+    /// Remaining toggles.
+    pub remaining: usize,
+    /// Current bit with its history `(time, value)`.
+    pub history: Vec<(SimTime, bool)>,
+    bit: bool,
+    tracker: ProcessId,
+}
+
+impl OwnerNode {
+    /// Creates an owner toggling `toggles` times with the given period.
+    #[must_use]
+    pub fn new(period: u64, toggles: usize, tracker: ProcessId) -> Self {
+        OwnerNode {
+            period,
+            remaining: toggles,
+            history: vec![(SimTime::ZERO, false)],
+            bit: false,
+            tracker,
+        }
+    }
+}
+
+impl Node for OwnerNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.remaining > 0 {
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _id: TimerId, _tag: u32) {
+        self.bit = !self.bit;
+        self.history.push((ctx.now(), self.bit));
+        ctx.internal(ActionId::new(TOGGLE));
+        ctx.send(self.tracker, Payload::with(UPDATE, i64::from(self.bit)));
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            ctx.set_timer(self.period, 0);
+        }
+    }
+}
+
+/// Tracker node: believes whatever the latest update said.
+#[derive(Debug, Default)]
+pub struct TrackerNode {
+    /// Belief history `(time, believed value)`.
+    pub history: Vec<(SimTime, bool)>,
+}
+
+impl Node for TrackerNode {
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {
+        self.history.push((SimTime::ZERO, false));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, msg: Payload) {
+        if msg.tag == UPDATE {
+            self.history.push((ctx.now(), msg.a != 0));
+        }
+    }
+}
+
+/// Result of one accuracy run.
+#[derive(Clone, Copy, Debug)]
+pub struct AccuracyRow {
+    /// Mean notification delay of the run's network.
+    pub mean_delay: u64,
+    /// Fraction of `[0, horizon]` during which the tracker's belief
+    /// matched the owner's bit.
+    pub accuracy: f64,
+}
+
+fn value_at(history: &[(SimTime, bool)], t: SimTime) -> bool {
+    let mut v = false;
+    for &(at, val) in history {
+        if at <= t {
+            v = val;
+        } else {
+            break;
+        }
+    }
+    v
+}
+
+/// Runs owner/tracker with the given mean delay; returns the fraction of
+/// time the tracker's belief was correct.
+#[must_use]
+pub fn accuracy_run(mean_delay: u64, period: u64, toggles: usize, seed: u64) -> AccuracyRow {
+    let net = NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform {
+            lo: 1,
+            hi: mean_delay.max(1) * 2,
+        },
+        drop_probability: 0.0,
+        fifo: true,
+    });
+    let tracker_id = ProcessId::new(1);
+    let mut sim = Simulation::builder(2)
+        .seed(seed)
+        .network(net)
+        .build(|p| -> Box<dyn Node> {
+            if p.index() == 0 {
+                Box::new(OwnerNode::new(period, toggles, tracker_id))
+            } else {
+                Box::new(TrackerNode::default())
+            }
+        });
+    let horizon = period * (toggles as u64 + 2) + mean_delay * 4;
+    sim.run_until(SimTime::from_ticks(horizon));
+
+    let owner = sim.node_as::<OwnerNode>(ProcessId::new(0)).expect("owner");
+    let tracker = sim
+        .node_as::<TrackerNode>(tracker_id)
+        .expect("tracker");
+
+    // integrate agreement over [0, horizon] at tick resolution of
+    // period/20 to keep it cheap
+    let step = (period / 20).max(1);
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    let mut t = 0u64;
+    while t < horizon {
+        let at = SimTime::from_ticks(t);
+        if value_at(&owner.history, at) == value_at(&tracker.history, at) {
+            agree += step;
+        }
+        total += step;
+        t += step;
+    }
+    AccuracyRow {
+        mean_delay,
+        accuracy: agree as f64 / total as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn necessary_condition_holds() {
+        let report = verify_unsure_at_change(2, 5).unwrap();
+        assert!(
+            report.verified(),
+            "owner knew tracker-unsure at {}/{} change points",
+            report.owner_knew_tracker_unsure,
+            report.change_points
+        );
+    }
+
+    #[test]
+    fn tracker_is_unsure_while_changes_possible() {
+        // With unbounded-ish toggles relative to depth, the tracker can
+        // never be sure: every computation extends with another toggle.
+        let report = verify_unsure_at_change(10, 5).unwrap();
+        assert_eq!(
+            report.tracker_sure_count, 0,
+            "tracker must remain unsure while the bit can still change"
+        );
+    }
+
+    #[test]
+    fn bit_parity() {
+        let pu = enumerate(&Toggler { max_toggles: 2 }, EnumerationLimits::depth(4)).unwrap();
+        let toggled_once = pu.find(|c| {
+            c.iter()
+                .filter(|e| e.is_internal())
+                .count()
+                == 1
+        });
+        for id in toggled_once {
+            assert!(bit(pu.universe().get(id)));
+        }
+    }
+
+    #[test]
+    fn accuracy_degrades_with_delay() {
+        let fast = accuracy_run(5, 1_000, 20, 3);
+        let slow = accuracy_run(2_000, 1_000, 20, 3);
+        assert!(
+            fast.accuracy > slow.accuracy,
+            "fast {} vs slow {}",
+            fast.accuracy,
+            slow.accuracy
+        );
+        assert!(fast.accuracy > 0.9, "fast tracking should be accurate");
+        // perfection is impossible: there is always a window after a
+        // toggle before the update arrives
+        assert!(fast.accuracy < 1.0);
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let h = vec![
+            (SimTime::ZERO, false),
+            (SimTime::from_ticks(10), true),
+            (SimTime::from_ticks(20), false),
+        ];
+        assert!(!value_at(&h, SimTime::from_ticks(5)));
+        assert!(value_at(&h, SimTime::from_ticks(10)));
+        assert!(value_at(&h, SimTime::from_ticks(15)));
+        assert!(!value_at(&h, SimTime::from_ticks(25)));
+    }
+}

@@ -1,0 +1,188 @@
+//! Two generals / coordinated attack, epistemically.
+//!
+//! General `g0` decides to attack and sends a messenger; the generals
+//! then acknowledge each other's acknowledgements up to a configured
+//! depth. The classical result — no finite exchange achieves common
+//! knowledge of the attack plan — follows in this framework from the
+//! Corollary to Lemma 3: *common knowledge is a constant*; since
+//! `attack-planned` is false at the empty computation, `C(attack)` is
+//! false everywhere.
+//!
+//! Meanwhile each delivered message buys exactly one more level of
+//! nested knowledge: after `k` deliveries,
+//! `g₁ knows g₀ knows … (k alternations) … attack-planned` holds — and
+//! `k+1` levels do not. [`knowledge_ladder`] measures that ladder, which
+//! the `coordinated_attack` example prints.
+
+use hpl_core::{
+    enumerate, CoreError, EnumerationLimits, Evaluator, Formula, Interpretation, LocalStep,
+    LocalView, ProtoAction, Protocol, ProtocolUniverse,
+};
+use hpl_model::{Computation, ProcessId, ProcessSet};
+
+/// Payload tag for plan/ack messages.
+pub const PLAN: u32 = 1;
+
+/// The two-generals message protocol, acknowledging to a bounded depth.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoGenerals {
+    /// Maximum number of messages each general will send.
+    pub max_rounds: usize,
+}
+
+impl Protocol for TwoGenerals {
+    fn system_size(&self) -> usize {
+        2
+    }
+
+    fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+        let me = p.index();
+        let peer = ProcessId::new(1 - me);
+        let sent = view.count_matching(|s| matches!(s, LocalStep::Sent { .. }));
+        let received = view.count_matching(|s| matches!(s, LocalStep::Received { .. }));
+        if sent >= self.max_rounds {
+            return vec![];
+        }
+        let should_send = if me == 0 {
+            // g0 initiates, then acks every ack it receives
+            sent == 0 || received >= sent
+        } else {
+            // g1 only ever acks
+            received > sent
+        };
+        if should_send {
+            vec![ProtoAction::Send {
+                to: peer,
+                payload: PLAN,
+            }]
+        } else {
+            vec![]
+        }
+    }
+}
+
+/// The attack is planned once `g0` has dispatched its first messenger.
+#[must_use]
+pub fn attack_planned(x: &Computation) -> bool {
+    x.iter()
+        .any(|e| e.is_on(ProcessId::new(0)) && e.is_send())
+}
+
+/// Enumerates the two-generals universe.
+///
+/// # Errors
+///
+/// Propagates enumeration budget errors.
+pub fn universe(max_rounds: usize, depth: usize) -> Result<ProtocolUniverse, CoreError> {
+    enumerate(&TwoGenerals { max_rounds }, EnumerationLimits::depth(depth))
+}
+
+/// Registers the `attack-planned` atom.
+pub fn attack_atom(interp: &mut Interpretation) -> Formula {
+    Formula::atom(interp.register("attack-planned", attack_planned))
+}
+
+/// The alternating nested-knowledge formula of depth `k`:
+/// `k = 0` is `attack`, `k = 1` is `g1 knows attack`,
+/// `k = 2` is `g0 knows g1 knows attack`, …
+#[must_use]
+pub fn nested(k: usize, attack: &Formula) -> Formula {
+    let mut f = attack.clone();
+    for level in 1..=k {
+        // level 1 = g1, level 2 = g0, alternating outward
+        let general = if level % 2 == 1 { 1 } else { 0 };
+        f = Formula::knows(ProcessSet::singleton(ProcessId::new(general)), f);
+    }
+    f
+}
+
+/// For each `k`, does `nested(k)` hold at the computation where `k`
+/// messages have been delivered (the straight-line exchange)? Returns
+/// the vector of booleans for `k = 0..=levels`.
+pub fn knowledge_ladder(
+    pu: &ProtocolUniverse,
+    eval: &mut Evaluator<'_>,
+    attack: &Formula,
+    levels: usize,
+) -> Vec<bool> {
+    let mut out = Vec::new();
+    for k in 0..=levels {
+        // the straight-line computation with k deliveries has 2k or 2k−1
+        // events; find the one with exactly k receives and minimal sends.
+        let target = pu
+            .find(|c| c.receives() == k && c.sends() == k.max(1) && c.len() == c.sends() + k);
+        let holds = target.iter().any(|&id| {
+            let f = nested(k, attack);
+            eval.holds_at(&f, id)
+        });
+        out.push(holds);
+    }
+    out
+}
+
+/// The impossibility half: common knowledge of the attack is constant —
+/// and hence false everywhere (it is false at `null`).
+pub fn common_knowledge_impossible(
+    eval: &mut Evaluator<'_>,
+    attack: &Formula,
+) -> bool {
+    let ck = Formula::common(attack.clone());
+    eval.is_constant(&ck) && eval.sat_set(&ck).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_alternates() {
+        let g = TwoGenerals { max_rounds: 3 };
+        let v = LocalView::new();
+        // g0 initiates
+        assert_eq!(g.actions(ProcessId::new(0), &v).len(), 1);
+        // g1 stays silent until it receives
+        assert!(g.actions(ProcessId::new(1), &v).is_empty());
+    }
+
+    #[test]
+    fn ladder_grows_one_level_per_delivery() {
+        let pu = universe(3, 6).unwrap();
+        let mut interp = Interpretation::new();
+        let attack = attack_atom(&mut interp);
+        let mut eval = Evaluator::new(pu.universe(), &interp);
+        let ladder = knowledge_ladder(&pu, &mut eval, &attack, 3);
+        // k=0: attack holds right after the send;
+        // k=1: g1 knows after 1 delivery; k=2: g0 knows g1 knows after 2…
+        assert_eq!(ladder, vec![true, true, true, true]);
+
+        // and one level *more* than delivered fails: at the computation
+        // with exactly 1 delivery, depth-2 knowledge must not hold.
+        let one_delivery = pu.find(|c| c.receives() == 1 && c.sends() == 1);
+        assert!(!one_delivery.is_empty());
+        let f2 = nested(2, &attack);
+        for id in one_delivery {
+            assert!(
+                !eval.holds_at(&f2, id),
+                "g0 cannot know g1 knows before the ack returns"
+            );
+        }
+    }
+
+    #[test]
+    fn common_knowledge_never_achieved() {
+        let pu = universe(2, 6).unwrap();
+        let mut interp = Interpretation::new();
+        let attack = attack_atom(&mut interp);
+        let mut eval = Evaluator::new(pu.universe(), &interp);
+        assert!(common_knowledge_impossible(&mut eval, &attack));
+    }
+
+    #[test]
+    fn attack_predicate_is_wellformed() {
+        let pu = universe(2, 5).unwrap();
+        let mut interp = Interpretation::new();
+        let _ = attack_atom(&mut interp);
+        // respects [D] (depends only on projections)
+        assert!(interp.validate(pu.universe()).is_empty());
+    }
+}

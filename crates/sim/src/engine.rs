@@ -1,0 +1,728 @@
+//! The simulation engine.
+
+use crate::network::NetworkConfig;
+use crate::node::{Context, Effect, Node, TimerId};
+use crate::payload::Payload;
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use hpl_model::{ActionId, Computation, Event, EventId, EventKind, MessageId, ProcessId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Action tag recorded in the trace when a node crashes.
+pub const CRASH_ACTION: ActionId = ActionId::new(0x7fff_ffff);
+
+/// Base action tag for recorded timer firings
+/// (`TIMER_ACTION_BASE + timer tag`); see
+/// [`SimulationBuilder::record_timer_events`].
+pub const TIMER_ACTION_BASE: u32 = 0x4000_0000;
+
+#[derive(PartialEq, Eq)]
+enum QueueItem {
+    Start(ProcessId),
+    Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        payload: Payload,
+        model_msg: MessageId,
+    },
+    Timer {
+        p: ProcessId,
+        id: TimerId,
+        tag: u32,
+    },
+    Crash(ProcessId),
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    item: QueueItem,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Configures and constructs a [`Simulation`].
+#[derive(Debug)]
+pub struct SimulationBuilder {
+    n: usize,
+    seed: u64,
+    network: NetworkConfig,
+    record_timers: bool,
+}
+
+impl SimulationBuilder {
+    /// Sets the RNG seed (default 0). Same seed ⇒ identical run.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network configuration (default: constant delay 1, no
+    /// loss, non-FIFO).
+    #[must_use]
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// When enabled, every timer firing is recorded in the trace as an
+    /// internal event with action `TIMER_ACTION_BASE + tag`.
+    #[must_use]
+    pub fn record_timer_events(mut self, record: bool) -> Self {
+        self.record_timers = record;
+        self
+    }
+
+    /// Builds the simulation, creating one node per process and
+    /// scheduling every node's `on_start` at time zero.
+    pub fn build<F>(self, mut make_node: F) -> Simulation
+    where
+        F: FnMut(ProcessId) -> Box<dyn Node>,
+    {
+        let nodes: Vec<Box<dyn Node>> = (0..self.n)
+            .map(|i| make_node(ProcessId::new(i)))
+            .collect();
+        let mut sim = Simulation {
+            nodes,
+            network: self.network,
+            rng: StdRng::seed_from_u64(self.seed),
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_timer: 0,
+            cancelled_timers: HashSet::new(),
+            crashed: vec![false; self.n],
+            record_timers: self.record_timers,
+            trace_events: Vec::new(),
+            next_event: 0,
+            next_message: 0,
+            message_tags: HashMap::new(),
+            fifo_horizon: HashMap::new(),
+            stats: SimStats::default(),
+        };
+        for i in 0..sim.nodes.len() {
+            sim.push(SimTime::ZERO, QueueItem::Start(ProcessId::new(i)));
+        }
+        sim
+    }
+}
+
+/// A deterministic discrete-event simulation over a set of [`Node`]s.
+///
+/// See the [crate-level example](crate).
+pub struct Simulation {
+    nodes: Vec<Box<dyn Node>>,
+    network: NetworkConfig,
+    rng: StdRng,
+    clock: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    next_timer: u64,
+    cancelled_timers: HashSet<u64>,
+    crashed: Vec<bool>,
+    record_timers: bool,
+    trace_events: Vec<Event>,
+    next_event: usize,
+    next_message: usize,
+    message_tags: HashMap<MessageId, u32>,
+    fifo_horizon: HashMap<(usize, usize), SimTime>,
+    stats: SimStats,
+}
+
+impl Simulation {
+    /// Starts configuring a simulation of `n` processes.
+    #[must_use]
+    pub fn builder(n: usize) -> SimulationBuilder {
+        SimulationBuilder {
+            n,
+            seed: 0,
+            network: NetworkConfig::default(),
+            record_timers: false,
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the simulation has no processes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Run statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Whether process `p` has crashed.
+    #[must_use]
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed[p.index()]
+    }
+
+    /// Typed access to a node's state (for assertions and harnesses).
+    #[must_use]
+    pub fn node_as<T: 'static>(&self, p: ProcessId) -> Option<&T> {
+        let node: &dyn Any = self.nodes[p.index()].as_ref();
+        node.downcast_ref::<T>()
+    }
+
+    /// Schedules a crash of `p` at the given time (fault injection).
+    pub fn schedule_crash(&mut self, p: ProcessId, at: SimTime) {
+        self.push(at, QueueItem::Crash(p));
+    }
+
+    /// The payload tag of a message appearing in the recorded trace —
+    /// lets post-hoc analyses classify trace messages by protocol
+    /// vocabulary (e.g. underlying work vs overhead control traffic).
+    #[must_use]
+    pub fn message_tag(&self, m: MessageId) -> Option<u32> {
+        self.message_tags.get(&m).copied()
+    }
+
+    /// The recorded trace as a validated system computation.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the engine maintains trace validity
+    /// (sends precede receives, ids are unique).
+    #[must_use]
+    pub fn trace(&self) -> Computation {
+        Computation::from_events(self.nodes.len(), self.trace_events.clone())
+            .expect("engine maintains trace validity")
+    }
+
+    /// Processes queue items until the queue is empty or the next item is
+    /// after `until`; advances the clock accordingly. Returns the number
+    /// of items processed.
+    pub fn run_until(&mut self, until: SimTime) -> usize {
+        let mut processed = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > until {
+                break;
+            }
+            let Reverse(item) = self.queue.pop().expect("peeked");
+            self.clock = item.time;
+            self.dispatch(item.item);
+            processed += 1;
+        }
+        if self.clock < until && until != SimTime::MAX {
+            self.clock = until;
+        }
+        processed
+    }
+
+    /// Runs until the event queue drains (quiescence) or `max_items` have
+    /// been processed. Returns the number processed.
+    pub fn run_to_quiescence(&mut self, max_items: usize) -> usize {
+        let mut processed = 0;
+        while processed < max_items {
+            let Some(Reverse(head)) = self.queue.pop() else {
+                break;
+            };
+            self.clock = head.time;
+            self.dispatch(head.item);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Returns `true` if no further activity is scheduled.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn push(&mut self, time: SimTime, item: QueueItem) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time, seq, item }));
+    }
+
+    fn fresh_event_id(&mut self) -> EventId {
+        let id = EventId::new(self.next_event);
+        self.next_event += 1;
+        id
+    }
+
+    fn dispatch(&mut self, item: QueueItem) {
+        match item {
+            QueueItem::Start(p) => {
+                if self.crashed[p.index()] {
+                    return;
+                }
+                self.with_node(p, |node, ctx| node.on_start(ctx));
+            }
+            QueueItem::Deliver {
+                to,
+                from,
+                payload,
+                model_msg,
+            } => {
+                if self.crashed[to.index()] {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                self.stats.delivered += 1;
+                *self.stats.delivered_by_tag.entry(payload.tag).or_insert(0) += 1;
+                let id = self.fresh_event_id();
+                self.trace_events.push(Event::new(
+                    id,
+                    to,
+                    EventKind::Receive {
+                        from,
+                        message: model_msg,
+                    },
+                ));
+                self.with_node(to, |node, ctx| node.on_message(ctx, from, payload));
+            }
+            QueueItem::Timer { p, id, tag } => {
+                if self.crashed[p.index()] || self.cancelled_timers.remove(&id.0) {
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                if self.record_timers {
+                    let eid = self.fresh_event_id();
+                    self.trace_events.push(Event::new(
+                        eid,
+                        p,
+                        EventKind::Internal {
+                            action: ActionId::new(TIMER_ACTION_BASE + tag),
+                        },
+                    ));
+                }
+                self.with_node(p, |node, ctx| node.on_timer(ctx, id, tag));
+            }
+            QueueItem::Crash(p) => {
+                if self.crashed[p.index()] {
+                    return;
+                }
+                self.crashed[p.index()] = true;
+                let eid = self.fresh_event_id();
+                self.trace_events.push(Event::new(
+                    eid,
+                    p,
+                    EventKind::Internal {
+                        action: CRASH_ACTION,
+                    },
+                ));
+                self.nodes[p.index()].on_crash();
+            }
+        }
+    }
+
+    fn with_node<F>(&mut self, p: ProcessId, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Context<'_>),
+    {
+        let mut ctx = Context {
+            me: p,
+            now: self.clock,
+            next_timer: &mut self.next_timer,
+            effects: Vec::new(),
+        };
+        // temporarily take the node out to satisfy the borrow checker
+        let mut node = std::mem::replace(
+            &mut self.nodes[p.index()],
+            Box::new(PlaceholderNode),
+        );
+        f(node.as_mut(), &mut ctx);
+        self.nodes[p.index()] = node;
+        let effects = ctx.effects;
+        for effect in effects {
+            self.apply_effect(p, effect);
+        }
+    }
+
+    fn apply_effect(&mut self, p: ProcessId, effect: Effect) {
+        match effect {
+            Effect::Send { to, payload } => {
+                self.stats.sent += 1;
+                *self.stats.sent_by_tag.entry(payload.tag).or_insert(0) += 1;
+                let model_msg = MessageId::new(self.next_message);
+                self.next_message += 1;
+                self.message_tags.insert(model_msg, payload.tag);
+                let eid = self.fresh_event_id();
+                self.trace_events.push(Event::new(
+                    eid,
+                    p,
+                    EventKind::Send {
+                        to,
+                        message: model_msg,
+                    },
+                ));
+                let link = self.network.link(p.index(), to.index());
+                if link.drop_probability > 0.0
+                    && self.rng.random_range(0.0..1.0f64) < link.drop_probability
+                {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                let mut at = self.clock.after(link.delay.sample(&mut self.rng));
+                if link.fifo {
+                    let horizon = self
+                        .fifo_horizon
+                        .entry((p.index(), to.index()))
+                        .or_insert(SimTime::ZERO);
+                    if at < *horizon {
+                        at = *horizon;
+                    }
+                    *horizon = at;
+                }
+                self.push(
+                    at,
+                    QueueItem::Deliver {
+                        to,
+                        from: p,
+                        payload,
+                        model_msg,
+                    },
+                );
+            }
+            Effect::SetTimer { id, delay, tag } => {
+                self.push(self.clock.after(delay), QueueItem::Timer { p, id, tag });
+            }
+            Effect::CancelTimer { id } => {
+                self.cancelled_timers.insert(id.0);
+            }
+            Effect::Internal { action } => {
+                self.stats.internal_events += 1;
+                let eid = self.fresh_event_id();
+                self.trace_events
+                    .push(Event::new(eid, p, EventKind::Internal { action }));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Simulation(n={}, now={}, queued={}, trace_len={})",
+            self.nodes.len(),
+            self.clock,
+            self.queue.len(),
+            self.trace_events.len()
+        )
+    }
+}
+
+/// Stand-in swapped into the node slot during a callback.
+struct PlaceholderNode;
+impl Node for PlaceholderNode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ChannelConfig, DelayModel};
+
+    struct Pinger {
+        peer: usize,
+        pings: usize,
+        pongs_seen: usize,
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.pings {
+                ctx.send(ProcessId::new(self.peer), Payload::tag(1));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, msg: Payload) {
+            match msg.tag {
+                1 => ctx.send(from, Payload::tag(2)),
+                2 => self.pongs_seen += 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn ping_sim(seed: u64, net: NetworkConfig) -> Simulation {
+        Simulation::builder(2).seed(seed).network(net).build(|p| {
+            Box::new(Pinger {
+                peer: 1 - p.index(),
+                pings: if p.index() == 0 { 3 } else { 0 },
+                pongs_seen: 0,
+            })
+        })
+    }
+
+    #[test]
+    fn basic_ping_pong_runs_and_traces() {
+        let mut sim = ping_sim(0, NetworkConfig::default());
+        sim.run_until(SimTime::MAX);
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.stats().sent, 6);
+        assert_eq!(sim.stats().delivered, 6);
+        let trace = sim.trace();
+        assert_eq!(trace.sends(), 6);
+        assert_eq!(trace.receives(), 6);
+        let node = sim.node_as::<Pinger>(ProcessId::new(0)).unwrap();
+        assert_eq!(node.pongs_seen, 3);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 50 },
+            ..Default::default()
+        });
+        let mut a = ping_sim(42, net.clone());
+        let mut b = ping_sim(42, net);
+        a.run_until(SimTime::MAX);
+        b.run_until(SimTime::MAX);
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn different_seeds_reorder() {
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 1000 },
+            ..Default::default()
+        });
+        let mut a = ping_sim(1, net.clone());
+        let mut b = ping_sim(2, net);
+        a.run_until(SimTime::MAX);
+        b.run_until(SimTime::MAX);
+        // same event counts, almost surely different interleavings
+        assert_eq!(a.trace().len(), b.trace().len());
+        assert_ne!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Constant(100),
+            ..Default::default()
+        });
+        let mut sim = ping_sim(0, net);
+        sim.run_until(SimTime::from_ticks(50));
+        // sends happened at t0; deliveries are at t100 — not yet
+        assert_eq!(sim.stats().sent, 3);
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.now(), SimTime::from_ticks(50));
+        sim.run_until(SimTime::from_ticks(100));
+        assert_eq!(sim.stats().delivered, 3);
+    }
+
+    #[test]
+    fn drops_are_counted_and_not_delivered() {
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Constant(1),
+            drop_probability: 1.0,
+            fifo: false,
+        });
+        let mut sim = ping_sim(0, net);
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.stats().sent, 3);
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().dropped, 3);
+        // trace still has the sends (messages forever in flight)
+        assert_eq!(sim.trace().sends(), 3);
+        assert_eq!(sim.trace().in_flight().len(), 3);
+    }
+
+    #[test]
+    fn fifo_links_preserve_order() {
+        struct Recorder {
+            got: Vec<i64>,
+        }
+        impl Node for Recorder {
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: ProcessId, msg: Payload) {
+                self.got.push(msg.a);
+            }
+        }
+        struct Burst;
+        impl Node for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for i in 0..20 {
+                    ctx.send(ProcessId::new(1), Payload::with(1, i));
+                }
+            }
+        }
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 500 },
+            drop_probability: 0.0,
+            fifo: true,
+        });
+        let mut sim = Simulation::builder(2).seed(3).network(net).build(|p| {
+            if p.index() == 0 {
+                Box::new(Burst)
+            } else {
+                Box::new(Recorder { got: Vec::new() })
+            }
+        });
+        sim.run_until(SimTime::MAX);
+        let rec = sim.node_as::<Recorder>(ProcessId::new(1)).unwrap();
+        let expect: Vec<i64> = (0..20).collect();
+        assert_eq!(rec.got, expect, "FIFO link must preserve send order");
+    }
+
+    #[test]
+    fn crash_stops_a_node() {
+        let mut sim = ping_sim(
+            0,
+            NetworkConfig::uniform(ChannelConfig {
+                delay: DelayModel::Constant(10),
+                ..Default::default()
+            }),
+        );
+        // crash the responder before deliveries arrive
+        sim.schedule_crash(ProcessId::new(1), SimTime::from_ticks(5));
+        sim.run_until(SimTime::MAX);
+        assert!(sim.is_crashed(ProcessId::new(1)));
+        assert!(!sim.is_crashed(ProcessId::new(0)));
+        // pings were sent but never processed
+        assert_eq!(sim.stats().sent, 3);
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().dropped, 3);
+        // the crash is an internal event in the trace
+        let trace = sim.trace();
+        assert!(trace.iter().any(|e| matches!(
+            e.kind(),
+            EventKind::Internal { action } if action == CRASH_ACTION
+        )));
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct Timed {
+            fired: Vec<u32>,
+        }
+        impl Node for Timed {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(10, 1);
+                let t = ctx.set_timer(20, 2);
+                ctx.cancel_timer(t);
+                ctx.set_timer(30, 3);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, _id: TimerId, tag: u32) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulation::builder(1)
+            .record_timer_events(true)
+            .build(|_| Box::new(Timed { fired: Vec::new() }));
+        sim.run_until(SimTime::MAX);
+        let node = sim.node_as::<Timed>(ProcessId::new(0)).unwrap();
+        assert_eq!(node.fired, vec![1, 3]);
+        assert_eq!(sim.stats().timers_fired, 2);
+        // recorded as internal events
+        assert_eq!(sim.trace().len(), 2);
+    }
+
+    #[test]
+    fn internal_events_recorded() {
+        struct Marker;
+        impl Node for Marker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.internal(ActionId::new(5));
+            }
+        }
+        let mut sim = Simulation::builder(1).build(|_| Box::new(Marker));
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.stats().internal_events, 1);
+        let trace = sim.trace();
+        assert_eq!(trace.len(), 1);
+        assert!(trace.events()[0].is_internal());
+    }
+
+    #[test]
+    fn stats_by_tag() {
+        let mut sim = ping_sim(0, NetworkConfig::default());
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.stats().sent_with_tag(1), 3);
+        assert_eq!(sim.stats().sent_with_tag(2), 3);
+        assert_eq!(sim.stats().delivered_with_tag(1), 3);
+        assert_eq!(sim.stats().sent_with_tags(&[1, 2]), 6);
+    }
+
+    #[test]
+    fn message_conservation_across_configs() {
+        // after running to quiescence, every sent message was either
+        // delivered or dropped — across delay models, loss rates, fifo
+        // settings and seeds
+        for seed in 0..6u64 {
+            for (delay, drop, fifo) in [
+                (DelayModel::Constant(3), 0.0, false),
+                (DelayModel::Uniform { lo: 1, hi: 80 }, 0.0, true),
+                (DelayModel::Uniform { lo: 1, hi: 80 }, 0.5, false),
+                (DelayModel::Exponential { mean: 20 }, 0.2, false),
+            ] {
+                let net = NetworkConfig::uniform(ChannelConfig {
+                    delay,
+                    drop_probability: drop,
+                    fifo,
+                });
+                let mut sim = ping_sim(seed, net);
+                sim.run_until(SimTime::MAX);
+                let s = sim.stats();
+                assert_eq!(
+                    s.sent,
+                    s.delivered + s.dropped,
+                    "conservation violated (seed {seed}, {delay:?}, drop {drop})"
+                );
+                // the trace is always a valid computation (constructor
+                // validates) and receives never exceed sends
+                let trace = sim.trace();
+                assert!(trace.receives() <= trace.sends());
+                assert_eq!(trace.receives(), s.delivered);
+            }
+        }
+    }
+
+    #[test]
+    fn message_tags_recorded_for_all_sends() {
+        let mut sim = ping_sim(0, NetworkConfig::default());
+        sim.run_until(SimTime::MAX);
+        let trace = sim.trace();
+        for e in trace.iter().filter(|e| e.is_send()) {
+            let m = e.message().expect("sends carry messages");
+            assert!(sim.message_tag(m).is_some(), "tag recorded for {e}");
+        }
+        assert_eq!(sim.message_tag(MessageId::new(9999)), None);
+    }
+
+    #[test]
+    fn quiescence_cap() {
+        let mut sim = ping_sim(0, NetworkConfig::default());
+        let processed = sim.run_to_quiescence(3);
+        assert_eq!(processed, 3);
+        let more = sim.run_to_quiescence(usize::MAX);
+        assert!(sim.is_quiescent());
+        assert!(more > 0);
+    }
+}

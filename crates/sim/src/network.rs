@@ -1,0 +1,187 @@
+//! Network models: delay distributions, reordering and loss.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A message-delay distribution (in ticks).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly this long.
+    Constant(u64),
+    /// Uniform in `[lo, hi]` (inclusive). Models reordering when links
+    /// are not FIFO.
+    Uniform {
+        /// Minimum delay.
+        lo: u64,
+        /// Maximum delay.
+        hi: u64,
+    },
+    /// Exponential with the given mean — unbounded delays, the
+    /// asynchronous-model stand-in.
+    Exponential {
+        /// Mean delay in ticks (must be ≥ 1).
+        mean: u64,
+    },
+}
+
+impl DelayModel {
+    /// Samples a delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Uniform` model has `lo > hi`.
+    #[must_use]
+    pub fn sample(self, rng: &mut StdRng) -> u64 {
+        match self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform delay requires lo <= hi");
+                rng.random_range(lo..=hi)
+            }
+            DelayModel::Exponential { mean } => {
+                let mean = mean.max(1) as f64;
+                let u: f64 = rng.random_range(0.0..1.0f64);
+                // inverse CDF; clamp to avoid ln(0)
+                let x = -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln();
+                x.min(1e15) as u64
+            }
+        }
+    }
+
+    /// An upper bound on the sampled delay if one exists (`None` for
+    /// unbounded models) — the formal line between "synchronous enough
+    /// for timeouts" and the asynchronous model of the paper.
+    #[must_use]
+    pub fn bound(self) -> Option<u64> {
+        match self {
+            DelayModel::Constant(d) => Some(d),
+            DelayModel::Uniform { hi, .. } => Some(hi),
+            DelayModel::Exponential { .. } => None,
+        }
+    }
+}
+
+/// Per-link configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelConfig {
+    /// Delay distribution.
+    pub delay: DelayModel,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_probability: f64,
+    /// When `true`, deliveries on this link preserve send order even if
+    /// sampled delays would reorder them.
+    pub fifo: bool,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            delay: DelayModel::Constant(1),
+            drop_probability: 0.0,
+            fifo: false,
+        }
+    }
+}
+
+/// Network-wide configuration: a default channel plus per-link overrides.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkConfig {
+    /// Applied to links without an override.
+    pub default: ChannelConfig,
+    /// Per `(src, dst)` overrides, by process index.
+    pub overrides: Vec<((usize, usize), ChannelConfig)>,
+}
+
+impl NetworkConfig {
+    /// A network where every link uses `config`.
+    #[must_use]
+    pub fn uniform(config: ChannelConfig) -> Self {
+        NetworkConfig {
+            default: config,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Sets an override for the directed link `src → dst`.
+    #[must_use]
+    pub fn with_link(mut self, src: usize, dst: usize, config: ChannelConfig) -> Self {
+        self.overrides.push(((src, dst), config));
+        self
+    }
+
+    /// The configuration of the directed link `src → dst`.
+    #[must_use]
+    pub fn link(&self, src: usize, dst: usize) -> ChannelConfig {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|((s, d), _)| *s == src && *d == dst)
+            .map(|(_, c)| *c)
+            .unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_delay() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(DelayModel::Constant(5).sample(&mut rng), 5);
+        assert_eq!(DelayModel::Constant(5).bound(), Some(5));
+    }
+
+    #[test]
+    fn uniform_delay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Uniform { lo: 3, hi: 9 };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!((3..=9).contains(&d));
+        }
+        assert_eq!(m.bound(), Some(9));
+    }
+
+    #[test]
+    fn exponential_is_unbounded_and_positive_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DelayModel::Exponential { mean: 100 };
+        assert_eq!(m.bound(), None);
+        let total: u64 = (0..2000).map(|_| m.sample(&mut rng)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((50.0..200.0).contains(&mean), "sample mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = DelayModel::Uniform { lo: 0, hi: 1000 };
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn link_overrides() {
+        let fast = ChannelConfig {
+            delay: DelayModel::Constant(1),
+            ..Default::default()
+        };
+        let slow = ChannelConfig {
+            delay: DelayModel::Constant(99),
+            drop_probability: 0.5,
+            fifo: true,
+        };
+        let net = NetworkConfig::uniform(fast).with_link(0, 1, slow);
+        assert_eq!(net.link(0, 1), slow);
+        assert_eq!(net.link(1, 0), fast);
+        assert_eq!(net.link(2, 2), fast);
+    }
+}

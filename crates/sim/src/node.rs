@@ -1,0 +1,136 @@
+//! Node behaviour and the effect context.
+
+use crate::payload::Payload;
+use crate::time::SimTime;
+use hpl_model::{ActionId, ProcessId};
+use std::any::Any;
+use std::fmt;
+
+/// Identifier of a pending timer, returned by [`Context::set_timer`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer{}", self.0)
+    }
+}
+
+/// Protocol behaviour of one process.
+///
+/// All hooks default to "do nothing"; implement the ones the protocol
+/// needs. Nodes are `Any` so tests and harnesses can inspect final state
+/// via [`Simulation::node_as`](crate::Simulation::node_as).
+pub trait Node: Any {
+    /// Called once at simulation start.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a message is delivered to this node.
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: ProcessId, _msg: Payload) {}
+
+    /// Called when a timer set by this node fires (with the tag passed to
+    /// [`Context::set_timer`]).
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerId, _tag: u32) {}
+
+    /// Called when the engine crashes this node (fault injection). The
+    /// node takes no further steps afterwards; this hook only allows
+    /// final local bookkeeping for test inspection.
+    fn on_crash(&mut self) {}
+}
+
+pub(crate) enum Effect {
+    Send { to: ProcessId, payload: Payload },
+    SetTimer { id: TimerId, delay: u64, tag: u32 },
+    CancelTimer { id: TimerId },
+    Internal { action: ActionId },
+}
+
+/// The API a [`Node`] uses to act on the world during a callback.
+///
+/// Effects are applied by the engine when the callback returns, in the
+/// order they were issued.
+pub struct Context<'a> {
+    pub(crate) me: ProcessId,
+    pub(crate) now: SimTime,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) effects: Vec<Effect>,
+}
+
+impl Context<'_> {
+    /// This node's process id.
+    #[must_use]
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends a message (subject to the link's delay/loss model).
+    pub fn send(&mut self, to: ProcessId, payload: Payload) {
+        self.effects.push(Effect::Send { to, payload });
+    }
+
+    /// Sets a one-shot timer `delay` ticks from now; `tag` is passed back
+    /// to [`Node::on_timer`].
+    pub fn set_timer(&mut self, delay: u64, tag: u32) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancels a pending timer (no-op if already fired or cancelled).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// Records an internal event in the trace (the paper's third event
+    /// type; use it to mark protocol-level state changes such as "declared
+    /// termination" so the epistemic analysis can see them).
+    pub fn internal(&mut self, action: ActionId) {
+        self.effects.push(Effect::Internal { action });
+    }
+}
+
+impl fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Context(me={}, now={}, pending_effects={})",
+            self.me,
+            self.now,
+            self.effects.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_queues_effects_in_order() {
+        let mut counter = 0u64;
+        let mut ctx = Context {
+            me: ProcessId::new(0),
+            now: SimTime::from_ticks(5),
+            next_timer: &mut counter,
+            effects: Vec::new(),
+        };
+        assert_eq!(ctx.me(), ProcessId::new(0));
+        assert_eq!(ctx.now().ticks(), 5);
+        ctx.send(ProcessId::new(1), Payload::tag(1));
+        let t = ctx.set_timer(10, 2);
+        ctx.cancel_timer(t);
+        ctx.internal(ActionId::new(3));
+        assert_eq!(ctx.effects.len(), 4);
+        assert_eq!(t, TimerId(0));
+        let t2 = ctx.set_timer(1, 0);
+        assert_eq!(t2, TimerId(1));
+        assert!(format!("{ctx:?}").contains("pending_effects=5"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Message payloads.
+
+use std::fmt;
+
+/// A protocol message: a tag plus two integer fields.
+///
+/// Protocols in this workspace encode their message vocabulary in `tag`
+/// and carry counters/values in `a` and `b` (e.g. Dijkstra–Scholten
+/// deficits, Mattern credits, heartbeat sequence numbers). The model
+/// layer sees only distinguished message identities; payloads live purely
+/// at the simulation level.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Payload {
+    /// Message kind, protocol defined.
+    pub tag: u32,
+    /// First value field.
+    pub a: i64,
+    /// Second value field.
+    pub b: i64,
+}
+
+impl Payload {
+    /// A payload with only a tag.
+    #[must_use]
+    pub const fn tag(tag: u32) -> Self {
+        Payload { tag, a: 0, b: 0 }
+    }
+
+    /// A payload with a tag and one value.
+    #[must_use]
+    pub const fn with(tag: u32, a: i64) -> Self {
+        Payload { tag, a, b: 0 }
+    }
+
+    /// A payload with a tag and two values.
+    #[must_use]
+    pub const fn with2(tag: u32, a: i64, b: i64) -> Self {
+        Payload { tag, a, b }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}({},{})", self.tag, self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Payload::tag(1), Payload { tag: 1, a: 0, b: 0 });
+        assert_eq!(Payload::with(2, 5), Payload { tag: 2, a: 5, b: 0 });
+        assert_eq!(
+            Payload::with2(3, -1, 9),
+            Payload { tag: 3, a: -1, b: 9 }
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Payload::with2(4, 1, 2).to_string(), "#4(1,2)");
+    }
+}

@@ -1,0 +1,59 @@
+//! Run statistics.
+
+use std::collections::HashMap;
+
+/// Counters accumulated over a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Messages sent (including later-dropped ones).
+    pub sent: usize,
+    /// Messages delivered.
+    pub delivered: usize,
+    /// Messages dropped by the network.
+    pub dropped: usize,
+    /// Timer events fired.
+    pub timers_fired: usize,
+    /// Internal events recorded by nodes.
+    pub internal_events: usize,
+    /// Sends per payload tag.
+    pub sent_by_tag: HashMap<u32, usize>,
+    /// Deliveries per payload tag.
+    pub delivered_by_tag: HashMap<u32, usize>,
+}
+
+impl SimStats {
+    /// Messages sent with the given payload tag.
+    #[must_use]
+    pub fn sent_with_tag(&self, tag: u32) -> usize {
+        self.sent_by_tag.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Messages delivered with the given payload tag.
+    #[must_use]
+    pub fn delivered_with_tag(&self, tag: u32) -> usize {
+        self.delivered_by_tag.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Total sends across a set of tags (e.g. "all overhead messages").
+    #[must_use]
+    pub fn sent_with_tags(&self, tags: &[u32]) -> usize {
+        tags.iter().map(|&t| self.sent_with_tag(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_accessors() {
+        let mut s = SimStats::default();
+        s.sent_by_tag.insert(1, 3);
+        s.sent_by_tag.insert(2, 4);
+        s.delivered_by_tag.insert(1, 2);
+        assert_eq!(s.sent_with_tag(1), 3);
+        assert_eq!(s.sent_with_tag(9), 0);
+        assert_eq!(s.delivered_with_tag(1), 2);
+        assert_eq!(s.sent_with_tags(&[1, 2]), 7);
+    }
+}

@@ -1,0 +1,99 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in abstract ticks.
+///
+/// The simulator assigns no unit; protocols choose their own scale
+/// (benches in this workspace treat one tick as a microsecond).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable time (used as "run forever").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw ticks.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// The raw tick count.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick delta.
+    #[must_use]
+    pub const fn after(self, delta: u64) -> Self {
+        SimTime(self.0.saturating_add(delta))
+    }
+
+    /// Saturating difference in ticks (`self − earlier`, 0 if negative).
+    #[must_use]
+    pub const fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.after(rhs);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10);
+        assert_eq!(t.after(5).ticks(), 15);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(t.since(SimTime::from_ticks(4)), 6);
+        assert_eq!(t.since(SimTime::from_ticks(40)), 0);
+        assert_eq!(t - SimTime::from_ticks(4), 6);
+        let mut u = t;
+        u += 1;
+        assert_eq!(u.ticks(), 11);
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(SimTime::MAX.after(1), SimTime::MAX);
+        assert_eq!(SimTime::ZERO.since(SimTime::MAX), 0);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::ZERO < SimTime::from_ticks(1));
+        assert_eq!(SimTime::from_ticks(3).to_string(), "t3");
+    }
+}

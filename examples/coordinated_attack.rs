@@ -1,0 +1,57 @@
+//! Two generals: the knowledge ladder vs the common-knowledge wall.
+//!
+//! Each delivered acknowledgement buys exactly one more level of nested
+//! knowledge of "the attack is planned" — but common knowledge is a
+//! constant (Corollary to Lemma 3) and therefore never achieved.
+//!
+//! Run with `cargo run --example coordinated_attack --release`.
+
+use hpl_core::{Evaluator, Interpretation};
+use hpl_protocols::two_generals::{
+    attack_atom, common_knowledge_impossible, knowledge_ladder, nested, universe,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pu = universe(3, 6)?;
+    println!(
+        "two-generals universe (≤3 rounds, depth 6): {} computations",
+        pu.universe().len()
+    );
+
+    let mut interp = Interpretation::new();
+    let attack = attack_atom(&mut interp);
+    let mut eval = Evaluator::new(pu.universe(), &interp);
+
+    println!("\nknowledge ladder (at the straight-line exchange):");
+    let ladder = knowledge_ladder(&pu, &mut eval, &attack, 3);
+    for (k, holds) in ladder.iter().enumerate() {
+        println!(
+            "  {} deliveries ⇒ depth-{k} knowledge {}",
+            k,
+            if *holds { "HOLDS" } else { "fails" }
+        );
+    }
+
+    // one more level than delivered always fails
+    let one_delivery = pu.find(|c| c.receives() == 1 && c.sends() == 1);
+    let f2 = nested(2, &attack);
+    for id in one_delivery {
+        assert!(
+            !eval.holds_at(&f2, id),
+            "g0 cannot know g1 knows with only one delivery"
+        );
+    }
+    println!("  (and depth k+1 provably fails after k deliveries)");
+
+    println!("\ncommon knowledge:");
+    let impossible = common_knowledge_impossible(&mut eval, &attack);
+    println!(
+        "  C(attack) is constant and false everywhere: {}",
+        if impossible { "CONFIRMED" } else { "violated!" }
+    );
+    assert!(impossible);
+
+    println!("\nthe generals can climb any finite ladder, but the wall");
+    println!("(common knowledge) is unreachable — Corollary to Lemma 3.");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the calculus in five minutes.
+//!
+//! Builds a tiny universe by hand, tests isomorphism, decomposes a
+//! prefix pair per Theorem 1, evaluates a knowledge formula, and prints
+//! the isomorphism diagram as Graphviz DOT.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use how_processes_learn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two processes p and q; p sends q a message.
+    let (p, q) = (ProcessId::new(0), ProcessId::new(1));
+    let mut pool = ScenarioPool::new(2);
+    let (send, msg) = pool.send(p, q);
+    let recv = pool.receive(q, p, msg);
+
+    // Three computations: nothing, sent, sent-and-received.
+    let x0 = pool.compose([])?;
+    let x1 = pool.compose([send])?;
+    let x2 = pool.compose([send, recv])?;
+
+    println!("computations:");
+    for (name, c) in [("x0", &x0), ("x1", &x1), ("x2", &x2)] {
+        println!("  {name} = {c}");
+    }
+
+    // Isomorphism: q cannot distinguish x0 from x1 (its projection is
+    // empty in both); p can.
+    println!("\nisomorphism:");
+    println!("  x0 [q] x1 = {}", x0.agrees_on(&x1, ProcessSet::singleton(q)));
+    println!("  x0 [p] x1 = {}", x0.agrees_on(&x1, ProcessSet::singleton(p)));
+
+    // Theorem 1: between x0 and x2 with the chain ⟨p q⟩ — the message
+    // IS the chain, so decompose returns the chain witness. With ⟨q p⟩
+    // no chain exists and we get the isomorphism path instead.
+    println!("\ntheorem 1 (constructive):");
+    let pq = [ProcessSet::singleton(p), ProcessSet::singleton(q)];
+    match decompose(&x0, &x2, &pq)? {
+        Decomposition::Chain(w) => println!("  ⟨p q⟩: chain via {:?}", w.event_ids()),
+        Decomposition::Path(_) => println!("  ⟨p q⟩: isomorphism path"),
+    }
+    let qp = [ProcessSet::singleton(q), ProcessSet::singleton(p)];
+    match decompose(&x0, &x2, &qp)? {
+        Decomposition::Chain(w) => println!("  ⟨q p⟩: chain via {:?}", w.event_ids()),
+        Decomposition::Path(path) => println!(
+            "  ⟨q p⟩: isomorphism path through {} intermediate(s)",
+            path.intermediates().len()
+        ),
+    }
+
+    // Knowledge: q learns that the message was sent only by receiving it.
+    let mut universe = Universe::new(2);
+    let c0 = universe.insert(x0)?;
+    let c1 = universe.insert(x1)?;
+    let c2 = universe.insert(x2)?;
+
+    let mut interp = Interpretation::new();
+    let sent = interp.register("sent", |c| c.sends() > 0);
+    let mut eval = Evaluator::new(&universe, &interp);
+
+    let q_knows = Formula::knows(ProcessSet::singleton(q), Formula::atom(sent));
+    println!("\nknowledge (q knows \"sent\"):");
+    for (name, id) in [("x0", c0), ("x1", c1), ("x2", c2)] {
+        println!("  at {name}: {}", eval.holds_at(&q_knows, id));
+    }
+
+    // The isomorphism diagram (Figure 3-1 style), as DOT.
+    let diagram = IsomorphismDiagram::build(&universe).with_names(vec!["x0", "x1", "x2"]);
+    println!("\nisomorphism diagram:\n{}", diagram.to_dot());
+
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! §5 termination detection: the overhead table.
+//!
+//! Runs four detectors over diffusing workloads of increasing size and
+//! prints the paper-style table of overhead messages vs underlying
+//! messages, verifying for every run that (a) detection was semantically
+//! correct and (b) the Theorem-5 knowledge-gain chains exist in the
+//! recorded trace.
+//!
+//! Run with `cargo run --example termination_detection --release`.
+
+use hpl_protocols::termination::{run_detector, DetectorKind, WorkloadConfig};
+use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig, SimTime};
+
+fn main() {
+    let net = NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform { lo: 1, hi: 30 },
+        drop_probability: 0.0,
+        fifo: false,
+    });
+    let detectors = [
+        DetectorKind::DijkstraScholten,
+        DetectorKind::SafraRing,
+        DetectorKind::Credit,
+        DetectorKind::Naive { period: 200 },
+    ];
+
+    println!("random diffusing workload (n=5, fanout=2):");
+    println!(
+        "{:>18} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "detector", "M", "overhead", "ratio", "time", "valid", "chains"
+    );
+    for &budget in &[8u64, 16, 32, 64, 128] {
+        let cfg = WorkloadConfig {
+            n: 5,
+            budget,
+            fanout: 2,
+            work_time: 4,
+            seed: budget, // vary the workload with its size
+            spare_root: false,
+        };
+        for kind in detectors {
+            let out = run_detector(kind, cfg, &net, 42, SimTime::MAX);
+            println!(
+                "{:>18} {:>6} {:>9} {:>9.2} {:>7} {:>6} {:>6}",
+                out.detector,
+                out.work_messages,
+                out.overhead_messages,
+                out.overhead_ratio(),
+                out.detect_time.map_or_else(|| "-".into(), |t| t.to_string()),
+                out.detection_valid,
+                out.chains_ok,
+            );
+            assert!(out.detected && out.detection_valid && out.chains_ok);
+        }
+    }
+
+    println!("\nadversarial sequential workload (fanout=1, detector spared):");
+    println!(
+        "{:>18} {:>6} {:>9} {:>9}",
+        "detector", "M", "overhead", "ratio"
+    );
+    for &budget in &[10u64, 20, 40] {
+        let cfg = WorkloadConfig {
+            n: 4,
+            budget,
+            fanout: 1,
+            work_time: 2,
+            seed: 7,
+            spare_root: true,
+        };
+        for kind in [DetectorKind::DijkstraScholten, DetectorKind::Credit] {
+            let out = run_detector(kind, cfg, &net, 11, SimTime::MAX);
+            println!(
+                "{:>18} {:>6} {:>9} {:>9.2}",
+                out.detector,
+                out.work_messages,
+                out.overhead_messages,
+                out.overhead_ratio()
+            );
+            assert!(
+                out.overhead_ratio() >= 1.0,
+                "the paper's Ω(M) bound binds on the adversarial workload"
+            );
+        }
+    }
+
+    println!("\nall runs detected correctly, with theorem-5 chains present.");
+}

@@ -1,0 +1,56 @@
+//! # how-processes-learn
+//!
+//! An executable reproduction of K. Mani Chandy & Jayadev Misra,
+//! **"How Processes Learn"** (PODC 1985): isomorphism between system
+//! computations, process chains, fusion, and knowledge in asynchronous
+//! message-passing systems — plus the simulators, protocols and
+//! benchmarks that regenerate every figure and application of the paper.
+//!
+//! This crate is an umbrella: it re-exports the workspace members.
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`model`] (`hpl-model`) | events, computations, causality, process chains |
+//! | [`core`] (`hpl-core`) | isomorphism, Theorem 1–6 machinery, knowledge evaluator, protocol enumeration |
+//! | [`sim`] (`hpl-sim`) | deterministic discrete-event simulator with trace capture |
+//! | [`protocols`] (`hpl-protocols`) | token bus, two generals, failure detection, tracking, termination detection, token ring, snapshots |
+//! | [`runtime`] (`hpl-runtime`) | OS-thread runtime recording live executions |
+//!
+//! Start with the [`prelude`], the `quickstart` example, or DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hpl_core as core;
+pub use hpl_model as model;
+pub use hpl_protocols as protocols;
+pub use hpl_runtime as runtime;
+pub use hpl_sim as sim;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use hpl_core::{
+        decompose, enumerate, fuse_lemma1, fuse_theorem2, Decomposition, EnumerationLimits,
+        Evaluator, Formula, Interpretation, IsoIndex, IsomorphismDiagram, LocalView, ProtoAction,
+        Protocol, Universe,
+    };
+    pub use hpl_model::{
+        find_chain, has_chain, CausalClosure, Computation, ComputationBuilder, Event, EventKind,
+        ProcessId, ProcessSet, ScenarioPool,
+    };
+    pub use hpl_sim::{Context, Node, Payload, SimTime, Simulation};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let p = ProcessId::new(0);
+        let mut b = ComputationBuilder::new(1);
+        b.internal(p).unwrap();
+        let z = b.finish();
+        assert_eq!(z.len(), 1);
+        assert!(has_chain(&z, 0, &[ProcessSet::singleton(p)]));
+    }
+}

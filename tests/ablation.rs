@@ -1,0 +1,111 @@
+//! Integration tests for the §6 generalizations (state views, belief)
+//! and the extension protocols (gossip pricing, leader election),
+//! exercised across crate boundaries.
+
+use hpl_core::belief::{check_kd45, find_t_counterexamples, BeliefIndex, Plausibility};
+use hpl_core::views::{check_event_semantics, BoundedMemory, EventCounts, FullHistory, ViewIndex};
+use hpl_core::{enumerate, CompSet, EnumerationLimits};
+use hpl_model::{ProcessId, ProcessSet};
+use hpl_protocols::election::{leadership_chains_ok, run_election};
+use hpl_protocols::failure::{crashed, CrashableWorker};
+use hpl_protocols::gossip::{common_knowledge_unattainable, knowledge_price};
+use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig};
+
+fn alive_sat(u: &hpl_core::Universe) -> CompSet {
+    let mut s = CompSet::new(u.len());
+    for (id, c) in u.iter() {
+        if !crashed(c) {
+            s.insert(id.index());
+        }
+    }
+    s
+}
+
+#[test]
+fn belief_is_fallible_exactly_where_knowledge_is_impossible() {
+    // the §5 failure universe: knowledge of aliveness is impossible for
+    // the observer; an optimistic *belief* is available but wrong in
+    // precisely the crashed computations
+    let pu = enumerate(&CrashableWorker { max_reports: 1 }, EnumerationLimits::depth(4))
+        .expect("within budget");
+    let u = pu.universe();
+    let sat = alive_sat(u);
+    let observer = ProcessSet::singleton(ProcessId::new(1));
+
+    let optimist = Plausibility::new("crash-implausible", |c| u64::from(crashed(c)));
+    let belief = BeliefIndex::new(u, &optimist);
+
+    let wrong = find_t_counterexamples(&belief, observer, &sat);
+    assert!(!wrong.is_empty());
+    for v in &wrong {
+        assert!(crashed(u.get(v.x)), "belief fails only in crashed worlds");
+    }
+    assert!(check_kd45(&belief, observer, &sat).is_empty());
+}
+
+#[test]
+fn view_abstraction_hierarchy_is_monotone() {
+    let pu = enumerate(&CrashableWorker { max_reports: 2 }, EnumerationLimits::depth(5))
+        .expect("within budget");
+    let u = pu.universe();
+    let sat = alive_sat(u);
+    let p = ProcessSet::singleton(ProcessId::new(1));
+
+    let full = ViewIndex::new(u, FullHistory).knows_set(p, &sat);
+    let window = ViewIndex::new(u, BoundedMemory { window: 2 }).knows_set(p, &sat);
+    let counts = ViewIndex::new(u, EventCounts).knows_set(p, &sat);
+
+    // coarser views can only know less (classes merge)
+    assert!(window.is_subset(&full), "bounded memory ⊆ full history");
+    assert!(counts.is_subset(&full), "counting ⊆ full history");
+}
+
+#[test]
+fn full_history_views_never_violate_event_semantics() {
+    for max_reports in [1usize, 2] {
+        let pu = enumerate(
+            &CrashableWorker { max_reports },
+            EnumerationLimits::depth(4),
+        )
+        .expect("within budget");
+        let u = pu.universe();
+        let sat = alive_sat(u);
+        // Lemma 4's hypothesis: the predicate must be local to P̄ — here
+        // `alive` is local to p0, so only the observer P = {p1} qualifies
+        // (for P = {p0}, p0's own crash legitimately changes what p0
+        // knows about its own fact).
+        let p = ProcessSet::singleton(ProcessId::new(1));
+        let index = ViewIndex::new(u, FullHistory);
+        assert!(check_event_semantics(&index, p, &sat).is_empty());
+    }
+}
+
+#[test]
+fn knowledge_price_ladder_is_strictly_increasing() {
+    let rows = knowledge_price(3, 9, 2).expect("within budget");
+    let prices: Vec<usize> = rows
+        .iter()
+        .map(|r| r.min_messages.expect("attainable at depth 9"))
+        .collect();
+    assert_eq!(prices.len(), 3);
+    assert!(
+        prices[0] < prices[1] && prices[1] < prices[2],
+        "each knowledge level must cost strictly more messages: {prices:?}"
+    );
+    assert!(common_knowledge_unattainable(3, 6).expect("within budget"));
+}
+
+#[test]
+fn election_footprint_scales() {
+    let net = NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform { lo: 1, hi: 8 },
+        drop_probability: 0.0,
+        fifo: true,
+    });
+    for n in [3usize, 7, 12] {
+        let out = run_election(n, &net, n as u64);
+        assert!(out.leader.is_some(), "n={n}");
+        assert!(leadership_chains_ok(&out.trace), "n={n}");
+        assert!(out.messages >= n);
+    }
+}

@@ -1,0 +1,213 @@
+//! Integration tests: the simulator / runtime → model → calculus
+//! pipeline.
+//!
+//! Traces recorded by `hpl-sim` and `hpl-runtime` are validated
+//! computations; the calculus (causality, chains, Theorem 1) applies to
+//! them directly.
+
+use hpl_core::{decompose, Decomposition};
+use hpl_model::{trace, CausalClosure, ProcessId, ProcessSet};
+use hpl_protocols::termination::{
+    detection_chains_ok, run_detector, verify_detection, DetectorKind, WorkloadConfig,
+};
+use hpl_protocols::token_ring;
+use hpl_runtime::{Behavior, Runtime, ThreadCtx};
+use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig, SimTime, Simulation};
+
+fn reorder_net(hi: u64) -> NetworkConfig {
+    NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform { lo: 1, hi },
+        drop_probability: 0.0,
+        fifo: false,
+    })
+}
+
+#[test]
+fn sim_traces_roundtrip_through_the_text_codec() {
+    let cfg = WorkloadConfig {
+        n: 4,
+        budget: 10,
+        fanout: 2,
+        work_time: 3,
+        seed: 5,
+        spare_root: false,
+    };
+    let out = run_detector(
+        DetectorKind::DijkstraScholten,
+        cfg,
+        &reorder_net(20),
+        9,
+        SimTime::MAX,
+    );
+    assert!(out.detected);
+    // re-run to grab the trace (run_detector consumes its sim): use the
+    // token ring instead, which returns the trace directly
+    let ring_trace = token_ring::run_ring(4, 2, 5, 3);
+    let text = trace::to_text(&ring_trace);
+    let back = trace::from_text(&text).expect("codec roundtrip");
+    assert_eq!(ring_trace, back);
+}
+
+#[test]
+fn theorem1_applies_to_simulated_traces() {
+    let ring_trace = token_ring::run_ring(5, 1, 3, 7);
+    // the token visits 0,1,2,3,4 in order: forward chain exists
+    let fwd: Vec<ProcessSet> = (0..5).map(|i| ProcessSet::from_indices([i])).collect();
+    assert!(hpl_model::has_chain(&ring_trace, 0, &fwd));
+    // decompose with the reversed sets must produce a path
+    let rev: Vec<ProcessSet> = fwd.iter().rev().copied().collect();
+    let x = ring_trace.prefix(0);
+    match decompose(&x, &ring_trace, &rev).expect("prefix ok") {
+        Decomposition::Path(p) => assert!(p.verify(&x, &ring_trace, &rev)),
+        Decomposition::Chain(w) => {
+            // if a reverse chain exists it must verify (possible: the
+            // retiring token's final idle round revisits processes)
+            assert!(w.verify(&ring_trace, 0, &rev));
+        }
+    }
+}
+
+#[test]
+fn termination_detection_satisfies_theorem5_footprint() {
+    for kind in [
+        DetectorKind::DijkstraScholten,
+        DetectorKind::SafraRing,
+        DetectorKind::Credit,
+        DetectorKind::Naive { period: 120 },
+    ] {
+        let cfg = WorkloadConfig {
+            n: 4,
+            budget: 9,
+            fanout: 2,
+            work_time: 3,
+            seed: 2,
+            spare_root: false,
+        };
+        let out = run_detector(kind, cfg, &reorder_net(25), 3, SimTime::MAX);
+        assert!(out.detected && out.detection_valid && out.chains_ok, "{}", out.detector);
+    }
+}
+
+#[test]
+fn crash_traces_expose_silence() {
+    // a crashed process contributes no further events: its projection is
+    // frozen, which is exactly why nobody can learn of the crash
+    let mut sim = Simulation::builder(2)
+        .seed(4)
+        .network(reorder_net(10))
+        .build(|p| -> Box<dyn hpl_sim::Node> {
+            if p.index() == 0 {
+                Box::new(hpl_protocols::failure::Heartbeater {
+                    interval: 30,
+                    monitor: ProcessId::new(1),
+                })
+            } else {
+                Box::new(hpl_protocols::failure::Monitor::new(100))
+            }
+        });
+    sim.schedule_crash(ProcessId::new(0), SimTime::from_ticks(100));
+    sim.run_until(SimTime::from_ticks(1_000));
+    let trace = sim.trace();
+    let crash_pos = trace
+        .iter()
+        .position(|e| {
+            matches!(e.kind(), hpl_model::EventKind::Internal { action }
+                     if action == hpl_sim::engine::CRASH_ACTION)
+        })
+        .expect("crash recorded");
+    // no p0 event after the crash
+    assert!(trace
+        .events()
+        .iter()
+        .skip(crash_pos + 1)
+        .all(|e| !e.is_on(ProcessId::new(0))));
+}
+
+#[test]
+fn live_runtime_traces_are_analysable() {
+    struct Star {
+        n: usize,
+    }
+    impl Behavior for Star {
+        fn run(&mut self, ctx: &mut ThreadCtx) {
+            if ctx.me().index() == 0 {
+                for _ in 1..self.n {
+                    let _ = ctx.recv();
+                }
+                ctx.internal(hpl_model::ActionId::new(1));
+            } else {
+                ctx.send(ProcessId::new(0), 1);
+            }
+        }
+    }
+    let n = 4;
+    let trace = Runtime::new(n).run(|_| Box::new(Star { n }));
+    let hb = CausalClosure::new(&trace);
+    let hub_mark = trace.iter().position(|e| e.is_internal()).expect("marker");
+    for i in 1..n {
+        let p = ProcessId::new(i);
+        let send_pos = trace
+            .iter()
+            .position(|e| e.is_on(p))
+            .expect("spoke sent");
+        assert!(
+            hb.happened_before(send_pos, hub_mark),
+            "chain ⟨p{i} p0⟩ must exist in the live trace"
+        );
+    }
+}
+
+#[test]
+fn detection_validation_rejects_truncated_runs() {
+    // run a detector but stop the simulation before completion: either
+    // no detection happened yet, or validation still passes — never an
+    // invalid detection
+    let cfg = WorkloadConfig {
+        n: 4,
+        budget: 20,
+        fanout: 2,
+        work_time: 5,
+        seed: 8,
+        spare_root: false,
+    };
+    let out = run_detector(
+        DetectorKind::SafraRing,
+        cfg,
+        &reorder_net(30),
+        6,
+        SimTime::from_ticks(40),
+    );
+    assert!(!out.detected, "truncated run cannot have detected");
+}
+
+#[test]
+fn snapshot_cuts_live_in_the_cut_lattice() {
+    // the cut a Chandy–Lamport snapshot records must be a consistent cut
+    // of the recorded trace — checked with the model's lattice machinery
+    use hpl_model::{Cut, CutLattice};
+    let trace = token_ring::run_ring(3, 2, 4, 11);
+    let lattice = CutLattice::new(&trace);
+    // every prefix cut is consistent; spot-check the lattice laws hold
+    // on this real trace
+    let full = lattice.full_cut();
+    assert!(lattice.is_consistent(&full));
+    assert!(lattice.is_consistent(&Cut::empty(3)));
+    let cuts = lattice.enumerate();
+    assert!(cuts.len() >= trace.len() + 1);
+    for pair in cuts.windows(2) {
+        assert!(lattice.is_consistent(&pair[0].meet(&pair[1])));
+        assert!(lattice.is_consistent(&pair[0].join(&pair[1])));
+    }
+    // and every consistent cut really is a possible global state
+    for cut in cuts.iter().take(50) {
+        let c = lattice.cut_computation(cut);
+        assert_eq!(c.len(), cut.len());
+    }
+}
+
+#[test]
+fn verify_detection_and_chains_reject_traces_without_detect() {
+    let ring_trace = token_ring::run_ring(3, 1, 2, 0);
+    assert!(verify_detection(&ring_trace).is_err());
+    assert!(!detection_chains_ok(&ring_trace));
+}
