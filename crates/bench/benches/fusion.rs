@@ -14,12 +14,10 @@ fn fixture(ext: usize) -> (Computation, Computation, Computation, ProcessSet) {
     let pbar = ProcessSet::from_indices([2, 3]);
     // re-id the extension events to avoid clashes with x, then filter by
     // side; internal events only, to keep both extensions valid
-    let mut next = 10_000;
     let mut y_ext: Vec<Event> = Vec::new();
     let mut z_ext: Vec<Event> = Vec::new();
-    for e in extension.iter().filter(|e| e.is_internal()) {
+    for (next, e) in (10_000..).zip(extension.iter().filter(|e| e.is_internal())) {
         let renamed = Event::new(hpl_model::EventId::new(next), e.process(), e.kind());
-        next += 1;
         if e.is_on_set(p) {
             y_ext.push(renamed);
         } else if e.is_on_set(pbar) {

@@ -199,7 +199,7 @@ pub fn check_kd45(belief: &BeliefIndex<'_>, p: ProcessSet, sat: &CompSet) -> Vec
     // believes(A ∩ B) — check against a second set derived from sat.
     let mut shifted = CompSet::new(universe.len());
     for x in universe.ids() {
-        if universe.get(x).len() % 2 == 0 {
+        if universe.get(x).len().is_multiple_of(2) {
             shifted.insert(x.index());
         }
     }

@@ -359,4 +359,74 @@ mod tests {
             prop_assert_eq!(u.count() + i.count(), a.count() + b.count());
         }
     }
+
+    #[test]
+    fn zero_capacity_set_is_coherent() {
+        let mut s = CompSet::new(0);
+        assert_eq!(s.capacity(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().next(), None);
+        assert_eq!(s.first(), None);
+        // the empty universe's full set is still empty
+        let f = CompSet::full(0);
+        assert_eq!(f.count(), 0);
+        assert!(s.is_subset(&f) && f.is_subset(&s));
+        s.complement();
+        assert!(s.is_empty(), "complement over an empty universe is empty");
+    }
+
+    #[test]
+    fn full_universe_edges_at_word_boundaries() {
+        for len in [1, 63, 64, 65, 127, 128, 129] {
+            let f = CompSet::full(len);
+            assert_eq!(f.count(), len, "full({len})");
+            assert!(f.contains(len - 1));
+            assert_eq!(f.iter().collect::<Vec<_>>(), (0..len).collect::<Vec<_>>());
+            let mut c = f.clone();
+            c.complement();
+            assert!(c.is_empty(), "complement of full({len}) must be empty");
+            c.complement();
+            assert_eq!(c, f, "double complement is the identity at {len}");
+        }
+    }
+
+    #[test]
+    fn singleton_operations() {
+        let mut s = CompSet::new(130);
+        s.insert(129); // last index, straddling the final partial word
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.first(), Some(129));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+        assert!(s.intersects(&CompSet::full(130)));
+        assert!(!s.intersects(&CompSet::new(130)));
+        assert!(s.is_subset(&CompSet::full(130)));
+        assert!(!CompSet::full(130).is_subset(&s));
+        // removing the only element restores the empty set exactly
+        let mut t = s.clone();
+        t.remove(129);
+        assert_eq!(t, CompSet::new(130));
+        // duplicate insert is idempotent
+        s.insert(129);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn difference_and_intersection_with_disjoint_sets() {
+        let mut evens = CompSet::new(64);
+        let mut odds = CompSet::new(64);
+        for i in 0..64 {
+            if i % 2 == 0 { evens.insert(i); } else { odds.insert(i); }
+        }
+        assert!(!evens.intersects(&odds));
+        let mut u = evens.clone();
+        u.union_with(&odds);
+        assert_eq!(u, CompSet::full(64));
+        let mut d = u.clone();
+        d.difference_with(&odds);
+        assert_eq!(d, evens);
+        let mut i = evens.clone();
+        i.intersect_with(&odds);
+        assert!(i.is_empty());
+    }
 }

@@ -172,8 +172,8 @@ impl<'u> Evaluator<'u> {
                 let comp = self.components().to_vec();
                 // component satisfies iff all its members satisfy g
                 let mut comp_ok: HashMap<u32, bool> = HashMap::new();
-                for i in 0..n {
-                    let entry = comp_ok.entry(comp[i]).or_insert(true);
+                for (i, &component) in comp.iter().enumerate().take(n) {
+                    let entry = comp_ok.entry(component).or_insert(true);
                     *entry &= sg.contains(i);
                 }
                 let mut s = CompSet::new(n);

@@ -40,8 +40,11 @@ impl AtomId {
 /// assert_eq!(interp.name(quiet), "quiet");
 /// ```
 pub struct Interpretation {
-    atoms: Vec<(String, Box<dyn Fn(&Computation) -> bool>)>,
+    atoms: Vec<(String, AtomPredicate)>,
 }
+
+/// A boxed atomic predicate over computations.
+type AtomPredicate = Box<dyn Fn(&Computation) -> bool>;
 
 impl Interpretation {
     /// Creates an empty registry.
@@ -338,7 +341,7 @@ mod tests {
     fn interpretation_registry() {
         let mut interp = Interpretation::new();
         assert!(interp.is_empty());
-        let a = interp.register("a", |c| c.len() > 0);
+        let a = interp.register("a", |c| !c.is_empty());
         let b = interp.register("b", |_| true);
         assert_eq!(interp.len(), 2);
         assert_eq!(interp.name(a), "a");

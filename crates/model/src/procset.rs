@@ -391,4 +391,60 @@ mod tests {
             prop_assert_eq!(a.is_subset(b), a.union(b) == b);
         }
     }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        let e = ProcessSet::EMPTY;
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.iter().next(), None);
+        assert_eq!(e.bits(), 0);
+        assert!(e.is_subset(e) && e.is_superset(e) && e.is_disjoint(e));
+        let d = ProcessSet::full(5);
+        assert_eq!(e.union(d), d);
+        assert_eq!(e.intersection(d), e);
+        assert_eq!(e.difference(d), e);
+        assert_eq!(e.complement(d), d);
+        assert!(e.is_subset(d));
+        assert!(!e.contains(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn full_universe_edge_cases() {
+        let d = ProcessSet::full(ProcessSet::CAPACITY);
+        assert_eq!(d.len(), ProcessSet::CAPACITY);
+        assert_eq!(d.bits(), u128::MAX);
+        assert_eq!(d.complement(d), ProcessSet::EMPTY);
+        assert_eq!(d.union(d), d);
+        assert_eq!(d.intersection(d), d);
+        assert!(d.contains(ProcessId::new(ProcessSet::CAPACITY - 1)));
+        assert_eq!(
+            d.iter().count(),
+            ProcessSet::CAPACITY,
+            "iteration must cover the widest universe"
+        );
+        // a smaller universe's full set is a strict subset
+        let small = ProcessSet::full(3);
+        assert!(small.is_subset(d) && !d.is_subset(small));
+    }
+
+    #[test]
+    fn singleton_edge_cases() {
+        let last = ProcessId::new(ProcessSet::CAPACITY - 1);
+        let s = ProcessSet::singleton(last);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![last]);
+        assert_eq!(s.bits(), 1u128 << 127);
+        assert!(s.contains(last));
+        assert!(!s.contains(ProcessId::new(0)));
+        // insert is idempotent, remove of a non-member is a no-op
+        let mut t = s;
+        assert!(!t.insert(last), "re-inserting a member reports no change");
+        assert_eq!(t, s);
+        assert!(!t.remove(ProcessId::new(0)), "removing a non-member is a no-op");
+        assert!(t.remove(last));
+        assert!(t.is_empty());
+        // singleton round-trips through from_indices and from_bits
+        assert_eq!(ProcessSet::from_indices([127]), s);
+        assert_eq!(ProcessSet::from_bits(s.bits()), s);
+    }
 }

@@ -132,7 +132,7 @@ pub fn verify_impossibility(
     let sure = Formula::sure(observer, atom.clone());
     let sure_sat = eval.sat_set(&sure);
 
-    let crashed_count = pu.find(|c| crashed(c)).len();
+    let crashed_count = pu.find(crashed).len();
     Ok(ImpossibilityReport {
         universe_size: pu.universe().len(),
         crashed_count,
@@ -252,7 +252,8 @@ pub fn sweep_timeouts(
             let monitor = sim
                 .node_as::<Monitor>(ProcessId::new(1))
                 .expect("node 1 is the monitor");
-            let row = match monitor.suspected_at {
+
+            match monitor.suspected_at {
                 Some(t) if t.ticks() < crash_at => SweepRow {
                     timeout,
                     false_positive: true,
@@ -268,8 +269,7 @@ pub fn sweep_timeouts(
                     false_positive: false,
                     detection_latency: None,
                 },
-            };
-            row
+            }
         })
         .collect()
 }

@@ -266,7 +266,7 @@ pub fn verify_cut(trace: &Computation, sim: &Simulation, n: usize) -> bool {
             }
         }
     }
-    if snap_pos.iter().any(|&p| p == usize::MAX) {
+    if snap_pos.contains(&usize::MAX) {
         return false;
     }
     // the cut: events on p strictly before p's SNAP, minus marker traffic
@@ -277,8 +277,7 @@ pub fn verify_cut(trace: &Computation, sim: &Simulation, n: usize) -> bool {
         .map(|(_, e)| e)
         .filter(|e| {
             e.message()
-                .and_then(|m| sim.message_tag(m))
-                .map_or(true, |tag| tag != MARKER)
+                .and_then(|m| sim.message_tag(m)) != Some(MARKER)
         })
         .collect();
     Computation::from_events(n, cut_events).is_ok()

@@ -10,13 +10,47 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`model`] (`hpl-model`) | events, computations, causality, process chains |
+//! | [`model`] (`hpl-model`) | events, computations, causality, process chains, cuts, trace text |
 //! | [`core`] (`hpl-core`) | isomorphism, Theorem 1–6 machinery, knowledge evaluator, protocol enumeration |
 //! | [`sim`] (`hpl-sim`) | deterministic discrete-event simulator with trace capture |
-//! | [`protocols`] (`hpl-protocols`) | token bus, two generals, failure detection, tracking, termination detection, token ring, snapshots |
+//! | [`protocols`] (`hpl-protocols`) | token bus, two generals, failure detection, tracking, termination detection, token ring, snapshots, gossip, election |
 //! | [`runtime`] (`hpl-runtime`) | OS-thread runtime recording live executions |
 //!
+//! (`hpl-bench`, not re-exported here, holds the criterion suites and the
+//! `repro` paper-reproduction binary.)
+//!
 //! Start with the [`prelude`], the `quickstart` example, or DESIGN.md.
+//!
+//! # Example
+//!
+//! Every prelude item is importable and the core pipeline runs end to
+//! end — build a computation, check a chain, decompose per Theorem 1:
+//!
+//! ```
+//! use how_processes_learn::prelude::{
+//!     decompose, enumerate, find_chain, fuse_lemma1, fuse_theorem2, has_chain, CausalClosure,
+//!     Computation, ComputationBuilder, Context, Decomposition, EnumerationLimits, Evaluator,
+//!     Event, EventKind, Formula, Interpretation, IsoIndex, IsomorphismDiagram, LocalView, Node,
+//!     Payload, ProcessId, ProcessSet, ProtoAction, Protocol, ScenarioPool, SimTime, Simulation,
+//!     Universe,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (p, q) = (ProcessId::new(0), ProcessId::new(1));
+//! let mut b = ComputationBuilder::new(2);
+//! let m = b.send(p, q)?;
+//! b.receive(q, m)?;
+//! let z = b.finish();
+//!
+//! let sets = [ProcessSet::singleton(p), ProcessSet::singleton(q)];
+//! assert!(has_chain(&z, 0, &sets));
+//! match decompose(&z.prefix(0), &z, &sets)? {
+//!     Decomposition::Chain(w) => assert!(w.verify(&z, 0, &sets)),
+//!     Decomposition::Path(_) => unreachable!("the send→receive chain exists"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -193,7 +193,7 @@ fn snapshot_cuts_live_in_the_cut_lattice() {
     assert!(lattice.is_consistent(&full));
     assert!(lattice.is_consistent(&Cut::empty(3)));
     let cuts = lattice.enumerate();
-    assert!(cuts.len() >= trace.len() + 1);
+    assert!(cuts.len() > trace.len());
     for pair in cuts.windows(2) {
         assert!(lattice.is_consistent(&pair[0].meet(&pair[1])));
         assert!(lattice.is_consistent(&pair[0].join(&pair[1])));
