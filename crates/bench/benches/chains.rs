@@ -56,5 +56,10 @@ fn bench_decompose(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_causal_closure, bench_find_chain, bench_decompose);
+criterion_group!(
+    benches,
+    bench_causal_closure,
+    bench_find_chain,
+    bench_decompose
+);
 criterion_main!(benches);

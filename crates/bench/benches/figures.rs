@@ -16,10 +16,14 @@ fn fig31_universe() -> Universe {
     let eq2 = pool.internal_with(q, ActionId::new(2));
     let ep2 = pool.internal_with(p, ActionId::new(3));
     let mut u = Universe::new(2);
-    u.insert(pool.compose([ep, eq]).expect("valid")).expect("ok");
-    u.insert(pool.compose([ep, eq2]).expect("valid")).expect("ok");
-    u.insert(pool.compose([eq, ep]).expect("valid")).expect("ok");
-    u.insert(pool.compose([eq, ep2]).expect("valid")).expect("ok");
+    u.insert(pool.compose([ep, eq]).expect("valid"))
+        .expect("ok");
+    u.insert(pool.compose([ep, eq2]).expect("valid"))
+        .expect("ok");
+    u.insert(pool.compose([eq, ep]).expect("valid"))
+        .expect("ok");
+    u.insert(pool.compose([eq, ep2]).expect("valid"))
+        .expect("ok");
     u
 }
 

@@ -35,9 +35,7 @@ fn bench_composed_reachability(c: &mut Criterion) {
     let _ = iso.classes(p2);
     let start = pu.universe().ids().next().expect("nonempty");
     for len in [1usize, 2, 4, 8] {
-        let seq: Vec<ProcessSet> = (0..len)
-            .map(|i| [p0, p1, p2][i % 3])
-            .collect();
+        let seq: Vec<ProcessSet> = (0..len).map(|i| [p0, p1, p2][i % 3]).collect();
         group.bench_with_input(BenchmarkId::new("chain_len", len), &seq, |b, seq| {
             b.iter(|| black_box(iso.reachable(start, seq).count()));
         });

@@ -1,0 +1,76 @@
+//! Benchmarks for the sharded enumeration engine against the sequential
+//! reference: raw exploration throughput, shard scaling, and
+//! canonical-form dedupe on interleaving-dominated universes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpl_bench::InterleavingStress;
+use hpl_core::{enumerate, enumerate_sharded, EnumerationLimits, ShardConfig};
+use std::hint::black_box;
+
+fn limits() -> EnumerationLimits {
+    EnumerationLimits {
+        max_events: 10,
+        max_computations: 2_000_000,
+    }
+}
+
+fn bench_sequential_vs_sharded(c: &mut Criterion) {
+    let stress = InterleavingStress { n: 3, k: 3 };
+    let size = enumerate(&stress, limits())
+        .expect("within budget")
+        .universe()
+        .len();
+
+    let mut group = c.benchmark_group("parallel_enumeration");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(size as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(
+                enumerate(&stress, limits())
+                    .expect("within budget")
+                    .universe()
+                    .len(),
+            )
+        });
+    });
+    for shards in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                let cfg = ShardConfig::with_shards(shards);
+                b.iter(|| {
+                    black_box(
+                        enumerate_sharded(&stress, limits(), &cfg)
+                            .expect("within budget")
+                            .stats
+                            .unique,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dedupe(c: &mut Criterion) {
+    let stress = InterleavingStress { n: 3, k: 3 };
+    let mut group = c.benchmark_group("parallel_enumeration_dedupe");
+    group.sample_size(10);
+    group.bench_function("sharded8_dedupe", |b| {
+        let cfg = ShardConfig::with_shards(8).dedupe();
+        b.iter(|| {
+            black_box(
+                enumerate_sharded(&stress, limits(), &cfg)
+                    .expect("within budget")
+                    .stats
+                    .unique,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_vs_sharded, bench_dedupe);
+criterion_main!(benches);

@@ -9,12 +9,21 @@
 //! where sections are any of:
 //! `figures example axioms local properties theorem1 extension transfer
 //! generals tracking failure termination ablation extras` (default: all).
+//!
+//! Performance-report mode:
+//! `repro --json [--out PATH] [--baseline PATH]` runs the perf scenarios
+//! instead of the paper report and writes a machine-readable
+//! `BENCH_*.json` (schema in DESIGN.md). With `--baseline`, exits
+//! non-zero if any scenario's wall time regressed more than 25 %
+//! (override with `--tolerance FRACTION`).
 
-use hpl_bench::random_computation;
+use hpl_bench::report::{PerfReport, Scenario};
+use hpl_bench::{random_computation, InterleavingStress};
 use hpl_core::isomorphism::properties;
 use hpl_core::{
-    axioms, decompose, extension, fuse_lemma1, fuse_theorem2, local, transfer, Decomposition,
-    Evaluator, Formula, Interpretation, IsoIndex, IsomorphismDiagram, Universe,
+    axioms, decompose, enumerate, extension, fuse_lemma1, fuse_theorem2, local, transfer,
+    Decomposition, EnumerationLimits, Evaluator, Formula, Interpretation, IsoIndex,
+    IsomorphismDiagram, ShardConfig, Universe,
 };
 use hpl_model::{ActionId, ProcessId, ProcessSet, ScenarioPool};
 use hpl_protocols::termination::{run_detector, DetectorKind, WorkloadConfig};
@@ -24,7 +33,30 @@ use hpl_protocols::{failure, token_bus, tracking};
 use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig, SimTime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut out_path = String::from("BENCH_pr2.json");
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => out_path = it.next().ok_or("--out needs a path")?,
+            "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a fraction")?
+                    .parse::<f64>()?;
+            }
+            _ => args.push(a),
+        }
+    }
+    if json {
+        return perf_report(&out_path, baseline.as_deref(), tolerance);
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     println!("=== How Processes Learn (PODC 1985) — reproduction report ===");
@@ -82,6 +114,188 @@ fn section(title: &str) {
     println!("\n--- {title} ---");
 }
 
+/// Wall-clocks `f`, best of `rounds` runs (milliseconds), returning the
+/// last result so the work cannot be optimized away.
+fn time_ms<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..rounds.max(1) {
+        let t = std::time::Instant::now();
+        let v = std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(v);
+    }
+    (best, last.expect("rounds >= 1"))
+}
+
+/// The perf scenarios behind `--json`: enumeration (sequential vs
+/// sharded), dedupe, and sat-set throughput. Writes the report, prints a
+/// summary table, and — given a baseline — fails on wall-time
+/// regressions beyond `tolerance`.
+fn perf_report(
+    out_path: &str,
+    baseline: Option<&str>,
+    tolerance: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use hpl_core::enumerate_sharded;
+
+    let mut report = PerfReport::default();
+    let rounds = 5;
+    let shards = 8;
+    let cfg = ShardConfig::with_shards(shards);
+
+    // -- the enumeration bench: sequential reference engine vs the
+    // sharded engine at 8 shards, on an interleaving-heavy workload
+    // large enough (~110k computations) that per-node costs dominate ---
+    let stress = InterleavingStress { n: 3, k: 4 };
+    let slimits = EnumerationLimits {
+        max_events: 12,
+        max_computations: 2_000_000,
+    };
+    let (seq_ms, seq) = time_ms(rounds, || {
+        enumerate(&stress, slimits).expect("within budget")
+    });
+    let (par_ms, par) = time_ms(rounds, || {
+        enumerate_sharded(&stress, slimits, &cfg).expect("within budget")
+    });
+    assert_eq!(
+        par.universe.universe().len(),
+        seq.universe().len(),
+        "sharded engine must reproduce the sequential universe"
+    );
+    report.push(
+        Scenario::new("enumerate_stress_n3_k4_d12_sharded8", par_ms)
+            .metric("wall_ms_sequential", seq_ms)
+            .metric("speedup_vs_sequential", seq_ms / par_ms)
+            .metric("universe_size", seq.universe().len() as f64)
+            .metric("tasks", par.stats.tasks as f64)
+            .metric("shards", shards as f64),
+    );
+    report.push(
+        Scenario::new("enumerate_stress_n3_k4_d12_sequential", seq_ms)
+            .metric("universe_size", seq.universe().len() as f64),
+    );
+
+    // -- the paper workload (token bus): tiny tree, batched ×100 so the
+    // measurement is stable enough for the regression gate -------------
+    let bus = hpl_protocols::token_bus::TokenBus::new(3);
+    let blimits = EnumerationLimits::depth(14);
+    let batch = 100usize;
+    let (bus_ms, bus_size) = time_ms(rounds, || {
+        let mut size = 0;
+        for _ in 0..batch {
+            size = enumerate(&bus, blimits)
+                .expect("within budget")
+                .universe()
+                .len();
+        }
+        size
+    });
+    report.push(
+        Scenario::new("enumerate_token_bus_d14_x100", bus_ms)
+            .metric("universe_size", bus_size as f64)
+            .metric("batch", batch as f64),
+    );
+
+    // -- dedupe: canonical-form collapse of symmetric interleavings ----
+    let dcfg = ShardConfig::with_shards(shards).dedupe();
+    let (ded_ms, ded) = time_ms(rounds, || {
+        enumerate_sharded(&stress, slimits, &dcfg).expect("within budget")
+    });
+    report.push(
+        Scenario::new("dedupe_stress_n3_k4_d12_sharded8", ded_ms)
+            .metric("explored", ded.stats.explored as f64)
+            .metric("universe_size", ded.stats.unique as f64)
+            .metric("dedupe_ratio", ded.stats.dedupe_ratio()),
+    );
+
+    // -- sat-set throughput: knowledge queries over a 3.4k-computation
+    // universe, with a fresh evaluator per round so both the `[P]`
+    // partitions and the batched set algebra are measured -------------
+    let pu = enumerate_sharded(
+        &InterleavingStress { n: 2, k: 6 },
+        EnumerationLimits {
+            max_events: 12,
+            max_computations: 2_000_000,
+        },
+        &cfg,
+    )
+    .expect("within budget")
+    .universe;
+    let mut interp = Interpretation::new();
+    let busy = Formula::atom(interp.register("busy", |c| c.len() >= 6));
+    let p0_done = Formula::atom(interp.register("p0-done", |c| {
+        c.iter().filter(|e| e.is_on(ProcessId::new(0))).count() == 6
+    }));
+    let formulas: Vec<Formula> = {
+        let mut fs = vec![busy.clone(), p0_done.clone()];
+        for pi in 0..2 {
+            let p = ProcessSet::from_indices([pi]);
+            fs.push(Formula::knows(p, busy.clone()));
+            fs.push(Formula::knows(
+                p,
+                Formula::knows(ProcessSet::from_indices([(pi + 1) % 2]), p0_done.clone()),
+            ));
+            fs.push(Formula::sure(p, p0_done.clone()));
+        }
+        fs.push(Formula::everyone(busy.clone()));
+        fs.push(Formula::common(busy.clone()));
+        fs.push(busy.clone().iff(p0_done.clone()));
+        fs
+    };
+    let eval_rounds = 3usize;
+    let (sat_ms, _) = time_ms(rounds, || {
+        let mut total = 0usize;
+        for _ in 0..eval_rounds {
+            let mut eval = Evaluator::new(pu.universe(), &interp);
+            for f in &formulas {
+                total += eval.sat_set(f).count();
+            }
+        }
+        total
+    });
+    let evaluated = (formulas.len() * eval_rounds) as f64;
+    report.push(
+        Scenario::new("sat_set_stress_n2_k6_d12", sat_ms)
+            .metric("universe_size", pu.universe().len() as f64)
+            .metric("formulas", formulas.len() as f64)
+            .metric("sat_sets_per_s", evaluated / (sat_ms / 1e3)),
+    );
+
+    // -- emit + gate ----------------------------------------------------
+    let json = report.to_json();
+    std::fs::write(out_path, &json)?;
+    println!(
+        "=== perf report ({} scenarios) → {out_path} ===",
+        report.scenarios.len()
+    );
+    for s in &report.scenarios {
+        println!("{:>42}  {:>10.3} ms", s.name, s.wall_ms);
+    }
+    let speedup = report.scenarios[0]
+        .get_metric("speedup_vs_sequential")
+        .unwrap_or(0.0);
+    println!("sharded-vs-sequential speedup: {speedup:.2}×");
+
+    if let Some(path) = baseline {
+        let base = PerfReport::parse_wall_times(&std::fs::read_to_string(path)?);
+        let regs = report.regressions(&base, tolerance);
+        if regs.is_empty() {
+            println!(
+                "baseline {path}: no regression beyond {:.0}%",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("PERF REGRESSIONS vs {path}:");
+            for r in &regs {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
+
 /// Figure 3-1: the isomorphism diagram of four computations over p, q.
 fn figure_3_1() -> Result<(), Box<dyn std::error::Error>> {
     section("Figure 3-1: isomorphism diagram");
@@ -114,7 +328,11 @@ fn figure_3_1() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(d.label(y, w), Some(ProcessSet::EMPTY));
     // the indirect y–w relationship the paper points out: y [p q] w
     let iso = IsoIndex::new(&u);
-    let related = iso.related(y, w, &[ProcessSet::from_indices([0]), ProcessSet::from_indices([1])]);
+    let related = iso.related(
+        y,
+        w,
+        &[ProcessSet::from_indices([0]), ProcessSet::from_indices([1])],
+    );
     println!("indirect y [p q] w: {related}");
     println!("Figure 3-1: REPRODUCED");
     Ok(())
@@ -184,9 +402,7 @@ fn token_bus_example() -> Result<(), Box<dyn std::error::Error>> {
         "universe {} computations; r holds the token in {}; formula holds in {}",
         report.universe_size, report.r_holds_count, report.formula_holds_count
     );
-    println!(
-        "paper: r knows ((q knows ¬token-at-p) ∧ (s knows ¬token-at-t)) whenever r holds"
-    );
+    println!("paper: r knows ((q knows ¬token-at-p) ∧ (s knows ¬token-at-t)) whenever r holds");
     println!(
         "measured: {}",
         if report.verified() {
@@ -359,14 +575,26 @@ fn transfer_theorems() {
     let mut eval = Evaluator::new(pu.universe(), &interp);
 
     let cases: Vec<(&str, Vec<ProcessSet>, Formula)> = vec![
-        ("gain via direct receive", vec![ProcessSet::from_indices([1])], stable.clone()),
-        ("gain via two-hop chain", vec![ProcessSet::from_indices([2])], stable.clone()),
+        (
+            "gain via direct receive",
+            vec![ProcessSet::from_indices([1])],
+            stable.clone(),
+        ),
+        (
+            "gain via two-hop chain",
+            vec![ProcessSet::from_indices([2])],
+            stable.clone(),
+        ),
         (
             "nested gain (p1 knows p2 knows)",
             vec![ProcessSet::from_indices([1]), ProcessSet::from_indices([2])],
             stable.clone(),
         ),
-        ("even-parity gains", vec![ProcessSet::from_indices([1])], parity.clone()),
+        (
+            "even-parity gains",
+            vec![ProcessSet::from_indices([1])],
+            parity.clone(),
+        ),
         (
             "odd-parity gains+losses",
             vec![ProcessSet::from_indices([1])],
@@ -406,7 +634,11 @@ fn transfer_theorems() {
     assert!(!gains.is_empty() && !parity_losses.is_empty());
 
     let l4 = transfer::check_lemma4(&mut eval, ProcessSet::from_indices([1, 2]), &parity);
-    println!("lemma 4 (P={{p1,p2}}): {} checks, passed: {}", l4.checks, l4.passed());
+    println!(
+        "lemma 4 (P={{p1,p2}}): {} checks, passed: {}",
+        l4.checks,
+        l4.passed()
+    );
     assert!(l4.passed(), "{:?}", l4.violations);
     let l4c =
         transfer::check_lemma4_corollaries(&mut eval, ProcessSet::from_indices([1, 2]), &parity);
@@ -494,8 +726,8 @@ fn failure_report() -> Result<(), Box<dyn std::error::Error>> {
 /// The Discussion-section generalizations (§6), as ablations: which
 /// results survive state-based views and belief?
 fn ablation_report() -> Result<(), Box<dyn std::error::Error>> {
-    use hpl_core::views::{check_event_semantics, BoundedMemory, FullHistory, ViewIndex};
     use hpl_core::belief::{check_kd45, find_t_counterexamples, BeliefIndex, Plausibility};
+    use hpl_core::views::{check_event_semantics, BoundedMemory, FullHistory, ViewIndex};
     use hpl_core::CompSet;
 
     section("§6 generalizations: state-based views & belief (ablation)");
@@ -521,11 +753,7 @@ fn ablation_report() -> Result<(), Box<dyn std::error::Error>> {
         fn system_size(&self) -> usize {
             2
         }
-        fn actions(
-            &self,
-            p: ProcessId,
-            view: &hpl_core::LocalView,
-        ) -> Vec<hpl_core::ProtoAction> {
+        fn actions(&self, p: ProcessId, view: &hpl_core::LocalView) -> Vec<hpl_core::ProtoAction> {
             match p.index() {
                 0 if view.is_empty() => vec![
                     hpl_core::ProtoAction::Internal {
@@ -605,8 +833,9 @@ fn ablation_report() -> Result<(), Box<dyn std::error::Error>> {
 fn extras_report() {
     use hpl_protocols::election::{leadership_chains_ok, run_election};
     use hpl_protocols::snapshot::run_money_snapshot;
-    use hpl_protocols::token_ring::{chain_between_critical_sections, mutual_exclusion_holds,
-                                    run_ring};
+    use hpl_protocols::token_ring::{
+        chain_between_critical_sections, mutual_exclusion_holds, run_ring,
+    };
 
     section("extension systems validated by the calculus");
 

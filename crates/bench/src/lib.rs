@@ -6,11 +6,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hpl_core::{enumerate, EnumerationLimits, ProtocolUniverse};
-use hpl_model::{Computation, ComputationBuilder, MessageId, ProcessId};
+use hpl_core::{enumerate, EnumerationLimits, LocalView, ProtoAction, Protocol, ProtocolUniverse};
+use hpl_model::{ActionId, Computation, ComputationBuilder, MessageId, ProcessId};
 use hpl_protocols::token_bus::TokenBus;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+pub mod report;
 
 /// A reproducible random computation over `n` processes with `steps`
 /// events (mixed sends/receives/internal).
@@ -50,6 +52,35 @@ pub fn random_computation(n: usize, steps: usize, seed: u64) -> Computation {
 #[must_use]
 pub fn token_bus_universe(n: usize, depth: usize) -> ProtocolUniverse {
     enumerate(&TokenBus::new(n), EnumerationLimits::depth(depth)).expect("within budget")
+}
+
+/// A symmetric interleaving-stress protocol: `n` processes each take up
+/// to `k` independent internal steps, so the universe is dominated by
+/// permutations of the same partial order. This is the worst case for
+/// plain enumeration and the best case for canonical-form dedupe, which
+/// collapses it from exponential to polynomial.
+#[derive(Clone, Copy, Debug)]
+pub struct InterleavingStress {
+    /// Number of processes.
+    pub n: usize,
+    /// Internal steps per process.
+    pub k: usize,
+}
+
+impl Protocol for InterleavingStress {
+    fn system_size(&self) -> usize {
+        self.n
+    }
+
+    fn actions(&self, _p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+        if view.len() < self.k {
+            vec![ProtoAction::Internal {
+                action: ActionId::new(view.len() as u32),
+            }]
+        } else {
+            vec![]
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,242 @@
+//! The machine-readable performance report (`BENCH_*.json`).
+//!
+//! The `repro` binary's `--json` mode emits a [`PerfReport`]: one record
+//! per scenario with a primary wall-time metric and a bag of secondary
+//! metrics (universe size, dedupe ratio, sat-set throughput, speedups).
+//! CI uploads the file as an artifact and gates merges by comparing the
+//! primary metric against a checked-in baseline with
+//! [`PerfReport::regressions`].
+//!
+//! The format is deliberately dependency-free (hand-written JSON, a
+//! minimal scanner for the baseline) because the workspace builds
+//! offline; the schema is documented in DESIGN.md.
+
+use std::fmt::Write as _;
+
+/// One measured scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Stable scenario identifier (the regression-gate join key).
+    pub name: String,
+    /// Primary metric: wall time in milliseconds. This is what the CI
+    /// gate compares against the baseline.
+    pub wall_ms: f64,
+    /// Secondary metrics, reported for trend analysis but not gated.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Scenario {
+    /// Creates a scenario with no secondary metrics.
+    #[must_use]
+    pub fn new(name: &str, wall_ms: f64) -> Self {
+        Scenario {
+            name: name.to_owned(),
+            wall_ms,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds a secondary metric.
+    #[must_use]
+    pub fn metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.push((key.to_owned(), value));
+        self
+    }
+
+    /// Looks up a secondary metric.
+    #[must_use]
+    pub fn get_metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// The complete report: schema tag plus scenarios.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfReport {
+    /// Measured scenarios, in run order.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "hpl-bench-report/v1";
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // shortest round-trip representation keeps diffs small
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl PerfReport {
+    /// Appends a scenario.
+    pub fn push(&mut self, s: Scenario) {
+        self.scenarios.push(s);
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": \"{}\",", escape(&s.name));
+            out.push_str("      \"wall_ms\": ");
+            write_f64(&mut out, s.wall_ms);
+            if s.metrics.is_empty() {
+                out.push('\n');
+            } else {
+                out.push_str(",\n      \"metrics\": {\n");
+                for (j, (k, v)) in s.metrics.iter().enumerate() {
+                    let _ = write!(out, "        \"{}\": ", escape(k));
+                    write_f64(&mut out, *v);
+                    out.push_str(if j + 1 < s.metrics.len() { ",\n" } else { "\n" });
+                }
+                out.push_str("      }\n");
+            }
+            out.push_str(if i + 1 < self.scenarios.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extracts `(name, wall_ms)` pairs from a report previously written
+    /// by [`PerfReport::to_json`] — the minimal parse the regression gate
+    /// needs. Scenarios whose wall time fails to parse are skipped.
+    #[must_use]
+    pub fn parse_wall_times(json: &str) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let mut rest = json;
+        while let Some(i) = rest.find("\"name\":") {
+            rest = &rest[i + "\"name\":".len()..];
+            let Some(open) = rest.find('"') else { break };
+            rest = &rest[open + 1..];
+            let Some(close) = rest.find('"') else { break };
+            let name = rest[..close].to_owned();
+            rest = &rest[close + 1..];
+            let Some(w) = rest.find("\"wall_ms\":") else {
+                break;
+            };
+            rest = &rest[w + "\"wall_ms\":".len()..];
+            let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+            if let Ok(v) = rest[..end].trim().parse::<f64>() {
+                out.push((name, v));
+            }
+            rest = &rest[end..];
+        }
+        out
+    }
+
+    /// Compares this report against a baseline (as parsed by
+    /// [`PerfReport::parse_wall_times`]); returns one human-readable line
+    /// per scenario whose wall time regressed beyond `tolerance`
+    /// (`0.25` = 25 % slower than baseline). Scenarios absent from the
+    /// baseline are new and never regressions.
+    #[must_use]
+    pub fn regressions(&self, baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.scenarios {
+            let Some((_, base)) = baseline.iter().find(|(n, _)| *n == s.name) else {
+                continue;
+            };
+            if *base > 0.0 && s.wall_ms > base * (1.0 + tolerance) {
+                out.push(format!(
+                    "{}: {:.3} ms vs baseline {:.3} ms (+{:.0}% > +{:.0}% allowed)",
+                    s.name,
+                    s.wall_ms,
+                    base,
+                    (s.wall_ms / base - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        let mut r = PerfReport::default();
+        r.push(
+            Scenario::new("enumerate_x", 12.5)
+                .metric("universe_size", 1000.0)
+                .metric("speedup", 2.25),
+        );
+        r.push(Scenario::new("sat_set_y", 3.0));
+        r
+    }
+
+    #[test]
+    fn json_round_trips_wall_times() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.contains(SCHEMA));
+        let parsed = PerfReport::parse_wall_times(&json);
+        assert_eq!(
+            parsed,
+            vec![
+                ("enumerate_x".to_owned(), 12.5),
+                ("sat_set_y".to_owned(), 3.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn metrics_are_rendered_and_queryable() {
+        let r = sample();
+        assert!(r.to_json().contains("\"universe_size\": 1000"));
+        assert_eq!(r.scenarios[0].get_metric("speedup"), Some(2.25));
+        assert_eq!(r.scenarios[0].get_metric("missing"), None);
+    }
+
+    #[test]
+    fn regression_gate_thresholds() {
+        let baseline = PerfReport::parse_wall_times(&sample().to_json());
+        // within tolerance: +20% on a 25% gate
+        let mut ok = sample();
+        ok.scenarios[0].wall_ms = 15.0;
+        assert!(ok.regressions(&baseline, 0.25).is_empty());
+        // beyond tolerance: +60%
+        let mut bad = sample();
+        bad.scenarios[1].wall_ms = 4.8;
+        let regs = bad.regressions(&baseline, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].starts_with("sat_set_y"));
+        // a brand-new scenario is not a regression
+        let mut extra = sample();
+        extra.push(Scenario::new("new_one", 99.0));
+        assert!(extra.regressions(&baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn escaping_and_non_finite_values() {
+        let mut r = PerfReport::default();
+        r.push(Scenario::new("weird \"name\"\\", f64::NAN).metric("inf", f64::INFINITY));
+        let json = r.to_json();
+        assert!(json.contains("weird \\\"name\\\"\\\\"));
+        assert!(json.contains("\"wall_ms\": null"));
+        assert!(json.contains("\"inf\": null"));
+    }
+}

@@ -72,12 +72,7 @@ impl AxiomReport {
 
 /// Checks that two formulas have the same satisfaction set; returns the
 /// first differing computation.
-fn equal_sets(
-    eval: &mut Evaluator<'_>,
-    name: &str,
-    lhs: &Formula,
-    rhs: &Formula,
-) -> FactResult {
+fn equal_sets(eval: &mut Evaluator<'_>, name: &str, lhs: &Formula, rhs: &Formula) -> FactResult {
     let a = eval.sat_set(lhs);
     let b = eval.sat_set(rhs);
     let n = eval.universe().len();
@@ -96,12 +91,7 @@ fn equal_sets(
 }
 
 /// Checks `lhs ⇒ rhs` setwise.
-fn implies_sets(
-    eval: &mut Evaluator<'_>,
-    name: &str,
-    lhs: &Formula,
-    rhs: &Formula,
-) -> FactResult {
+fn implies_sets(eval: &mut Evaluator<'_>, name: &str, lhs: &Formula, rhs: &Formula) -> FactResult {
     let a = eval.sat_set(lhs);
     let b = eval.sat_set(rhs);
     let n = eval.universe().len();
@@ -143,13 +133,9 @@ pub fn check_knowledge_facts(
                 for class in 0..classes.class_count() {
                     checks += 1;
                     let mset = classes.member_set(class);
-                    let inside = mset
-                        .iter()
-                        .filter(|&i| sat.contains(i))
-                        .count();
+                    let inside = mset.iter().filter(|&i| sat.contains(i)).count();
                     if inside != 0 && inside != mset.count() {
-                        counterexample =
-                            Some(format!("K{p} not class-invariant on class {class}"));
+                        counterexample = Some(format!("K{p} not class-invariant on class {class}"));
                         break;
                     }
                 }
@@ -161,9 +147,12 @@ pub fn check_knowledge_facts(
             }
 
             // Fact 4: (P knows b) ⇒ b.
-            report
-                .facts
-                .push(implies_sets(eval, &format!("K4: knowledge implies truth [P={p}]"), &kb, b));
+            report.facts.push(implies_sets(
+                eval,
+                &format!("K4: knowledge implies truth [P={p}]"),
+                &kb,
+                b,
+            ));
 
             // Fact 5: (P knows b) ∨ ¬(P knows b) — totality.
             report.facts.push(equal_sets(

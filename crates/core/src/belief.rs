@@ -76,10 +76,7 @@ impl<'u> BeliefIndex<'u> {
     /// Creates the index, pre-computing every computation's rank.
     #[must_use]
     pub fn new(universe: &'u Universe, plausibility: &Plausibility) -> Self {
-        let ranks = universe
-            .iter()
-            .map(|(_, c)| plausibility.rank(c))
-            .collect();
+        let ranks = universe.iter().map(|(_, c)| plausibility.rank(c)).collect();
         BeliefIndex {
             iso: IsoIndex::new(universe),
             ranks,
@@ -244,9 +241,8 @@ mod tests {
             if crashed {
                 return vec![];
             }
-            let sent = view.count_matching(|s| {
-                matches!(s, crate::enumerate::LocalStep::Sent { .. })
-            });
+            let sent =
+                view.count_matching(|s| matches!(s, crate::enumerate::LocalStep::Sent { .. }));
             let mut out = vec![ProtoAction::Internal {
                 action: ActionId::new(CRASH),
             }];

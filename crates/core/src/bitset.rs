@@ -136,6 +136,31 @@ impl CompSet {
         }
     }
 
+    /// In-place symmetric difference (`self ⊕ other`), word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn xor_with(&mut self, other: &CompSet) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns `true` if every index of the capacity universe is set.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// The backing words, least-significant index first — the word-level
+    /// view batch algorithms operate on.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// In-place complement against the capacity universe.
     pub fn complement(&mut self) {
         for w in &mut self.words {
@@ -163,7 +188,10 @@ impl CompSet {
     #[must_use]
     pub fn is_subset(&self, other: &CompSet) -> bool {
         assert_eq!(self.len, other.len, "capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Returns `true` if the sets share a member.
@@ -300,6 +328,29 @@ mod tests {
     }
 
     #[test]
+    fn xor_and_fullness() {
+        let mut a = CompSet::new(130);
+        let mut b = CompSet::new(130);
+        a.insert(1);
+        a.insert(128);
+        b.insert(128);
+        b.insert(2);
+        a.xor_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+        // x ⊕ x = ∅
+        let mut c = CompSet::full(130);
+        c.xor_with(&CompSet::full(130));
+        assert!(c.is_empty());
+        assert!(CompSet::full(65).is_full());
+        assert!(!CompSet::new(65).is_full());
+        assert!(
+            CompSet::new(0).is_full(),
+            "empty universe is trivially full"
+        );
+        assert_eq!(CompSet::new(130).words().len(), 3);
+    }
+
+    #[test]
     fn complement_respects_capacity() {
         let mut s = CompSet::new(67);
         s.insert(0);
@@ -416,7 +467,11 @@ mod tests {
         let mut evens = CompSet::new(64);
         let mut odds = CompSet::new(64);
         for i in 0..64 {
-            if i % 2 == 0 { evens.insert(i); } else { odds.insert(i); }
+            if i % 2 == 0 {
+                evens.insert(i);
+            } else {
+                odds.insert(i);
+            }
         }
         assert!(!evens.intersects(&odds));
         let mut u = evens.clone();

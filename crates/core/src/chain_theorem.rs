@@ -133,8 +133,7 @@ fn step(x: Computation, z: Computation, sets: &[ProcessSet]) -> Decomposition {
         return match p1_positions.first() {
             // some P₁-event in the suffix: the chain ⟨P₁⟩
             Some(_) => Decomposition::Chain(
-                hpl_model::find_chain(&z, prefix_len, &[p1])
-                    .expect("a P1 suffix event exists"),
+                hpl_model::find_chain(&z, prefix_len, &[p1]).expect("a P1 suffix event exists"),
             ),
             // no P₁-event: x [P₁] z directly
             None => Decomposition::Path(IsoPath {
@@ -154,10 +153,7 @@ fn step(x: Computation, z: Computation, sets: &[ProcessSet]) -> Decomposition {
     let mut b_events: Vec<Event> = Vec::new();
     for j in prefix_len..m {
         let row = hb.row(j);
-        let reachable_from_p1 = row
-            .iter()
-            .zip(&p1_mask)
-            .any(|(r, p)| r & p != 0);
+        let reachable_from_p1 = row.iter().zip(&p1_mask).any(|(r, p)| r & p != 0);
         if reachable_from_p1 {
             a_events.push(z.events()[j]);
         } else {
@@ -240,7 +236,10 @@ mod tests {
         let mut b = ComputationBuilder::with_id_offsets(3, 900, 900);
         b.internal(pid(0)).unwrap();
         let w = b.finish();
-        assert_eq!(decompose(&w, &z, &[ps(0)]).unwrap_err(), ModelError::NotAPrefix);
+        assert_eq!(
+            decompose(&w, &z, &[ps(0)]).unwrap_err(),
+            ModelError::NotAPrefix
+        );
     }
 
     #[test]

@@ -200,8 +200,7 @@ mod tests {
     #[test]
     fn dot_output_contains_names_and_labels() {
         let (u, _) = fig31_like();
-        let d = IsomorphismDiagram::build(&u)
-            .with_names(vec!["x", "y", "z", "w"]);
+        let d = IsomorphismDiagram::build(&u).with_names(vec!["x", "y", "z", "w"]);
         let dot = d.to_dot();
         assert!(dot.starts_with("graph isomorphism"));
         for n in ["x", "y", "z", "w"] {

@@ -17,9 +17,7 @@
 
 use crate::error::CoreError;
 use crate::universe::{CompId, Universe};
-use hpl_model::{
-    ActionId, Computation, Event, EventId, EventKind, MessageId, ProcessId,
-};
+use hpl_model::{ActionId, Computation, Event, EventId, EventKind, MessageId, ProcessId};
 use std::collections::HashMap;
 
 /// A spontaneous step a process may take (receives are driven by the
@@ -107,8 +105,14 @@ impl LocalView {
         self.steps.iter().filter(|s| f(s)).count()
     }
 
-    fn push(&mut self, s: LocalStep) {
+    /// Crate-internal step application for enumeration engines.
+    pub(crate) fn push_step(&mut self, s: LocalStep) {
         self.steps.push(s);
+    }
+
+    /// Crate-internal undo for enumeration engines.
+    pub(crate) fn pop_step(&mut self) {
+        self.steps.pop();
     }
 }
 
@@ -172,6 +176,11 @@ pub struct ProtocolUniverse {
 }
 
 impl ProtocolUniverse {
+    /// Crate-internal assembly from an enumeration engine's parts.
+    pub(crate) fn from_parts(universe: Universe, payloads: HashMap<MessageId, u32>) -> Self {
+        ProtocolUniverse { universe, payloads }
+    }
+
     /// The underlying universe.
     #[must_use]
     pub fn universe(&self) -> &Universe {
@@ -184,21 +193,30 @@ impl ProtocolUniverse {
         self.payloads.get(&m).copied()
     }
 
+    /// The full message→payload table, sorted by message id — a canonical
+    /// view used by determinism checks and the perf report.
+    #[must_use]
+    pub fn payload_table(&self) -> Vec<(MessageId, u32)> {
+        let mut t: Vec<(MessageId, u32)> = self.payloads.iter().map(|(&m, &p)| (m, p)).collect();
+        t.sort_unstable();
+        t
+    }
+
     /// Reconstructs process `p`'s protocol-level view of a computation.
     #[must_use]
     pub fn view(&self, c: &Computation, p: ProcessId) -> LocalView {
         let mut v = LocalView::new();
         for e in c.iter().filter(|e| e.is_on(p)) {
             match e.kind() {
-                EventKind::Send { to, message } => v.push(LocalStep::Sent {
+                EventKind::Send { to, message } => v.push_step(LocalStep::Sent {
                     to,
                     payload: self.payloads.get(&message).copied().unwrap_or(0),
                 }),
-                EventKind::Receive { from, message } => v.push(LocalStep::Received {
+                EventKind::Receive { from, message } => v.push_step(LocalStep::Received {
                     from,
                     payload: self.payloads.get(&message).copied().unwrap_or(0),
                 }),
-                EventKind::Internal { action } => v.push(LocalStep::Did { action }),
+                EventKind::Internal { action } => v.push_step(LocalStep::Did { action }),
             }
         }
         v
@@ -221,7 +239,7 @@ impl ProtocolUniverse {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum StepKey {
+pub(crate) enum StepKey {
     Send { to: ProcessId, payload: u32 },
     Recv { send_event: EventId },
     Internal { action: ActionId },
@@ -230,21 +248,16 @@ enum StepKey {
 /// Interns events so that the same logical step along different
 /// interleavings is one distinguished event.
 #[derive(Default)]
-struct EventSpace {
+pub(crate) struct EventSpace {
     table: HashMap<(ProcessId, Option<EventId>, StepKey), EventId>,
-    events: Vec<Event>,
+    pub(crate) events: Vec<Event>,
     send_message: HashMap<EventId, MessageId>,
-    payloads: HashMap<MessageId, u32>,
+    pub(crate) payloads: HashMap<MessageId, u32>,
     next_message: usize,
 }
 
 impl EventSpace {
-    fn intern(
-        &mut self,
-        p: ProcessId,
-        prev: Option<EventId>,
-        key: StepKey,
-    ) -> Event {
+    pub(crate) fn intern(&mut self, p: ProcessId, prev: Option<EventId>, key: StepKey) -> Event {
         if let Some(&id) = self.table.get(&(p, prev, key)) {
             return self.events[id.index()];
         }
@@ -349,7 +362,7 @@ fn dfs<P: Protocol + ?Sized>(
             state.events.push(e);
             let saved_last = state.last_event[pi];
             state.last_event[pi] = Some(e.id());
-            state.views[pi].push(step);
+            state.views[pi].push_step(step);
             if let ProtoAction::Send { to, payload } = a {
                 state.in_flight.push((e.id(), p, to, payload));
             }
@@ -360,7 +373,7 @@ fn dfs<P: Protocol + ?Sized>(
             if matches!(a, ProtoAction::Send { .. }) {
                 state.in_flight.pop();
             }
-            state.views[pi].steps.pop();
+            state.views[pi].pop_step();
             state.last_event[pi] = saved_last;
             state.events.pop();
         }
@@ -373,19 +386,25 @@ fn dfs<P: Protocol + ?Sized>(
         if !protocol.accepts(to, &state.views[ti], from, payload) {
             continue;
         }
-        let e = space.intern(to, state.last_event[ti], StepKey::Recv { send_event: send_eid });
+        let e = space.intern(
+            to,
+            state.last_event[ti],
+            StepKey::Recv {
+                send_event: send_eid,
+            },
+        );
         // apply
         state.events.push(e);
         let saved_last = state.last_event[ti];
         state.last_event[ti] = Some(e.id());
-        state.views[ti].push(LocalStep::Received { from, payload });
+        state.views[ti].push_step(LocalStep::Received { from, payload });
         let removed = state.in_flight.remove(k);
 
         dfs(protocol, limits, space, universe, state)?;
 
         // undo
         state.in_flight.insert(k, removed);
-        state.views[ti].steps.pop();
+        state.views[ti].pop_step();
         state.last_event[ti] = saved_last;
         state.events.pop();
     }
@@ -468,10 +487,13 @@ mod tests {
         );
         let v1 = pu.view_of(full, ProcessId::new(1));
         assert_eq!(v1.len(), 2);
-        assert_eq!(v1.last().unwrap(), LocalStep::Sent {
-            to: ProcessId::new(0),
-            payload: 2
-        });
+        assert_eq!(
+            v1.last().unwrap(),
+            LocalStep::Sent {
+                to: ProcessId::new(0),
+                payload: 2
+            }
+        );
     }
 
     /// Two processes that each may do up to `k` internal steps — pure

@@ -28,7 +28,26 @@ pub struct Evaluator<'u> {
     interp: &'u Interpretation,
     iso: IsoIndex<'u>,
     memo: HashMap<Formula, CompSet>,
-    components: Option<Vec<u32>>,
+    components: Option<Components>,
+}
+
+/// The cached common-knowledge reachability structure: per-computation
+/// component labels plus each component's member set (for word-parallel
+/// satisfaction checks).
+#[derive(Debug)]
+struct Components {
+    labels: Vec<u32>,
+    sets: Vec<CompSet>,
+}
+
+/// A snapshot of the evaluator's memoized state, for diagnostics and
+/// cache-reset regression tests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemoStats {
+    /// Number of formulas with a memoized satisfaction set.
+    pub formulas: usize,
+    /// Whether the common-knowledge component structure is cached.
+    pub components_cached: bool,
 }
 
 impl<'u> Evaluator<'u> {
@@ -134,14 +153,11 @@ impl<'u> Evaluator<'u> {
                 s
             }
             Formula::Iff(a, b) => {
-                let sa = self.sat_set(a);
+                // a ⇔ b is the complement of a ⊕ b, word-parallel
+                let mut s = self.sat_set(a);
                 let sb = self.sat_set(b);
-                let mut s = CompSet::new(n);
-                for i in 0..n {
-                    if sa.contains(i) == sb.contains(i) {
-                        s.insert(i);
-                    }
-                }
+                s.xor_with(&sb);
+                s.complement();
                 s
             }
             Formula::Knows(p, g) => {
@@ -169,17 +185,14 @@ impl<'u> Evaluator<'u> {
             }
             Formula::Common(g) => {
                 let sg = self.sat_set(g);
-                let comp = self.components().to_vec();
-                // component satisfies iff all its members satisfy g
-                let mut comp_ok: HashMap<u32, bool> = HashMap::new();
-                for (i, &component) in comp.iter().enumerate().take(n) {
-                    let entry = comp_ok.entry(component).or_insert(true);
-                    *entry &= sg.contains(i);
-                }
+                // a component satisfies iff all its members satisfy g:
+                // word-parallel subset tests over the cached member sets
                 let mut s = CompSet::new(n);
-                for i in 0..n {
-                    if comp_ok[&comp[i]] {
-                        s.insert(i);
+                self.components();
+                let comps = self.components.as_ref().expect("just initialized");
+                for set in &comps.sets {
+                    if set.is_subset(&sg) {
+                        s.union_with(set);
                     }
                 }
                 s
@@ -218,9 +231,21 @@ impl<'u> Evaluator<'u> {
                 }
             }
             let labels: Vec<u32> = (0..n).map(|i| dsu.find(i) as u32).collect();
-            self.components = Some(labels);
+            // materialize each component's member set once, so Common
+            // evaluations are pure word-level set algebra
+            let mut set_index: HashMap<u32, usize> = HashMap::new();
+            let mut sets: Vec<CompSet> = Vec::new();
+            for (i, &label) in labels.iter().enumerate() {
+                let next = sets.len();
+                let k = *set_index.entry(label).or_insert_with(|| {
+                    sets.push(CompSet::new(n));
+                    next
+                });
+                sets[k].insert(i);
+            }
+            self.components = Some(Components { labels, sets });
         }
-        self.components.as_deref().expect("just initialized")
+        &self.components.as_ref().expect("just initialized").labels
     }
 
     /// Public view of the common-knowledge components (for diagnostics and
@@ -229,10 +254,22 @@ impl<'u> Evaluator<'u> {
         self.components().to_vec()
     }
 
-    /// Clears the formula memo (e.g. between parameter sweeps that reuse
-    /// the evaluator with logically fresh atoms).
+    /// Clears **all** memoized state: the formula→satisfaction-set memo
+    /// *and* the cached common-knowledge component structure (e.g.
+    /// between parameter sweeps that reuse the evaluator with logically
+    /// fresh atoms).
     pub fn clear_memo(&mut self) {
         self.memo.clear();
+        self.components = None;
+    }
+
+    /// Current memoization state, for diagnostics and tests.
+    #[must_use]
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            formulas: self.memo.len(),
+            components_cached: self.components.is_some(),
+        }
     }
 }
 
@@ -420,11 +457,7 @@ mod tests {
         let mut ev = Evaluator::new(&u, &interp);
         let b = Formula::atom(sent);
         let e = Formula::everyone(b.clone());
-        let conj = Formula::And(
-            (0..2)
-                .map(|i| Formula::knows(ps(i), b.clone()))
-                .collect(),
-        );
+        let conj = Formula::And((0..2).map(|i| Formula::knows(ps(i), b.clone())).collect());
         assert_eq!(ev.sat_set(&e), ev.sat_set(&conj));
     }
 
@@ -471,7 +504,8 @@ mod tests {
         // small universe: drop some members (keep a few)
         let mut small = Universe::new(2);
         for seq in sequences.iter().step_by(2) {
-            small.insert(pool.compose(seq.iter().copied()).unwrap())
+            small
+                .insert(pool.compose(seq.iter().copied()).unwrap())
                 .unwrap();
         }
         let mut interp = Interpretation::new();
@@ -508,5 +542,62 @@ mod tests {
         ev.clear_memo();
         let s3 = ev.sat_set(&f);
         assert_eq!(s1, s3);
+    }
+
+    /// Regression test: `clear_memo` must reset *every* memoized
+    /// structure — the sat-set cache and the cached common-knowledge
+    /// components. (It used to leave the component labels in place.)
+    #[test]
+    fn clear_memo_fully_resets_memoized_state() {
+        let (u, _) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        assert_eq!(
+            ev.memo_stats(),
+            MemoStats {
+                formulas: 0,
+                components_cached: false
+            }
+        );
+
+        let ck = Formula::common(Formula::atom(sent));
+        let before = ev.sat_set(&ck);
+        let stats = ev.memo_stats();
+        assert!(stats.formulas > 0, "sat sets must be memoized");
+        assert!(
+            stats.components_cached,
+            "Common must populate the component cache"
+        );
+
+        ev.clear_memo();
+        assert_eq!(
+            ev.memo_stats(),
+            MemoStats {
+                formulas: 0,
+                components_cached: false
+            },
+            "clear_memo must drop the sat-set memo AND the component cache"
+        );
+
+        // recomputation from the cold cache agrees
+        assert_eq!(ev.sat_set(&ck), before);
+        assert!(ev.memo_stats().components_cached);
+    }
+
+    #[test]
+    fn iff_matches_per_element_semantics() {
+        let (u, _) = msg_universe();
+        let mut interp = Interpretation::new();
+        let sent = interp.register("sent", |c| c.sends() > 0);
+        let recv = interp.register("recv", |c| c.receives() > 0);
+        let mut ev = Evaluator::new(&u, &interp);
+        let f = Formula::atom(sent).iff(Formula::atom(recv));
+        let s = ev.sat_set(&f);
+        let sa = ev.sat_set(&Formula::atom(sent));
+        let sb = ev.sat_set(&Formula::atom(recv));
+        for i in 0..u.len() {
+            assert_eq!(s.contains(i), sa.contains(i) == sb.contains(i));
+        }
     }
 }

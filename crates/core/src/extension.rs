@@ -76,18 +76,16 @@ pub fn check_extension_principle(universe: &Universe, check_membership: bool) ->
                 report.checks += 1;
                 match y.extended([e]) {
                     Ok(ye) => {
-                        if check_membership
-                            && ye.len() <= max_len
-                            && universe.id_of(&ye).is_none()
+                        if check_membership && ye.len() <= max_len && universe.id_of(&ye).is_none()
                         {
                             report.violations.push(format!(
                                 "(y;e) = {ye} missing from universe (y={y_id}, e={e})"
                             ));
                         }
                     }
-                    Err(err) => report.violations.push(format!(
-                        "(y;e) invalid for y={y_id}, e={e}: {err}"
-                    )),
+                    Err(err) => report
+                        .violations
+                        .push(format!("(y;e) invalid for y={y_id}, e={e}: {err}")),
                 }
             }
         }
@@ -104,9 +102,9 @@ pub fn check_extension_principle(universe: &Universe, check_membership: bool) ->
                 report.checks += 1;
                 match y.without_event(e.id()) {
                     Ok(_reduced) => {}
-                    Err(err) => report.violations.push(format!(
-                        "(y−e) invalid for y={y_id}, e={e}: {err}"
-                    )),
+                    Err(err) => report
+                        .violations
+                        .push(format!("(y−e) invalid for y={y_id}, e={e}: {err}")),
                 }
             }
         }
@@ -326,10 +324,7 @@ mod tests {
     #[test]
     fn theorem3_holds_on_message_universe() {
         let u = message_universe();
-        let sets = [
-            ProcessSet::singleton(pid(0)),
-            ProcessSet::singleton(pid(1)),
-        ];
+        let sets = [ProcessSet::singleton(pid(0)), ProcessSet::singleton(pid(1))];
         let report = check_theorem3(&u, &sets);
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert!(report.checks > 0);

@@ -300,8 +300,7 @@ impl Formula {
                 if fs.is_empty() {
                     "true".to_owned()
                 } else {
-                    let parts: Vec<String> =
-                        fs.iter().map(|f| f.display_with(interp)).collect();
+                    let parts: Vec<String> = fs.iter().map(|f| f.display_with(interp)).collect();
                     format!("({})", parts.join(" ∧ "))
                 }
             }
@@ -309,21 +308,16 @@ impl Formula {
                 if fs.is_empty() {
                     "false".to_owned()
                 } else {
-                    let parts: Vec<String> =
-                        fs.iter().map(|f| f.display_with(interp)).collect();
+                    let parts: Vec<String> = fs.iter().map(|f| f.display_with(interp)).collect();
                     format!("({})", parts.join(" ∨ "))
                 }
             }
-            Formula::Implies(a, b) => format!(
-                "({} ⇒ {})",
-                a.display_with(interp),
-                b.display_with(interp)
-            ),
-            Formula::Iff(a, b) => format!(
-                "({} ⇔ {})",
-                a.display_with(interp),
-                b.display_with(interp)
-            ),
+            Formula::Implies(a, b) => {
+                format!("({} ⇒ {})", a.display_with(interp), b.display_with(interp))
+            }
+            Formula::Iff(a, b) => {
+                format!("({} ⇔ {})", a.display_with(interp), b.display_with(interp))
+            }
             Formula::Knows(p, f) => format!("K{} {}", p, f.display_with(interp)),
             Formula::Sure(p, f) => format!("Sure{} {}", p, f.display_with(interp)),
             Formula::Everyone(f) => format!("E {}", f.display_with(interp)),
@@ -387,14 +381,8 @@ mod tests {
         assert_eq!(nested, Formula::knows(p, Formula::knows(q, b.clone())));
         assert_eq!(Formula::knows_chain(&[], b.clone()), b.clone());
         assert_eq!(Formula::common(b.clone()).knowledge_depth(), 1);
-        assert_eq!(
-            b.clone().and(Formula::True).knowledge_depth(),
-            0
-        );
-        assert_eq!(
-            Formula::everyone(Formula::sure(p, b)).knowledge_depth(),
-            2
-        );
+        assert_eq!(b.clone().and(Formula::True).knowledge_depth(), 0);
+        assert_eq!(Formula::everyone(Formula::sure(p, b)).knowledge_depth(), 2);
     }
 
     #[test]

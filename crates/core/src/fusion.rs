@@ -232,10 +232,7 @@ mod tests {
     #[test]
     fn lemma1_happy_path() {
         let (fx, ev) = fixture();
-        let (p, q) = (
-            ProcessSet::singleton(pid(0)),
-            ProcessSet::singleton(pid(1)),
-        );
+        let (p, q) = (ProcessSet::singleton(pid(0)), ProcessSet::singleton(pid(1)));
         // y = x + q-event (so x [p] y); z = x + p-event (so x [q] z)
         let y = fx.pool.compose([ev[0], ev[2]]).unwrap();
         let z = fx.pool.compose([ev[0], ev[1]]).unwrap();
@@ -275,32 +272,17 @@ mod tests {
     #[test]
     fn lemma1_rejects_suffix_violations() {
         let (fx, ev) = fixture();
-        let (p, q) = (
-            ProcessSet::singleton(pid(0)),
-            ProcessSet::singleton(pid(1)),
-        );
+        let (p, q) = (ProcessSet::singleton(pid(0)), ProcessSet::singleton(pid(1)));
         // y's suffix contains a P event: x [P] y fails
         let y = fx.pool.compose([ev[0], ev[1]]).unwrap();
         let z = fx.pool.compose([ev[0]]).unwrap();
         let err = fuse_lemma1(&fx.x, &y, &z, p, q).unwrap_err();
-        assert_eq!(
-            err,
-            FusionError::SuffixTouchesSet {
-                which: "y",
-                set: p
-            }
-        );
+        assert_eq!(err, FusionError::SuffixTouchesSet { which: "y", set: p });
         // z's suffix contains a Q event
         let y2 = fx.pool.compose([ev[0]]).unwrap();
         let z2 = fx.pool.compose([ev[0], ev[2]]).unwrap();
         let err2 = fuse_lemma1(&fx.x, &y2, &z2, p, q).unwrap_err();
-        assert_eq!(
-            err2,
-            FusionError::SuffixTouchesSet {
-                which: "z",
-                set: q
-            }
-        );
+        assert_eq!(err2, FusionError::SuffixTouchesSet { which: "z", set: q });
     }
 
     #[test]
@@ -310,10 +292,7 @@ mod tests {
         // y extends x with independent p and q events (no cross chain);
         // z extends x with a q event only.
         let y = fx.pool.compose([ev[0], ev[1], ev[2]]).unwrap();
-        let z = fx
-            .pool
-            .compose([ev[0], ev[2]])
-            .unwrap();
+        let z = fx.pool.compose([ev[0], ev[2]]).unwrap();
         let w = fuse_theorem2(&fx.x, &y, &z, p).unwrap();
         assert!(fx.x.is_prefix_of(&w));
         assert!(y.agrees_on(&w, p));
@@ -397,12 +376,7 @@ mod tests {
 
     /// Random prefix-extension generator for property tests: extends `x`
     /// with `steps` random events, allowing messages.
-    fn random_extension(
-        x: &Computation,
-        steps: usize,
-        seed: u64,
-        id_base: usize,
-    ) -> Computation {
+    fn random_extension(x: &Computation, steps: usize, seed: u64, id_base: usize) -> Computation {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
         let n = x.system_size();

@@ -126,36 +126,29 @@ impl<'u> IsoIndex<'u> {
         let mut key_to_class: HashMap<Vec<u64>, u32> = HashMap::new();
         let mut class_of = vec![0u32; n];
         let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut member_sets: Vec<CompSet> = Vec::new();
 
+        // one pass: reuse the signature buffer across computations and
+        // only allocate a key when a new class is discovered; member
+        // lists and bit-sets are filled as we go.
+        let mut key: Vec<u64> = Vec::new();
         for (id, c) in self.universe.iter() {
-            // signature: per process in P, the projected event-id sequence,
-            // separated by sentinels.
-            let mut key: Vec<u64> = Vec::new();
-            for proc in p.iter() {
-                key.push(u64::MAX); // separator
-                for e in c.iter().filter(|e| e.is_on(proc)) {
-                    key.push(e.id().index() as u64);
+            key.clear();
+            projection_signature_into(&mut key, c.events(), p.iter());
+            let class = match key_to_class.get(&key) {
+                Some(&class) => class,
+                None => {
+                    let class = members.len() as u32;
+                    key_to_class.insert(key.clone(), class);
+                    members.push(Vec::new());
+                    member_sets.push(CompSet::new(n));
+                    class
                 }
-            }
-            let next = members.len() as u32;
-            let class = *key_to_class.entry(key).or_insert_with(|| {
-                members.push(Vec::new());
-                next
-            });
+            };
             class_of[id.index()] = class;
             members[class as usize].push(id.index() as u32);
+            member_sets[class as usize].insert(id.index());
         }
-
-        let member_sets = members
-            .iter()
-            .map(|m| {
-                let mut s = CompSet::new(n);
-                for &i in m {
-                    s.insert(i as usize);
-                }
-                s
-            })
-            .collect();
 
         Classes {
             class_of,
@@ -233,6 +226,28 @@ impl<'u> IsoIndex<'u> {
         self.universe
             .ids()
             .all(|x| self.reachable(x, a).is_subset(&self.reachable(x, b)))
+    }
+}
+
+/// Appends the `[P]`-projection signature of an event sequence to `key`:
+/// per process in `procs`, a `u64::MAX` separator followed by the
+/// projected event-id sequence. Two computations share a signature iff
+/// they are `[P]`-isomorphic — this single definition backs both
+/// [`IsoIndex::classes`] partitioning and the parallel engine's
+/// canonical-form dedupe, which must agree on what "isomorphic" means.
+pub(crate) fn projection_signature_into(
+    key: &mut Vec<u64>,
+    events: &[hpl_model::Event],
+    procs: impl Iterator<Item = hpl_model::ProcessId>,
+) {
+    for proc in procs {
+        key.push(u64::MAX); // separator
+        key.extend(
+            events
+                .iter()
+                .filter(|e| e.is_on(proc))
+                .map(|e| e.id().index() as u64),
+        );
     }
 }
 
@@ -378,11 +393,7 @@ pub mod properties {
     /// Property 8: `Q ⊇ P ⟺ [Q] ⊆ [P]`. The reverse direction needs the
     /// model assumption that every process has an event in some
     /// computation; it is checked only when that holds in the universe.
-    pub fn subset_antitone(
-        iso: &IsoIndex<'_>,
-        p: ProcessSet,
-        q: ProcessSet,
-    ) -> Result<(), String> {
+    pub fn subset_antitone(iso: &IsoIndex<'_>, p: ProcessSet, q: ProcessSet) -> Result<(), String> {
         if q.is_superset(p) && !iso.relation_subset(&[q], &[p]) {
             return Err(format!("Q ⊇ P but [Q] ⊄ [P] for P={p}, Q={q}"));
         }
@@ -394,11 +405,7 @@ pub mod properties {
 
     /// Property 9: `P = Q ⟺ [P] = [Q]` (reverse direction under the same
     /// model assumption as property 8).
-    pub fn extensionality(
-        iso: &IsoIndex<'_>,
-        p: ProcessSet,
-        q: ProcessSet,
-    ) -> Result<(), String> {
+    pub fn extensionality(iso: &IsoIndex<'_>, p: ProcessSet, q: ProcessSet) -> Result<(), String> {
         if p == q && !iso.relations_equal(&[p], &[q]) {
             return Err("equal sets, different relations".to_owned());
         }
@@ -562,12 +569,7 @@ mod tests {
     fn all_ten_properties_hold() {
         let (u, _) = two_indep();
         let iso = IsoIndex::new(&u);
-        let sets = [
-            ProcessSet::EMPTY,
-            ps(0),
-            ps(1),
-            ProcessSet::full(2),
-        ];
+        let sets = [ProcessSet::EMPTY, ps(0), ps(1), ProcessSet::full(2)];
         let violations = properties::check_all(&iso, &sets);
         assert!(violations.is_empty(), "{violations:?}");
         assert!(properties::every_process_acts(&iso));

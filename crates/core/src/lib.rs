@@ -80,6 +80,7 @@ pub mod formula;
 pub mod fusion;
 pub mod isomorphism;
 pub mod local;
+pub mod parallel;
 pub mod parser;
 pub mod transfer;
 pub mod universe;
@@ -92,10 +93,11 @@ pub use enumerate::{
     enumerate, EnumerationLimits, LocalStep, LocalView, ProtoAction, Protocol, ProtocolUniverse,
 };
 pub use error::CoreError;
-pub use eval::Evaluator;
+pub use eval::{Evaluator, MemoStats};
 pub use formula::{AtomId, Formula, Interpretation};
 pub use fusion::{fuse_lemma1, fuse_theorem2, FusionError};
-pub use parser::parse;
 pub use isomorphism::IsoIndex;
+pub use parallel::{enumerate_sharded, EnumerationStats, ShardConfig, ShardedEnumeration};
+pub use parser::parse;
 pub use universe::{CompId, Universe};
 pub use views::{BoundedMemory, EventCounts, FullHistory, ViewAbstraction, ViewIndex};

@@ -203,9 +203,7 @@ pub fn check_common_knowledge_constant(
         });
 
         // The gfp unfolding: C b ≡ b ∧ E (C b).
-        let unfold = b
-            .clone()
-            .and(Formula::everyone(ck.clone()));
+        let unfold = b.clone().and(Formula::everyone(ck.clone()));
         let s1 = eval.sat_set(&ck);
         let s2 = eval.sat_set(&unfold);
         report.facts.push(FactResult {
@@ -363,8 +361,7 @@ mod tests {
         let mut ev = Evaluator::new(pu.universe(), &interp);
         // For the constant True, both p0 and p1 know it everywhere:
         // identical and constant.
-        let r =
-            check_identical_knowledge_constant(&mut ev, ps(0), ps(1), &Formula::True).unwrap();
+        let r = check_identical_knowledge_constant(&mut ev, ps(0), ps(1), &Formula::True).unwrap();
         assert!(r.passed());
         // For parity, knowledge differs (p0 knows, p1 mostly not): None.
         assert!(

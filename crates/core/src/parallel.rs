@@ -1,0 +1,907 @@
+//! Parallel, sharded protocol enumeration.
+//!
+//! [`enumerate_sharded`] produces the same universe as the sequential
+//! reference [`enumerate`](crate::enumerate::enumerate) — byte-identical
+//! [`CompId`](crate::CompId) ordering, event ids and payload table — but
+//! splits the work in three phases:
+//!
+//! 1. **Prefix expansion** (coordinator): the protocol tree is explored
+//!    sequentially down to a split depth, emitting compact pre-order node
+//!    records and one *task* per frontier node.
+//! 2. **Sharded exploration** (workers): tasks are pushed onto a shared
+//!    queue (a `crossbeam` channel; the vendored stand-in's receiver is
+//!    single-consumer, so it sits behind a `parking_lot` mutex) from
+//!    which worker threads pull dynamically — fast subtrees free their
+//!    worker to steal the next pending frontier node. Workers run the
+//!    protocol-side depth-first search only, with per-process action
+//!    caching (a process's enabled-step set is recomputed only when *its*
+//!    view changed), and emit pre-order node records.
+//! 3. **Deterministic merge** (coordinator): records are replayed in the
+//!    exact pre-order the sequential engine would visit, re-interning
+//!    events into one shared event space (the sequential engine's
+//!    interning structure) so the
+//!    output is independent of worker scheduling.
+//!
+//! The merge optionally **dedupes isomorphic computations**: two
+//! computations with the same per-process projections (`x [D] y` — pure
+//! interleavings of one another) collapse onto the first representative
+//! in canonical order, so the universe stops growing with symmetric
+//! permutations. Dedupe changes knowledge semantics (classes lose their
+//! permuted members) and is therefore opt-in; it is sound for queries
+//! whose atoms are permutation-invariant.
+//!
+//! Determinism requires [`Protocol`] implementations to be *pure*:
+//! `actions` and `accepts` must be functions of their arguments only.
+//! The sequential engine already assumes this (it re-asks the protocol
+//! for the same view many times); the sharded engine additionally caches
+//! across tree edges and asks from several threads.
+
+use crate::enumerate::{
+    EnumerationLimits, EventSpace, LocalStep, LocalView, ProtoAction, Protocol, ProtocolUniverse,
+    StepKey,
+};
+use crate::error::CoreError;
+use crate::universe::Universe;
+use crossbeam::channel::{self, Sender};
+use hpl_model::{Computation, Event, EventId, ProcessId};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Sharding configuration for [`enumerate_sharded`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of worker threads. `1` runs the whole pipeline on the
+    /// calling thread (no threads are spawned).
+    pub shards: usize,
+    /// Tree depth at which frontier nodes become worker tasks; `None`
+    /// picks a small default. The output is independent of this knob —
+    /// it only shapes scheduling granularity.
+    pub split_depth: Option<usize>,
+    /// Collapse `[D]`-isomorphic computations (same per-process
+    /// projections) onto one canonical representative. Opt-in: this is a
+    /// quotient of the paper's universe, sound only for
+    /// permutation-invariant queries.
+    pub dedupe: bool,
+}
+
+impl ShardConfig {
+    /// A configuration with `shards` workers and default split depth, no
+    /// dedupe.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            split_depth: None,
+            dedupe: false,
+        }
+    }
+
+    /// Enables canonical-form dedupe.
+    #[must_use]
+    pub fn dedupe(mut self) -> Self {
+        self.dedupe = true;
+        self
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            split_depth: None,
+            dedupe: false,
+        }
+    }
+}
+
+/// Counters describing one sharded enumeration run.
+#[derive(Clone, Copy, Debug)]
+pub struct EnumerationStats {
+    /// Tree nodes explored (computations before dedupe).
+    pub explored: usize,
+    /// Computations kept in the universe (equals `explored` without
+    /// dedupe).
+    pub unique: usize,
+    /// Frontier tasks distributed to workers.
+    pub tasks: usize,
+    /// Worker threads used.
+    pub shards: usize,
+}
+
+impl EnumerationStats {
+    /// Explored-to-kept ratio (`1.0` without dedupe; higher means more
+    /// symmetric permutations collapsed).
+    #[must_use]
+    pub fn dedupe_ratio(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let (e, u) = (self.explored as f64, self.unique.max(1) as f64);
+        e / u
+    }
+}
+
+/// The result of [`enumerate_sharded`]: the universe plus run counters.
+#[derive(Debug)]
+pub struct ShardedEnumeration {
+    /// The enumerated universe (byte-identical to the sequential engine's
+    /// when dedupe is off).
+    pub universe: ProtocolUniverse,
+    /// Exploration counters.
+    pub stats: EnumerationStats,
+}
+
+/// One protocol step, as recorded by the explorers: enough to replay the
+/// edge without consulting the protocol again.
+#[derive(Clone, Copy, Debug)]
+enum StepDesc {
+    /// A spontaneous step by `p`.
+    Spont { p: ProcessId, action: ProtoAction },
+    /// Receipt of the in-flight message at `slot` (index into the
+    /// replayed in-flight queue, which evolves deterministically).
+    Recv { slot: u32 },
+}
+
+/// A pre-order node record: the edge into the node plus its depth
+/// (events in the computation). Depth lets the merge recover the parent
+/// by truncation, so records need no explicit tree structure.
+#[derive(Clone, Copy, Debug)]
+struct NodeRec {
+    depth: u32,
+    desc: StepDesc,
+}
+
+/// Coordinator-side prefix entry: a node of the shallow tree, or a
+/// splice point where a worker task's subtree belongs.
+enum Entry {
+    Node(NodeRec),
+    Task(usize),
+}
+
+/// A frontier subtree for a worker: the step path from the root to the
+/// frontier node (the node itself is recorded by the coordinator).
+#[derive(Debug)]
+struct Task {
+    id: usize,
+    path: Vec<StepDesc>,
+}
+
+/// Shared exploration budget: one global node counter enforcing
+/// `max_computations` across all shards.
+struct Budget {
+    explored: AtomicUsize,
+    max: usize,
+    abort: AtomicBool,
+    first_error: Mutex<Option<CoreError>>,
+}
+
+impl Budget {
+    fn new(max: usize) -> Self {
+        Budget {
+            explored: AtomicUsize::new(0),
+            max,
+            abort: AtomicBool::new(false),
+            first_error: Mutex::new(None),
+        }
+    }
+
+    /// Accounts one node. On budget exhaustion, records the error and
+    /// raises the abort flag so sibling workers stop promptly.
+    fn charge(&self) -> Result<(), ()> {
+        if self.abort.load(Ordering::Relaxed) {
+            return Err(());
+        }
+        if self.explored.fetch_add(1, Ordering::Relaxed) >= self.max {
+            self.fail(CoreError::EnumerationBudgetExceeded {
+                max_computations: self.max,
+            });
+            return Err(());
+        }
+        Ok(())
+    }
+
+    fn fail(&self, e: CoreError) {
+        self.first_error.lock().get_or_insert(e);
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    fn into_error(self) -> Option<CoreError> {
+        self.first_error.into_inner()
+    }
+}
+
+/// Protocol-side depth-first explorer with per-process action caching.
+///
+/// Shared by the coordinator's prefix expansion and the workers' subtree
+/// exploration; neither touches event ids — they only record the shape
+/// of the tree for the deterministic merge.
+struct Explorer<'a, P: ?Sized> {
+    protocol: &'a P,
+    budget: &'a Budget,
+    max_events: usize,
+    views: Vec<LocalView>,
+    // (from, to, payload) — no event ids at this stage
+    in_flight: Vec<(ProcessId, ProcessId, u32)>,
+    // cached enabled steps per process, recomputed only when that
+    // process's view changes
+    actions: Vec<Vec<ProtoAction>>,
+}
+
+impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
+    fn new(protocol: &'a P, max_events: usize, budget: &'a Budget) -> Self {
+        let n = protocol.system_size();
+        let views = vec![LocalView::new(); n];
+        let actions = (0..n)
+            .map(|pi| protocol.actions(ProcessId::new(pi), &views[pi]))
+            .collect();
+        Explorer {
+            protocol,
+            budget,
+            max_events,
+            views,
+            in_flight: Vec::new(),
+            actions,
+        }
+    }
+
+    /// Applies a spontaneous step, returning the displaced action cache
+    /// for the undo.
+    fn apply_spont(&mut self, p: ProcessId, action: ProtoAction) -> Vec<ProtoAction> {
+        let pi = p.index();
+        let step = match action {
+            ProtoAction::Send { to, payload } => {
+                self.in_flight.push((p, to, payload));
+                LocalStep::Sent { to, payload }
+            }
+            ProtoAction::Internal { action } => LocalStep::Did { action },
+        };
+        self.views[pi].push_step(step);
+        std::mem::replace(
+            &mut self.actions[pi],
+            self.protocol.actions(p, &self.views[pi]),
+        )
+    }
+
+    fn undo_spont(&mut self, p: ProcessId, action: ProtoAction, saved: Vec<ProtoAction>) {
+        let pi = p.index();
+        self.actions[pi] = saved;
+        self.views[pi].pop_step();
+        if matches!(action, ProtoAction::Send { .. }) {
+            self.in_flight.pop();
+        }
+    }
+
+    /// Applies the receive at in-flight `slot`, returning the undo data.
+    fn apply_recv(&mut self, slot: usize) -> (Vec<ProtoAction>, (ProcessId, ProcessId, u32)) {
+        let entry = self.in_flight.remove(slot);
+        let (from, to, payload) = entry;
+        let ti = to.index();
+        self.views[ti].push_step(LocalStep::Received { from, payload });
+        let saved = std::mem::replace(
+            &mut self.actions[ti],
+            self.protocol.actions(to, &self.views[ti]),
+        );
+        (saved, entry)
+    }
+
+    fn undo_recv(
+        &mut self,
+        slot: usize,
+        (saved, entry): (Vec<ProtoAction>, (ProcessId, ProcessId, u32)),
+    ) {
+        let ti = entry.1.index();
+        self.actions[ti] = saved;
+        self.views[ti].pop_step();
+        self.in_flight.insert(slot, entry);
+    }
+
+    /// Replays a task path from the root so subtree exploration starts
+    /// from the frontier node's state.
+    fn replay(&mut self, path: &[StepDesc]) {
+        for &desc in path {
+            match desc {
+                StepDesc::Spont { p, action } => {
+                    self.apply_spont(p, action);
+                }
+                StepDesc::Recv { slot } => {
+                    self.apply_recv(slot as usize);
+                }
+            }
+        }
+    }
+
+    /// Coordinator phase: expand to `split` depth, emitting prefix
+    /// entries and frontier tasks. `path` carries the steps from the
+    /// root to the current node.
+    fn explore_prefix(
+        &mut self,
+        depth: usize,
+        split: usize,
+        path: &mut Vec<StepDesc>,
+        entries: &mut Vec<Entry>,
+        tasks: &mut Vec<Task>,
+    ) -> Result<(), ()> {
+        if depth >= self.max_events {
+            return Ok(());
+        }
+        if depth == split {
+            let id = tasks.len();
+            tasks.push(Task {
+                id,
+                path: path.clone(),
+            });
+            entries.push(Entry::Task(id));
+            return Ok(());
+        }
+        self.for_each_child(
+            |ex, desc, entries| {
+                ex.budget.charge()?;
+                entries.push(Entry::Node(NodeRec {
+                    depth: (depth + 1) as u32,
+                    desc,
+                }));
+                path.push(desc);
+                let r = ex.explore_prefix(depth + 1, split, path, entries, tasks);
+                path.pop();
+                r
+            },
+            entries,
+        )
+    }
+
+    /// Worker phase: exhaustively expand the subtree below the current
+    /// node, emitting pre-order records at absolute depths.
+    fn explore_subtree(&mut self, depth: usize, out: &mut Vec<NodeRec>) -> Result<(), ()> {
+        if depth >= self.max_events {
+            return Ok(());
+        }
+        self.for_each_child(
+            |ex, desc, out| {
+                ex.budget.charge()?;
+                out.push(NodeRec {
+                    depth: (depth + 1) as u32,
+                    desc,
+                });
+                ex.explore_subtree(depth + 1, out)
+            },
+            out,
+        )
+    }
+
+    /// Enumerates the children of the current node in the sequential
+    /// engine's order — spontaneous steps by process, then receives by
+    /// in-flight slot — applying/undoing state around each visit.
+    fn for_each_child<T>(
+        &mut self,
+        mut visit: impl FnMut(&mut Self, StepDesc, &mut T) -> Result<(), ()>,
+        sink: &mut T,
+    ) -> Result<(), ()> {
+        for pi in 0..self.protocol.system_size() {
+            let p = ProcessId::new(pi);
+            // take the cached list out of its slot (leaving an empty vec)
+            // so apply/undo can swap the slot while we iterate, without
+            // cloning the list at every node
+            let acts = std::mem::take(&mut self.actions[pi]);
+            for &action in &acts {
+                let desc = StepDesc::Spont { p, action };
+                let saved = self.apply_spont(p, action);
+                let r = visit(self, desc, sink);
+                self.undo_spont(p, action, saved);
+                if r.is_err() {
+                    self.actions[pi] = acts;
+                    return Err(());
+                }
+            }
+            self.actions[pi] = acts;
+        }
+        let mut slot = 0;
+        while slot < self.in_flight.len() {
+            let (from, to, payload) = self.in_flight[slot];
+            if self
+                .protocol
+                .accepts(to, &self.views[to.index()], from, payload)
+            {
+                let desc = StepDesc::Recv { slot: slot as u32 };
+                let undo = self.apply_recv(slot);
+                let r = visit(self, desc, sink);
+                self.undo_recv(slot, undo);
+                r?;
+            }
+            slot += 1;
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic merge: replays node records in sequential pre-order,
+/// interning events exactly as the sequential engine would, and builds
+/// the universe through the trusted fast path (tree nodes are unique and
+/// valid by construction).
+struct Merger {
+    space: EventSpace,
+    universe: Universe,
+    events: Vec<Event>,
+    last_event: Vec<Option<EventId>>,
+    // (send event, from, to, payload)
+    in_flight: Vec<(EventId, ProcessId, ProcessId, u32)>,
+    undo: Vec<UndoRec>,
+    system_size: usize,
+    // canonical per-process projection signatures already represented
+    seen: Option<HashSet<Vec<u64>>>,
+}
+
+enum UndoRec {
+    Spont {
+        p: ProcessId,
+        saved_last: Option<EventId>,
+        was_send: bool,
+    },
+    Recv {
+        p: ProcessId,
+        saved_last: Option<EventId>,
+        slot: u32,
+        entry: (EventId, ProcessId, ProcessId, u32),
+    },
+}
+
+impl Merger {
+    fn new(system_size: usize, dedupe: bool) -> Self {
+        Merger {
+            space: EventSpace::default(),
+            universe: Universe::new(system_size),
+            events: Vec::new(),
+            last_event: vec![None; system_size],
+            in_flight: Vec::new(),
+            undo: Vec::new(),
+            system_size,
+            seen: dedupe.then(HashSet::new),
+        }
+    }
+
+    /// Rewinds the replay state to `depth` events.
+    fn truncate_to(&mut self, depth: usize) {
+        while self.events.len() > depth {
+            self.events.pop();
+            match self.undo.pop().expect("undo stack tracks events") {
+                UndoRec::Spont {
+                    p,
+                    saved_last,
+                    was_send,
+                } => {
+                    self.last_event[p.index()] = saved_last;
+                    if was_send {
+                        self.in_flight.pop();
+                    }
+                }
+                UndoRec::Recv {
+                    p,
+                    saved_last,
+                    slot,
+                    entry,
+                } => {
+                    self.last_event[p.index()] = saved_last;
+                    self.in_flight.insert(slot as usize, entry);
+                }
+            }
+        }
+    }
+
+    /// Applies one node record and inserts the resulting computation.
+    fn apply(&mut self, rec: NodeRec) {
+        self.truncate_to(rec.depth as usize - 1);
+        match rec.desc {
+            StepDesc::Spont { p, action } => {
+                let pi = p.index();
+                let key = match action {
+                    ProtoAction::Send { to, payload } => StepKey::Send { to, payload },
+                    ProtoAction::Internal { action } => StepKey::Internal { action },
+                };
+                let e = self.space.intern(p, self.last_event[pi], key);
+                self.undo.push(UndoRec::Spont {
+                    p,
+                    saved_last: self.last_event[pi],
+                    was_send: matches!(action, ProtoAction::Send { .. }),
+                });
+                self.last_event[pi] = Some(e.id());
+                self.events.push(e);
+                if let ProtoAction::Send { to, payload } = action {
+                    self.in_flight.push((e.id(), p, to, payload));
+                }
+            }
+            StepDesc::Recv { slot } => {
+                let entry = self.in_flight[slot as usize];
+                let (send_event, _from, to, _payload) = entry;
+                let ti = to.index();
+                let e = self
+                    .space
+                    .intern(to, self.last_event[ti], StepKey::Recv { send_event });
+                self.undo.push(UndoRec::Recv {
+                    p: to,
+                    saved_last: self.last_event[ti],
+                    slot,
+                    entry,
+                });
+                self.last_event[ti] = Some(e.id());
+                self.events.push(e);
+                self.in_flight.remove(slot as usize);
+            }
+        }
+        self.insert_current();
+    }
+
+    /// Inserts the computation at the replay head, unless dedupe finds
+    /// an isomorphic member already present.
+    fn insert_current(&mut self) {
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert(canonical_signature(self.system_size, &self.events)) {
+                return;
+            }
+        }
+        let c = Computation::from_events_trusted(self.system_size, self.events.clone());
+        self.universe.insert_trusted(c);
+    }
+
+    fn finish(mut self) -> ProtocolUniverse {
+        let EventSpace {
+            events, payloads, ..
+        } = self.space;
+        self.universe.register_events(events);
+        ProtocolUniverse::from_parts(self.universe, payloads)
+    }
+}
+
+/// The canonical form under `[D]`: the per-process projection signature
+/// shared with [`IsoIndex`](crate::IsoIndex) partitioning (one
+/// definition, so dedupe classes and evaluator classes cannot drift).
+/// Two computations share this signature iff they are permutations of
+/// one another that every process sees identically.
+fn canonical_signature(system_size: usize, events: &[Event]) -> Vec<u64> {
+    let mut sig: Vec<u64> = Vec::with_capacity(events.len() + system_size);
+    crate::isomorphism::projection_signature_into(
+        &mut sig,
+        events,
+        (0..system_size).map(ProcessId::new),
+    );
+    sig
+}
+
+fn worker_loop<P: Protocol + ?Sized>(
+    protocol: &P,
+    max_events: usize,
+    budget: &Budget,
+    queue: &Mutex<channel::Receiver<Task>>,
+    results: &Sender<(usize, Vec<NodeRec>)>,
+) {
+    loop {
+        let Some(task) = queue.lock().try_recv() else {
+            return;
+        };
+        let mut ex = Explorer::new(protocol, max_events, budget);
+        ex.replay(&task.path);
+        let mut out = Vec::new();
+        if ex.explore_subtree(task.path.len(), &mut out).is_err() {
+            return; // budget exhausted or sibling failure; error is recorded
+        }
+        // the coordinator outlives the workers; a send failure means the
+        // run is being torn down
+        let _ = results.send((task.id, out));
+    }
+}
+
+/// Enumerates every system computation of `protocol` (depth-bounded, like
+/// [`enumerate`](crate::enumerate::enumerate)) using `config.shards`
+/// worker threads and a deterministic merge.
+///
+/// Without dedupe the result is byte-identical to the sequential engine
+/// for every shard count: same computations, same `CompId` order, same
+/// event ids, same payload table.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EnumerationBudgetExceeded`] if the tree exceeds
+/// `limits.max_computations` nodes (counted before dedupe).
+pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
+    protocol: &P,
+    limits: EnumerationLimits,
+    config: &ShardConfig,
+) -> Result<ShardedEnumeration, CoreError> {
+    let shards = config.shards.max(1);
+    // Default split: deep enough to produce many more tasks than shards
+    // on branchy protocols, shallow enough that the prefix phase stays
+    // negligible.
+    let split = config.split_depth.unwrap_or(3).min(limits.max_events);
+    let budget = Budget::new(limits.max_computations);
+
+    // Phase 1: prefix expansion.
+    let mut entries = Vec::new();
+    let mut tasks = Vec::new();
+    let outcome = {
+        let mut ex = Explorer::new(protocol, limits.max_events, &budget);
+        budget
+            .charge()
+            .and_then(|()| ex.explore_prefix(0, split, &mut Vec::new(), &mut entries, &mut tasks))
+    };
+    let task_count = tasks.len();
+    let mut results: Vec<Option<Vec<NodeRec>>> = Vec::new();
+
+    // Phase 2: sharded subtree exploration.
+    if outcome.is_ok() && !tasks.is_empty() {
+        results.resize_with(task_count, || None);
+        let (task_tx, task_rx) = channel::unbounded();
+        for t in tasks {
+            task_tx.send(t).expect("receiver alive");
+        }
+        drop(task_tx);
+        // the vendored crossbeam stand-in wraps std::sync::mpsc, whose
+        // receiver is single-consumer — the mutex is what makes the
+        // queue multi-consumer (real crossbeam receivers are MPMC and
+        // would not need it)
+        let queue = Mutex::new(task_rx);
+        let (res_tx, res_rx) = channel::unbounded();
+        if shards == 1 {
+            worker_loop(protocol, limits.max_events, &budget, &queue, &res_tx);
+            drop(res_tx);
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..shards {
+                    let res_tx = res_tx.clone();
+                    let (queue, budget) = (&queue, &budget);
+                    s.spawn(move || {
+                        worker_loop(protocol, limits.max_events, budget, queue, &res_tx);
+                    });
+                }
+                drop(res_tx);
+            });
+        }
+        while let Some((id, recs)) = res_rx.try_recv() {
+            results[id] = Some(recs);
+        }
+    }
+
+    let explored = budget.explored.load(Ordering::Relaxed).min(budget.max);
+    if let Some(e) = budget.into_error() {
+        return Err(e);
+    }
+
+    // Phase 3: deterministic merge in sequential pre-order.
+    let mut merger = Merger::new(protocol.system_size(), config.dedupe);
+    merger.universe.reserve(explored);
+    merger.insert_current(); // the root (empty) computation
+    for entry in entries {
+        match entry {
+            Entry::Node(rec) => merger.apply(rec),
+            Entry::Task(id) => {
+                let recs = results[id].take().expect("all tasks completed");
+                for rec in recs {
+                    merger.apply(rec);
+                }
+            }
+        }
+    }
+    let unique = merger.universe.len();
+    let universe = merger.finish();
+    Ok(ShardedEnumeration {
+        universe,
+        stats: EnumerationStats {
+            explored,
+            unique,
+            tasks: task_count,
+            shards,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate;
+    use hpl_model::ActionId;
+
+    /// Asserts the two universes are byte-identical: same computations in
+    /// the same `CompId` order, same event bindings, same payload table.
+    fn assert_identical(a: &ProtocolUniverse, b: &ProtocolUniverse) {
+        assert_eq!(a.universe().len(), b.universe().len(), "universe size");
+        for (id, ca) in a.universe().iter() {
+            assert_eq!(ca, b.universe().get(id), "computation {id}");
+        }
+        for (id, ca) in a.universe().iter() {
+            for e in ca.iter() {
+                assert_eq!(
+                    a.universe().event(e.id()),
+                    b.universe().event(e.id()),
+                    "event binding {:?} (computation {id})",
+                    e.id()
+                );
+            }
+        }
+        assert_eq!(a.payload_table(), b.payload_table(), "payload table");
+    }
+
+    /// Two processes ping-ponging payloads, with an extra internal step —
+    /// mixes sends, receives and internals.
+    struct PingPong;
+    impl Protocol for PingPong {
+        fn system_size(&self) -> usize {
+            2
+        }
+        fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+            let received = view.count_matching(|s| matches!(s, LocalStep::Received { .. }));
+            let sent = view.count_matching(|s| matches!(s, LocalStep::Sent { .. }));
+            match p.index() {
+                0 if view.is_empty() => vec![
+                    ProtoAction::Send {
+                        to: ProcessId::new(1),
+                        payload: 1,
+                    },
+                    ProtoAction::Internal {
+                        action: ActionId::new(7),
+                    },
+                ],
+                1 if received > sent => vec![ProtoAction::Send {
+                    to: ProcessId::new(0),
+                    payload: 2,
+                }],
+                _ => vec![],
+            }
+        }
+    }
+
+    /// Pure interleaving explosion: each process may take `k` internal
+    /// steps.
+    struct Clocks {
+        n: usize,
+        k: usize,
+    }
+    impl Protocol for Clocks {
+        fn system_size(&self) -> usize {
+            self.n
+        }
+        fn actions(&self, _p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+            if view.len() < self.k {
+                vec![ProtoAction::Internal {
+                    action: ActionId::new(view.len() as u32),
+                }]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    /// A picky receiver: accepts only even payloads.
+    struct Picky;
+    impl Protocol for Picky {
+        fn system_size(&self) -> usize {
+            2
+        }
+        fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+            if p.index() == 0 && view.len() < 2 {
+                vec![
+                    ProtoAction::Send {
+                        to: ProcessId::new(1),
+                        payload: view.len() as u32,
+                    },
+                    ProtoAction::Internal {
+                        action: ActionId::new(0),
+                    },
+                ]
+            } else {
+                vec![]
+            }
+        }
+        fn accepts(&self, _p: ProcessId, _v: &LocalView, _from: ProcessId, payload: u32) -> bool {
+            payload.is_multiple_of(2)
+        }
+    }
+
+    fn check_matches_sequential<P: Protocol + Sync>(p: &P, depth: usize) {
+        let seq = enumerate(p, EnumerationLimits::depth(depth)).unwrap();
+        for shards in [1, 2, 8] {
+            for split in [0, 1, 3, depth] {
+                let cfg = ShardConfig {
+                    shards,
+                    split_depth: Some(split),
+                    dedupe: false,
+                };
+                let out = enumerate_sharded(p, EnumerationLimits::depth(depth), &cfg).unwrap();
+                assert_identical(&out.universe, &seq);
+                assert_eq!(out.stats.explored, seq.universe().len());
+                assert_eq!(out.stats.unique, seq.universe().len());
+                assert!((out.stats.dedupe_ratio() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_ping_pong() {
+        check_matches_sequential(&PingPong, 5);
+    }
+
+    #[test]
+    fn matches_sequential_clocks() {
+        check_matches_sequential(&Clocks { n: 3, k: 2 }, 6);
+    }
+
+    #[test]
+    fn matches_sequential_picky_accepts() {
+        check_matches_sequential(&Picky, 4);
+    }
+
+    #[test]
+    fn dedupe_collapses_interleavings() {
+        // Clocks is pure interleaving: the dedupe quotient is the set of
+        // per-process step-count vectors. For n=2, k=2 that is 3×3 = 9
+        // members versus 19 interleavings.
+        let cfg = ShardConfig {
+            shards: 2,
+            split_depth: None,
+            dedupe: true,
+        };
+        let out =
+            enumerate_sharded(&Clocks { n: 2, k: 2 }, EnumerationLimits::depth(4), &cfg).unwrap();
+        assert_eq!(out.stats.explored, 19);
+        assert_eq!(out.stats.unique, 9);
+        assert_eq!(out.universe.universe().len(), 9);
+        assert!(out.stats.dedupe_ratio() > 2.0);
+        // every member is the canonical representative of its class: no
+        // two members share per-process projections
+        let u = out.universe.universe();
+        for (i, x) in u.iter() {
+            for (j, y) in u.iter() {
+                if i != j {
+                    assert!(
+                        !(x.agrees_on(y, hpl_model::ProcessSet::full(2))),
+                        "{i} and {j} are [D]-isomorphic duplicates"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_guard_trips_across_shards() {
+        for shards in [1, 4] {
+            let cfg = ShardConfig {
+                shards,
+                split_depth: Some(1),
+                dedupe: false,
+            };
+            let err = enumerate_sharded(
+                &Clocks { n: 2, k: 3 },
+                EnumerationLimits {
+                    max_events: 6,
+                    max_computations: 10,
+                },
+                &cfg,
+            )
+            .unwrap_err();
+            assert!(matches!(err, CoreError::EnumerationBudgetExceeded { .. }));
+        }
+    }
+
+    #[test]
+    fn default_config_is_usable() {
+        let out = enumerate_sharded(
+            &PingPong,
+            EnumerationLimits::depth(4),
+            &ShardConfig::default(),
+        )
+        .unwrap();
+        assert!(out.stats.shards >= 1);
+        let ded = ShardConfig::with_shards(2).dedupe();
+        assert!(ded.dedupe);
+        assert_eq!(ded.shards, 2);
+    }
+
+    #[test]
+    fn stats_report_tasks() {
+        let cfg = ShardConfig {
+            shards: 2,
+            split_depth: Some(1),
+            dedupe: false,
+        };
+        let out =
+            enumerate_sharded(&Clocks { n: 2, k: 2 }, EnumerationLimits::depth(4), &cfg).unwrap();
+        // frontier at depth 1: one internal step per process → 2 tasks
+        assert_eq!(out.stats.tasks, 2);
+        assert_eq!(out.stats.shards, 2);
+    }
+}

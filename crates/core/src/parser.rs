@@ -246,10 +246,7 @@ impl Parser<'_> {
             let Some(word) = self.take_word() else {
                 return Err(self.err("expected a process like p0"));
             };
-            let Some(index) = word
-                .strip_prefix('p')
-                .and_then(|d| d.parse::<usize>().ok())
-            else {
+            let Some(index) = word.strip_prefix('p').and_then(|d| d.parse::<usize>().ok()) else {
                 return Err(self.err(&format!("bad process name '{word}'")));
             };
             if index >= ProcessSet::CAPACITY {
@@ -279,8 +276,7 @@ mod tests {
         let f = parse(text, &i).unwrap_or_else(|e| panic!("{text}: {e}"));
         // display_with produces an equivalent (fully parenthesized) form
         let shown = f.display_with(&i);
-        let again = parse(&shown, &i)
-            .unwrap_or_else(|e| panic!("reparse of '{shown}': {e}"));
+        let again = parse(&shown, &i).unwrap_or_else(|e| panic!("reparse of '{shown}': {e}"));
         assert_eq!(f, again, "roundtrip of '{text}' via '{shown}'");
     }
 
@@ -331,10 +327,7 @@ mod tests {
             )
         );
         let h = parse("E C alpha", &i).unwrap();
-        assert_eq!(
-            h,
-            Formula::everyone(Formula::common(Formula::atom_raw(0)))
-        );
+        assert_eq!(h, Formula::everyone(Formula::common(Formula::atom_raw(0))));
         // K{} — the empty set — is legal (and trivially global)
         let k = parse("K{} alpha", &i).unwrap();
         assert_eq!(k, Formula::knows(ProcessSet::EMPTY, Formula::atom_raw(0)));
@@ -346,11 +339,7 @@ mod tests {
         for n in 0..5 {
             i.register(&format!("token-at-p{n}"), |_| false);
         }
-        let f = parse(
-            "K{p2} (K{p1} !token-at-p0 & K{p3} !token-at-p4)",
-            &i,
-        )
-        .unwrap();
+        let f = parse("K{p2} (K{p1} !token-at-p0 & K{p3} !token-at-p4)", &i).unwrap();
         assert_eq!(f.knowledge_depth(), 2);
     }
 
@@ -427,10 +416,7 @@ mod tests {
             2 => sub(seed).or(sub(seed)),
             3 => sub(seed).implies(sub(seed)),
             4 => sub(seed).iff(sub(seed)),
-            5 => Formula::knows(
-                ProcessSet::from_indices([(next() % 4) as usize]),
-                sub(seed),
-            ),
+            5 => Formula::knows(ProcessSet::from_indices([(next() % 4) as usize]), sub(seed)),
             6 => Formula::sure(
                 ProcessSet::from_indices([(next() % 4) as usize, 5]),
                 sub(seed),
@@ -446,8 +432,8 @@ mod tests {
             let mut seed = s0.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
             let f = random_formula(3, &mut seed);
             let shown = f.display_with(&i);
-            let back = parse(&shown, &i)
-                .unwrap_or_else(|e| panic!("could not reparse '{shown}': {e}"));
+            let back =
+                parse(&shown, &i).unwrap_or_else(|e| panic!("could not reparse '{shown}': {e}"));
             assert_eq!(back, f, "via '{shown}'");
         }
     }

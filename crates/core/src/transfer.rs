@@ -144,7 +144,10 @@ pub fn gain_witnesses(
     b: &Formula,
 ) -> Vec<TransferWitness> {
     let mut report = TransferReport::default();
-    gain_scan(eval, sets, b, &mut report).into_iter().flatten().collect()
+    gain_scan(eval, sets, b, &mut report)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 fn gain_scan(
@@ -207,7 +210,10 @@ pub fn loss_witnesses(
     b: &Formula,
 ) -> Vec<TransferWitness> {
     let mut report = TransferReport::default();
-    loss_scan(eval, sets, b, &mut report).into_iter().flatten().collect()
+    loss_scan(eval, sets, b, &mut report)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 fn loss_scan(
@@ -254,11 +260,7 @@ fn loss_scan(
 ///
 /// Skips (with a violation note) if `b` is not local to `P̄` on this
 /// universe — the hypothesis matters.
-pub fn check_lemma4(
-    eval: &mut Evaluator<'_>,
-    p: ProcessSet,
-    b: &Formula,
-) -> TransferReport {
+pub fn check_lemma4(eval: &mut Evaluator<'_>, p: ProcessSet, b: &Formula) -> TransferReport {
     let mut report = TransferReport::default();
     let d = ProcessSet::full(eval.universe().system_size());
     let pbar = p.complement(d);
@@ -294,9 +296,9 @@ pub fn check_lemma4(
             EventKind::Internal { .. } => at_x != at_xe,
         };
         if violated {
-            report.violations.push(format!(
-                "lemma 4 violated at {x_id} → {xe_id} via {e}"
-            ));
+            report
+                .violations
+                .push(format!("lemma 4 violated at {x_id} → {xe_id} via {e}"));
         } else {
             report.antecedent_hits += 1;
         }
@@ -338,9 +340,7 @@ pub fn check_lemma4_corollaries(
         let suffix = universe.get(y).suffix_after(universe.get(x).len());
         if !at_x && at_y {
             report.antecedent_hits += 1;
-            let has_receive = suffix
-                .iter()
-                .any(|e| e.is_on_set(p) && e.is_receive());
+            let has_receive = suffix.iter().any(|e| e.is_on_set(p) && e.is_receive());
             if !has_receive {
                 report.violations.push(format!(
                     "gain corollary: {x} → {y} gained knowledge with no receive by {p}"
@@ -363,8 +363,9 @@ pub fn check_lemma4_corollaries(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::enumerate::{enumerate, EnumerationLimits, LocalStep, LocalView, ProtoAction,
-                           Protocol};
+    use crate::enumerate::{
+        enumerate, EnumerationLimits, LocalStep, LocalView, ProtoAction, Protocol,
+    };
     use crate::formula::Interpretation;
     use hpl_model::{ProcessId, ProcessSet};
 
@@ -401,8 +402,7 @@ mod tests {
                     }
                 }
                 1 => {
-                    let got = view
-                        .count_matching(|s| matches!(s, LocalStep::Received { .. }));
+                    let got = view.count_matching(|s| matches!(s, LocalStep::Received { .. }));
                     let sent = view.count_matching(|s| matches!(s, LocalStep::Sent { .. }));
                     if got > sent {
                         vec![ProtoAction::Send {
@@ -421,7 +421,8 @@ mod tests {
     fn flipped_interp() -> Interpretation {
         let mut interp = Interpretation::new();
         interp.register("flipped", |c| {
-            c.iter().any(|e| e.is_internal() && e.process().index() == 0)
+            c.iter()
+                .any(|e| e.is_internal() && e.process().index() == 0)
         });
         interp
     }

@@ -158,6 +158,40 @@ impl Universe {
         Ok(id)
     }
 
+    /// Crate-internal pre-sizing for enumeration engines that know the
+    /// member count up front (avoids rehashing the id table as it grows).
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.computations.reserve(additional);
+        self.by_ids.reserve(additional);
+    }
+
+    /// Crate-internal fast-path insertion for enumeration engines: the
+    /// caller guarantees the computation has the right system size, is
+    /// consistent with the shared event space, and is **not** already a
+    /// member. Skips the per-event consistency scan and the duplicate
+    /// probe; the event registry is populated separately via
+    /// [`Universe::register_events`].
+    pub(crate) fn insert_trusted(&mut self, c: Computation) -> CompId {
+        debug_assert_eq!(c.system_size(), self.system_size, "system size mismatch");
+        let key: Vec<EventId> = c.iter().map(|e| e.id()).collect();
+        debug_assert!(
+            !self.by_ids.contains_key(&key),
+            "insert_trusted given a duplicate computation"
+        );
+        let id = CompId::new(self.computations.len());
+        self.by_ids.insert(key, id);
+        self.computations.push(c);
+        id
+    }
+
+    /// Crate-internal bulk registration of the shared event space backing
+    /// trusted insertions.
+    pub(crate) fn register_events<I: IntoIterator<Item = Event>>(&mut self, events: I) {
+        for e in events {
+            self.event_registry.entry(e.id()).or_insert(e);
+        }
+    }
+
     /// The computation with the given id.
     ///
     /// # Panics

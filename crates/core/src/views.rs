@@ -373,18 +373,21 @@ mod tests {
         let pu = setup();
         let u = pu.universe();
         for (name, knows_fn) in [
-            ("full", ViewIndex::new(u, FullHistory).knows_set(
-                ProcessSet::singleton(pid(1)),
-                &sent_sat(u),
-            )),
-            ("bounded", ViewIndex::new(u, BoundedMemory { window: 1 }).knows_set(
-                ProcessSet::singleton(pid(1)),
-                &sent_sat(u),
-            )),
-            ("counts", ViewIndex::new(u, EventCounts).knows_set(
-                ProcessSet::singleton(pid(1)),
-                &sent_sat(u),
-            )),
+            (
+                "full",
+                ViewIndex::new(u, FullHistory)
+                    .knows_set(ProcessSet::singleton(pid(1)), &sent_sat(u)),
+            ),
+            (
+                "bounded",
+                ViewIndex::new(u, BoundedMemory { window: 1 })
+                    .knows_set(ProcessSet::singleton(pid(1)), &sent_sat(u)),
+            ),
+            (
+                "counts",
+                ViewIndex::new(u, EventCounts)
+                    .knows_set(ProcessSet::singleton(pid(1)), &sent_sat(u)),
+            ),
         ] {
             // knowledge implies truth under every abstraction
             assert!(knows_fn.is_subset(&sent_sat(u)), "{name}: K ⊆ sat");
@@ -412,8 +415,7 @@ mod tests {
         let pu = setup();
         let u = pu.universe();
         let view = ViewIndex::new(u, FullHistory);
-        let violations =
-            check_event_semantics(&view, ProcessSet::singleton(pid(1)), &sent_sat(u));
+        let violations = check_event_semantics(&view, ProcessSet::singleton(pid(1)), &sent_sat(u));
         assert!(violations.is_empty(), "{violations:?}");
     }
 
@@ -426,8 +428,7 @@ mod tests {
         let pu = setup();
         let u = pu.universe();
         let view = ViewIndex::new(u, BoundedMemory { window: 1 });
-        let violations =
-            check_event_semantics(&view, ProcessSet::singleton(pid(1)), &sent_sat(u));
+        let violations = check_event_semantics(&view, ProcessSet::singleton(pid(1)), &sent_sat(u));
         assert!(
             violations
                 .iter()

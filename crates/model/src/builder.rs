@@ -98,11 +98,8 @@ impl ComputationBuilder {
         self.next_message += 1;
         let id = self.fresh_event();
         self.messages.insert(message, (from, to, false));
-        self.events.push(Event::new(
-            id,
-            from,
-            EventKind::Send { to, message },
-        ));
+        self.events
+            .push(Event::new(id, from, EventKind::Send { to, message }));
         Ok(message)
     }
 
@@ -261,6 +258,24 @@ impl ScenarioPool {
         id
     }
 
+    /// Number of declared events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no event has been declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All declared events, in declaration order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
     /// Looks up a declared event.
     ///
     /// # Panics
@@ -283,6 +298,22 @@ impl ScenarioPool {
     ) -> Result<Computation, ModelError> {
         let events: Vec<Event> = order.into_iter().map(|id| self.event(id)).collect();
         Computation::from_events(self.system_size, events)
+    }
+
+    /// Composes many computations at once — the sharding hook used when a
+    /// universe is assembled from orderings produced by parallel workers.
+    ///
+    /// All-or-nothing: the first invalid ordering aborts the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first composition error encountered, if any.
+    pub fn compose_batch<O, I>(&self, orderings: O) -> Result<Vec<Computation>, ModelError>
+    where
+        O: IntoIterator<Item = I>,
+        I: IntoIterator<Item = EventId>,
+    {
+        orderings.into_iter().map(|o| self.compose(o)).collect()
     }
 }
 
@@ -348,6 +379,25 @@ mod tests {
         // partial compositions are fine
         assert!(pool.compose([s]).is_ok());
         assert!(pool.compose([i]).is_ok());
+    }
+
+    #[test]
+    fn pool_compose_batch() {
+        let mut pool = ScenarioPool::new(2);
+        let (s, m) = pool.send(pid(0), pid(1));
+        let r = pool.receive(pid(1), pid(0), m);
+        let i = pool.internal(pid(0));
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.events().len(), 3);
+
+        let batch = pool
+            .compose_batch([vec![s, r, i], vec![s, i, r], vec![i]])
+            .unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(batch[0].is_permutation_of(&batch[1]));
+        // the first invalid ordering aborts the whole batch
+        assert!(pool.compose_batch([vec![s], vec![r, s]]).is_err());
     }
 
     #[test]

@@ -83,9 +83,7 @@ impl ChainWitness {
                 return false;
             }
         }
-        positions
-            .windows(2)
-            .all(|w| hb.happened_before(w[0], w[1]))
+        positions.windows(2).all(|w| hb.happened_before(w[0], w[1]))
     }
 }
 
@@ -109,11 +107,7 @@ pub fn has_chain(z: &Computation, prefix_len: usize, sets: &[ProcessSet]) -> boo
 ///
 /// Panics if `prefix_len > z.len()`.
 #[must_use]
-pub fn find_chain(
-    z: &Computation,
-    prefix_len: usize,
-    sets: &[ProcessSet],
-) -> Option<ChainWitness> {
+pub fn find_chain(z: &Computation, prefix_len: usize, sets: &[ProcessSet]) -> Option<ChainWitness> {
     assert!(prefix_len <= z.len(), "prefix length out of range");
     if sets.is_empty() {
         return Some(ChainWitness { events: Vec::new() });

@@ -79,6 +79,32 @@ impl Computation {
         })
     }
 
+    /// Wraps an event sequence **already known** to be a valid system
+    /// computation, skipping re-validation.
+    ///
+    /// This is the fast path for engines that maintain validity
+    /// structurally (e.g. protocol enumeration, where every extension of a
+    /// valid computation by an enabled step is valid by construction).
+    /// Debug builds still re-validate; release builds trust the caller.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the sequence is not a valid system
+    /// computation. Release builds perform no check — constructing an
+    /// invalid computation through this path breaks downstream invariants
+    /// (it cannot cause memory unsafety; the crate forbids `unsafe`).
+    #[must_use]
+    pub fn from_events_trusted(system_size: usize, events: Vec<Event>) -> Self {
+        debug_assert!(
+            validate(system_size, &events).is_ok(),
+            "from_events_trusted given an invalid event sequence"
+        );
+        Computation {
+            system_size,
+            events,
+        }
+    }
+
     /// Number of processes in the system this computation belongs to.
     #[must_use]
     pub fn system_size(&self) -> usize {
@@ -212,10 +238,7 @@ impl Computation {
     /// Panics if `prefix_len > self.len()`.
     #[must_use]
     pub fn suffix_after(&self, prefix_len: usize) -> &[Event] {
-        assert!(
-            prefix_len <= self.events.len(),
-            "suffix start out of range"
-        );
+        assert!(prefix_len <= self.events.len(), "suffix start out of range");
         &self.events[prefix_len..]
     }
 

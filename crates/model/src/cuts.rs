@@ -1,6 +1,6 @@
 //! Consistent cuts: the global states of a computation.
 //!
-//! The paper's motivation — "a process determine[s] facts about the
+//! The paper's motivation — "a process determine\[s\] facts about the
 //! overall system computation" — is about *global states*. A **cut** of a
 //! computation assigns each process a prefix of its local computation; it
 //! is **consistent** iff no received message is still unsent, i.e. the
@@ -30,9 +30,7 @@ impl Cut {
     /// The empty cut for a system of `n` processes.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        Cut {
-            counts: vec![0; n],
-        }
+        Cut { counts: vec![0; n] }
     }
 
     /// Builds a cut from per-process event counts.
@@ -68,10 +66,7 @@ impl Cut {
     /// Pointwise ≤ (the lattice order).
     #[must_use]
     pub fn le(&self, other: &Cut) -> bool {
-        self.counts
-            .iter()
-            .zip(&other.counts)
-            .all(|(a, b)| a <= b)
+        self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
     }
 
     /// The lattice meet: pointwise minimum.

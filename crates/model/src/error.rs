@@ -100,7 +100,9 @@ impl fmt::Display for ModelError {
             ModelError::InconsistentEvent { event } => {
                 write!(f, "event id {event} bound to two different events")
             }
-            ModelError::NotAPrefix => write!(f, "expected a prefix relationship between computations"),
+            ModelError::NotAPrefix => {
+                write!(f, "expected a prefix relationship between computations")
+            }
         }
     }
 }

@@ -166,6 +166,38 @@ impl ProcessSet {
         Iter(self.0)
     }
 
+    /// The subset of this set assigned to shard `index` of `count` under a
+    /// deterministic round-robin partition by member rank.
+    ///
+    /// The shards `0..count` are pairwise disjoint and their union is
+    /// `self`, so per-process work (partition building, view projection)
+    /// can be split across workers without coordination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `index >= count`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hpl_model::ProcessSet;
+    /// let d = ProcessSet::full(5);
+    /// let s0 = d.shard(0, 2); // ranks 0, 2, 4 → {p0, p2, p4}
+    /// let s1 = d.shard(1, 2); // ranks 1, 3    → {p1, p3}
+    /// assert_eq!(s0.union(s1), d);
+    /// assert!(s0.is_disjoint(s1));
+    /// ```
+    #[must_use]
+    pub fn shard(self, index: usize, count: usize) -> Self {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        self.iter()
+            .enumerate()
+            .filter(|(rank, _)| rank % count == index)
+            .map(|(_, p)| p)
+            .collect()
+    }
+
     /// Returns the raw bit representation (for hashing/indexing layers).
     #[must_use]
     pub fn bits(self) -> u128 {
@@ -393,6 +425,33 @@ mod tests {
     }
 
     #[test]
+    fn shard_partitions_round_robin() {
+        let d = ProcessSet::from_indices([0, 3, 5, 9, 11]);
+        for count in 1..=6 {
+            let mut seen = ProcessSet::new();
+            for index in 0..count {
+                let s = d.shard(index, count);
+                assert!(s.is_subset(d));
+                assert!(s.is_disjoint(seen), "shards must not overlap");
+                seen = seen.union(s);
+            }
+            assert_eq!(seen, d, "shards must cover the set");
+        }
+        // round-robin by rank, not by raw index
+        assert_eq!(d.shard(0, 2), ProcessSet::from_indices([0, 5, 11]));
+        assert_eq!(d.shard(1, 2), ProcessSet::from_indices([3, 9]));
+        // degenerate cases
+        assert_eq!(d.shard(0, 1), d);
+        assert!(ProcessSet::EMPTY.shard(2, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_out_of_range_panics() {
+        let _ = ProcessSet::full(3).shard(2, 2);
+    }
+
+    #[test]
     fn empty_set_edge_cases() {
         let e = ProcessSet::EMPTY;
         assert_eq!(e.len(), 0);
@@ -440,7 +499,10 @@ mod tests {
         let mut t = s;
         assert!(!t.insert(last), "re-inserting a member reports no change");
         assert_eq!(t, s);
-        assert!(!t.remove(ProcessId::new(0)), "removing a non-member is a no-op");
+        assert!(
+            !t.remove(ProcessId::new(0)),
+            "removing a non-member is a no-op"
+        );
         assert!(t.remove(last));
         assert!(t.is_empty());
         // singleton round-trips through from_indices and from_bits

@@ -95,17 +95,13 @@ pub fn run_election(n: usize, net: &NetworkConfig, seed: u64) -> ElectionOutcome
     let mut sim = Simulation::builder(n)
         .seed(seed)
         .network(net.clone())
-        .build(|p| -> Box<dyn Node> {
-            Box::new(ElectionNode::new(p, n, ids[p.index()]))
-        });
+        .build(|p| -> Box<dyn Node> { Box::new(ElectionNode::new(p, n, ids[p.index()])) });
     sim.run_until(SimTime::MAX);
 
-    let leader = (0..n)
-        .map(ProcessId::new)
-        .find(|&p| {
-            sim.node_as::<ElectionNode>(p)
-                .is_some_and(|node| node.leader_at.is_some())
-        });
+    let leader = (0..n).map(ProcessId::new).find(|&p| {
+        sim.node_as::<ElectionNode>(p)
+            .is_some_and(|node| node.leader_at.is_some())
+    });
     ElectionOutcome {
         leader,
         messages: sim.stats().sent_with_tag(ELECT),
@@ -118,9 +114,10 @@ pub fn run_election(n: usize, net: &NetworkConfig, seed: u64) -> ElectionOutcome
 /// it is the maximum by hearing, transitively, from everyone).
 #[must_use]
 pub fn leadership_chains_ok(trace: &Computation) -> bool {
-    let Some(pos) = trace.iter().position(|e| {
-        matches!(e.kind(), EventKind::Internal { action } if action == LEADER)
-    }) else {
+    let Some(pos) = trace
+        .iter()
+        .position(|e| matches!(e.kind(), EventKind::Internal { action } if action == LEADER))
+    else {
         return false;
     };
     let hb = CausalClosure::new(trace);
@@ -155,9 +152,7 @@ mod tests {
             let declarations = out
                 .trace
                 .iter()
-                .filter(|e| {
-                    matches!(e.kind(), EventKind::Internal { action } if action == LEADER)
-                })
+                .filter(|e| matches!(e.kind(), EventKind::Internal { action } if action == LEADER))
                 .count();
             assert_eq!(declarations, 1, "seed {seed}");
             let _ = leader;

@@ -333,14 +333,7 @@ mod tests {
 
     #[test]
     fn latency_decreases_with_timeout() {
-        let rows = sweep_timeouts(
-            &[2000, 1000, 400],
-            50,
-            5_000,
-            &bounded_net(20),
-            11,
-            50_000,
-        );
+        let rows = sweep_timeouts(&[2000, 1000, 400], 50, 5_000, &bounded_net(20), 11, 50_000);
         let latencies: Vec<u64> = rows
             .iter()
             .map(|r| r.detection_latency.expect("all detect"))

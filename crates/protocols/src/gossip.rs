@@ -228,9 +228,7 @@ pub fn run_push_gossip(
     let mut sim = Simulation::builder(n)
         .seed(seed)
         .network(net.clone())
-        .build(|p| -> Box<dyn Node> {
-            Box::new(GossipNode::new(p, n, fanout, 50, rounds))
-        });
+        .build(|p| -> Box<dyn Node> { Box::new(GossipNode::new(p, n, fanout, 50, rounds)) });
     sim.run_until(SimTime::MAX);
     let mut informed = 0;
     let mut latest: Option<SimTime> = None;

@@ -21,8 +21,7 @@
 
 use hpl_model::{ActionId, Computation, Event, EventKind, ProcessId};
 use hpl_sim::{
-    ChannelConfig, Context, DelayModel, NetworkConfig, Node, Payload, SimTime, Simulation,
-    TimerId,
+    ChannelConfig, Context, DelayModel, NetworkConfig, Node, Payload, SimTime, Simulation, TimerId,
 };
 
 /// Payload tag of money transfers.
@@ -275,10 +274,7 @@ pub fn verify_cut(trace: &Computation, sim: &Simulation, n: usize) -> bool {
         .enumerate()
         .filter(|(i, e)| *i < snap_pos[e.process().index()])
         .map(|(_, e)| e)
-        .filter(|e| {
-            e.message()
-                .and_then(|m| sim.message_tag(m)) != Some(MARKER)
-        })
+        .filter(|e| e.message().and_then(|m| sim.message_tag(m)) != Some(MARKER))
         .collect();
     Computation::from_events(n, cut_events).is_ok()
 }
@@ -310,10 +306,7 @@ mod tests {
         // the algorithm).
         let report = run_money_snapshot(3, 50, 8, 1, 0);
         assert!(report.verified());
-        assert_eq!(
-            report.recorded_balances + report.recorded_in_channel,
-            150
-        );
+        assert_eq!(report.recorded_balances + report.recorded_in_channel, 150);
     }
 
     #[test]

@@ -276,14 +276,10 @@ pub fn run_detector(
         .network(net.clone())
         .build(|p| -> Box<dyn Node> {
             match kind {
-                DetectorKind::DijkstraScholten => {
-                    Box::new(dijkstra_scholten::DsNode::new(p, cfg))
-                }
+                DetectorKind::DijkstraScholten => Box::new(dijkstra_scholten::DsNode::new(p, cfg)),
                 DetectorKind::SafraRing => Box::new(safra::RingNode::new(p, cfg)),
                 DetectorKind::Credit => Box::new(credit::CreditNode::new(p, cfg)),
-                DetectorKind::Naive { period } => {
-                    Box::new(naive::ProbeNode::new(p, cfg, period))
-                }
+                DetectorKind::Naive { period } => Box::new(naive::ProbeNode::new(p, cfg, period)),
             }
         });
     if horizon == SimTime::MAX {
@@ -344,9 +340,9 @@ fn detect_time_of(sim: &Simulation, kind: DetectorKind, n: usize) -> Option<SimT
 /// The position of the first [`DETECT`] event in a trace.
 #[must_use]
 pub fn detect_position(trace: &Computation) -> Option<usize> {
-    trace.iter().position(|e| {
-        matches!(e.kind(), EventKind::Internal { action } if action == DETECT)
-    })
+    trace
+        .iter()
+        .position(|e| matches!(e.kind(), EventKind::Internal { action } if action == DETECT))
 }
 
 /// Semantic validation of a detection against the recorded trace: at the
@@ -373,10 +369,7 @@ pub fn verify_detection(trace: &Computation) -> Result<usize, String> {
     for e in trace.events().iter().skip(pos + 1) {
         if let EventKind::Internal { action } = e.kind() {
             if action == GO_PASSIVE {
-                return Err(format!(
-                    "node {} went passive after detection",
-                    e.process()
-                ));
+                return Err(format!("node {} went passive after detection", e.process()));
             }
         }
     }
@@ -517,11 +510,7 @@ mod tests {
                 "{} detected before termination",
                 out.detector
             );
-            assert!(
-                out.chains_ok,
-                "{}: theorem-5 chains missing",
-                out.detector
-            );
+            assert!(out.chains_ok, "{}: theorem-5 chains missing", out.detector);
             assert_eq!(out.work_messages, 12);
             assert!(out.overhead_messages > 0);
         }

@@ -79,7 +79,10 @@ impl RingNode {
         } else {
             let colour_out = if self.black { BLACK } else { colour };
             self.black = false;
-            ctx.send(self.next(), Payload::with2(MARKER, q + self.counter, colour_out));
+            ctx.send(
+                self.next(),
+                Payload::with2(MARKER, q + self.counter, colour_out),
+            );
         }
     }
 
@@ -189,7 +192,12 @@ mod tests {
         // hops = n per full round; the final (detecting) round still
         // takes n hops: total is a positive multiple of n
         assert!(out.overhead_messages >= 4);
-        assert_eq!(out.overhead_messages % 4, 0, "hops {}", out.overhead_messages);
+        assert_eq!(
+            out.overhead_messages % 4,
+            0,
+            "hops {}",
+            out.overhead_messages
+        );
     }
 
     #[test]

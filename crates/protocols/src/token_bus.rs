@@ -90,10 +90,7 @@ impl Protocol for TokenBus {
 /// sense — note the token "in flight" is held by nobody.)
 #[must_use]
 pub fn holds_token(x: &Computation, p: ProcessId) -> bool {
-    let received = x
-        .iter()
-        .filter(|e| e.is_on(p) && e.is_receive())
-        .count();
+    let received = x.iter().filter(|e| e.is_on(p) && e.is_receive()).count();
     let sent = x.iter().filter(|e| e.is_on(p) && e.is_send()).count();
     if p.index() == 0 {
         sent <= received
@@ -244,9 +241,9 @@ mod tests {
         let empty = LocalView::new();
         let left = bus.actions(pid(0), &empty);
         assert_eq!(left.len(), 1); // only rightward
-        // a middle holder may go either way: give p2 a token first — we
-        // emulate by checking the action count via the protocol's own
-        // holds logic on process 0 only (others start without the token).
+                                   // a middle holder may go either way: give p2 a token first — we
+                                   // emulate by checking the action count via the protocol's own
+                                   // holds logic on process 0 only (others start without the token).
         assert!(bus.actions(pid(2), &empty).is_empty());
     }
 

@@ -99,9 +99,9 @@ impl Node for RingMutexNode {
 /// `entries` times; returns the recorded trace.
 #[must_use]
 pub fn run_ring(n: usize, entries: usize, cs_time: u64, seed: u64) -> Computation {
-    let mut sim = Simulation::builder(n).seed(seed).build(|p| -> Box<dyn Node> {
-        Box::new(RingMutexNode::new(p, n, entries, cs_time))
-    });
+    let mut sim = Simulation::builder(n)
+        .seed(seed)
+        .build(|p| -> Box<dyn Node> { Box::new(RingMutexNode::new(p, n, entries, cs_time)) });
     sim.run_until(SimTime::MAX);
     sim.trace()
 }

@@ -19,8 +19,9 @@ use hpl_core::{
     ProtoAction, Protocol,
 };
 use hpl_model::{ActionId, Computation, ProcessId, ProcessSet};
-use hpl_sim::{ChannelConfig, Context, DelayModel, NetworkConfig, Node, Payload, SimTime,
-              Simulation, TimerId};
+use hpl_sim::{
+    ChannelConfig, Context, DelayModel, NetworkConfig, Node, Payload, SimTime, Simulation, TimerId,
+};
 
 /// Internal action tag for the owner's toggle.
 pub const TOGGLE: u32 = 11;
@@ -291,9 +292,7 @@ pub fn accuracy_run(mean_delay: u64, period: u64, toggles: usize, seed: u64) -> 
     sim.run_until(SimTime::from_ticks(horizon));
 
     let owner = sim.node_as::<OwnerNode>(ProcessId::new(0)).expect("owner");
-    let tracker = sim
-        .node_as::<TrackerNode>(tracker_id)
-        .expect("tracker");
+    let tracker = sim.node_as::<TrackerNode>(tracker_id).expect("tracker");
 
     // integrate agreement over [0, horizon] at tick resolution of
     // period/20 to keep it cheap
@@ -344,12 +343,7 @@ mod tests {
     #[test]
     fn bit_parity() {
         let pu = enumerate(&Toggler { max_toggles: 2 }, EnumerationLimits::depth(4)).unwrap();
-        let toggled_once = pu.find(|c| {
-            c.iter()
-                .filter(|e| e.is_internal())
-                .count()
-                == 1
-        });
+        let toggled_once = pu.find(|c| c.iter().filter(|e| e.is_internal()).count() == 1);
         for id in toggled_once {
             assert!(bit(pu.universe().get(id)));
         }

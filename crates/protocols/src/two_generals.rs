@@ -64,8 +64,7 @@ impl Protocol for TwoGenerals {
 /// The attack is planned once `g0` has dispatched its first messenger.
 #[must_use]
 pub fn attack_planned(x: &Computation) -> bool {
-    x.iter()
-        .any(|e| e.is_on(ProcessId::new(0)) && e.is_send())
+    x.iter().any(|e| e.is_on(ProcessId::new(0)) && e.is_send())
 }
 
 /// Enumerates the two-generals universe.
@@ -109,8 +108,8 @@ pub fn knowledge_ladder(
     for k in 0..=levels {
         // the straight-line computation with k deliveries has 2k or 2k−1
         // events; find the one with exactly k receives and minimal sends.
-        let target = pu
-            .find(|c| c.receives() == k && c.sends() == k.max(1) && c.len() == c.sends() + k);
+        let target =
+            pu.find(|c| c.receives() == k && c.sends() == k.max(1) && c.len() == c.sends() + k);
         let holds = target.iter().any(|&id| {
             let f = nested(k, attack);
             eval.holds_at(&f, id)
@@ -122,10 +121,7 @@ pub fn knowledge_ladder(
 
 /// The impossibility half: common knowledge of the attack is constant —
 /// and hence false everywhere (it is false at `null`).
-pub fn common_knowledge_impossible(
-    eval: &mut Evaluator<'_>,
-    attack: &Formula,
-) -> bool {
+pub fn common_knowledge_impossible(eval: &mut Evaluator<'_>, attack: &Formula) -> bool {
     let ck = Formula::common(attack.clone());
     eval.is_constant(&ck) && eval.sat_set(&ck).is_empty()
 }

@@ -99,9 +99,7 @@ impl SimulationBuilder {
     where
         F: FnMut(ProcessId) -> Box<dyn Node>,
     {
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| make_node(ProcessId::new(i)))
-            .collect();
+        let nodes: Vec<Box<dyn Node>> = (0..self.n).map(|i| make_node(ProcessId::new(i))).collect();
         let mut sim = Simulation {
             nodes,
             network: self.network,
@@ -353,10 +351,7 @@ impl Simulation {
             effects: Vec::new(),
         };
         // temporarily take the node out to satisfy the borrow checker
-        let mut node = std::mem::replace(
-            &mut self.nodes[p.index()],
-            Box::new(PlaceholderNode),
-        );
+        let mut node = std::mem::replace(&mut self.nodes[p.index()], Box::new(PlaceholderNode));
         f(node.as_mut(), &mut ctx);
         self.nodes[p.index()] = node;
         let effects = ctx.effects;

@@ -55,7 +55,11 @@ mod tests {
         assert_eq!(Payload::with(2, 5), Payload { tag: 2, a: 5, b: 0 });
         assert_eq!(
             Payload::with2(3, -1, 9),
-            Payload { tag: 3, a: -1, b: 9 }
+            Payload {
+                tag: 3,
+                a: -1,
+                b: 9
+            }
         );
     }
 

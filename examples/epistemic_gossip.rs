@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         drop_probability: 0.0,
         fifo: false,
     });
-    println!("{:>4} {:>7} {:>10} {:>12}", "n", "fanout", "messages", "done at");
+    println!(
+        "{:>4} {:>7} {:>10} {:>12}",
+        "n", "fanout", "messages", "done at"
+    );
     for (n, fanout) in [(16usize, 1usize), (16, 2), (16, 4), (64, 2), (64, 4)] {
         let out = run_push_gossip(n, fanout, 20, &net, 7);
         println!(

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         drop_probability: 0.0,
         fifo: false,
     });
-    println!("{:>9} {:>16} {:>16}", "timeout", "false positive", "latency");
+    println!(
+        "{:>9} {:>16} {:>16}",
+        "timeout", "false positive", "latency"
+    );
     let rows = sweep_timeouts(&[60, 100, 200, 400, 800, 1600], 50, 5_000, &net, 17, 60_000);
     for row in &rows {
         println!(

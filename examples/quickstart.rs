@@ -28,8 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Isomorphism: q cannot distinguish x0 from x1 (its projection is
     // empty in both); p can.
     println!("\nisomorphism:");
-    println!("  x0 [q] x1 = {}", x0.agrees_on(&x1, ProcessSet::singleton(q)));
-    println!("  x0 [p] x1 = {}", x0.agrees_on(&x1, ProcessSet::singleton(p)));
+    println!(
+        "  x0 [q] x1 = {}",
+        x0.agrees_on(&x1, ProcessSet::singleton(q))
+    );
+    println!(
+        "  x0 [p] x1 = {}",
+        x0.agrees_on(&x1, ProcessSet::singleton(p))
+    );
 
     // Theorem 1: between x0 and x2 with the chain ⟨p q⟩ — the message
     // IS the chain, so decompose returns the chain witness. With ⟨q p⟩

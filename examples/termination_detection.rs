@@ -46,7 +46,8 @@ fn main() {
                 out.work_messages,
                 out.overhead_messages,
                 out.overhead_ratio(),
-                out.detect_time.map_or_else(|| "-".into(), |t| t.to_string()),
+                out.detect_time
+                    .map_or_else(|| "-".into(), |t| t.to_string()),
                 out.detection_valid,
                 out.chains_ok,
             );

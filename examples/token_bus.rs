@@ -12,8 +12,9 @@
 
 use hpl_core::{Evaluator, Formula};
 use hpl_model::{ProcessId, ProcessSet};
-use hpl_protocols::token_bus::{holds_token, paper_formula, token_atoms, universe,
-                               verify_paper_claim};
+use hpl_protocols::token_bus::{
+    holds_token, paper_formula, token_atoms, universe, verify_paper_claim,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let depth = 8;
@@ -30,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // the same claim, written as text and parsed back:
-    let parsed = hpl_core::parse(
-        "K{p2} (K{p1} !token-at-p0 & K{p3} !token-at-p4)",
-        &interp,
-    )?;
+    let parsed = hpl_core::parse("K{p2} (K{p1} !token-at-p0 & K{p3} !token-at-p4)", &interp)?;
     assert_eq!(parsed, formula, "text and builder forms agree");
 
     let mut eval = Evaluator::new(pu.universe(), &interp);
@@ -60,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.formula_holds_count,
         report.r_holds_count,
         report.universe_size,
-        if report.verified() { "VERIFIED" } else { "FAILED" }
+        if report.verified() {
+            "VERIFIED"
+        } else {
+            "FAILED"
+        }
     );
 
     // a contrast: r does NOT know where the token is before seeing it

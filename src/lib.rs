@@ -64,9 +64,10 @@ pub use hpl_sim as sim;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use hpl_core::{
-        decompose, enumerate, fuse_lemma1, fuse_theorem2, Decomposition, EnumerationLimits,
-        Evaluator, Formula, Interpretation, IsoIndex, IsomorphismDiagram, LocalView, ProtoAction,
-        Protocol, Universe,
+        decompose, enumerate, enumerate_sharded, fuse_lemma1, fuse_theorem2, CompSet,
+        Decomposition, EnumerationLimits, EnumerationStats, Evaluator, Formula, Interpretation,
+        IsoIndex, IsomorphismDiagram, LocalView, ProtoAction, Protocol, ShardConfig,
+        ShardedEnumeration, Universe,
     };
     pub use hpl_model::{
         find_chain, has_chain, CausalClosure, Computation, ComputationBuilder, Event, EventKind,

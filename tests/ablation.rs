@@ -26,8 +26,11 @@ fn belief_is_fallible_exactly_where_knowledge_is_impossible() {
     // the §5 failure universe: knowledge of aliveness is impossible for
     // the observer; an optimistic *belief* is available but wrong in
     // precisely the crashed computations
-    let pu = enumerate(&CrashableWorker { max_reports: 1 }, EnumerationLimits::depth(4))
-        .expect("within budget");
+    let pu = enumerate(
+        &CrashableWorker { max_reports: 1 },
+        EnumerationLimits::depth(4),
+    )
+    .expect("within budget");
     let u = pu.universe();
     let sat = alive_sat(u);
     let observer = ProcessSet::singleton(ProcessId::new(1));
@@ -45,8 +48,11 @@ fn belief_is_fallible_exactly_where_knowledge_is_impossible() {
 
 #[test]
 fn view_abstraction_hierarchy_is_monotone() {
-    let pu = enumerate(&CrashableWorker { max_reports: 2 }, EnumerationLimits::depth(5))
-        .expect("within budget");
+    let pu = enumerate(
+        &CrashableWorker { max_reports: 2 },
+        EnumerationLimits::depth(5),
+    )
+    .expect("within budget");
     let u = pu.universe();
     let sat = alive_sat(u);
     let p = ProcessSet::singleton(ProcessId::new(1));

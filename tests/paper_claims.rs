@@ -20,13 +20,19 @@ fn token_bus_nested_knowledge_claim() {
 #[test]
 fn failure_detection_impossible_asynchronously() {
     let report = failure::verify_impossibility(2, 5).expect("within budget");
-    assert!(report.verified(), "§5: the observer must stay unsure ({report:?})");
+    assert!(
+        report.verified(),
+        "§5: the observer must stay unsure ({report:?})"
+    );
 }
 
 #[test]
 fn tracking_requires_unsureness_at_change() {
     let report = tracking::verify_unsure_at_change(2, 5).expect("within budget");
-    assert!(report.verified(), "§5: owner must know tracker is unsure ({report:?})");
+    assert!(
+        report.verified(),
+        "§5: owner must know tracker is unsure ({report:?})"
+    );
     assert_eq!(report.tracker_sure_count, 0);
 }
 
@@ -36,7 +42,9 @@ fn common_knowledge_is_constant_for_the_generals() {
     let mut interp = Interpretation::new();
     let attack = two_generals::attack_atom(&mut interp);
     let mut eval = Evaluator::new(pu.universe(), &interp);
-    assert!(two_generals::common_knowledge_impossible(&mut eval, &attack));
+    assert!(two_generals::common_knowledge_impossible(
+        &mut eval, &attack
+    ));
     // while plain and nested knowledge ARE attainable
     let k1 = two_generals::nested(1, &attack);
     let sat = eval.sat_set(&k1);

@@ -1,0 +1,203 @@
+//! Cross-thread determinism suite for the sharded enumeration engine.
+//!
+//! For every protocol shipped with the workspace (and a family of seeded
+//! random protocols), enumeration with 1, 2 and 8 shards must produce a
+//! universe **byte-identical** to the sequential reference path: same
+//! computations in the same `CompId` order after the deterministic
+//! merge, same event-id bindings, same payload table.
+
+use hpl_core::{
+    enumerate, enumerate_sharded, EnumerationLimits, LocalStep, LocalView, ProtoAction, Protocol,
+    ProtocolUniverse, ShardConfig,
+};
+use hpl_model::{ActionId, ProcessId};
+use hpl_protocols::failure::CrashableWorker;
+use hpl_protocols::gossip::PushGossip;
+use hpl_protocols::token_bus::TokenBus;
+use hpl_protocols::tracking::Toggler;
+use hpl_protocols::two_generals::TwoGenerals;
+
+/// Byte-identity: sizes, per-id computations, event bindings, payloads.
+fn assert_identical(sharded: &ProtocolUniverse, sequential: &ProtocolUniverse, label: &str) {
+    assert_eq!(
+        sharded.universe().len(),
+        sequential.universe().len(),
+        "{label}: universe size"
+    );
+    for (id, c) in sequential.universe().iter() {
+        assert_eq!(sharded.universe().get(id), c, "{label}: computation {id}");
+        for e in c.iter() {
+            assert_eq!(
+                sharded.universe().event(e.id()),
+                sequential.universe().event(e.id()),
+                "{label}: binding of {:?}",
+                e.id()
+            );
+        }
+    }
+    assert_eq!(
+        sharded.payload_table(),
+        sequential.payload_table(),
+        "{label}: payload table"
+    );
+}
+
+fn check_protocol<P: Protocol + Sync>(p: &P, depth: usize, label: &str) {
+    let limits = EnumerationLimits {
+        max_events: depth,
+        max_computations: 1_000_000,
+    };
+    let seq = enumerate(p, limits).expect("within budget");
+    assert!(seq.universe().is_prefix_closed(), "{label}: prefix closure");
+    for shards in [1usize, 2, 8] {
+        let out =
+            enumerate_sharded(p, limits, &ShardConfig::with_shards(shards)).expect("within budget");
+        assert_identical(&out.universe, &seq, &format!("{label} @ {shards} shard(s)"));
+        assert_eq!(
+            out.stats.unique,
+            seq.universe().len(),
+            "{label}: stats.unique"
+        );
+    }
+}
+
+#[test]
+fn token_bus_is_shard_deterministic() {
+    check_protocol(&TokenBus::new(3), 6, "token_bus(3)");
+    check_protocol(&TokenBus::new(4), 5, "token_bus(4)");
+}
+
+#[test]
+fn two_generals_is_shard_deterministic() {
+    check_protocol(&TwoGenerals { max_rounds: 3 }, 6, "two_generals");
+}
+
+#[test]
+fn crashable_worker_is_shard_deterministic() {
+    check_protocol(&CrashableWorker { max_reports: 2 }, 5, "crashable_worker");
+}
+
+#[test]
+fn push_gossip_is_shard_deterministic() {
+    check_protocol(&PushGossip { n: 3 }, 4, "push_gossip(3)");
+}
+
+#[test]
+fn toggler_is_shard_deterministic() {
+    check_protocol(&Toggler { max_toggles: 2 }, 5, "toggler");
+}
+
+/// A pure pseudo-random protocol: the enabled steps are a deterministic
+/// mix of the seed and the local view, exercising irregular branching
+/// (0–3 actions per node, sends to varying peers, payload variety) that
+/// the hand-written protocols never produce.
+struct SeededChaos {
+    n: usize,
+    seed: u64,
+}
+
+impl SeededChaos {
+    fn mix(&self, p: ProcessId, view: &LocalView) -> u64 {
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        h = h
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(p.index() as u64);
+        for s in view.steps() {
+            let tag = match *s {
+                LocalStep::Sent { to, payload } => {
+                    (1u64 << 32) | ((to.index() as u64) << 16) | u64::from(payload)
+                }
+                LocalStep::Received { from, payload } => {
+                    (2u64 << 32) | ((from.index() as u64) << 16) | u64::from(payload)
+                }
+                LocalStep::Did { action } => (3u64 << 32) | u64::from(action.tag()),
+            };
+            h = (h ^ tag).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl Protocol for SeededChaos {
+    fn system_size(&self) -> usize {
+        self.n
+    }
+
+    fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+        if view.len() >= 4 {
+            return vec![];
+        }
+        let h = self.mix(p, view);
+        let mut out = Vec::new();
+        if h & 1 != 0 {
+            out.push(ProtoAction::Send {
+                to: ProcessId::new(((h >> 8) as usize) % self.n),
+                payload: ((h >> 16) & 0xf) as u32,
+            });
+        }
+        if h & 2 != 0 {
+            out.push(ProtoAction::Internal {
+                action: ActionId::new(((h >> 24) & 0xff) as u32),
+            });
+        }
+        out
+    }
+
+    fn accepts(&self, p: ProcessId, view: &LocalView, from: ProcessId, payload: u32) -> bool {
+        // an irregular but pure gate
+        (self.mix(p, view) ^ (from.index() as u64) ^ u64::from(payload)) & 4 != 0
+    }
+}
+
+#[test]
+fn seeded_random_protocols_are_shard_deterministic() {
+    for seed in [11u64, 5417, 990_001] {
+        check_protocol(
+            &SeededChaos { n: 3, seed },
+            6,
+            &format!("chaos(seed={seed})"),
+        );
+    }
+}
+
+#[test]
+fn dedupe_is_shard_deterministic_too() {
+    // with dedupe on, the canonical universe must still be independent of
+    // the shard count (the merge is what defines the order)
+    for seed in [7u64, 23, 4242] {
+        let p = SeededChaos { n: 3, seed };
+        let limits = EnumerationLimits {
+            max_events: 6,
+            max_computations: 1_000_000,
+        };
+        let reference = enumerate_sharded(
+            &p,
+            limits,
+            &ShardConfig {
+                shards: 1,
+                split_depth: None,
+                dedupe: true,
+            },
+        )
+        .expect("within budget");
+        for shards in [2usize, 8] {
+            let out = enumerate_sharded(
+                &p,
+                limits,
+                &ShardConfig {
+                    shards,
+                    split_depth: None,
+                    dedupe: true,
+                },
+            )
+            .expect("within budget");
+            assert_identical(
+                &out.universe,
+                &reference.universe,
+                &format!("dedupe chaos(seed={seed}) @ {shards} shards"),
+            );
+            assert_eq!(out.stats.explored, reference.stats.explored);
+            assert_eq!(out.stats.unique, reference.stats.unique);
+        }
+    }
+}

@@ -84,7 +84,11 @@ fn termination_detection_satisfies_theorem5_footprint() {
             spare_root: false,
         };
         let out = run_detector(kind, cfg, &reorder_net(25), 3, SimTime::MAX);
-        assert!(out.detected && out.detection_valid && out.chains_ok, "{}", out.detector);
+        assert!(
+            out.detected && out.detection_valid && out.chains_ok,
+            "{}",
+            out.detector
+        );
     }
 }
 
@@ -146,10 +150,7 @@ fn live_runtime_traces_are_analysable() {
     let hub_mark = trace.iter().position(|e| e.is_internal()).expect("marker");
     for i in 1..n {
         let p = ProcessId::new(i);
-        let send_pos = trace
-            .iter()
-            .position(|e| e.is_on(p))
-            .expect("spoke sent");
+        let send_pos = trace.iter().position(|e| e.is_on(p)).expect("spoke sent");
         assert!(
             hb.happened_before(send_pos, hub_mark),
             "chain ⟨p{i} p0⟩ must exist in the live trace"
