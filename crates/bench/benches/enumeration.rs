@@ -38,7 +38,7 @@ fn bench_two_generals_enumeration(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
             b.iter(|| {
                 black_box(
-                    enumerate(&TwoGenerals { max_rounds: 4 }, EnumerationLimits::depth(d))
+                    enumerate(&TwoGenerals::new(4), EnumerationLimits::depth(d))
                         .expect("within budget")
                         .universe()
                         .len(),

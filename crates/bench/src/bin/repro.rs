@@ -8,14 +8,17 @@
 //! Usage: `cargo run --release -p hpl-bench --bin repro [section…]`
 //! where sections are any of:
 //! `figures example axioms local properties theorem1 extension transfer
-//! generals tracking failure termination ablation extras` (default: all).
+//! generals tracking failure termination ablation extras sweep`
+//! (default: all).
 //!
 //! Performance-report mode:
 //! `repro --json [--out PATH] [--baseline PATH]` runs the perf scenarios
 //! instead of the paper report and writes a machine-readable
 //! `BENCH_*.json` (schema in DESIGN.md). With `--baseline`, exits
 //! non-zero if any scenario's wall time regressed more than 25 %
-//! (override with `--tolerance FRACTION`).
+//! (override with `--tolerance FRACTION`). Quotient scenarios are
+//! additionally gated on their symmetry-reduction factor staying at or
+//! above `--min-reduction` (default 5×).
 
 use hpl_bench::report::{PerfReport, Scenario};
 use hpl_bench::{random_computation, InterleavingStress};
@@ -36,9 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut json = false;
-    let mut out_path = String::from("BENCH_pr2.json");
+    let mut out_path = String::from("BENCH_pr3.json");
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.25f64;
+    let mut min_reduction = 5.0f64;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -51,11 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .ok_or("--tolerance needs a fraction")?
                     .parse::<f64>()?;
             }
+            "--min-reduction" => {
+                min_reduction = it
+                    .next()
+                    .ok_or("--min-reduction needs a factor")?
+                    .parse::<f64>()?;
+            }
             _ => args.push(a),
         }
     }
     if json {
-        return perf_report(&out_path, baseline.as_deref(), tolerance);
+        return perf_report(&out_path, baseline.as_deref(), tolerance, min_reduction);
     }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
@@ -105,6 +115,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if want("extras") {
         extras_report();
     }
+    if want("sweep") {
+        sweep_report()?;
+    }
 
     println!("\n=== report complete ===");
     Ok(())
@@ -129,17 +142,23 @@ fn time_ms<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 /// The perf scenarios behind `--json`: enumeration (sequential vs
-/// sharded), dedupe, and sat-set throughput. Writes the report, prints a
-/// summary table, and — given a baseline — fails on wall-time
-/// regressions beyond `tolerance`.
+/// sharded), dedupe, symmetry quotient, and sat-set throughput. Writes
+/// the report, prints a summary table, and — given a baseline — fails
+/// on wall-time regressions beyond `tolerance` or on quotient scenarios
+/// whose reduction factor falls below `min_reduction`.
 fn perf_report(
     out_path: &str,
     baseline: Option<&str>,
     tolerance: f64,
+    min_reduction: f64,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use hpl_core::enumerate_sharded;
 
     let mut report = PerfReport::default();
+    report.host_fact(
+        "nproc",
+        std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
+    );
     let rounds = 5;
     let shards = 8;
     let cfg = ShardConfig::with_shards(shards);
@@ -209,6 +228,44 @@ fn perf_report(
             .metric("dedupe_ratio", ded.stats.dedupe_ratio()),
     );
 
+    // -- symmetry quotient on the token family: the chatter-rich line
+    // bus (trivial group: pure interleaving collapse) and the broadcast
+    // star (S_{n−1} fixing the initial holder: relabelings collapse on
+    // top of interleavings). Gated on reduction_factor ≥ min_reduction.
+    let qcfg = ShardConfig::with_shards(shards).quotient();
+    let bus_rich = hpl_protocols::token_bus::TokenBus::with_chatter(3, 2);
+    let qlimits = EnumerationLimits {
+        max_events: 10,
+        max_computations: 2_000_000,
+    };
+    let (qbus_ms, qbus) = time_ms(rounds, || {
+        enumerate_sharded(&bus_rich, qlimits, &qcfg).expect("within budget")
+    });
+    let qbus_orbits = qbus.orbits.as_ref().expect("quotient attaches orbits");
+    report.push(
+        Scenario::new("quotient_token_bus_n3_c2_d10_sharded8", qbus_ms)
+            .metric("explored", qbus.stats.explored as f64)
+            .metric("orbit_count", qbus_orbits.orbit_count() as f64)
+            .metric("reduction_factor", qbus_orbits.reduction_factor())
+            .metric("group_order", qbus.stats.group_order as f64),
+    );
+    let star = hpl_protocols::token_bus::BroadcastBus::with_chatter(4, 1);
+    let star_limits = EnumerationLimits {
+        max_events: 8,
+        max_computations: 2_000_000,
+    };
+    let (qstar_ms, qstar) = time_ms(rounds, || {
+        enumerate_sharded(&star, star_limits, &qcfg).expect("within budget")
+    });
+    let qstar_orbits = qstar.orbits.as_ref().expect("quotient attaches orbits");
+    report.push(
+        Scenario::new("quotient_broadcast_star_n4_c1_d8_sharded8", qstar_ms)
+            .metric("explored", qstar.stats.explored as f64)
+            .metric("orbit_count", qstar_orbits.orbit_count() as f64)
+            .metric("reduction_factor", qstar_orbits.reduction_factor())
+            .metric("group_order", qstar.stats.group_order as f64),
+    );
+
     // -- sat-set throughput: knowledge queries over a 3.4k-computation
     // universe, with a fresh evaluator per round so both the `[P]`
     // partitions and the batched set algebra are measured -------------
@@ -262,6 +319,28 @@ fn perf_report(
             .metric("sat_sets_per_s", evaluated / (sat_ms / 1e3)),
     );
 
+    // -- the same workload with the shared `[P]`-partition cache: fresh
+    // evaluators per round stop paying the partition rebuild (the
+    // ROADMAP's IsoIndex-sharing item) ---------------------------------
+    let (shared_ms, _) = time_ms(rounds, || {
+        let cache = hpl_core::ClassCache::shared();
+        let mut total = 0usize;
+        for _ in 0..eval_rounds {
+            let mut eval = Evaluator::with_class_cache(pu.universe(), &interp, cache.clone());
+            for f in &formulas {
+                total += eval.sat_set(f).count();
+            }
+        }
+        total
+    });
+    report.push(
+        Scenario::new("sat_set_stress_n2_k6_d12_shared_cache", shared_ms)
+            .metric("universe_size", pu.universe().len() as f64)
+            .metric("formulas", formulas.len() as f64)
+            .metric("sat_sets_per_s", evaluated / (shared_ms / 1e3))
+            .metric("speedup_vs_fresh", sat_ms / shared_ms),
+    );
+
     // -- emit + gate ----------------------------------------------------
     let json = report.to_json();
     std::fs::write(out_path, &json)?;
@@ -277,6 +356,24 @@ fn perf_report(
         .unwrap_or(0.0);
     println!("sharded-vs-sequential speedup: {speedup:.2}×");
 
+    // both gates report before either fails, so one violation cannot
+    // mask the other's diagnostics
+    let mut failed = false;
+
+    // the symmetry gate runs unconditionally (no baseline needed): a
+    // quotient scenario recording a reduction factor below the floor
+    // means the subsystem stopped pulling its weight
+    let floors = report.below_reduction_floor(min_reduction);
+    if floors.is_empty() {
+        println!("quotient gate: all reduction factors ≥ {min_reduction:.1}×");
+    } else {
+        eprintln!("QUOTIENT REDUCTION BELOW FLOOR:");
+        for f in &floors {
+            eprintln!("  {f}");
+        }
+        failed = true;
+    }
+
     if let Some(path) = baseline {
         let base = PerfReport::parse_wall_times(&std::fs::read_to_string(path)?);
         let regs = report.regressions(&base, tolerance);
@@ -290,8 +387,11 @@ fn perf_report(
             for r in &regs {
                 eprintln!("  {r}");
             }
-            std::process::exit(1);
+            failed = true;
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
     Ok(())
 }
@@ -874,6 +974,110 @@ fn extras_report() {
     );
     assert!(out.leader.is_some() && leadership_chains_ok(&out.trace));
     println!("extras: all validated");
+}
+
+/// The §5-scale workload sweep: the paper's toy universes (≤ 65
+/// computations at depth 14) parameterized with richer action alphabets
+/// — token-bus chatter, two-generals deliberation, the broadcast star —
+/// and enumerated through the symmetry quotient, which is what keeps
+/// the depth-14 sweeps tractable.
+fn sweep_report() -> Result<(), Box<dyn std::error::Error>> {
+    use hpl_core::enumerate_sharded;
+    use hpl_protocols::token_bus::{BroadcastBus, TokenBus};
+    use hpl_protocols::two_generals::TwoGenerals;
+
+    section("§5-scale sweep: parameterized paper workloads under the quotient");
+    println!(
+        "{:>34} {:>9} {:>9} {:>10} {:>6}",
+        "workload", "explored", "orbits", "reduction", "|G|"
+    );
+    let qcfg = ShardConfig::with_shards(8).quotient();
+    let big = |d: usize| EnumerationLimits {
+        max_events: d,
+        max_computations: 20_000_000,
+    };
+
+    struct Row {
+        label: &'static str,
+        explored: usize,
+        orbits: usize,
+        reduction: f64,
+        group: usize,
+    }
+    let mut rows = Vec::new();
+    {
+        let out = enumerate_sharded(&TokenBus::with_chatter(3, 2), big(14), &qcfg)?;
+        let orbits = out.orbits.as_ref().expect("quotient attaches orbits");
+        rows.push(Row {
+            label: "token_bus n=3 chatter=2 d=14",
+            explored: out.stats.explored,
+            orbits: orbits.orbit_count(),
+            reduction: orbits.reduction_factor(),
+            group: out.stats.group_order,
+        });
+    }
+    {
+        let out = enumerate_sharded(&TwoGenerals::with_deliberation(3, 4), big(14), &qcfg)?;
+        let orbits = out.orbits.as_ref().expect("quotient attaches orbits");
+        rows.push(Row {
+            label: "two_generals r=3 deliberation=4 d=14",
+            explored: out.stats.explored,
+            orbits: orbits.orbit_count(),
+            reduction: orbits.reduction_factor(),
+            group: out.stats.group_order,
+        });
+    }
+    {
+        let out = enumerate_sharded(&BroadcastBus::with_chatter(4, 2), big(8), &qcfg)?;
+        let orbits = out.orbits.as_ref().expect("quotient attaches orbits");
+        rows.push(Row {
+            label: "broadcast_star n=4 chatter=2 d=8",
+            explored: out.stats.explored,
+            orbits: orbits.orbit_count(),
+            reduction: orbits.reduction_factor(),
+            group: out.stats.group_order,
+        });
+    }
+    for r in &rows {
+        println!(
+            "{:>34} {:>9} {:>9} {:>10.1} {:>6}",
+            r.label, r.explored, r.orbits, r.reduction, r.group
+        );
+        assert!(
+            r.explored > 65,
+            "sweep workloads must exceed the paper's toy sizes"
+        );
+    }
+
+    // the knowledge results survive at scale: the chatter-rich bus still
+    // satisfies the §4.1-style fact, evaluated on the quotient
+    let bus = TokenBus::with_chatter(3, 2);
+    let out = enumerate_sharded(&bus, EnumerationLimits::depth(10), &qcfg)?;
+    let orbits = out.orbits.as_ref().expect("quotient attaches orbits");
+    let mut interp = Interpretation::new();
+    let atoms = token_bus::token_atoms(&mut interp, 3);
+    let mut eval = Evaluator::with_symmetry(out.universe.universe(), &interp, orbits);
+    // whenever p2 holds the token, p2 knows p0 does not (outermost knows)
+    let f = Formula::knows(
+        ProcessSet::singleton(ProcessId::new(2)),
+        atoms[0].clone().not(),
+    );
+    let sat = eval.sat_set(&f);
+    let mut holds = 0usize;
+    let mut verified = true;
+    for (id, c) in out.universe.universe().iter() {
+        if token_bus::holds_token(c, ProcessId::new(2)) {
+            holds += 1;
+            verified &= sat.contains(id.index());
+        }
+    }
+    println!(
+        "knowledge at scale: p2-holds representatives {holds}, all satisfy \
+         (p2 knows ¬token-at-p0): {verified}"
+    );
+    assert!(verified && holds > 0);
+    println!("§5-scale sweep: REPRODUCED under the quotient");
+    Ok(())
 }
 
 /// §5 application 3: the termination-detection overhead table.

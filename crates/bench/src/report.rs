@@ -50,15 +50,22 @@ impl Scenario {
     }
 }
 
-/// The complete report: schema tag plus scenarios.
+/// The complete report: schema tag, host facts, scenarios.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PerfReport {
+    /// Host facts recorded once per report (e.g. `nproc`) — numbers
+    /// needed to interpret wall times and speedups across runner
+    /// classes.
+    pub host: Vec<(String, f64)>,
     /// Measured scenarios, in run order.
     pub scenarios: Vec<Scenario>,
 }
 
-/// Schema identifier stamped into every report.
-pub const SCHEMA: &str = "hpl-bench-report/v1";
+/// Schema identifier stamped into every report. `v2` added the `host`
+/// object (`nproc`) and the quotient metrics (`orbit_count`,
+/// `reduction_factor`, `group_order`) on quotient scenarios; `v1`
+/// parsers that scan `scenarios[].name`/`wall_ms` still work.
+pub const SCHEMA: &str = "hpl-bench-report/v2";
 
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
@@ -86,12 +93,26 @@ impl PerfReport {
         self.scenarios.push(s);
     }
 
+    /// Records a host fact (e.g. `nproc`).
+    pub fn host_fact(&mut self, key: &str, value: f64) {
+        self.host.push((key.to_owned(), value));
+    }
+
     /// Renders the report as pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        if !self.host.is_empty() {
+            out.push_str("  \"host\": {\n");
+            for (j, (k, v)) in self.host.iter().enumerate() {
+                let _ = write!(out, "    \"{}\": ", escape(k));
+                write_f64(&mut out, *v);
+                out.push_str(if j + 1 < self.host.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  },\n");
+        }
         out.push_str("  \"scenarios\": [\n");
         for (i, s) in self.scenarios.iter().enumerate() {
             out.push_str("    {\n");
@@ -171,6 +192,25 @@ impl PerfReport {
         }
         out
     }
+
+    /// The symmetry-quotient gate: one human-readable line per scenario
+    /// that records a `reduction_factor` metric below `floor`. Scenarios
+    /// without the metric (non-quotient scenarios) are never violations.
+    #[must_use]
+    pub fn below_reduction_floor(&self, floor: f64) -> Vec<String> {
+        self.scenarios
+            .iter()
+            .filter_map(|s| {
+                let r = s.get_metric("reduction_factor")?;
+                (r < floor).then(|| {
+                    format!(
+                        "{}: reduction factor {r:.2}× below the {floor:.1}× floor",
+                        s.name
+                    )
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +219,7 @@ mod tests {
 
     fn sample() -> PerfReport {
         let mut r = PerfReport::default();
+        r.host_fact("nproc", 8.0);
         r.push(
             Scenario::new("enumerate_x", 12.5)
                 .metric("universe_size", 1000.0)
@@ -207,8 +248,21 @@ mod tests {
     fn metrics_are_rendered_and_queryable() {
         let r = sample();
         assert!(r.to_json().contains("\"universe_size\": 1000"));
+        assert!(r.to_json().contains("\"nproc\": 8"));
         assert_eq!(r.scenarios[0].get_metric("speedup"), Some(2.25));
         assert_eq!(r.scenarios[0].get_metric("missing"), None);
+    }
+
+    #[test]
+    fn reduction_floor_gate() {
+        let mut r = sample();
+        // no quotient scenarios → no violations
+        assert!(r.below_reduction_floor(5.0).is_empty());
+        r.push(Scenario::new("quotient_ok", 2.0).metric("reduction_factor", 9.5));
+        r.push(Scenario::new("quotient_bad", 2.0).metric("reduction_factor", 3.5));
+        let v = r.below_reduction_floor(5.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].starts_with("quotient_bad"), "{v:?}");
     }
 
     #[test]

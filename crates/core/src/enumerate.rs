@@ -17,7 +17,9 @@
 
 use crate::error::CoreError;
 use crate::universe::{CompId, Universe};
-use hpl_model::{ActionId, Computation, Event, EventId, EventKind, MessageId, ProcessId};
+use hpl_model::{
+    ActionId, Computation, Event, EventId, EventKind, MessageId, ProcessId, SymmetryGroup,
+};
 use std::collections::HashMap;
 
 /// A spontaneous step a process may take (receives are driven by the
@@ -134,6 +136,20 @@ pub trait Protocol {
     /// `true` (the standard asynchronous model).
     fn accepts(&self, _p: ProcessId, _view: &LocalView, _from: ProcessId, _payload: u32) -> bool {
         true
+    }
+
+    /// The protocol's declared automorphism group: permutations `π` of
+    /// the process indices under which the protocol is invariant —
+    /// process `π(p)` with the relabeled view offers exactly the
+    /// relabeled actions (and acceptances) of `p`.
+    ///
+    /// The default is [`SymmetryGroup::Trivial`], which is always sound.
+    /// Declaring a larger group enables the symmetry-quotient mode of
+    /// [`enumerate_sharded`](crate::enumerate_sharded); declaring
+    /// non-automorphisms makes that quotient unsound — validate with
+    /// [`symmetry::check_closure`](crate::symmetry::check_closure).
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::Trivial
     }
 }
 

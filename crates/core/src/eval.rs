@@ -9,15 +9,21 @@
 
 use crate::bitset::CompSet;
 use crate::formula::{Formula, Interpretation};
-use crate::isomorphism::IsoIndex;
+use crate::isomorphism::{ClassCache, IsoIndex};
+use crate::symmetry::{OrbitIndex, Orbits};
 use crate::universe::{CompId, Universe};
 use hpl_model::{ProcessId, ProcessSet};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Evaluates formulas over a universe under an interpretation.
 ///
 /// Holds the isomorphism-class cache and a formula→satisfaction-set memo;
-/// reuse one evaluator for many queries on the same universe.
+/// reuse one evaluator for many queries on the same universe — or share
+/// the partition cache across evaluators with
+/// [`Evaluator::with_class_cache`]. Over a symmetry-quotient universe,
+/// construct with [`Evaluator::with_symmetry`] so knowledge queries
+/// quantify over whole orbits.
 ///
 /// # Example
 ///
@@ -27,6 +33,7 @@ pub struct Evaluator<'u> {
     universe: &'u Universe,
     interp: &'u Interpretation,
     iso: IsoIndex<'u>,
+    sym: Option<OrbitIndex<'u>>,
     memo: HashMap<Formula, CompSet>,
     components: Option<Components>,
 }
@@ -54,10 +61,65 @@ impl<'u> Evaluator<'u> {
     /// Creates an evaluator for a universe and interpretation.
     #[must_use]
     pub fn new(universe: &'u Universe, interp: &'u Interpretation) -> Self {
+        Evaluator::with_class_cache(universe, interp, ClassCache::shared())
+    }
+
+    /// Creates an evaluator whose `[P]`-partitions come from a shared
+    /// [`ClassCache`] — fresh evaluators over the same universe then skip
+    /// the partition rebuild entirely (the cache self-invalidates when
+    /// the universe's [`generation`](Universe::generation) changes).
+    #[must_use]
+    pub fn with_class_cache(
+        universe: &'u Universe,
+        interp: &'u Interpretation,
+        cache: Arc<ClassCache>,
+    ) -> Self {
+        Evaluator {
+            universe,
+            interp,
+            iso: IsoIndex::with_cache(universe, cache),
+            sym: None,
+            memo: HashMap::new(),
+            components: None,
+        }
+    }
+
+    /// Creates an **orbit-aware** evaluator over a symmetry-quotient
+    /// universe (the output of
+    /// [`enumerate_sharded`](crate::enumerate_sharded) in quotient mode):
+    /// knowledge and common-knowledge queries quantify over the full
+    /// orbits of the stored representatives.
+    ///
+    /// # Soundness
+    ///
+    /// Evaluation at a representative matches the full universe exactly
+    /// when every **atom** is invariant under the group and under
+    /// interleaving, and every **knowledge modality** `P knows _` either
+    /// uses a process set the group *stabilizes* (`π(P) = P` for all
+    /// `π`, e.g. the full set, or the fixed process of
+    /// [`SymmetryGroup::fixing`](hpl_model::SymmetryGroup::fixing)) or is
+    /// outermost. The restriction exists because a *nested* verdict
+    /// stored at a representative `s` stands in for its relabelings
+    /// `π·s`, and `π·s ⊨ P knows b` is `s ⊨ π⁻¹(P) knows b` — the same
+    /// stored verdict only when `π⁻¹(P) = P`. `Everyone` and `Common`
+    /// quantify over orbit-closed families of sets and may be nested
+    /// freely. The quotient-vs-full equivalence suite in
+    /// `tests/symmetry_quotient.rs` certifies this contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `orbits` does not describe exactly `universe`'s members.
+    #[must_use]
+    pub fn with_symmetry(
+        universe: &'u Universe,
+        interp: &'u Interpretation,
+        orbits: &'u Orbits,
+    ) -> Self {
         Evaluator {
             universe,
             interp,
             iso: IsoIndex::new(universe),
+            sym: Some(OrbitIndex::new(universe, orbits)),
             memo: HashMap::new(),
             components: None,
         }
@@ -79,6 +141,14 @@ impl<'u> Evaluator<'u> {
     #[must_use]
     pub fn iso(&self) -> &IsoIndex<'u> {
         &self.iso
+    }
+
+    /// The orbit structure, when this evaluator is orbit-aware
+    /// ([`Evaluator::with_symmetry`]). Use it to expand quotient counts
+    /// back to full-universe cardinalities.
+    #[must_use]
+    pub fn orbits(&self) -> Option<&'u Orbits> {
+        self.sym.as_ref().map(OrbitIndex::orbits)
     }
 
     /// The satisfaction set of `f`: all computations at which `f` holds.
@@ -201,10 +271,20 @@ impl<'u> Evaluator<'u> {
     }
 
     /// `{x : [P]-class of x ⊆ sat}` — the satisfaction set of
-    /// `P knows ⟨sat⟩`.
+    /// `P knows ⟨sat⟩`. Over a quotient universe the class is expanded
+    /// to every representative whose orbit intersects it.
     fn knows_set(&self, p: ProcessSet, sat: &CompSet) -> CompSet {
-        let classes = self.iso.classes(p);
         let mut s = CompSet::new(self.universe.len());
+        if let Some(orbit) = &self.sym {
+            let classes = orbit.classes(p);
+            for class in 0..classes.class_count() {
+                if classes.orbit_set(class).is_subset(sat) {
+                    s.union_with(classes.member_set(class));
+                }
+            }
+            return s;
+        }
+        let classes = self.iso.classes(p);
         for class in 0..classes.class_count() {
             let mset = classes.member_set(class);
             if mset.is_subset(sat) {
@@ -222,7 +302,24 @@ impl<'u> Evaluator<'u> {
             let n = self.universe.len();
             let mut dsu = Dsu::new(n);
             for pi in 0..self.universe.system_size() {
-                let classes = self.iso.classes(ProcessSet::singleton(ProcessId::new(pi)));
+                let p = ProcessSet::singleton(ProcessId::new(pi));
+                if let Some(orbit) = &self.sym {
+                    // over the quotient, r and s are related when any
+                    // relabeling of r is [p]-isomorphic to s — i.e. both
+                    // sit in one class's orbit set.
+                    let classes = orbit.classes(p);
+                    for class in 0..classes.class_count() {
+                        let mut prev: Option<usize> = None;
+                        for i in classes.orbit_set(class).iter() {
+                            if let Some(j) = prev {
+                                dsu.union(j, i);
+                            }
+                            prev = Some(i);
+                        }
+                    }
+                    continue;
+                }
+                let classes = self.iso.classes(p);
                 for class in 0..classes.class_count() {
                     let members = classes.members(class);
                     for w in members.windows(2) {

@@ -14,9 +14,9 @@
 use crate::bitset::CompSet;
 use crate::universe::{CompId, Universe};
 use hpl_model::ProcessSet;
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The `[P]`-partition of a universe: each computation's class, and each
 /// class's members.
@@ -89,18 +89,130 @@ impl Classes {
 #[derive(Debug)]
 pub struct IsoIndex<'u> {
     universe: &'u Universe,
-    cache: RefCell<HashMap<u128, Rc<Classes>>>,
+    cache: Arc<ClassCache>,
+}
+
+/// A shareable `[P]`-partition cache, keyed by the universe *generation*
+/// it was built from ([`Universe::generation`]). Partitions depend only
+/// on the universe's membership, so one cache can back any number of
+/// [`IsoIndex`]es / [`Evaluator`](crate::Evaluator)s over the same
+/// universe — a fresh evaluator per query round stops paying the
+/// partition-rebuild cost. The cache retains partitions for the most
+/// recent [`MAX_CACHED_GENERATIONS`] universe states it has served, so
+/// it may be shared across a handful of live universes (or a universe
+/// that grows) without thrashing; touching a generation beyond that
+/// window evicts the least recently served one.
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::isomorphism::ClassCache;
+/// use hpl_core::{Evaluator, Formula, Interpretation, Universe};
+/// use hpl_model::{ProcessId, ProcessSet, ScenarioPool};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pool = ScenarioPool::new(2);
+/// let a = pool.internal(ProcessId::new(0));
+/// let mut u = Universe::new(2);
+/// u.insert(pool.compose([])?)?;
+/// u.insert(pool.compose([a])?)?;
+///
+/// let mut interp = Interpretation::new();
+/// let sent = interp.register("any", |c| !c.is_empty());
+/// let cache = ClassCache::shared();
+/// let f = Formula::knows(ProcessSet::singleton(ProcessId::new(0)), Formula::atom(sent));
+/// // both evaluators reuse the same partitions:
+/// let s1 = Evaluator::with_class_cache(&u, &interp, cache.clone()).sat_set(&f);
+/// let s2 = Evaluator::with_class_cache(&u, &interp, cache).sat_set(&f);
+/// assert_eq!(s1, s2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ClassCache {
+    inner: Mutex<CacheInner>,
+}
+
+/// How many distinct universe states a [`ClassCache`] retains partitions
+/// for before evicting the least recently served one.
+pub const MAX_CACHED_GENERATIONS: usize = 4;
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Generations currently cached, most recently served last.
+    recent: Vec<u64>,
+    map: HashMap<(u64, u128), Arc<Classes>>,
+}
+
+impl ClassCache {
+    /// Creates an empty cache behind an [`Arc`], ready to be shared.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(ClassCache::default())
+    }
+
+    /// Number of cached partitions (for diagnostics and tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Returns `true` if no partition is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetches the `[P]`-partition for `universe`, building it with
+    /// `build` on a miss. Partitions of up to [`MAX_CACHED_GENERATIONS`]
+    /// universe states are kept; serving a generation beyond the window
+    /// evicts the least recently served one's entries.
+    fn get_or_build(
+        &self,
+        universe: &Universe,
+        p: ProcessSet,
+        build: impl FnOnce() -> Classes,
+    ) -> Arc<Classes> {
+        let generation = universe.generation();
+        let mut inner = self.inner.lock();
+        match inner.recent.iter().position(|&g| g == generation) {
+            Some(i) => {
+                // keep the LRU order current
+                let g = inner.recent.remove(i);
+                inner.recent.push(g);
+            }
+            None => {
+                inner.recent.push(generation);
+                if inner.recent.len() > MAX_CACHED_GENERATIONS {
+                    let evicted = inner.recent.remove(0);
+                    inner.map.retain(|&(g, _), _| g != evicted);
+                }
+            }
+        }
+        if let Some(c) = inner.map.get(&(generation, p.bits())) {
+            return Arc::clone(c);
+        }
+        let classes = Arc::new(build());
+        inner
+            .map
+            .insert((generation, p.bits()), Arc::clone(&classes));
+        classes
+    }
 }
 
 impl<'u> IsoIndex<'u> {
-    /// Creates an index over the universe. Class partitions are computed
-    /// lazily per process set and cached.
+    /// Creates an index over the universe with a private partition cache.
+    /// Class partitions are computed lazily per process set and cached.
     #[must_use]
     pub fn new(universe: &'u Universe) -> Self {
-        IsoIndex {
-            universe,
-            cache: RefCell::new(HashMap::new()),
-        }
+        IsoIndex::with_cache(universe, ClassCache::shared())
+    }
+
+    /// Creates an index backed by a shared [`ClassCache`], so several
+    /// indexes (or evaluators) over the same universe reuse one set of
+    /// partitions.
+    #[must_use]
+    pub fn with_cache(universe: &'u Universe, cache: Arc<ClassCache>) -> Self {
+        IsoIndex { universe, cache }
     }
 
     /// The universe this index serves.
@@ -111,14 +223,9 @@ impl<'u> IsoIndex<'u> {
 
     /// The `[P]`-partition (cached).
     #[must_use]
-    pub fn classes(&self, p: ProcessSet) -> Rc<Classes> {
-        if let Some(c) = self.cache.borrow().get(&p.bits()) {
-            return Rc::clone(c);
-        }
-        let classes = self.build_classes(p);
-        let rc = Rc::new(classes);
-        self.cache.borrow_mut().insert(p.bits(), Rc::clone(&rc));
-        rc
+    pub fn classes(&self, p: ProcessSet) -> Arc<Classes> {
+        self.cache
+            .get_or_build(self.universe, p, || self.build_classes(p))
     }
 
     fn build_classes(&self, p: ProcessSet) -> Classes {
@@ -589,6 +696,59 @@ mod tests {
         // with the assumption properly gated, no spurious violation:
         assert!(properties::extensionality(&iso, ps(0), ProcessSet::full(2)).is_ok());
         assert!(properties::subset_antitone(&iso, ps(0), ProcessSet::full(2)).is_ok());
+    }
+
+    #[test]
+    fn shared_cache_reuses_and_invalidates() {
+        let (u, _) = two_indep();
+        let cache = ClassCache::shared();
+        {
+            let iso = IsoIndex::with_cache(&u, Arc::clone(&cache));
+            let a = iso.classes(ps(0));
+            assert_eq!(cache.len(), 1);
+            // a second index over the same universe hits the cache: the
+            // returned Arc is the same allocation
+            let iso2 = IsoIndex::with_cache(&u, Arc::clone(&cache));
+            let b = iso2.classes(ps(0));
+            assert!(Arc::ptr_eq(&a, &b), "partition must be shared, not rebuilt");
+        }
+        // growing the universe changes its generation: the grown state
+        // gets a fresh partition …
+        let mut u2 = u.clone();
+        // (fresh ids to avoid clashing with two_indep's event space)
+        let mut b = hpl_model::ComputationBuilder::with_id_offsets(2, 100, 50);
+        b.internal(pid(0)).unwrap();
+        u2.insert(b.finish()).unwrap();
+        assert_ne!(u.generation(), u2.generation());
+        let iso3 = IsoIndex::with_cache(&u2, Arc::clone(&cache));
+        let cl = iso3.classes(ps(0));
+        assert_eq!(cl.class_of.len(), u2.len(), "rebuilt for the new state");
+        // … while the old state's partition stays warm (both generations
+        // fit in the retention window), so alternating between two live
+        // universes does not thrash
+        assert_eq!(cache.len(), 2, "both generations retained");
+        let old = IsoIndex::with_cache(&u, Arc::clone(&cache)).classes(ps(0));
+        assert_eq!(old.class_of.len(), u.len(), "old state still served");
+        assert_eq!(cache.len(), 2, "no rebuild on alternation");
+        // a clone (content-identical, same generation) keeps sharing
+        let u3 = u2.clone();
+        assert_eq!(u2.generation(), u3.generation());
+        let iso4 = IsoIndex::with_cache(&u3, Arc::clone(&cache));
+        assert!(Arc::ptr_eq(&cl, &iso4.classes(ps(0))));
+        // serving more than MAX_CACHED_GENERATIONS distinct states evicts
+        // the least recently served one's entries
+        let mut grown = u2.clone();
+        for i in 0..MAX_CACHED_GENERATIONS {
+            let mut b = hpl_model::ComputationBuilder::with_id_offsets(2, 200 + i, 80 + i);
+            b.internal(pid(1)).unwrap();
+            grown.insert(b.finish()).unwrap();
+            let _ = IsoIndex::with_cache(&grown, Arc::clone(&cache)).classes(ps(0));
+        }
+        assert!(
+            cache.len() <= MAX_CACHED_GENERATIONS,
+            "evictions bound the cache ({} entries)",
+            cache.len()
+        );
     }
 
     #[test]

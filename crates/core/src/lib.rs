@@ -82,6 +82,7 @@ pub mod isomorphism;
 pub mod local;
 pub mod parallel;
 pub mod parser;
+pub mod symmetry;
 pub mod transfer;
 pub mod universe;
 pub mod views;
@@ -96,8 +97,9 @@ pub use error::CoreError;
 pub use eval::{Evaluator, MemoStats};
 pub use formula::{AtomId, Formula, Interpretation};
 pub use fusion::{fuse_lemma1, fuse_theorem2, FusionError};
-pub use isomorphism::IsoIndex;
+pub use isomorphism::{ClassCache, IsoIndex};
 pub use parallel::{enumerate_sharded, EnumerationStats, ShardConfig, ShardedEnumeration};
 pub use parser::parse;
+pub use symmetry::{canonical_key, check_closure, OrbitClasses, OrbitIndex, Orbits};
 pub use universe::{CompId, Universe};
 pub use views::{BoundedMemory, EventCounts, FullHistory, ViewAbstraction, ViewIndex};

@@ -41,6 +41,7 @@ use crate::enumerate::{
     StepKey,
 };
 use crate::error::CoreError;
+use crate::symmetry::{OrbitDecision, Orbits, QuotientState};
 use crate::universe::Universe;
 use crossbeam::channel::{self, Sender};
 use hpl_model::{Computation, Event, EventId, ProcessId};
@@ -63,17 +64,27 @@ pub struct ShardConfig {
     /// quotient of the paper's universe, sound only for
     /// permutation-invariant queries.
     pub dedupe: bool,
+    /// Symmetry-quotient mode: additionally collapse relabelings under
+    /// the protocol's declared automorphism group
+    /// ([`Protocol::symmetry`]), storing one orbit representative with
+    /// its multiplicity ([`ShardedEnumeration::orbits`]). Subsumes
+    /// `dedupe` (the orbit relation contains `[D]`-isomorphism). Sound
+    /// for queries whose atoms are invariant under the group and under
+    /// interleaving, evaluated through
+    /// [`Evaluator::with_symmetry`](crate::Evaluator::with_symmetry).
+    pub quotient: bool,
 }
 
 impl ShardConfig {
     /// A configuration with `shards` workers and default split depth, no
-    /// dedupe.
+    /// dedupe, no quotient.
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
         ShardConfig {
             shards,
             split_depth: None,
             dedupe: false,
+            quotient: false,
         }
     }
 
@@ -81,6 +92,14 @@ impl ShardConfig {
     #[must_use]
     pub fn dedupe(mut self) -> Self {
         self.dedupe = true;
+        self
+    }
+
+    /// Enables the symmetry-quotient mode (see
+    /// [`ShardConfig::quotient`]).
+    #[must_use]
+    pub fn quotient(mut self) -> Self {
+        self.quotient = true;
         self
     }
 }
@@ -91,6 +110,7 @@ impl Default for ShardConfig {
             shards: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             split_depth: None,
             dedupe: false,
+            quotient: false,
         }
     }
 }
@@ -98,25 +118,36 @@ impl Default for ShardConfig {
 /// Counters describing one sharded enumeration run.
 #[derive(Clone, Copy, Debug)]
 pub struct EnumerationStats {
-    /// Tree nodes explored (computations before dedupe).
+    /// Tree nodes explored (computations before dedupe/quotient).
     pub explored: usize,
     /// Computations kept in the universe (equals `explored` without
-    /// dedupe).
+    /// dedupe or quotient).
     pub unique: usize,
     /// Frontier tasks distributed to workers.
     pub tasks: usize,
     /// Worker threads used.
     pub shards: usize,
+    /// Order of the symmetry group the quotient collapsed over (`1`
+    /// outside quotient mode).
+    pub group_order: usize,
 }
 
 impl EnumerationStats {
-    /// Explored-to-kept ratio (`1.0` without dedupe; higher means more
-    /// symmetric permutations collapsed).
+    /// Explored-to-kept ratio (`1.0` without dedupe or quotient; higher
+    /// means more symmetric permutations collapsed). In quotient mode
+    /// this is the universe **reduction factor**.
     #[must_use]
     pub fn dedupe_ratio(&self) -> f64 {
         #[allow(clippy::cast_precision_loss)]
         let (e, u) = (self.explored as f64, self.unique.max(1) as f64);
         e / u
+    }
+
+    /// Alias for [`EnumerationStats::dedupe_ratio`], named for quotient
+    /// runs.
+    #[must_use]
+    pub fn reduction_factor(&self) -> f64 {
+        self.dedupe_ratio()
     }
 }
 
@@ -124,10 +155,14 @@ impl EnumerationStats {
 #[derive(Debug)]
 pub struct ShardedEnumeration {
     /// The enumerated universe (byte-identical to the sequential engine's
-    /// when dedupe is off).
+    /// when dedupe and quotient are off).
     pub universe: ProtocolUniverse,
     /// Exploration counters.
     pub stats: EnumerationStats,
+    /// Orbit structure (group elements, per-representative
+    /// multiplicities) — present exactly in quotient mode; feed it to
+    /// [`Evaluator::with_symmetry`](crate::Evaluator::with_symmetry).
+    pub orbits: Option<Orbits>,
 }
 
 /// One protocol step, as recorded by the explorers: enough to replay the
@@ -425,8 +460,26 @@ struct Merger {
     in_flight: Vec<(EventId, ProcessId, ProcessId, u32)>,
     undo: Vec<UndoRec>,
     system_size: usize,
-    // canonical per-process projection signatures already represented
-    seen: Option<HashSet<Vec<u64>>>,
+    mode: MergeMode,
+}
+
+/// How the merge treats isomorphic computations.
+enum MergeMode {
+    /// Keep everything: byte-identical to the sequential engine.
+    Exact,
+    /// Collapse `[D]`-isomorphic interleavings onto the first
+    /// representative (canonical per-process projection signatures
+    /// already represented). Kept as its own mode — rather than
+    /// delegating to `Quotient` with the trivial group — because its
+    /// event-id signatures skip the payload lookups and per-step
+    /// re-derivation of the structural path; the two partitions are
+    /// certified to agree in `tests/parallel.rs`
+    /// (`dedupe_and_trivial_quotient_partition_identically`).
+    Dedupe(HashSet<Vec<u64>>),
+    /// Symmetry quotient: collapse orbits under the protocol's
+    /// automorphism group, tracking multiplicities (boxed: the state
+    /// carries scratch buffers and dwarfs the other variants).
+    Quotient(Box<QuotientState>),
 }
 
 enum UndoRec {
@@ -444,7 +497,7 @@ enum UndoRec {
 }
 
 impl Merger {
-    fn new(system_size: usize, dedupe: bool) -> Self {
+    fn new(system_size: usize, mode: MergeMode) -> Self {
         Merger {
             space: EventSpace::default(),
             universe: Universe::new(system_size),
@@ -453,7 +506,7 @@ impl Merger {
             in_flight: Vec::new(),
             undo: Vec::new(),
             system_size,
-            seen: dedupe.then(HashSet::new),
+            mode,
         }
     }
 
@@ -528,24 +581,43 @@ impl Merger {
         self.insert_current();
     }
 
-    /// Inserts the computation at the replay head, unless dedupe finds
-    /// an isomorphic member already present.
+    /// Inserts the computation at the replay head, unless dedupe or the
+    /// symmetry quotient finds an isomorphic member already present.
     fn insert_current(&mut self) {
-        if let Some(seen) = &mut self.seen {
-            if !seen.insert(canonical_signature(self.system_size, &self.events)) {
-                return;
+        match &mut self.mode {
+            MergeMode::Exact => {}
+            MergeMode::Dedupe(seen) => {
+                if !seen.insert(canonical_signature(self.system_size, &self.events)) {
+                    return;
+                }
+            }
+            MergeMode::Quotient(q) => {
+                let payloads = &self.space.payloads;
+                let decision = q.observe(self.system_size, &self.events, &mut |m| {
+                    payloads.get(&m).copied().unwrap_or(0)
+                });
+                if matches!(decision, OrbitDecision::Collapsed) {
+                    return;
+                }
             }
         }
         let c = Computation::from_events_trusted(self.system_size, self.events.clone());
         self.universe.insert_trusted(c);
     }
 
-    fn finish(mut self) -> ProtocolUniverse {
+    fn finish(mut self) -> (ProtocolUniverse, Option<Orbits>) {
         let EventSpace {
             events, payloads, ..
         } = self.space;
         self.universe.register_events(events);
-        ProtocolUniverse::from_parts(self.universe, payloads)
+        let orbits = match self.mode {
+            MergeMode::Quotient(q) => Some(q.into_orbits()),
+            MergeMode::Exact | MergeMode::Dedupe(_) => None,
+        };
+        (
+            ProtocolUniverse::from_parts(self.universe, payloads),
+            orbits,
+        )
     }
 }
 
@@ -663,7 +735,18 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
     }
 
     // Phase 3: deterministic merge in sequential pre-order.
-    let mut merger = Merger::new(protocol.system_size(), config.dedupe);
+    let mode = if config.quotient {
+        let elements = protocol.symmetry().elements_for(protocol.system_size());
+        MergeMode::Quotient(Box::new(QuotientState::new(
+            elements,
+            protocol.system_size(),
+        )))
+    } else if config.dedupe {
+        MergeMode::Dedupe(HashSet::new())
+    } else {
+        MergeMode::Exact
+    };
+    let mut merger = Merger::new(protocol.system_size(), mode);
     merger.universe.reserve(explored);
     merger.insert_current(); // the root (empty) computation
     for entry in entries {
@@ -678,7 +761,7 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
         }
     }
     let unique = merger.universe.len();
-    let universe = merger.finish();
+    let (universe, orbits) = merger.finish();
     Ok(ShardedEnumeration {
         universe,
         stats: EnumerationStats {
@@ -686,7 +769,9 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
             unique,
             tasks: task_count,
             shards,
+            group_order: orbits.as_ref().map_or(1, Orbits::group_order),
         },
+        orbits,
     })
 }
 
@@ -799,7 +884,7 @@ mod tests {
                 let cfg = ShardConfig {
                     shards,
                     split_depth: Some(split),
-                    dedupe: false,
+                    ..ShardConfig::with_shards(shards)
                 };
                 let out = enumerate_sharded(p, EnumerationLimits::depth(depth), &cfg).unwrap();
                 assert_identical(&out.universe, &seq);
@@ -830,11 +915,7 @@ mod tests {
         // Clocks is pure interleaving: the dedupe quotient is the set of
         // per-process step-count vectors. For n=2, k=2 that is 3×3 = 9
         // members versus 19 interleavings.
-        let cfg = ShardConfig {
-            shards: 2,
-            split_depth: None,
-            dedupe: true,
-        };
+        let cfg = ShardConfig::with_shards(2).dedupe();
         let out =
             enumerate_sharded(&Clocks { n: 2, k: 2 }, EnumerationLimits::depth(4), &cfg).unwrap();
         assert_eq!(out.stats.explored, 19);
@@ -856,13 +937,114 @@ mod tests {
         }
     }
 
+    /// Fully symmetric clocks under S_n: the quotient keeps one
+    /// representative per multiset of per-process step counts.
+    struct SymmetricClocks {
+        n: usize,
+        k: usize,
+    }
+    impl Protocol for SymmetricClocks {
+        fn system_size(&self) -> usize {
+            self.n
+        }
+        fn actions(&self, _p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+            if view.len() < self.k {
+                vec![ProtoAction::Internal {
+                    action: ActionId::new(view.len() as u32),
+                }]
+            } else {
+                vec![]
+            }
+        }
+        fn symmetry(&self) -> hpl_model::SymmetryGroup {
+            hpl_model::SymmetryGroup::Full { n: self.n }
+        }
+    }
+
+    #[test]
+    fn quotient_collapses_orbits_with_multiplicities() {
+        // n=2, k=2, depth 4: 19 interleavings; [D]-dedupe keeps the 9
+        // count vectors (a,b); the S_2 quotient keeps the 6 multisets
+        // {a,b} with a ≤ b ≤ 2.
+        let cfg = ShardConfig::with_shards(2).quotient();
+        let out = enumerate_sharded(
+            &SymmetricClocks { n: 2, k: 2 },
+            EnumerationLimits::depth(4),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.stats.explored, 19);
+        assert_eq!(out.stats.unique, 6);
+        assert_eq!(out.stats.group_order, 2);
+        let orbits = out.orbits.expect("quotient mode attaches orbits");
+        assert_eq!(orbits.orbit_count(), 6);
+        assert_eq!(orbits.full_size(), 19, "multiplicities cover the tree");
+        assert!((out.stats.reduction_factor() - 19.0 / 6.0).abs() < 1e-9);
+        // diagonal orbits (a == b) have the binomial multiplicity, off-
+        // diagonal ones twice that (both relabelings): e.g. {1,1} → 2
+        // interleavings, {0,1} → 2 members (one event on either process).
+        let u = out.universe.universe();
+        for (id, c) in u.iter() {
+            let mult = orbits.multiplicity(id);
+            assert!(mult >= 1);
+            if c.is_empty() {
+                assert_eq!(mult, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_is_deterministic_across_shard_counts() {
+        let mut reference: Option<(Vec<Vec<u64>>, Vec<u64>)> = None;
+        for shards in [1usize, 2, 8] {
+            let cfg = ShardConfig::with_shards(shards).quotient();
+            let out = enumerate_sharded(
+                &SymmetricClocks { n: 3, k: 2 },
+                EnumerationLimits::depth(6),
+                &cfg,
+            )
+            .unwrap();
+            let ids: Vec<Vec<u64>> = out
+                .universe
+                .universe()
+                .iter()
+                .map(|(_, c)| c.iter().map(|e| e.id().index() as u64).collect())
+                .collect();
+            let mults: Vec<u64> = out
+                .universe
+                .universe()
+                .ids()
+                .map(|i| out.orbits.as_ref().unwrap().multiplicity(i))
+                .collect();
+            match &reference {
+                None => reference = Some((ids, mults)),
+                Some((rids, rmults)) => {
+                    assert_eq!(&ids, rids, "{shards} shards: same representatives");
+                    assert_eq!(&mults, rmults, "{shards} shards: same multiplicities");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_with_trivial_group_matches_dedupe() {
+        // Clocks declares no symmetry → quotient reduces to [D]-dedupe
+        // with multiplicity tracking.
+        let p = Clocks { n: 2, k: 2 };
+        let limits = EnumerationLimits::depth(4);
+        let ded = enumerate_sharded(&p, limits, &ShardConfig::with_shards(2).dedupe()).unwrap();
+        let quo = enumerate_sharded(&p, limits, &ShardConfig::with_shards(2).quotient()).unwrap();
+        assert_identical(&quo.universe, &ded.universe);
+        assert_eq!(quo.stats.group_order, 1);
+        assert_eq!(quo.orbits.as_ref().unwrap().full_size(), 19);
+    }
+
     #[test]
     fn budget_guard_trips_across_shards() {
         for shards in [1, 4] {
             let cfg = ShardConfig {
-                shards,
                 split_depth: Some(1),
-                dedupe: false,
+                ..ShardConfig::with_shards(shards)
             };
             let err = enumerate_sharded(
                 &Clocks { n: 2, k: 3 },
@@ -894,9 +1076,8 @@ mod tests {
     #[test]
     fn stats_report_tasks() {
         let cfg = ShardConfig {
-            shards: 2,
             split_depth: Some(1),
-            dedupe: false,
+            ..ShardConfig::with_shards(2)
         };
         let out =
             enumerate_sharded(&Clocks { n: 2, k: 2 }, EnumerationLimits::depth(4), &cfg).unwrap();

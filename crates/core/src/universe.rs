@@ -13,6 +13,18 @@ use crate::error::CoreError;
 use hpl_model::{Computation, Event, EventId, ProcessId};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global source of universe generations: every mutation of any universe
+/// draws a fresh value, so `(generation)` uniquely identifies a universe
+/// *state* across the process (clones share the generation of the state
+/// they copied — their contents are identical, so sharing derived caches
+/// is sound).
+static GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn next_generation() -> u64 {
+    GENERATIONS.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Index of a computation within a [`Universe`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -73,6 +85,7 @@ pub struct Universe {
     computations: Vec<Computation>,
     by_ids: HashMap<Vec<EventId>, CompId>,
     event_registry: HashMap<EventId, Event>,
+    generation: u64,
 }
 
 impl Universe {
@@ -84,7 +97,18 @@ impl Universe {
             computations: Vec::new(),
             by_ids: HashMap::new(),
             event_registry: HashMap::new(),
+            generation: next_generation(),
         }
+    }
+
+    /// The generation of this universe's current state: changes on every
+    /// mutation, and is unique across universes except for clones of the
+    /// same (content-identical) state. Caches derived purely from the
+    /// membership — e.g. the shared `[P]`-partition cache
+    /// ([`crate::isomorphism::ClassCache`]) — key on it.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Builds a universe from an iterator of computations.
@@ -155,6 +179,7 @@ impl Universe {
         let id = CompId::new(self.computations.len());
         self.by_ids.insert(key, id);
         self.computations.push(c);
+        self.generation = next_generation();
         Ok(id)
     }
 
@@ -181,6 +206,7 @@ impl Universe {
         let id = CompId::new(self.computations.len());
         self.by_ids.insert(key, id);
         self.computations.push(c);
+        self.generation = next_generation();
         id
     }
 
@@ -254,6 +280,9 @@ impl Universe {
                 }
             }
             i += 1;
+        }
+        if added > 0 {
+            self.generation = next_generation();
         }
         added
     }

@@ -10,6 +10,7 @@ use crate::computation::Computation;
 use crate::error::ModelError;
 use crate::event::{Event, EventKind};
 use crate::id::{ActionId, EventId, MessageId, ProcessId};
+use crate::symmetry::Permutation;
 use std::collections::HashMap;
 
 /// Incremental builder for a single [`Computation`].
@@ -298,6 +299,61 @@ impl ScenarioPool {
     ) -> Result<Computation, ModelError> {
         let events: Vec<Event> = order.into_iter().map(|id| self.event(id)).collect();
         Computation::from_events(self.system_size, events)
+    }
+
+    /// Declares a relabeled twin of every event declared so far: each
+    /// existing event is re-declared on its permuted process (send
+    /// destinations and receive sources mapped, messages given fresh
+    /// ids), and the mapping `old event id → twin event id` is returned.
+    ///
+    /// This is the builder hook behind worked symmetry examples: compose
+    /// a computation from original events and its relabeling `π·x` from
+    /// the twins, and the two live in one shared event space where
+    /// isomorphism between them is meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a receive's message was declared by a different pool
+    /// (cannot happen for events declared through this pool's methods).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hpl_model::{Permutation, ProcessId, ProcessSet, ScenarioPool};
+    /// # fn main() -> Result<(), hpl_model::ModelError> {
+    /// let mut pool = ScenarioPool::new(2);
+    /// let a = pool.internal(ProcessId::new(0));
+    /// let swap = Permutation::transposition(2, 0, 1);
+    /// let twins = pool.permuted_twins(&swap);
+    /// let x = pool.compose([a])?;
+    /// let y = pool.compose([twins[a.index()]])?;
+    /// // y is x with p0 and p1 swapped:
+    /// assert_eq!(y.events()[0].process(), ProcessId::new(1));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn permuted_twins(&mut self, pi: &Permutation) -> Vec<EventId> {
+        let originals: Vec<Event> = self.events.clone();
+        let mut message_map: HashMap<MessageId, MessageId> = HashMap::new();
+        let mut twins = Vec::with_capacity(originals.len());
+        for e in originals {
+            let twin = match e.kind() {
+                EventKind::Send { to, message } => {
+                    let (id, m) = self.send(pi.apply(e.process()), pi.apply(to));
+                    message_map.insert(message, m);
+                    id
+                }
+                EventKind::Receive { from, message } => {
+                    let m = *message_map
+                        .get(&message)
+                        .expect("receive's message declared by this pool");
+                    self.receive(pi.apply(e.process()), pi.apply(from), m)
+                }
+                EventKind::Internal { action } => self.internal_with(pi.apply(e.process()), action),
+            };
+            twins.push(twin);
+        }
+        twins
     }
 
     /// Composes many computations at once — the sharding hook used when a

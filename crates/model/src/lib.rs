@@ -74,6 +74,7 @@ pub mod error;
 pub mod event;
 pub mod id;
 pub mod procset;
+pub mod symmetry;
 pub mod trace;
 
 pub use builder::{ComputationBuilder, ScenarioPool};
@@ -85,3 +86,4 @@ pub use error::ModelError;
 pub use event::{Event, EventKind};
 pub use id::{ActionId, EventId, MessageId, ProcessId};
 pub use procset::ProcessSet;
+pub use symmetry::{Permutation, SymmetryGroup};

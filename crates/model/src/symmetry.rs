@@ -1,0 +1,572 @@
+//! Process permutations and protocol automorphism groups.
+//!
+//! The paper's isomorphism result (§4) implies that knowledge formulas
+//! cannot distinguish computations that differ only by a relabeling of
+//! *symmetric* processes: if `x [D] y` and `x ≠ y` then `y` is a
+//! permutation of `x`. A protocol whose processes are interchangeable
+//! therefore enumerates many relabeled variants of essentially one
+//! computation. [`Permutation`] is a relabeling of the process indices;
+//! [`SymmetryGroup`] is a declaration of the automorphism group under
+//! which a protocol is invariant — the input to the symmetry-quotient
+//! machinery in `hpl-core`.
+//!
+//! A permutation `π` is an **automorphism** of a protocol when relabeling
+//! every process through `π` maps the protocol onto itself: process
+//! `π(p)` with the relabeled view offers exactly the relabeled actions of
+//! `p`. Declaring a group that is *not* made of automorphisms makes the
+//! quotient unsound; `hpl-core` ships an executable closure check.
+
+use crate::computation::Computation;
+use crate::event::{Event, EventKind};
+use crate::id::ProcessId;
+use crate::procset::ProcessSet;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A permutation of the process indices `0..n` of one system.
+///
+/// # Example
+///
+/// ```
+/// use hpl_model::{Permutation, ProcessId};
+/// let rot = Permutation::rotation(4, 1); // i ↦ i+1 (mod 4)
+/// assert_eq!(rot.apply(ProcessId::new(3)), ProcessId::new(0));
+/// let inv = rot.inverse();
+/// assert!(rot.compose(&inv).is_identity());
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Permutation {
+    // image[i] = π(i)
+    image: Vec<u16>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` processes.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            image: (0..n).map(|i| i as u16).collect(),
+        }
+    }
+
+    /// Builds a permutation from its image vector (`image[i] = π(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not a permutation of `0..image.len()`.
+    #[must_use]
+    pub fn from_images<I: IntoIterator<Item = usize>>(image: I) -> Self {
+        let image: Vec<u16> = image.into_iter().map(|i| i as u16).collect();
+        let n = image.len();
+        let mut seen = vec![false; n];
+        for &i in &image {
+            assert!(
+                (i as usize) < n && !seen[i as usize],
+                "not a permutation of 0..{n}"
+            );
+            seen[i as usize] = true;
+        }
+        Permutation { image }
+    }
+
+    /// The cyclic rotation `i ↦ i + shift (mod n)`.
+    #[must_use]
+    pub fn rotation(n: usize, shift: usize) -> Self {
+        Permutation::from_images((0..n).map(|i| (i + shift) % n))
+    }
+
+    /// The line reversal `i ↦ n − 1 − i`.
+    #[must_use]
+    pub fn reversal(n: usize) -> Self {
+        Permutation::from_images((0..n).rev())
+    }
+
+    /// The ring reflection through process `0`: `i ↦ (n − i) mod n`.
+    /// Fixes `0` (and, for even `n`, process `n/2`).
+    #[must_use]
+    pub fn ring_reflection(n: usize) -> Self {
+        Permutation::from_images((0..n).map(|i| (n - i) % n))
+    }
+
+    /// The transposition swapping `a` and `b` on `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    #[must_use]
+    pub fn transposition(n: usize, a: usize, b: usize) -> Self {
+        assert!(a < n && b < n, "transposition out of range");
+        Permutation::from_images((0..n).map(|i| {
+            if i == a {
+                b
+            } else if i == b {
+                a
+            } else {
+                i
+            }
+        }))
+    }
+
+    /// Number of processes this permutation acts on.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// Returns `true` for the (degenerate) permutation of zero processes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// Applies the permutation to a process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is out of range.
+    #[must_use]
+    pub fn apply(&self, p: ProcessId) -> ProcessId {
+        ProcessId::new(self.image[p.index()] as usize)
+    }
+
+    /// The image index of `i` (like [`Permutation::apply`] on raw
+    /// indices).
+    #[must_use]
+    pub fn image_of(&self, i: usize) -> usize {
+        self.image[i] as usize
+    }
+
+    /// Tests whether this is the identity.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.image.iter().enumerate().all(|(i, &j)| i as u16 == j)
+    }
+
+    /// The inverse permutation `π⁻¹`.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let mut image = vec![0u16; self.image.len()];
+        for (i, &j) in self.image.iter().enumerate() {
+            image[j as usize] = i as u16;
+        }
+        Permutation { image }
+    }
+
+    /// The composition `self ∘ other` (apply `other` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutations act on different system sizes.
+    #[must_use]
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len(), "system size mismatch");
+        Permutation {
+            image: other
+                .image
+                .iter()
+                .map(|&j| self.image[j as usize])
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &j) in self.image.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{j}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl ProcessSet {
+    /// The image of this set under a permutation: `{π(p) : p ∈ self}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is out of the permutation's range.
+    #[must_use]
+    pub fn permuted(self, pi: &Permutation) -> Self {
+        self.iter().map(|p| pi.apply(p)).collect()
+    }
+}
+
+impl Computation {
+    /// The relabeled computation `π·self`: every event moved to the
+    /// permuted process, with send destinations and receive sources
+    /// mapped consistently. Event and message ids are **kept**, so the
+    /// result is a valid standalone computation but must not be mixed
+    /// into a universe whose event space binds those ids to the original
+    /// labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event names a process outside the permutation's
+    /// range.
+    #[must_use]
+    pub fn permuted(&self, pi: &Permutation) -> Computation {
+        let events: Vec<Event> = self
+            .iter()
+            .map(|e| {
+                let kind = match e.kind() {
+                    EventKind::Send { to, message } => EventKind::Send {
+                        to: pi.apply(to),
+                        message,
+                    },
+                    EventKind::Receive { from, message } => EventKind::Receive {
+                        from: pi.apply(from),
+                        message,
+                    },
+                    EventKind::Internal { action } => EventKind::Internal { action },
+                };
+                Event::new(e.id(), pi.apply(e.process()), kind)
+            })
+            .collect();
+        Computation::from_events(self.system_size(), events)
+            .expect("relabeling preserves system-computation validity")
+    }
+}
+
+/// Hard cap on the expanded order of a declared symmetry group, guarding
+/// against accidental `Full { n: 20 }`-style explosions.
+pub const MAX_GROUP_ORDER: usize = 40_320; // 8!
+
+/// A declared automorphism group of a protocol over `n` processes.
+///
+/// Protocols declare the group under which they are invariant (see
+/// [`Permutation`] for what invariance means); the quotient enumeration
+/// in `hpl-core` collapses each orbit of computations under the group to
+/// one canonical representative.
+///
+/// # Example
+///
+/// ```
+/// use hpl_model::SymmetryGroup;
+/// assert_eq!(SymmetryGroup::Full { n: 4 }.order(), 24);
+/// assert_eq!(SymmetryGroup::Rotations { n: 5 }.order(), 5);
+/// assert_eq!(SymmetryGroup::Trivial.order(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum SymmetryGroup {
+    /// No symmetry: only the identity. The safe default — every protocol
+    /// is invariant under it.
+    #[default]
+    Trivial,
+    /// The full symmetric group `Sₙ`: all processes interchangeable.
+    Full {
+        /// System size.
+        n: usize,
+    },
+    /// The cyclic group of ring rotations `i ↦ i + k (mod n)`.
+    Rotations {
+        /// System size.
+        n: usize,
+    },
+    /// The group generated by an explicit list of permutations (closed
+    /// under composition and inverse by [`SymmetryGroup::elements`]).
+    Generated(
+        /// Generator list; all must act on the same system size.
+        Vec<Permutation>,
+    ),
+}
+
+impl SymmetryGroup {
+    /// The subgroup of `Full {{ n }}` fixing process `fixed` — all
+    /// relabelings of the remaining processes. Useful for protocols with
+    /// one distinguished initiator among otherwise identical processes.
+    #[must_use]
+    pub fn fixing(n: usize, fixed: usize) -> Self {
+        assert!(fixed < n, "fixed process out of range");
+        let others: Vec<usize> = (0..n).filter(|&i| i != fixed).collect();
+        if others.len() < 2 {
+            return SymmetryGroup::Trivial;
+        }
+        let mut gens = vec![Permutation::transposition(n, others[0], others[1])];
+        if others.len() > 2 {
+            // the cycle over the non-fixed processes
+            let mut image: Vec<usize> = (0..n).collect();
+            for w in others.windows(2) {
+                image[w[0]] = w[1];
+            }
+            image[*others.last().expect("non-empty")] = others[0];
+            gens.push(Permutation::from_images(image));
+        }
+        SymmetryGroup::Generated(gens)
+    }
+
+    /// Expands the group to its full element list: closed under
+    /// composition and inverse, identity first, remaining elements in a
+    /// deterministic (lexicographic image) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expanded order exceeds [`MAX_GROUP_ORDER`], or if
+    /// generators act on mismatched system sizes.
+    #[must_use]
+    pub fn elements(&self) -> Vec<Permutation> {
+        match self {
+            SymmetryGroup::Trivial => vec![Permutation::identity(0)],
+            SymmetryGroup::Full { n } => {
+                let order: usize = (1..=*n).product();
+                assert!(
+                    order <= MAX_GROUP_ORDER,
+                    "S_{n} has order {order} > MAX_GROUP_ORDER"
+                );
+                let mut out = Vec::with_capacity(order.max(1));
+                let mut image: Vec<usize> = (0..*n).collect();
+                heap_permutations(&mut image, &mut out);
+                out.sort();
+                out
+            }
+            SymmetryGroup::Rotations { n } => (0..(*n).max(1))
+                .map(|k| Permutation::rotation(*n, k))
+                .collect(),
+            SymmetryGroup::Generated(gens) => {
+                let n = gens.first().map_or(0, Permutation::len);
+                assert!(
+                    gens.iter().all(|g| g.len() == n),
+                    "generators act on mismatched system sizes"
+                );
+                let mut closed: BTreeSet<Permutation> = BTreeSet::new();
+                closed.insert(Permutation::identity(n));
+                let mut frontier: Vec<Permutation> = vec![Permutation::identity(n)];
+                while let Some(g) = frontier.pop() {
+                    for h in gens {
+                        for next in [g.compose(h), h.inverse().compose(&g)] {
+                            if closed.insert(next.clone()) {
+                                assert!(
+                                    closed.len() <= MAX_GROUP_ORDER,
+                                    "generated group exceeds MAX_GROUP_ORDER"
+                                );
+                                frontier.push(next);
+                            }
+                        }
+                    }
+                }
+                closed.into_iter().collect()
+            }
+        }
+    }
+
+    /// Expands the group for a system of `n` processes: like
+    /// [`SymmetryGroup::elements`], but the identity-only groups
+    /// ([`SymmetryGroup::Trivial`], an empty generator list) are widened
+    /// to act on all `n` processes, and a mismatched declared size is
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is declared for a system size other than `n`,
+    /// or under the same conditions as [`SymmetryGroup::elements`].
+    #[must_use]
+    pub fn elements_for(&self, n: usize) -> Vec<Permutation> {
+        match self {
+            SymmetryGroup::Trivial => vec![Permutation::identity(n)],
+            SymmetryGroup::Generated(gens) if gens.is_empty() => vec![Permutation::identity(n)],
+            SymmetryGroup::Full { n: m } | SymmetryGroup::Rotations { n: m } => {
+                assert_eq!(*m, n, "symmetry group declared for {m} processes, not {n}");
+                self.elements()
+            }
+            SymmetryGroup::Generated(gens) => {
+                assert_eq!(
+                    gens[0].len(),
+                    n,
+                    "symmetry generators act on {} processes, not {n}",
+                    gens[0].len()
+                );
+                self.elements()
+            }
+        }
+    }
+
+    /// The order of the group (`elements().len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SymmetryGroup::elements`].
+    #[must_use]
+    pub fn order(&self) -> usize {
+        match self {
+            SymmetryGroup::Trivial => 1,
+            SymmetryGroup::Full { n } => (1..=*n).product::<usize>().max(1),
+            SymmetryGroup::Rotations { n } => (*n).max(1),
+            SymmetryGroup::Generated(_) => self.elements().len(),
+        }
+    }
+
+    /// Returns `true` if the group is (extensionally) just the identity.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.order() == 1
+    }
+}
+
+/// Heap's algorithm, collecting every permutation of `scratch`.
+fn heap_permutations(scratch: &mut Vec<usize>, out: &mut Vec<Permutation>) {
+    fn rec(k: usize, scratch: &mut Vec<usize>, out: &mut Vec<Permutation>) {
+        if k <= 1 {
+            out.push(Permutation::from_images(scratch.iter().copied()));
+            return;
+        }
+        for i in 0..k {
+            rec(k - 1, scratch, out);
+            if k.is_multiple_of(2) {
+                scratch.swap(i, k - 1);
+            } else {
+                scratch.swap(0, k - 1);
+            }
+        }
+    }
+    let k = scratch.len();
+    if k == 0 {
+        out.push(Permutation::identity(0));
+        return;
+    }
+    rec(k, scratch, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputationBuilder;
+
+    #[test]
+    fn identity_inverse_compose() {
+        let id = Permutation::identity(5);
+        assert!(id.is_identity());
+        let rot = Permutation::rotation(5, 2);
+        assert!(!rot.is_identity());
+        assert!(rot.compose(&rot.inverse()).is_identity());
+        assert!(rot.inverse().compose(&rot).is_identity());
+        assert_eq!(rot.compose(&id), rot);
+        // apply matches image_of
+        for i in 0..5 {
+            assert_eq!(rot.apply(ProcessId::new(i)).index(), rot.image_of(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_image_rejected() {
+        let _ = Permutation::from_images([0, 0, 1]);
+    }
+
+    #[test]
+    fn named_constructors() {
+        assert_eq!(
+            Permutation::reversal(4),
+            Permutation::from_images([3, 2, 1, 0])
+        );
+        assert_eq!(
+            Permutation::ring_reflection(4),
+            Permutation::from_images([0, 3, 2, 1])
+        );
+        assert_eq!(
+            Permutation::transposition(3, 0, 2),
+            Permutation::from_images([2, 1, 0])
+        );
+        assert_eq!(Permutation::rotation(3, 0), Permutation::identity(3));
+        assert_eq!(Permutation::rotation(4, 1).to_string(), "(1 2 3 0)");
+    }
+
+    #[test]
+    fn process_set_permuted() {
+        let s = ProcessSet::from_indices([0, 2]);
+        let rot = Permutation::rotation(4, 1);
+        assert_eq!(s.permuted(&rot), ProcessSet::from_indices([1, 3]));
+        assert_eq!(
+            s.permuted(&rot).permuted(&rot.inverse()),
+            s,
+            "inverse round-trips"
+        );
+    }
+
+    #[test]
+    fn computation_permuted_is_valid_relabeling() {
+        let mut b = ComputationBuilder::new(3);
+        let m = b.send(ProcessId::new(0), ProcessId::new(1)).unwrap();
+        b.receive(ProcessId::new(1), m).unwrap();
+        b.internal(ProcessId::new(2)).unwrap();
+        let z = b.finish();
+        let rot = Permutation::rotation(3, 1);
+        let zr = z.permuted(&rot);
+        assert_eq!(zr.len(), z.len());
+        assert_eq!(zr.project(ProcessId::new(1)).len(), 1); // old p0's send
+        assert_eq!(zr.project(ProcessId::new(2)).len(), 1); // old p1's receive
+        assert_eq!(zr.project(ProcessId::new(0)).len(), 1); // old p2's internal
+        assert!(zr.project(ProcessId::new(1))[0].is_send());
+        assert!(zr.project(ProcessId::new(2))[0].is_receive());
+        // double rotation composes
+        assert_eq!(zr.permuted(&rot), z.permuted(&rot.compose(&rot)));
+        // identity is a fixpoint
+        assert_eq!(z.permuted(&Permutation::identity(3)), z);
+    }
+
+    #[test]
+    fn full_group_elements() {
+        let els = SymmetryGroup::Full { n: 3 }.elements();
+        assert_eq!(els.len(), 6);
+        assert!(els[0].is_identity(), "identity sorts first");
+        let unique: BTreeSet<_> = els.iter().cloned().collect();
+        assert_eq!(unique.len(), 6);
+        assert_eq!(SymmetryGroup::Full { n: 0 }.elements().len(), 1);
+        assert_eq!(SymmetryGroup::Full { n: 1 }.order(), 1);
+    }
+
+    #[test]
+    fn rotations_group() {
+        let els = SymmetryGroup::Rotations { n: 4 }.elements();
+        assert_eq!(els.len(), 4);
+        assert!(els.contains(&Permutation::rotation(4, 3)));
+        assert_eq!(SymmetryGroup::Rotations { n: 4 }.order(), 4);
+    }
+
+    #[test]
+    fn generated_closure() {
+        // one transposition generates a 2-element group
+        let g = SymmetryGroup::Generated(vec![Permutation::transposition(3, 0, 1)]);
+        assert_eq!(g.order(), 2);
+        // adjacent transpositions generate S_n
+        let g = SymmetryGroup::Generated(vec![
+            Permutation::transposition(4, 0, 1),
+            Permutation::transposition(4, 1, 2),
+            Permutation::transposition(4, 2, 3),
+        ]);
+        assert_eq!(g.order(), 24);
+        let full: BTreeSet<_> = SymmetryGroup::Full { n: 4 }
+            .elements()
+            .into_iter()
+            .collect();
+        let gen: BTreeSet<_> = g.elements().into_iter().collect();
+        assert_eq!(full, gen);
+    }
+
+    #[test]
+    fn fixing_subgroup() {
+        // fixing p0 among 4 processes = S_3 on {1,2,3}
+        let g = SymmetryGroup::fixing(4, 0);
+        assert_eq!(g.order(), 6);
+        assert!(g
+            .elements()
+            .iter()
+            .all(|p| p.apply(ProcessId::new(0)) == ProcessId::new(0)));
+        // degenerate cases collapse to the trivial group
+        assert!(SymmetryGroup::fixing(2, 0).is_trivial());
+        assert!(SymmetryGroup::fixing(1, 0).is_trivial());
+        // fixing an interior process
+        let g = SymmetryGroup::fixing(3, 1);
+        assert_eq!(g.order(), 2);
+    }
+
+    #[test]
+    fn trivial_group() {
+        assert!(SymmetryGroup::Trivial.is_trivial());
+        assert_eq!(SymmetryGroup::Trivial.elements().len(), 1);
+        assert_eq!(SymmetryGroup::default(), SymmetryGroup::Trivial);
+        assert!(!SymmetryGroup::Full { n: 3 }.is_trivial());
+    }
+}

@@ -73,6 +73,12 @@ impl Protocol for CrashableWorker {
         }
         out
     }
+
+    /// Worker and observer play different roles (only `p0` may crash, only
+    /// `p1` listens), so only the trivial group is sound.
+    fn symmetry(&self) -> hpl_model::SymmetryGroup {
+        hpl_model::SymmetryGroup::Trivial
+    }
 }
 
 fn has_crashed_view(view: &LocalView) -> bool {

@@ -59,6 +59,14 @@ impl Protocol for PushGossip {
             })
             .collect()
     }
+
+    /// Only `p0` is distinguished (it knows the rumor at birth); the
+    /// remaining processes are fully interchangeable — being informed,
+    /// and the not-yet-told send set, read the local view covariantly.
+    /// The sound automorphism group is everything fixing `p0`.
+    fn symmetry(&self) -> hpl_model::SymmetryGroup {
+        hpl_model::SymmetryGroup::fixing(self.n, 0)
+    }
 }
 
 /// The rumor is "out" as soon as the system starts (p0 knows it at

@@ -19,16 +19,29 @@ use hpl_core::{
     enumerate, CoreError, EnumerationLimits, Evaluator, Formula, Interpretation, LocalStep,
     LocalView, ProtoAction, Protocol, ProtocolUniverse,
 };
-use hpl_model::{Computation, ProcessId, ProcessSet};
+use hpl_model::{ActionId, Computation, ProcessId, ProcessSet, SymmetryGroup};
 
 /// Payload tag carried by the token message.
 pub const TOKEN: u32 = 1;
 
+/// Base action tag of the chatter alphabet: the `k`-th local work step of
+/// a process is `CHATTER_BASE + k` (see [`TokenBus::with_chatter`]).
+pub const CHATTER_BASE: u32 = 900;
+
 /// A token bus over `n ≥ 2` processes in a line, token starting at the
 /// leftmost process.
+///
+/// With a non-zero *chatter* budget every process additionally performs
+/// up to `chatter` local work steps (a richer action alphabet: step `k`
+/// carries action tag `CHATTER_BASE + k`), independent of the token.
+/// Chatter interleaves freely with token passing, so depth-14 universes
+/// grow far past the paper's toy sizes — the §5-scale workload — while
+/// every knowledge fact about the token is untouched (chatter is
+/// invisible to [`holds_token`]).
 #[derive(Clone, Copy, Debug)]
 pub struct TokenBus {
     n: usize,
+    chatter: usize,
 }
 
 impl TokenBus {
@@ -39,8 +52,19 @@ impl TokenBus {
     /// Panics if `n < 2`.
     #[must_use]
     pub fn new(n: usize) -> Self {
+        TokenBus::with_chatter(n, 0)
+    }
+
+    /// Creates a token bus of `n` processes where each process may also
+    /// take up to `chatter` local work steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn with_chatter(n: usize, chatter: usize) -> Self {
         assert!(n >= 2, "a token bus needs at least two processes");
-        TokenBus { n }
+        TokenBus { n, chatter }
     }
 
     /// Does `p` currently hold the token, judged from its local view?
@@ -64,24 +88,126 @@ impl Protocol for TokenBus {
     }
 
     fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
-        if !self.view_holds(p, view) {
-            return vec![];
-        }
         let i = p.index();
         let mut out = Vec::new();
-        if i > 0 {
-            out.push(ProtoAction::Send {
-                to: ProcessId::new(i - 1),
-                payload: TOKEN,
-            });
+        if self.view_holds(p, view) {
+            if i > 0 {
+                out.push(ProtoAction::Send {
+                    to: ProcessId::new(i - 1),
+                    payload: TOKEN,
+                });
+            }
+            if i + 1 < self.n {
+                out.push(ProtoAction::Send {
+                    to: ProcessId::new(i + 1),
+                    payload: TOKEN,
+                });
+            }
         }
-        if i + 1 < self.n {
-            out.push(ProtoAction::Send {
-                to: ProcessId::new(i + 1),
-                payload: TOKEN,
+        let done = view.count_matching(|s| matches!(s, LocalStep::Did { .. }));
+        if done < self.chatter {
+            out.push(ProtoAction::Internal {
+                action: ActionId::new(CHATTER_BASE + done as u32),
             });
         }
         out
+    }
+
+    /// The bus is **asymmetric**: the token starts at the distinguished
+    /// leftmost process, so even the line reversal `i ↦ n−1−i` fails to
+    /// be an automorphism (it would move the initial token to the right
+    /// boundary). Only the trivial group is sound — quotient mode over a
+    /// token bus collapses interleavings, not relabelings.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::Trivial
+    }
+}
+
+/// The token *star*: the line topology widened to a complete graph, so
+/// the holder may hand the token to **any** other process. The token
+/// still starts at `p0`, and the same optional chatter alphabet applies.
+///
+/// Unlike the line bus, the star is symmetric in every process *except*
+/// the initial holder: relabeling the non-initial processes maps the
+/// protocol onto itself, so the declared automorphism group is
+/// [`SymmetryGroup::fixing`]`(n, 0)` — order `(n−1)!`. This is the
+/// token-family workload for symmetry-quotient enumeration: on top of
+/// the interleaving dedupe, every computation's `(n−1)!` relabeled
+/// variants collapse onto one orbit representative.
+#[derive(Clone, Copy, Debug)]
+pub struct BroadcastBus {
+    n: usize,
+    chatter: usize,
+}
+
+impl BroadcastBus {
+    /// Creates a token star of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        BroadcastBus::with_chatter(n, 0)
+    }
+
+    /// Creates a token star of `n` processes where each process may also
+    /// take up to `chatter` local work steps (see
+    /// [`TokenBus::with_chatter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn with_chatter(n: usize, chatter: usize) -> Self {
+        assert!(n >= 2, "a token star needs at least two processes");
+        BroadcastBus { n, chatter }
+    }
+
+    /// Does `p` currently hold the token, judged from its local view?
+    /// Same holder rule as the line bus: `p0` starts with it.
+    #[must_use]
+    pub fn view_holds(&self, p: ProcessId, view: &LocalView) -> bool {
+        let received = view.count_matching(|s| matches!(s, LocalStep::Received { .. }));
+        let sent = view.count_matching(|s| matches!(s, LocalStep::Sent { .. }));
+        if p.index() == 0 {
+            sent <= received
+        } else {
+            received > sent
+        }
+    }
+}
+
+impl Protocol for BroadcastBus {
+    fn system_size(&self) -> usize {
+        self.n
+    }
+
+    fn actions(&self, p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+        let mut out = Vec::new();
+        if self.view_holds(p, view) {
+            for i in (0..self.n).filter(|&i| i != p.index()) {
+                out.push(ProtoAction::Send {
+                    to: ProcessId::new(i),
+                    payload: TOKEN,
+                });
+            }
+        }
+        let done = view.count_matching(|s| matches!(s, LocalStep::Did { .. }));
+        if done < self.chatter {
+            out.push(ProtoAction::Internal {
+                action: ActionId::new(CHATTER_BASE + done as u32),
+            });
+        }
+        out
+    }
+
+    /// Every permutation fixing the initial holder `p0` is an
+    /// automorphism: the holder rule reads only local step counts, the
+    /// send set ("all others") is permutation-covariant, and chatter
+    /// depends only on the local step count.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::fixing(self.n, 0)
     }
 }
 
@@ -259,6 +385,49 @@ mod tests {
             report.r_holds_count,
             report.universe_size
         );
+    }
+
+    #[test]
+    fn broadcast_bus_group_is_closed_and_maximal() {
+        use hpl_core::{check_closure, enumerate_sharded, ShardConfig};
+        use hpl_model::SymmetryGroup;
+
+        let star = BroadcastBus::new(4);
+        let pu = enumerate(&star, EnumerationLimits::depth(4)).unwrap();
+        // the declared group really is an automorphism group …
+        let declared = star.symmetry().elements_for(4);
+        assert_eq!(declared.len(), 6, "S_3 on the non-initial processes");
+        assert!(check_closure(&pu, &declared).is_ok());
+        // … and widening it to S_4 (moving the initial holder) is unsound
+        let full = SymmetryGroup::Full { n: 4 }.elements();
+        assert!(check_closure(&pu, &full).is_err());
+        // the line bus, by contrast, admits only the trivial group: even
+        // the reversal breaks on the distinguished left boundary
+        let bus = TokenBus::new(3);
+        let pu = enumerate(&bus, EnumerationLimits::depth(4)).unwrap();
+        let reversal = SymmetryGroup::Generated(vec![hpl_model::Permutation::reversal(3)]);
+        assert!(check_closure(&pu, &reversal.elements()).is_err());
+        assert!(check_closure(&pu, &bus.symmetry().elements_for(3)).is_ok());
+
+        // quotient enumeration of the star collapses relabelings: the
+        // reduction factor exceeds what interleaving dedupe alone yields
+        let limits = EnumerationLimits::depth(6);
+        let quot =
+            enumerate_sharded(&star, limits, &ShardConfig::with_shards(2).quotient()).unwrap();
+        let ded = enumerate_sharded(&star, limits, &ShardConfig::with_shards(2).dedupe()).unwrap();
+        assert_eq!(quot.stats.group_order, 6);
+        assert!(quot.stats.unique < ded.stats.unique);
+        let orbits = quot.orbits.expect("quotient attaches orbits");
+        assert_eq!(orbits.full_size() as usize, quot.stats.explored);
+    }
+
+    #[test]
+    fn broadcast_bus_keeps_single_holder_invariant() {
+        let pu = enumerate(&BroadcastBus::new(3), EnumerationLimits::depth(6)).unwrap();
+        for (_, c) in pu.universe().iter() {
+            let holders = (0..3).filter(|&i| holds_token(c, pid(i))).count();
+            assert!(holders <= 1, "two holders in {c}");
+        }
     }
 
     #[test]

@@ -67,6 +67,12 @@ impl Protocol for Toggler {
         }
         out
     }
+
+    /// Owner and tracker play different roles (only `p0` toggles and
+    /// notifies), so only the trivial group is sound.
+    fn symmetry(&self) -> hpl_model::SymmetryGroup {
+        hpl_model::SymmetryGroup::Trivial
+    }
 }
 
 /// The owner's bit: parity of toggles so far (starts `false`).

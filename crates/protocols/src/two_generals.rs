@@ -18,16 +18,52 @@ use hpl_core::{
     enumerate, CoreError, EnumerationLimits, Evaluator, Formula, Interpretation, LocalStep,
     LocalView, ProtoAction, Protocol, ProtocolUniverse,
 };
-use hpl_model::{Computation, ProcessId, ProcessSet};
+use hpl_model::{ActionId, Computation, ProcessId, ProcessSet, SymmetryGroup};
 
 /// Payload tag for plan/ack messages.
 pub const PLAN: u32 = 1;
 
+/// Base action tag of the deliberation alphabet: the `k`-th private
+/// strategy step of a general carries tag `DELIBERATE_BASE + k` (see
+/// [`TwoGenerals::with_deliberation`]).
+pub const DELIBERATE_BASE: u32 = 700;
+
 /// The two-generals message protocol, acknowledging to a bounded depth.
+///
+/// With a non-zero *deliberation* budget each general may additionally
+/// take up to that many private strategy steps (a richer action
+/// alphabet: step `k` carries tag `DELIBERATE_BASE + k`), freely
+/// interleaved with the messenger exchange. Deliberation multiplies the
+/// universe far past the paper's toy sizes while leaving every
+/// knowledge fact about the attack plan untouched ([`attack_planned`]
+/// only sees sends).
 #[derive(Clone, Copy, Debug)]
 pub struct TwoGenerals {
     /// Maximum number of messages each general will send.
     pub max_rounds: usize,
+    /// Maximum private deliberation steps per general.
+    pub deliberation: usize,
+}
+
+impl TwoGenerals {
+    /// The classic protocol: messenger exchange only.
+    #[must_use]
+    pub fn new(max_rounds: usize) -> Self {
+        TwoGenerals {
+            max_rounds,
+            deliberation: 0,
+        }
+    }
+
+    /// Messenger exchange plus up to `deliberation` private strategy
+    /// steps per general.
+    #[must_use]
+    pub fn with_deliberation(max_rounds: usize, deliberation: usize) -> Self {
+        TwoGenerals {
+            max_rounds,
+            deliberation,
+        }
+    }
 }
 
 impl Protocol for TwoGenerals {
@@ -40,24 +76,35 @@ impl Protocol for TwoGenerals {
         let peer = ProcessId::new(1 - me);
         let sent = view.count_matching(|s| matches!(s, LocalStep::Sent { .. }));
         let received = view.count_matching(|s| matches!(s, LocalStep::Received { .. }));
-        if sent >= self.max_rounds {
-            return vec![];
-        }
-        let should_send = if me == 0 {
-            // g0 initiates, then acks every ack it receives
-            sent == 0 || received >= sent
-        } else {
-            // g1 only ever acks
-            received > sent
-        };
+        let mut out = Vec::new();
+        let should_send = sent < self.max_rounds
+            && if me == 0 {
+                // g0 initiates, then acks every ack it receives
+                sent == 0 || received >= sent
+            } else {
+                // g1 only ever acks
+                received > sent
+            };
         if should_send {
-            vec![ProtoAction::Send {
+            out.push(ProtoAction::Send {
                 to: peer,
                 payload: PLAN,
-            }]
-        } else {
-            vec![]
+            });
         }
+        let pondered = view.count_matching(|s| matches!(s, LocalStep::Did { .. }));
+        if pondered < self.deliberation {
+            out.push(ProtoAction::Internal {
+                action: ActionId::new(DELIBERATE_BASE + pondered as u32),
+            });
+        }
+        out
+    }
+
+    /// The generals are **asymmetric** — `g0` initiates, `g1` only acks
+    /// — so swapping them is not an automorphism and only the trivial
+    /// group is sound.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::Trivial
     }
 }
 
@@ -73,7 +120,10 @@ pub fn attack_planned(x: &Computation) -> bool {
 ///
 /// Propagates enumeration budget errors.
 pub fn universe(max_rounds: usize, depth: usize) -> Result<ProtocolUniverse, CoreError> {
-    enumerate(&TwoGenerals { max_rounds }, EnumerationLimits::depth(depth))
+    enumerate(
+        &TwoGenerals::new(max_rounds),
+        EnumerationLimits::depth(depth),
+    )
 }
 
 /// Registers the `attack-planned` atom.
@@ -132,7 +182,7 @@ mod tests {
 
     #[test]
     fn protocol_alternates() {
-        let g = TwoGenerals { max_rounds: 3 };
+        let g = TwoGenerals::new(3);
         let v = LocalView::new();
         // g0 initiates
         assert_eq!(g.actions(ProcessId::new(0), &v).len(), 1);
@@ -171,6 +221,29 @@ mod tests {
         let attack = attack_atom(&mut interp);
         let mut eval = Evaluator::new(pu.universe(), &interp);
         assert!(common_knowledge_impossible(&mut eval, &attack));
+    }
+
+    #[test]
+    fn deliberation_grows_the_universe_without_touching_knowledge() {
+        let plain = universe(2, 6).unwrap();
+        let rich = enumerate(
+            &TwoGenerals::with_deliberation(2, 3),
+            EnumerationLimits::depth(6),
+        )
+        .unwrap();
+        assert!(
+            rich.universe().len() > 10 * plain.universe().len(),
+            "deliberation must multiply the universe ({} vs {})",
+            rich.universe().len(),
+            plain.universe().len()
+        );
+        // the epistemic results are untouched by the richer alphabet
+        let mut interp = Interpretation::new();
+        let attack = attack_atom(&mut interp);
+        let mut eval = Evaluator::new(rich.universe(), &interp);
+        assert!(common_knowledge_impossible(&mut eval, &attack));
+        let ladder = knowledge_ladder(&rich, &mut eval, &attack, 2);
+        assert_eq!(ladder, vec![true, true, true]);
     }
 
     #[test]

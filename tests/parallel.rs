@@ -69,7 +69,12 @@ fn token_bus_is_shard_deterministic() {
 
 #[test]
 fn two_generals_is_shard_deterministic() {
-    check_protocol(&TwoGenerals { max_rounds: 3 }, 6, "two_generals");
+    check_protocol(&TwoGenerals::new(3), 6, "two_generals");
+    check_protocol(
+        &TwoGenerals::with_deliberation(2, 2),
+        5,
+        "two_generals+deliberation",
+    );
 }
 
 #[test]
@@ -161,6 +166,34 @@ fn seeded_random_protocols_are_shard_deterministic() {
 }
 
 #[test]
+fn dedupe_and_trivial_quotient_partition_identically() {
+    // dedupe keys on event-id projection signatures; the quotient keys
+    // on symmetry.rs structural signatures. Under the trivial group the
+    // two definitions of the [D]-partition must never drift — certified
+    // here on the irregular payload-rich chaos protocols, not just the
+    // hand-written ones.
+    for seed in [7u64, 23, 4242] {
+        let p = SeededChaos { n: 3, seed };
+        let limits = EnumerationLimits {
+            max_events: 6,
+            max_computations: 1_000_000,
+        };
+        let ded = enumerate_sharded(&p, limits, &ShardConfig::with_shards(2).dedupe())
+            .expect("within budget");
+        let quo = enumerate_sharded(&p, limits, &ShardConfig::with_shards(2).quotient())
+            .expect("within budget");
+        assert_identical(
+            &quo.universe,
+            &ded.universe,
+            &format!("trivial-quotient vs dedupe chaos(seed={seed})"),
+        );
+        let orbits = quo.orbits.expect("quotient attaches orbits");
+        assert_eq!(orbits.group_order(), 1);
+        assert_eq!(orbits.full_size() as usize, ded.stats.explored);
+    }
+}
+
+#[test]
 fn dedupe_is_shard_deterministic_too() {
     // with dedupe on, the canonical universe must still be independent of
     // the shard count (the merge is what defines the order)
@@ -170,27 +203,11 @@ fn dedupe_is_shard_deterministic_too() {
             max_events: 6,
             max_computations: 1_000_000,
         };
-        let reference = enumerate_sharded(
-            &p,
-            limits,
-            &ShardConfig {
-                shards: 1,
-                split_depth: None,
-                dedupe: true,
-            },
-        )
-        .expect("within budget");
-        for shards in [2usize, 8] {
-            let out = enumerate_sharded(
-                &p,
-                limits,
-                &ShardConfig {
-                    shards,
-                    split_depth: None,
-                    dedupe: true,
-                },
-            )
+        let reference = enumerate_sharded(&p, limits, &ShardConfig::with_shards(1).dedupe())
             .expect("within budget");
+        for shards in [2usize, 8] {
+            let out = enumerate_sharded(&p, limits, &ShardConfig::with_shards(shards).dedupe())
+                .expect("within budget");
             assert_identical(
                 &out.universe,
                 &reference.universe,
