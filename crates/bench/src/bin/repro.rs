@@ -16,9 +16,16 @@
 //! instead of the paper report and writes a machine-readable
 //! `BENCH_*.json` (schema in DESIGN.md). With `--baseline`, exits
 //! non-zero if any scenario's wall time regressed more than 25 %
-//! (override with `--tolerance FRACTION`). Quotient scenarios are
-//! additionally gated on their symmetry-reduction factor staying at or
-//! above `--min-reduction` (default 5×).
+//! (override with `--tolerance FRACTION`) or any sharded scenario's
+//! active merge time (`merge_wall_ms`) regressed more than 100 %
+//! (override with `--merge-tolerance FRACTION`; wide because on
+//! single-core runners the metric includes worker preemption and
+//! varies ~±45 % run to run — tighten it on dedicated multi-core
+//! runners, where the merge overlaps exploration and the measurement
+//! approaches true CPU time).
+//! Quotient scenarios are additionally gated on their
+//! symmetry-reduction factor staying at or above `--min-reduction`
+//! (default 5×).
 
 use hpl_bench::report::{PerfReport, Scenario};
 use hpl_bench::{random_computation, InterleavingStress};
@@ -39,9 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut json = false;
-    let mut out_path = String::from("BENCH_pr3.json");
+    let mut out_path = String::from("BENCH_pr4.json");
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.25f64;
+    let mut merge_tolerance = 1.0f64;
     let mut min_reduction = 5.0f64;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -55,6 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .ok_or("--tolerance needs a fraction")?
                     .parse::<f64>()?;
             }
+            "--merge-tolerance" => {
+                merge_tolerance = it
+                    .next()
+                    .ok_or("--merge-tolerance needs a fraction")?
+                    .parse::<f64>()?;
+            }
             "--min-reduction" => {
                 min_reduction = it
                     .next()
@@ -65,7 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if json {
-        return perf_report(&out_path, baseline.as_deref(), tolerance, min_reduction);
+        return perf_report(
+            &out_path,
+            baseline.as_deref(),
+            tolerance,
+            merge_tolerance,
+            min_reduction,
+        );
     }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
@@ -142,14 +162,17 @@ fn time_ms<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 /// The perf scenarios behind `--json`: enumeration (sequential vs
-/// sharded), dedupe, symmetry quotient, and sat-set throughput. Writes
-/// the report, prints a summary table, and — given a baseline — fails
-/// on wall-time regressions beyond `tolerance` or on quotient scenarios
-/// whose reduction factor falls below `min_reduction`.
+/// sharded streaming), dedupe, symmetry quotient, and sat-set
+/// throughput. Writes the report, prints a summary table, and — given a
+/// baseline — fails on wall-time regressions beyond `tolerance`, on
+/// active-merge-time (`merge_wall_ms`) regressions beyond
+/// `merge_tolerance`, or on quotient scenarios whose reduction factor
+/// falls below `min_reduction`.
 fn perf_report(
     out_path: &str,
     baseline: Option<&str>,
     tolerance: f64,
+    merge_tolerance: f64,
     min_reduction: f64,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use hpl_core::enumerate_sharded;
@@ -188,7 +211,11 @@ fn perf_report(
             .metric("speedup_vs_sequential", seq_ms / par_ms)
             .metric("universe_size", seq.universe().len() as f64)
             .metric("tasks", par.stats.tasks as f64)
-            .metric("shards", shards as f64),
+            .metric("shards", shards as f64)
+            .metric("merge_wall_ms", par.stats.merge_wall_ms)
+            .metric("batches", par.stats.batches as f64)
+            .metric("peak_buffered_bytes", par.stats.peak_buffered_bytes as f64)
+            .metric("largest_batch_bytes", par.stats.largest_batch_bytes as f64),
     );
     report.push(
         Scenario::new("enumerate_stress_n3_k4_d12_sequential", seq_ms)
@@ -225,7 +252,9 @@ fn perf_report(
         Scenario::new("dedupe_stress_n3_k4_d12_sharded8", ded_ms)
             .metric("explored", ded.stats.explored as f64)
             .metric("universe_size", ded.stats.unique as f64)
-            .metric("dedupe_ratio", ded.stats.dedupe_ratio()),
+            .metric("dedupe_ratio", ded.stats.dedupe_ratio())
+            .metric("merge_wall_ms", ded.stats.merge_wall_ms)
+            .metric("peak_buffered_bytes", ded.stats.peak_buffered_bytes as f64),
     );
 
     // -- symmetry quotient on the token family: the chatter-rich line
@@ -247,7 +276,9 @@ fn perf_report(
             .metric("explored", qbus.stats.explored as f64)
             .metric("orbit_count", qbus_orbits.orbit_count() as f64)
             .metric("reduction_factor", qbus_orbits.reduction_factor())
-            .metric("group_order", qbus.stats.group_order as f64),
+            .metric("group_order", qbus.stats.group_order as f64)
+            .metric("merge_wall_ms", qbus.stats.merge_wall_ms)
+            .metric("peak_buffered_bytes", qbus.stats.peak_buffered_bytes as f64),
     );
     let star = hpl_protocols::token_bus::BroadcastBus::with_chatter(4, 1);
     let star_limits = EnumerationLimits {
@@ -263,7 +294,12 @@ fn perf_report(
             .metric("explored", qstar.stats.explored as f64)
             .metric("orbit_count", qstar_orbits.orbit_count() as f64)
             .metric("reduction_factor", qstar_orbits.reduction_factor())
-            .metric("group_order", qstar.stats.group_order as f64),
+            .metric("group_order", qstar.stats.group_order as f64)
+            .metric("merge_wall_ms", qstar.stats.merge_wall_ms)
+            .metric(
+                "peak_buffered_bytes",
+                qstar.stats.peak_buffered_bytes as f64,
+            ),
     );
 
     // -- sat-set throughput: knowledge queries over a 3.4k-computation
@@ -342,6 +378,13 @@ fn perf_report(
     );
 
     // -- emit + gate ----------------------------------------------------
+    // process-wide peak RSS (VmHWM) after all scenarios — dominated by
+    // the full universes the scenarios build, not by merge buffering
+    // (that bound is the per-scenario peak_buffered_bytes metric); a
+    // trend metric for catching gross memory regressions across runs
+    if let Some(kb) = hpl_bench::peak_rss_kb() {
+        report.host_fact("peak_rss_kb", kb);
+    }
     let json = report.to_json();
     std::fs::write(out_path, &json)?;
     println!(
@@ -375,7 +418,8 @@ fn perf_report(
     }
 
     if let Some(path) = baseline {
-        let base = PerfReport::parse_wall_times(&std::fs::read_to_string(path)?);
+        let raw = std::fs::read_to_string(path)?;
+        let base = PerfReport::parse_wall_times(&raw);
         let regs = report.regressions(&base, tolerance);
         if regs.is_empty() {
             println!(
@@ -385,6 +429,23 @@ fn perf_report(
         } else {
             eprintln!("PERF REGRESSIONS vs {path}:");
             for r in &regs {
+                eprintln!("  {r}");
+            }
+            failed = true;
+        }
+        // the merge gate: the streaming merge is the engine's residual
+        // serial section, so its active time is gated separately (it
+        // must not quietly grow back into the Amdahl ceiling)
+        let merge_base = PerfReport::parse_metric(&raw, "merge_wall_ms");
+        let merge_regs = report.metric_regressions(&merge_base, "merge_wall_ms", merge_tolerance);
+        if merge_regs.is_empty() {
+            println!(
+                "merge gate: no merge_wall_ms regression beyond {:.0}%",
+                merge_tolerance * 100.0
+            );
+        } else {
+            eprintln!("MERGE WALL-TIME REGRESSIONS vs {path}:");
+            for r in &merge_regs {
                 eprintln!("  {r}");
             }
             failed = true;

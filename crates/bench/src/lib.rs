@@ -14,6 +14,17 @@ use rand::{RngExt, SeedableRng};
 
 pub mod report;
 
+/// The process's peak resident set size in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where the proc filesystem is
+/// unavailable (non-Linux hosts). Recorded as a host fact in the perf
+/// report so memory-bound regressions are visible across runs.
+#[must_use]
+pub fn peak_rss_kb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse::<f64>().ok()
+}
+
 /// A reproducible random computation over `n` processes with `steps`
 /// events (mixed sends/receives/internal).
 #[must_use]

@@ -61,11 +61,14 @@ pub struct PerfReport {
     pub scenarios: Vec<Scenario>,
 }
 
-/// Schema identifier stamped into every report. `v2` added the `host`
-/// object (`nproc`) and the quotient metrics (`orbit_count`,
-/// `reduction_factor`, `group_order`) on quotient scenarios; `v1`
-/// parsers that scan `scenarios[].name`/`wall_ms` still work.
-pub const SCHEMA: &str = "hpl-bench-report/v2";
+/// Schema identifier stamped into every report. `v3` added the
+/// streaming-merge metrics on sharded scenarios (`merge_wall_ms`,
+/// `peak_buffered_bytes`, `largest_batch_bytes`, `batches`) and the
+/// `peak_rss_kb` host fact; `v2` added the `host` object (`nproc`) and
+/// the quotient metrics (`orbit_count`, `reduction_factor`,
+/// `group_order`) on quotient scenarios; `v1` parsers that scan
+/// `scenarios[].name`/`wall_ms` still work.
+pub const SCHEMA: &str = "hpl-bench-report/v3";
 
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
@@ -142,11 +145,26 @@ impl PerfReport {
 
     /// Extracts `(name, wall_ms)` pairs from a report previously written
     /// by [`PerfReport::to_json`] — the minimal parse the regression gate
-    /// needs. Scenarios whose wall time fails to parse are skipped.
+    /// needs (the primary metric is scanned by the same segment walker
+    /// as any secondary metric). Scenarios whose wall time fails to
+    /// parse are skipped.
     #[must_use]
     pub fn parse_wall_times(json: &str) -> Vec<(String, f64)> {
+        // wall_ms appears first in each scenario segment, before the
+        // metrics object, so the generic scanner finds the primary copy
+        Self::parse_metric(json, "wall_ms")
+    }
+
+    /// Extracts `(name, metrics[key])` pairs from a report previously
+    /// written by [`PerfReport::to_json`] — the baseline side of the
+    /// secondary-metric gates (e.g. `merge_wall_ms`). Scenarios without
+    /// the metric are skipped.
+    #[must_use]
+    pub fn parse_metric(json: &str, key: &str) -> Vec<(String, f64)> {
+        let needle = format!("\"{}\":", escape(key));
         let mut out = Vec::new();
         let mut rest = json;
+        // skip the host object: scenario segments start at "name"
         while let Some(i) = rest.find("\"name\":") {
             rest = &rest[i + "\"name\":".len()..];
             let Some(open) = rest.find('"') else { break };
@@ -154,15 +172,59 @@ impl PerfReport {
             let Some(close) = rest.find('"') else { break };
             let name = rest[..close].to_owned();
             rest = &rest[close + 1..];
-            let Some(w) = rest.find("\"wall_ms\":") else {
-                break;
-            };
-            rest = &rest[w + "\"wall_ms\":".len()..];
-            let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
-            if let Ok(v) = rest[..end].trim().parse::<f64>() {
-                out.push((name, v));
+            let segment_end = rest.find("\"name\":").unwrap_or(rest.len());
+            let segment = &rest[..segment_end];
+            if let Some(k) = segment.find(&needle) {
+                let v = &segment[k + needle.len()..];
+                let end = v.find([',', '\n', '}']).unwrap_or(v.len());
+                if let Ok(x) = v[..end].trim().parse::<f64>() {
+                    out.push((name, x));
+                }
             }
-            rest = &rest[end..];
+            rest = &rest[segment_end..];
+        }
+        out
+    }
+
+    /// Compares a secondary metric of this report against baseline
+    /// values (as parsed by [`PerfReport::parse_metric`]); returns one
+    /// human-readable line per scenario whose metric grew beyond
+    /// `tolerance`. Scenarios missing the metric on either side are
+    /// never regressions (new metrics phase in gracefully).
+    #[must_use]
+    pub fn metric_regressions(
+        &self,
+        baseline: &[(String, f64)],
+        key: &str,
+        tolerance: f64,
+    ) -> Vec<String> {
+        self.gate_regressions(baseline, key, |s| s.get_metric(key), tolerance)
+    }
+
+    /// The one tolerance comparator behind both gates: extracts a value
+    /// per scenario, joins on the baseline by name, and reports growth
+    /// beyond `tolerance`.
+    fn gate_regressions(
+        &self,
+        baseline: &[(String, f64)],
+        label: &str,
+        extract: impl Fn(&Scenario) -> Option<f64>,
+        tolerance: f64,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.scenarios {
+            let Some(v) = extract(s) else { continue };
+            let Some((_, base)) = baseline.iter().find(|(n, _)| *n == s.name) else {
+                continue;
+            };
+            if *base > 0.0 && v > base * (1.0 + tolerance) {
+                out.push(format!(
+                    "{} {label}: {v:.3} vs baseline {base:.3} (+{:.0}% > +{:.0}% allowed)",
+                    s.name,
+                    (v / base - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
         }
         out
     }
@@ -174,23 +236,7 @@ impl PerfReport {
     /// baseline are new and never regressions.
     #[must_use]
     pub fn regressions(&self, baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
-        let mut out = Vec::new();
-        for s in &self.scenarios {
-            let Some((_, base)) = baseline.iter().find(|(n, _)| *n == s.name) else {
-                continue;
-            };
-            if *base > 0.0 && s.wall_ms > base * (1.0 + tolerance) {
-                out.push(format!(
-                    "{}: {:.3} ms vs baseline {:.3} ms (+{:.0}% > +{:.0}% allowed)",
-                    s.name,
-                    s.wall_ms,
-                    base,
-                    (s.wall_ms / base - 1.0) * 100.0,
-                    tolerance * 100.0
-                ));
-            }
-        }
-        out
+        self.gate_regressions(baseline, "wall_ms", |s| Some(s.wall_ms), tolerance)
     }
 
     /// The symmetry-quotient gate: one human-readable line per scenario
@@ -282,6 +328,43 @@ mod tests {
         let mut extra = sample();
         extra.push(Scenario::new("new_one", 99.0));
         assert!(extra.regressions(&baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn metric_parse_and_regression_gate() {
+        let mut r = PerfReport::default();
+        r.push(
+            Scenario::new("sharded", 10.0)
+                .metric("merge_wall_ms", 4.0)
+                .metric("peak_buffered_bytes", 1024.0),
+        );
+        r.push(Scenario::new("plain", 5.0)); // no merge metrics
+        let json = r.to_json();
+        assert_eq!(
+            PerfReport::parse_metric(&json, "merge_wall_ms"),
+            vec![("sharded".to_owned(), 4.0)]
+        );
+        let baseline = PerfReport::parse_metric(&json, "merge_wall_ms");
+        // within tolerance
+        let mut ok = r.clone();
+        ok.scenarios[0].metrics[0].1 = 5.0;
+        assert!(ok
+            .metric_regressions(&baseline, "merge_wall_ms", 0.5)
+            .is_empty());
+        // beyond tolerance
+        let mut bad = r.clone();
+        bad.scenarios[0].metrics[0].1 = 9.0;
+        let regs = bad.metric_regressions(&baseline, "merge_wall_ms", 0.5);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].starts_with("sharded merge_wall_ms"), "{regs:?}");
+        // scenarios absent from the baseline, or without the metric,
+        // are never regressions
+        let mut extra = r.clone();
+        extra.push(Scenario::new("new_one", 1.0).metric("merge_wall_ms", 99.0));
+        assert!(extra
+            .metric_regressions(&baseline, "merge_wall_ms", 0.5)
+            .is_empty());
+        assert!(r.metric_regressions(&baseline, "absent", 0.5).is_empty());
     }
 
     #[test]

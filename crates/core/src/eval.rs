@@ -106,6 +106,56 @@ impl<'u> Evaluator<'u> {
     /// freely. The quotient-vs-full equivalence suite in
     /// `tests/symmetry_quotient.rs` certifies this contract.
     ///
+    /// # Example
+    ///
+    /// Two interchangeable processes, one internal step each: the
+    /// quotient stores 3 representatives for the 5 computations (the
+    /// one-step relabelings share an orbit, as do the two-step
+    /// interleavings), yet knowledge verdicts and expanded counts match
+    /// the full universe.
+    ///
+    /// ```
+    /// use hpl_core::{enumerate_sharded, EnumerationLimits, ShardConfig};
+    /// use hpl_core::{Evaluator, Formula, Interpretation};
+    /// use hpl_core::{LocalView, ProtoAction, Protocol};
+    /// use hpl_model::{ActionId, ProcessId, ProcessSet, SymmetryGroup};
+    ///
+    /// struct Twins;
+    /// impl Protocol for Twins {
+    ///     fn system_size(&self) -> usize { 2 }
+    ///     fn actions(&self, _p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+    ///         if view.is_empty() {
+    ///             vec![ProtoAction::Internal { action: ActionId::new(1) }]
+    ///         } else { vec![] }
+    ///     }
+    ///     fn symmetry(&self) -> SymmetryGroup { SymmetryGroup::Full { n: 2 } }
+    /// }
+    ///
+    /// let out = enumerate_sharded(
+    ///     &Twins,
+    ///     EnumerationLimits::depth(2),
+    ///     &ShardConfig::with_shards(2).quotient(),
+    /// )?;
+    /// let orbits = out.orbits.as_ref().expect("quotient mode attaches orbits");
+    ///
+    /// let mut interp = Interpretation::new();
+    /// // invariant atom: unchanged by relabeling or interleaving
+    /// let both = interp.register("both-stepped", |c| c.len() == 2);
+    /// let mut ev = Evaluator::with_symmetry(out.universe.universe(), &interp, orbits);
+    ///
+    /// // the full set is stabilized by every group element
+    /// let knows = Formula::knows(ProcessSet::full(2), Formula::atom(both));
+    /// let sat = ev.sat_set(&knows);
+    /// // one stored representative satisfies it, standing for the two
+    /// // complete interleavings of the full universe
+    /// assert_eq!(sat.count(), 1);
+    /// assert_eq!(orbits.expanded_count(&sat), 2);
+    /// // 5 full-universe computations stand behind 3 representatives
+    /// assert_eq!(orbits.full_size(), 5);
+    /// assert_eq!(ev.universe().len(), 3);
+    /// # Ok::<(), hpl_core::CoreError>(())
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `orbits` does not describe exactly `universe`'s members.

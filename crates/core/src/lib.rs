@@ -29,10 +29,15 @@
 //!
 //! The paper quantifies over *all* computations of a system. This crate
 //! evaluates over a finite [`Universe`]: either every system computation
-//! of a [`Protocol`] up to a depth bound ([`enumerate::enumerate`]), or an
+//! of a [`Protocol`] up to a depth bound ([`enumerate::enumerate`], or
+//! the byte-identical parallel engine [`enumerate_sharded`]), or an
 //! explicitly constructed scenario pool. All results are therefore
 //! relative to the supplied universe; enumerated universes are exact for
 //! bounded-length prefixes of protocol behaviour.
+//!
+//! A definition-by-definition map from the paper's §2–§5 to modules,
+//! key types and certifying tests lives in `docs/CONCORDANCE.md` at the
+//! repository root.
 //!
 //! # Example
 //!
@@ -98,7 +103,9 @@ pub use eval::{Evaluator, MemoStats};
 pub use formula::{AtomId, Formula, Interpretation};
 pub use fusion::{fuse_lemma1, fuse_theorem2, FusionError};
 pub use isomorphism::{ClassCache, IsoIndex};
-pub use parallel::{enumerate_sharded, EnumerationStats, ShardConfig, ShardedEnumeration};
+pub use parallel::{
+    enumerate_sharded, EnumerationStats, ShardConfig, ShardedEnumeration, DEFAULT_BATCH_NODES,
+};
 pub use parser::parse;
 pub use symmetry::{canonical_key, check_closure, OrbitClasses, OrbitIndex, Orbits};
 pub use universe::{CompId, Universe};

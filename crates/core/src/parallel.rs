@@ -1,4 +1,4 @@
-//! Parallel, sharded protocol enumeration.
+//! Parallel, sharded protocol enumeration with a streaming merge.
 //!
 //! [`enumerate_sharded`] produces the same universe as the sequential
 //! reference [`enumerate`](crate::enumerate::enumerate) — byte-identical
@@ -8,19 +8,35 @@
 //! 1. **Prefix expansion** (coordinator): the protocol tree is explored
 //!    sequentially down to a split depth, emitting compact pre-order node
 //!    records and one *task* per frontier node.
-//! 2. **Sharded exploration** (workers): tasks are pushed onto a shared
-//!    queue (a `crossbeam` channel; the vendored stand-in's receiver is
-//!    single-consumer, so it sits behind a `parking_lot` mutex) from
-//!    which worker threads pull dynamically — fast subtrees free their
-//!    worker to steal the next pending frontier node. Workers run the
-//!    protocol-side depth-first search only, with per-process action
-//!    caching (a process's enabled-step set is recomputed only when *its*
-//!    view changed), and emit pre-order node records.
-//! 3. **Deterministic merge** (coordinator): records are replayed in the
-//!    exact pre-order the sequential engine would visit, re-interning
-//!    events into one shared event space (the sequential engine's
-//!    interning structure) so the
-//!    output is independent of worker scheduling.
+//! 2. **Partitioned-id exploration** (workers): tasks are pushed onto a
+//!    shared queue (a `crossbeam` channel; the vendored stand-in's
+//!    receiver is single-consumer, so it sits behind a `parking_lot`
+//!    mutex) from which worker threads pull dynamically — fast subtrees
+//!    free their worker to steal the next pending frontier node. Each
+//!    task owns a disjoint **id partition**: the worker interns the
+//!    events it discovers into a task-local id table (dense `u32` ids,
+//!    meaningful only within that partition), so exploration never
+//!    touches shared state beyond the atomic budget. Workers emit
+//!    pre-order node records in bounded **batches**
+//!    ([`ShardConfig::batch_nodes`]) as they go.
+//! 3. **Streaming merge + renumbering** (coordinator, concurrent with
+//!    the workers): batches are consumed in **splice order** — the exact
+//!    pre-order position of each task's frontier node — as tasks finish,
+//!    instead of buffering every record until exploration ends. Each
+//!    batch's partition table is **renumbered** into the single global
+//!    event space on arrival (one intern per *unique* event per
+//!    partition, not per node), which reproduces the sequential engine's
+//!    event-id assignment exactly; node records then replay through a
+//!    depth-truncated path stack and enter the universe via trusted fast
+//!    paths.
+//!
+//! Peak merge memory is bounded by the batches that have *finished but
+//! not yet spliced* (out-of-order completions) plus the batch being
+//! consumed — not by the total node count. With one shard nothing is
+//! buffered at all: subtrees are explored lazily at their splice points.
+//! [`EnumerationStats`] reports the observed bound
+//! (`peak_buffered_bytes`, `largest_batch_bytes`) and the active merge
+//! time (`merge_wall_ms`).
 //!
 //! The merge optionally **dedupes isomorphic computations**: two
 //! computations with the same per-process projections (`x [D] y` — pure
@@ -28,13 +44,21 @@
 //! in canonical order, so the universe stops growing with symmetric
 //! permutations. Dedupe changes knowledge semantics (classes lose their
 //! permuted members) and is therefore opt-in; it is sound for queries
-//! whose atoms are permutation-invariant.
+//! whose atoms are permutation-invariant. [`ShardConfig::quotient`]
+//! additionally collapses process relabelings (see
+//! [`crate::symmetry`]); because batches are spliced in deterministic
+//! pre-order, orbit representatives and multiplicities are byte-stable
+//! across shard counts and batch sizes too.
 //!
 //! Determinism requires [`Protocol`] implementations to be *pure*:
 //! `actions` and `accepts` must be functions of their arguments only.
 //! The sequential engine already assumes this (it re-asks the protocol
 //! for the same view many times); the sharded engine additionally caches
 //! across tree edges and asks from several threads.
+//!
+//! The paper→code concordance (`docs/CONCORDANCE.md`) records which
+//! paper definitions this engine accelerates and which suites certify
+//! the byte-determinism contract.
 
 use crate::enumerate::{
     EnumerationLimits, EventSpace, LocalStep, LocalView, ProtoAction, Protocol, ProtocolUniverse,
@@ -44,21 +68,40 @@ use crate::error::CoreError;
 use crate::symmetry::{OrbitDecision, Orbits, QuotientState};
 use crate::universe::Universe;
 use crossbeam::channel::{self, Sender};
-use hpl_model::{Computation, Event, EventId, ProcessId};
+use hpl_model::{ActionId, Computation, Event, EventId, ProcessId};
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Sharding configuration for [`enumerate_sharded`].
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::ShardConfig;
+/// let cfg = ShardConfig::with_shards(4).batch_nodes(1024).quotient();
+/// assert_eq!(cfg.shards, 4);
+/// assert_eq!(cfg.batch_nodes, 1024);
+/// assert!(cfg.quotient && !cfg.dedupe);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct ShardConfig {
     /// Number of worker threads. `1` runs the whole pipeline on the
-    /// calling thread (no threads are spawned).
+    /// calling thread (no threads are spawned, and subtrees are explored
+    /// lazily at their splice points, so nothing is ever buffered).
     pub shards: usize,
     /// Tree depth at which frontier nodes become worker tasks; `None`
     /// picks a small default. The output is independent of this knob —
     /// it only shapes scheduling granularity.
     pub split_depth: Option<usize>,
+    /// Maximum node records per streamed batch. Workers flush a batch to
+    /// the merge whenever this many records accumulate, so peak merge
+    /// memory is bounded by the batches in flight rather than a task's
+    /// whole subtree. The output is independent of this knob; smaller
+    /// batches tighten the memory bound at the cost of more channel
+    /// traffic. Clamped to at least 1.
+    pub batch_nodes: usize,
     /// Collapse `[D]`-isomorphic computations (same per-process
     /// projections) onto one canonical representative. Opt-in: this is a
     /// quotient of the paper's universe, sound only for
@@ -75,17 +118,31 @@ pub struct ShardConfig {
     pub quotient: bool,
 }
 
+/// Default [`ShardConfig::batch_nodes`]: large enough that channel and
+/// timing overhead vanish, small enough that a batch of records stays a
+/// few hundred kilobytes.
+pub const DEFAULT_BATCH_NODES: usize = 32_768;
+
 impl ShardConfig {
-    /// A configuration with `shards` workers and default split depth, no
-    /// dedupe, no quotient.
+    /// A configuration with `shards` workers and default split depth and
+    /// batch size, no dedupe, no quotient.
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
         ShardConfig {
             shards,
             split_depth: None,
+            batch_nodes: DEFAULT_BATCH_NODES,
             dedupe: false,
             quotient: false,
         }
+    }
+
+    /// Sets the maximum node records per streamed batch (see
+    /// [`ShardConfig::batch_nodes`]).
+    #[must_use]
+    pub fn batch_nodes(mut self, nodes: usize) -> Self {
+        self.batch_nodes = nodes.max(1);
+        self
     }
 
     /// Enables canonical-form dedupe.
@@ -97,6 +154,37 @@ impl ShardConfig {
 
     /// Enables the symmetry-quotient mode (see
     /// [`ShardConfig::quotient`]).
+    ///
+    /// # Example
+    ///
+    /// A fully symmetric two-process protocol collapses to one
+    /// representative per multiset of per-process step counts,
+    /// independent of the shard count:
+    ///
+    /// ```
+    /// use hpl_core::{enumerate_sharded, EnumerationLimits, ShardConfig};
+    /// use hpl_core::{LocalView, ProtoAction, Protocol};
+    /// use hpl_model::{ActionId, ProcessId, SymmetryGroup};
+    ///
+    /// struct Twins;
+    /// impl Protocol for Twins {
+    ///     fn system_size(&self) -> usize { 2 }
+    ///     fn actions(&self, _p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+    ///         if view.len() < 2 {
+    ///             vec![ProtoAction::Internal { action: ActionId::new(view.len() as u32) }]
+    ///         } else { vec![] }
+    ///     }
+    ///     fn symmetry(&self) -> SymmetryGroup { SymmetryGroup::Full { n: 2 } }
+    /// }
+    ///
+    /// let cfg = ShardConfig::with_shards(2).quotient();
+    /// let out = enumerate_sharded(&Twins, EnumerationLimits::depth(4), &cfg)?;
+    /// let orbits = out.orbits.expect("quotient mode attaches orbits");
+    /// assert_eq!(out.stats.explored, 19);            // full interleaving tree
+    /// assert_eq!(out.stats.unique, 6);               // orbit representatives
+    /// assert_eq!(orbits.full_size(), 19);            // multiplicities cover it
+    /// # Ok::<(), hpl_core::CoreError>(())
+    /// ```
     #[must_use]
     pub fn quotient(mut self) -> Self {
         self.quotient = true;
@@ -109,6 +197,7 @@ impl Default for ShardConfig {
         ShardConfig {
             shards: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             split_depth: None,
+            batch_nodes: DEFAULT_BATCH_NODES,
             dedupe: false,
             quotient: false,
         }
@@ -130,6 +219,21 @@ pub struct EnumerationStats {
     /// Order of the symmetry group the quotient collapsed over (`1`
     /// outside quotient mode).
     pub group_order: usize,
+    /// Record batches streamed through the merge (≥ `tasks`; grows as
+    /// [`ShardConfig::batch_nodes`] shrinks).
+    pub batches: usize,
+    /// Time the merge spent actively renumbering and inserting records
+    /// (excludes time blocked waiting for workers), in milliseconds.
+    pub merge_wall_ms: f64,
+    /// Peak bytes of finished-but-not-yet-spliced batches held by the
+    /// merge, including the batch being consumed. This — not the total
+    /// node count — bounds the merge's buffering; it equals
+    /// [`largest_batch_bytes`](EnumerationStats::largest_batch_bytes)
+    /// when every batch was consumed the moment it arrived (always true
+    /// at 1 shard).
+    pub peak_buffered_bytes: usize,
+    /// Size of the largest single batch consumed, in bytes.
+    pub largest_batch_bytes: usize,
 }
 
 impl EnumerationStats {
@@ -165,7 +269,40 @@ pub struct ShardedEnumeration {
     pub orbits: Option<Orbits>,
 }
 
-/// One protocol step, as recorded by the explorers: enough to replay the
+/// A partition-local event id: a dense index into one task's id table
+/// ([`EventDef`] list). Partitions are disjoint by construction — a local
+/// id is meaningful only together with its partition, and the streaming
+/// merge renumbers each partition into the global [`EventId`] space at
+/// its splice point.
+type LocalId = u32;
+
+/// Sentinel for "no previous event on this process".
+const NO_EVENT: LocalId = u32::MAX;
+
+/// What kind of event a partition table entry defines. The communication
+/// peer of a receive is named by the *local id of its send* — resolvable
+/// entirely within the partition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum DefKind {
+    /// A send with its destination and payload tag.
+    Send { to: ProcessId, payload: u32 },
+    /// A receive of the message sent by local event `send`.
+    Recv { send: LocalId },
+    /// An internal action.
+    Internal { action: ActionId },
+}
+
+/// One entry of a partition's id table: everything the merge needs to
+/// re-intern the event globally, expressed in partition-local ids.
+#[derive(Clone, Copy, Debug)]
+struct EventDef {
+    p: ProcessId,
+    /// Previous event of `p` (local id), or [`NO_EVENT`].
+    prev: LocalId,
+    kind: DefKind,
+}
+
+/// One protocol step, as recorded in task *paths*: enough to replay the
 /// edge without consulting the protocol again.
 #[derive(Clone, Copy, Debug)]
 enum StepDesc {
@@ -176,13 +313,14 @@ enum StepDesc {
     Recv { slot: u32 },
 }
 
-/// A pre-order node record: the edge into the node plus its depth
-/// (events in the computation). Depth lets the merge recover the parent
-/// by truncation, so records need no explicit tree structure.
+/// A pre-order node record: the node's depth (events in the computation)
+/// plus the partition-local id of its edge event. Depth lets the merge
+/// recover the parent by truncation, so records need no explicit tree
+/// structure.
 #[derive(Clone, Copy, Debug)]
 struct NodeRec {
     depth: u32,
-    desc: StepDesc,
+    local: LocalId,
 }
 
 /// Coordinator-side prefix entry: a node of the shallow tree, or a
@@ -198,6 +336,22 @@ enum Entry {
 struct Task {
     id: usize,
     path: Vec<StepDesc>,
+}
+
+/// One streamed unit of worker output: the partition-table entries
+/// discovered since the previous batch of the same task, plus a run of
+/// pre-order node records. `last` marks the task's final batch.
+struct TaskBatch {
+    defs: Vec<EventDef>,
+    nodes: Vec<NodeRec>,
+    last: bool,
+}
+
+impl TaskBatch {
+    fn approx_bytes(&self) -> usize {
+        self.defs.len() * std::mem::size_of::<EventDef>()
+            + self.nodes.len() * std::mem::size_of::<NodeRec>()
+    }
 }
 
 /// Shared exploration budget: one global node counter enforcing
@@ -244,21 +398,59 @@ impl Budget {
     }
 }
 
-/// Protocol-side depth-first explorer with per-process action caching.
+/// Undo data for one applied spontaneous step.
+struct SpontUndo {
+    saved_actions: Vec<ProtoAction>,
+    saved_last: LocalId,
+}
+
+/// Undo data for one applied receive.
+struct RecvUndo {
+    saved_actions: Vec<ProtoAction>,
+    saved_last: LocalId,
+    entry: InFlight,
+}
+
+/// An in-flight message during exploration, with the local id of its
+/// send event (what a receive's [`DefKind::Recv`] names).
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    from: ProcessId,
+    to: ProcessId,
+    payload: u32,
+    send: LocalId,
+}
+
+/// Buffer accumulating one task's outgoing records between flushes.
+struct BatchBuf {
+    nodes: Vec<NodeRec>,
+    /// Partition-table entries already shipped in earlier batches.
+    defs_sent: usize,
+    limit: usize,
+}
+
+/// Protocol-side depth-first explorer with per-process action caching
+/// and **partition-local event interning**: every event it touches gets
+/// a dense id in the task's own table, allocated at first encounter in
+/// subtree pre-order, with no cross-task coordination.
 ///
 /// Shared by the coordinator's prefix expansion and the workers' subtree
-/// exploration; neither touches event ids — they only record the shape
-/// of the tree for the deterministic merge.
+/// exploration; global event ids appear only later, when the merge
+/// renumbers each partition at its splice point.
 struct Explorer<'a, P: ?Sized> {
     protocol: &'a P,
     budget: &'a Budget,
     max_events: usize,
     views: Vec<LocalView>,
-    // (from, to, payload) — no event ids at this stage
-    in_flight: Vec<(ProcessId, ProcessId, u32)>,
+    in_flight: Vec<InFlight>,
     // cached enabled steps per process, recomputed only when that
     // process's view changes
     actions: Vec<Vec<ProtoAction>>,
+    // the id partition: defs in first-encounter order plus the intern
+    // table that makes re-visited edges reuse their id
+    defs: Vec<EventDef>,
+    intern: HashMap<(ProcessId, LocalId, DefKind), LocalId>,
+    last_local: Vec<LocalId>,
 }
 
 impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
@@ -275,62 +467,109 @@ impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
             views,
             in_flight: Vec::new(),
             actions,
+            defs: Vec::new(),
+            intern: HashMap::new(),
+            last_local: vec![NO_EVENT; n],
         }
     }
 
-    /// Applies a spontaneous step, returning the displaced action cache
-    /// for the undo.
-    fn apply_spont(&mut self, p: ProcessId, action: ProtoAction) -> Vec<ProtoAction> {
+    /// Interns the event "process `p` does `kind` after its current last
+    /// event" into the partition table, allocating a fresh local id on
+    /// first encounter.
+    fn intern_local(&mut self, p: ProcessId, kind: DefKind) -> LocalId {
+        let prev = self.last_local[p.index()];
+        if let Some(&id) = self.intern.get(&(p, prev, kind)) {
+            return id;
+        }
+        let id = LocalId::try_from(self.defs.len()).expect("partition fits u32");
+        self.intern.insert((p, prev, kind), id);
+        self.defs.push(EventDef { p, prev, kind });
+        id
+    }
+
+    /// Applies a spontaneous step, returning the undo data and the
+    /// edge's partition-local event id.
+    fn apply_spont(&mut self, p: ProcessId, action: ProtoAction) -> (SpontUndo, LocalId) {
         let pi = p.index();
-        let step = match action {
-            ProtoAction::Send { to, payload } => {
-                self.in_flight.push((p, to, payload));
-                LocalStep::Sent { to, payload }
+        let (kind, step) = match action {
+            ProtoAction::Send { to, payload } => (
+                DefKind::Send { to, payload },
+                LocalStep::Sent { to, payload },
+            ),
+            ProtoAction::Internal { action } => {
+                (DefKind::Internal { action }, LocalStep::Did { action })
             }
-            ProtoAction::Internal { action } => LocalStep::Did { action },
         };
+        let local = self.intern_local(p, kind);
+        if let ProtoAction::Send { to, payload } = action {
+            self.in_flight.push(InFlight {
+                from: p,
+                to,
+                payload,
+                send: local,
+            });
+        }
         self.views[pi].push_step(step);
-        std::mem::replace(
+        let saved_last = std::mem::replace(&mut self.last_local[pi], local);
+        let saved_actions = std::mem::replace(
             &mut self.actions[pi],
             self.protocol.actions(p, &self.views[pi]),
+        );
+        (
+            SpontUndo {
+                saved_actions,
+                saved_last,
+            },
+            local,
         )
     }
 
-    fn undo_spont(&mut self, p: ProcessId, action: ProtoAction, saved: Vec<ProtoAction>) {
+    fn undo_spont(&mut self, p: ProcessId, action: ProtoAction, undo: SpontUndo) {
         let pi = p.index();
-        self.actions[pi] = saved;
+        self.actions[pi] = undo.saved_actions;
+        self.last_local[pi] = undo.saved_last;
         self.views[pi].pop_step();
         if matches!(action, ProtoAction::Send { .. }) {
             self.in_flight.pop();
         }
     }
 
-    /// Applies the receive at in-flight `slot`, returning the undo data.
-    fn apply_recv(&mut self, slot: usize) -> (Vec<ProtoAction>, (ProcessId, ProcessId, u32)) {
+    /// Applies the receive at in-flight `slot`, returning the undo data
+    /// and the edge's partition-local event id.
+    fn apply_recv(&mut self, slot: usize) -> (RecvUndo, LocalId) {
         let entry = self.in_flight.remove(slot);
-        let (from, to, payload) = entry;
-        let ti = to.index();
-        self.views[ti].push_step(LocalStep::Received { from, payload });
-        let saved = std::mem::replace(
+        let ti = entry.to.index();
+        let local = self.intern_local(entry.to, DefKind::Recv { send: entry.send });
+        self.views[ti].push_step(LocalStep::Received {
+            from: entry.from,
+            payload: entry.payload,
+        });
+        let saved_last = std::mem::replace(&mut self.last_local[ti], local);
+        let saved_actions = std::mem::replace(
             &mut self.actions[ti],
-            self.protocol.actions(to, &self.views[ti]),
+            self.protocol.actions(entry.to, &self.views[ti]),
         );
-        (saved, entry)
+        (
+            RecvUndo {
+                saved_actions,
+                saved_last,
+                entry,
+            },
+            local,
+        )
     }
 
-    fn undo_recv(
-        &mut self,
-        slot: usize,
-        (saved, entry): (Vec<ProtoAction>, (ProcessId, ProcessId, u32)),
-    ) {
-        let ti = entry.1.index();
-        self.actions[ti] = saved;
+    fn undo_recv(&mut self, slot: usize, undo: RecvUndo) {
+        let ti = undo.entry.to.index();
+        self.actions[ti] = undo.saved_actions;
+        self.last_local[ti] = undo.saved_last;
         self.views[ti].pop_step();
-        self.in_flight.insert(slot, entry);
+        self.in_flight.insert(slot, undo.entry);
     }
 
     /// Replays a task path from the root so subtree exploration starts
-    /// from the frontier node's state.
+    /// from the frontier node's state (interning the path's events into
+    /// this partition as it goes).
     fn replay(&mut self, path: &[StepDesc]) {
         for &desc in path {
             match desc {
@@ -368,11 +607,11 @@ impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
             return Ok(());
         }
         self.for_each_child(
-            |ex, desc, entries| {
+            |ex, desc, local, entries| {
                 ex.budget.charge()?;
                 entries.push(Entry::Node(NodeRec {
                     depth: (depth + 1) as u32,
-                    desc,
+                    local,
                 }));
                 path.push(desc);
                 let r = ex.explore_prefix(depth + 1, split, path, entries, tasks);
@@ -384,30 +623,69 @@ impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
     }
 
     /// Worker phase: exhaustively expand the subtree below the current
-    /// node, emitting pre-order records at absolute depths.
-    fn explore_subtree(&mut self, depth: usize, out: &mut Vec<NodeRec>) -> Result<(), ()> {
+    /// node (at `depth`), streaming pre-order records through `sink` in
+    /// batches of at most `batch_nodes`, ending with a `last` batch.
+    fn run_subtree(
+        &mut self,
+        depth: usize,
+        batch_nodes: usize,
+        sink: &mut dyn FnMut(TaskBatch),
+    ) -> Result<(), ()> {
+        let mut buf = BatchBuf {
+            nodes: Vec::new(),
+            defs_sent: 0, // the first batch carries the path's defs too
+            limit: batch_nodes.max(1),
+        };
+        self.explore_subtree(depth, &mut buf, sink)?;
+        self.flush(&mut buf, true, sink);
+        Ok(())
+    }
+
+    /// Ships the pending records (and any partition-table entries they
+    /// may reference) as one batch.
+    fn flush(&mut self, buf: &mut BatchBuf, last: bool, sink: &mut dyn FnMut(TaskBatch)) {
+        let defs = self.defs[buf.defs_sent..].to_vec();
+        buf.defs_sent = self.defs.len();
+        sink(TaskBatch {
+            defs,
+            nodes: std::mem::take(&mut buf.nodes),
+            last,
+        });
+    }
+
+    fn explore_subtree(
+        &mut self,
+        depth: usize,
+        buf: &mut BatchBuf,
+        sink: &mut dyn FnMut(TaskBatch),
+    ) -> Result<(), ()> {
         if depth >= self.max_events {
             return Ok(());
         }
         self.for_each_child(
-            |ex, desc, out| {
+            |ex, _desc, local, (buf, sink)| {
                 ex.budget.charge()?;
-                out.push(NodeRec {
+                buf.nodes.push(NodeRec {
                     depth: (depth + 1) as u32,
-                    desc,
+                    local,
                 });
-                ex.explore_subtree(depth + 1, out)
+                if buf.nodes.len() >= buf.limit {
+                    ex.flush(buf, false, sink);
+                }
+                ex.explore_subtree(depth + 1, buf, sink)
             },
-            out,
+            &mut (buf, sink),
         )
     }
 
     /// Enumerates the children of the current node in the sequential
     /// engine's order — spontaneous steps by process, then receives by
-    /// in-flight slot — applying/undoing state around each visit.
+    /// in-flight slot — applying/undoing state around each visit. The
+    /// visit closure receives the edge's step descriptor and its
+    /// partition-local event id.
     fn for_each_child<T>(
         &mut self,
-        mut visit: impl FnMut(&mut Self, StepDesc, &mut T) -> Result<(), ()>,
+        mut visit: impl FnMut(&mut Self, StepDesc, LocalId, &mut T) -> Result<(), ()>,
         sink: &mut T,
     ) -> Result<(), ()> {
         for pi in 0..self.protocol.system_size() {
@@ -418,9 +696,9 @@ impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
             let acts = std::mem::take(&mut self.actions[pi]);
             for &action in &acts {
                 let desc = StepDesc::Spont { p, action };
-                let saved = self.apply_spont(p, action);
-                let r = visit(self, desc, sink);
-                self.undo_spont(p, action, saved);
+                let (undo, local) = self.apply_spont(p, action);
+                let r = visit(self, desc, local, sink);
+                self.undo_spont(p, action, undo);
                 if r.is_err() {
                     self.actions[pi] = acts;
                     return Err(());
@@ -430,14 +708,16 @@ impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
         }
         let mut slot = 0;
         while slot < self.in_flight.len() {
-            let (from, to, payload) = self.in_flight[slot];
+            let InFlight {
+                from, to, payload, ..
+            } = self.in_flight[slot];
             if self
                 .protocol
                 .accepts(to, &self.views[to.index()], from, payload)
             {
                 let desc = StepDesc::Recv { slot: slot as u32 };
-                let undo = self.apply_recv(slot);
-                let r = visit(self, desc, sink);
+                let (undo, local) = self.apply_recv(slot);
+                let r = visit(self, desc, local, sink);
                 self.undo_recv(slot, undo);
                 r?;
             }
@@ -447,18 +727,16 @@ impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
     }
 }
 
-/// The deterministic merge: replays node records in sequential pre-order,
-/// interning events exactly as the sequential engine would, and builds
-/// the universe through the trusted fast path (tree nodes are unique and
-/// valid by construction).
+/// The deterministic streaming merge: renumbers each id partition into
+/// the single global event space at its splice point and replays node
+/// records in sequential pre-order through a depth-truncated path stack,
+/// building the universe through the trusted fast path (tree nodes are
+/// unique and valid by construction).
 struct Merger {
     space: EventSpace,
     universe: Universe,
+    /// The path of the node being replayed, as global events.
     events: Vec<Event>,
-    last_event: Vec<Option<EventId>>,
-    // (send event, from, to, payload)
-    in_flight: Vec<(EventId, ProcessId, ProcessId, u32)>,
-    undo: Vec<UndoRec>,
     system_size: usize,
     mode: MergeMode,
 }
@@ -482,103 +760,70 @@ enum MergeMode {
     Quotient(Box<QuotientState>),
 }
 
-enum UndoRec {
-    Spont {
-        p: ProcessId,
-        saved_last: Option<EventId>,
-        was_send: bool,
-    },
-    Recv {
-        p: ProcessId,
-        saved_last: Option<EventId>,
-        slot: u32,
-        entry: (EventId, ProcessId, ProcessId, u32),
-    },
-}
-
 impl Merger {
     fn new(system_size: usize, mode: MergeMode) -> Self {
         Merger {
             space: EventSpace::default(),
             universe: Universe::new(system_size),
             events: Vec::new(),
-            last_event: vec![None; system_size],
-            in_flight: Vec::new(),
-            undo: Vec::new(),
             system_size,
             mode,
         }
     }
 
-    /// Rewinds the replay state to `depth` events.
-    fn truncate_to(&mut self, depth: usize) {
-        while self.events.len() > depth {
-            self.events.pop();
-            match self.undo.pop().expect("undo stack tracks events") {
-                UndoRec::Spont {
-                    p,
-                    saved_last,
-                    was_send,
-                } => {
-                    self.last_event[p.index()] = saved_last;
-                    if was_send {
-                        self.in_flight.pop();
-                    }
-                }
-                UndoRec::Recv {
-                    p,
-                    saved_last,
-                    slot,
-                    entry,
-                } => {
-                    self.last_event[p.index()] = saved_last;
-                    self.in_flight.insert(slot as usize, entry);
-                }
-            }
+    /// Renumbers a run of partition-table entries into the global event
+    /// space, appending the assigned global ids to the partition's
+    /// renumbering `map`. Entries reference only earlier entries of the
+    /// same partition, so one forward pass suffices; re-interning an
+    /// event another partition (or the prefix) already discovered
+    /// returns its existing global id.
+    fn renumber(&mut self, defs: &[EventDef], map: &mut Vec<EventId>) {
+        for def in defs {
+            let prev = (def.prev != NO_EVENT).then(|| map[def.prev as usize]);
+            let key = match def.kind {
+                DefKind::Send { to, payload } => StepKey::Send { to, payload },
+                DefKind::Recv { send } => StepKey::Recv {
+                    send_event: map[send as usize],
+                },
+                DefKind::Internal { action } => StepKey::Internal { action },
+            };
+            let e = self.space.intern(def.p, prev, key);
+            map.push(e.id());
         }
     }
 
-    /// Applies one node record and inserts the resulting computation.
-    fn apply(&mut self, rec: NodeRec) {
-        self.truncate_to(rec.depth as usize - 1);
-        match rec.desc {
-            StepDesc::Spont { p, action } => {
-                let pi = p.index();
-                let key = match action {
-                    ProtoAction::Send { to, payload } => StepKey::Send { to, payload },
-                    ProtoAction::Internal { action } => StepKey::Internal { action },
-                };
-                let e = self.space.intern(p, self.last_event[pi], key);
-                self.undo.push(UndoRec::Spont {
-                    p,
-                    saved_last: self.last_event[pi],
-                    was_send: matches!(action, ProtoAction::Send { .. }),
-                });
-                self.last_event[pi] = Some(e.id());
-                self.events.push(e);
-                if let ProtoAction::Send { to, payload } = action {
-                    self.in_flight.push((e.id(), p, to, payload));
-                }
-            }
-            StepDesc::Recv { slot } => {
-                let entry = self.in_flight[slot as usize];
-                let (send_event, _from, to, _payload) = entry;
-                let ti = to.index();
-                let e = self
-                    .space
-                    .intern(to, self.last_event[ti], StepKey::Recv { send_event });
-                self.undo.push(UndoRec::Recv {
-                    p: to,
-                    saved_last: self.last_event[ti],
-                    slot,
-                    entry,
-                });
-                self.last_event[ti] = Some(e.id());
-                self.events.push(e);
-                self.in_flight.remove(slot as usize);
-            }
-        }
+    /// The global event bound to `id`.
+    fn event(&self, id: EventId) -> Event {
+        self.space.events[id.index()]
+    }
+
+    /// Replays one node record: truncates the path stack to the parent
+    /// and pushes the (already renumbered) edge event.
+    fn apply(&mut self, depth: u32, e: Event) {
+        self.events.truncate(depth as usize - 1);
+        self.events.push(e);
         self.insert_current();
+    }
+
+    /// Grows the universe's tables toward the live explored count — in
+    /// exact mode every explored node is kept, so the counter (which the
+    /// workers race ahead of the merge) forecasts the final size and the
+    /// id table stops rehashing early. Dedupe/quotient keep far fewer
+    /// members than they explore, so the forecast would over-reserve.
+    fn forecast(&mut self, explored: usize) {
+        if matches!(self.mode, MergeMode::Exact) {
+            self.universe.reserve_to(explored);
+        }
+    }
+
+    /// Consumes one streamed batch: renumbers its partition-table run,
+    /// then replays its node records.
+    fn consume(&mut self, batch: &TaskBatch, map: &mut Vec<EventId>) {
+        self.renumber(&batch.defs, map);
+        for rec in &batch.nodes {
+            let e = self.event(map[rec.local as usize]);
+            self.apply(rec.depth, e);
+        }
     }
 
     /// Inserts the computation at the replay head, unless dedupe or the
@@ -610,6 +855,10 @@ impl Merger {
             events, payloads, ..
         } = self.space;
         self.universe.register_events(events);
+        // trusted insertions defer the generation bump; commit the final
+        // state once so generation-keyed caches (ClassCache) see exactly
+        // one state for the whole enumeration
+        self.universe.commit_generation();
         let orbits = match self.mode {
             MergeMode::Quotient(q) => Some(q.into_orbits()),
             MergeMode::Exact | MergeMode::Dedupe(_) => None,
@@ -636,12 +885,75 @@ fn canonical_signature(system_size: usize, events: &[Event]) -> Vec<u64> {
     sig
 }
 
+/// Live accounting of the streaming merge.
+#[derive(Default)]
+struct MergeMetrics {
+    merge_wall: Duration,
+    buffered_now: usize,
+    peak_buffered: usize,
+    largest_batch: usize,
+    batches: usize,
+}
+
+impl MergeMetrics {
+    /// Accounts a batch the moment it is about to be consumed.
+    fn on_consume(&mut self, batch: &TaskBatch) {
+        let bytes = batch.approx_bytes();
+        self.batches += 1;
+        self.largest_batch = self.largest_batch.max(bytes);
+        self.peak_buffered = self.peak_buffered.max(self.buffered_now + bytes);
+    }
+
+    /// Accounts a batch parked in the reorder buffer (finished out of
+    /// splice order).
+    fn on_buffer(&mut self, batch: &TaskBatch) {
+        self.buffered_now += batch.approx_bytes();
+        self.peak_buffered = self.peak_buffered.max(self.buffered_now);
+    }
+
+    fn on_unbuffer(&mut self, batch: &TaskBatch) {
+        self.buffered_now -= batch.approx_bytes();
+    }
+}
+
+/// Walks the prefix entries in splice order, renumbering coordinator
+/// events lazily (in first-encounter order, which is their pre-order)
+/// and delegating each task's batches to `run_task`.
+fn drive_merge(
+    entries: &[Entry],
+    coord_defs: &[EventDef],
+    merger: &mut Merger,
+    metrics: &mut MergeMetrics,
+    mut run_task: impl FnMut(&mut Merger, usize, &mut MergeMetrics) -> Result<(), ()>,
+) -> Result<(), ()> {
+    let mut coord_map: Vec<EventId> = Vec::new();
+    merger.insert_current(); // the root (empty) computation
+    for entry in entries {
+        match *entry {
+            Entry::Node(rec) => {
+                let t = Instant::now();
+                let local = rec.local as usize;
+                if local >= coord_map.len() {
+                    debug_assert_eq!(local, coord_map.len(), "prefix defs are pre-ordered");
+                    merger.renumber(&coord_defs[coord_map.len()..=local], &mut coord_map);
+                }
+                let e = merger.event(coord_map[local]);
+                merger.apply(rec.depth, e);
+                metrics.merge_wall += t.elapsed();
+            }
+            Entry::Task(id) => run_task(merger, id, metrics)?,
+        }
+    }
+    Ok(())
+}
+
 fn worker_loop<P: Protocol + ?Sized>(
     protocol: &P,
     max_events: usize,
+    batch_nodes: usize,
     budget: &Budget,
     queue: &Mutex<channel::Receiver<Task>>,
-    results: &Sender<(usize, Vec<NodeRec>)>,
+    results: &Sender<(usize, TaskBatch)>,
 ) {
     loop {
         let Some(task) = queue.lock().try_recv() else {
@@ -649,23 +961,55 @@ fn worker_loop<P: Protocol + ?Sized>(
         };
         let mut ex = Explorer::new(protocol, max_events, budget);
         ex.replay(&task.path);
-        let mut out = Vec::new();
-        if ex.explore_subtree(task.path.len(), &mut out).is_err() {
+        let done = ex.run_subtree(task.path.len(), batch_nodes, &mut |batch| {
+            // the coordinator outlives the workers; a send failure means
+            // the run is being torn down
+            let _ = results.send((task.id, batch));
+        });
+        if done.is_err() {
             return; // budget exhausted or sibling failure; error is recorded
         }
-        // the coordinator outlives the workers; a send failure means the
-        // run is being torn down
-        let _ = results.send((task.id, out));
     }
 }
 
 /// Enumerates every system computation of `protocol` (depth-bounded, like
 /// [`enumerate`](crate::enumerate::enumerate)) using `config.shards`
-/// worker threads and a deterministic merge.
+/// worker threads, per-task id partitions and a streaming deterministic
+/// merge.
 ///
 /// Without dedupe the result is byte-identical to the sequential engine
-/// for every shard count: same computations, same `CompId` order, same
-/// event ids, same payload table.
+/// for every shard count, split depth and batch size: same computations,
+/// same `CompId` order, same event ids, same payload table.
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::{enumerate, enumerate_sharded, EnumerationLimits, ShardConfig};
+/// use hpl_core::{LocalView, ProtoAction, Protocol};
+/// use hpl_model::{ActionId, ProcessId};
+///
+/// /// Two processes, up to two internal steps each.
+/// struct Clocks;
+/// impl Protocol for Clocks {
+///     fn system_size(&self) -> usize { 2 }
+///     fn actions(&self, _p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+///         if view.len() < 2 {
+///             vec![ProtoAction::Internal { action: ActionId::new(view.len() as u32) }]
+///         } else { vec![] }
+///     }
+/// }
+///
+/// let limits = EnumerationLimits::depth(4);
+/// let seq = enumerate(&Clocks, limits)?;
+/// let out = enumerate_sharded(&Clocks, limits, &ShardConfig::with_shards(2))?;
+/// assert_eq!(out.universe.universe().len(), seq.universe().len());
+/// // byte-identical: same computations under the same ids
+/// for (id, c) in seq.universe().iter() {
+///     assert_eq!(out.universe.universe().get(id), c);
+/// }
+/// assert_eq!(out.stats.explored, 19);
+/// # Ok::<(), hpl_core::CoreError>(())
+/// ```
 ///
 /// # Errors
 ///
@@ -677,64 +1021,24 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
     config: &ShardConfig,
 ) -> Result<ShardedEnumeration, CoreError> {
     let shards = config.shards.max(1);
+    let batch_nodes = config.batch_nodes.max(1);
     // Default split: deep enough to produce many more tasks than shards
     // on branchy protocols, shallow enough that the prefix phase stays
     // negligible.
     let split = config.split_depth.unwrap_or(3).min(limits.max_events);
     let budget = Budget::new(limits.max_computations);
 
-    // Phase 1: prefix expansion.
+    // Phase 1: prefix expansion (coordinator partition).
     let mut entries = Vec::new();
     let mut tasks = Vec::new();
-    let outcome = {
-        let mut ex = Explorer::new(protocol, limits.max_events, &budget);
-        budget
-            .charge()
-            .and_then(|()| ex.explore_prefix(0, split, &mut Vec::new(), &mut entries, &mut tasks))
-    };
+    let mut prefix = Explorer::new(protocol, limits.max_events, &budget);
+    let outcome = budget
+        .charge()
+        .and_then(|()| prefix.explore_prefix(0, split, &mut Vec::new(), &mut entries, &mut tasks));
     let task_count = tasks.len();
-    let mut results: Vec<Option<Vec<NodeRec>>> = Vec::new();
 
-    // Phase 2: sharded subtree exploration.
-    if outcome.is_ok() && !tasks.is_empty() {
-        results.resize_with(task_count, || None);
-        let (task_tx, task_rx) = channel::unbounded();
-        for t in tasks {
-            task_tx.send(t).expect("receiver alive");
-        }
-        drop(task_tx);
-        // the vendored crossbeam stand-in wraps std::sync::mpsc, whose
-        // receiver is single-consumer — the mutex is what makes the
-        // queue multi-consumer (real crossbeam receivers are MPMC and
-        // would not need it)
-        let queue = Mutex::new(task_rx);
-        let (res_tx, res_rx) = channel::unbounded();
-        if shards == 1 {
-            worker_loop(protocol, limits.max_events, &budget, &queue, &res_tx);
-            drop(res_tx);
-        } else {
-            std::thread::scope(|s| {
-                for _ in 0..shards {
-                    let res_tx = res_tx.clone();
-                    let (queue, budget) = (&queue, &budget);
-                    s.spawn(move || {
-                        worker_loop(protocol, limits.max_events, budget, queue, &res_tx);
-                    });
-                }
-                drop(res_tx);
-            });
-        }
-        while let Some((id, recs)) = res_rx.try_recv() {
-            results[id] = Some(recs);
-        }
-    }
-
-    let explored = budget.explored.load(Ordering::Relaxed).min(budget.max);
-    if let Some(e) = budget.into_error() {
-        return Err(e);
-    }
-
-    // Phase 3: deterministic merge in sequential pre-order.
+    // Phases 2+3, fused: workers explore disjoint id partitions while the
+    // coordinator streams their batches through the merge in splice order.
     let mode = if config.quotient {
         let elements = protocol.symmetry().elements_for(protocol.system_size());
         MergeMode::Quotient(Box::new(QuotientState::new(
@@ -747,19 +1051,110 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
         MergeMode::Exact
     };
     let mut merger = Merger::new(protocol.system_size(), mode);
-    merger.universe.reserve(explored);
-    merger.insert_current(); // the root (empty) computation
-    for entry in entries {
-        match entry {
-            Entry::Node(rec) => merger.apply(rec),
-            Entry::Task(id) => {
-                let recs = results[id].take().expect("all tasks completed");
-                for rec in recs {
-                    merger.apply(rec);
-                }
+    let mut metrics = MergeMetrics::default();
+    if outcome.is_ok() {
+        let mut task_map: Vec<EventId> = Vec::new();
+        if shards == 1 || tasks.is_empty() {
+            // Single-shard: explore each subtree lazily at its splice
+            // point, merging batches the moment they are produced —
+            // nothing is ever buffered.
+            let _ = drive_merge(
+                &entries,
+                &prefix.defs,
+                &mut merger,
+                &mut metrics,
+                |merger, id, metrics| {
+                    let mut ex = Explorer::new(protocol, limits.max_events, &budget);
+                    ex.replay(&tasks[id].path);
+                    task_map.clear();
+                    ex.run_subtree(tasks[id].path.len(), batch_nodes, &mut |batch| {
+                        metrics.on_consume(&batch);
+                        let t = Instant::now();
+                        merger.forecast(budget.explored.load(Ordering::Relaxed));
+                        merger.consume(&batch, &mut task_map);
+                        metrics.merge_wall += t.elapsed();
+                    })
+                },
+            );
+        } else {
+            let (task_tx, task_rx) = channel::unbounded();
+            for t in tasks {
+                task_tx.send(t).expect("receiver alive");
             }
+            drop(task_tx);
+            // the vendored crossbeam stand-in wraps std::sync::mpsc, whose
+            // receiver is single-consumer — the mutex is what makes the
+            // queue multi-consumer (real crossbeam receivers are MPMC and
+            // would not need it)
+            let queue = Mutex::new(task_rx);
+            let (res_tx, res_rx) = channel::unbounded::<(usize, TaskBatch)>();
+            std::thread::scope(|s| {
+                for _ in 0..shards {
+                    let res_tx = res_tx.clone();
+                    let (queue, budget) = (&queue, &budget);
+                    s.spawn(move || {
+                        worker_loop(
+                            protocol,
+                            limits.max_events,
+                            batch_nodes,
+                            budget,
+                            queue,
+                            &res_tx,
+                        );
+                    });
+                }
+                drop(res_tx);
+                // Reorder buffer: batches of tasks that finished ahead of
+                // their splice point. This — not the node count — is the
+                // merge's peak memory.
+                let mut parked: HashMap<usize, VecDeque<TaskBatch>> = HashMap::new();
+                let _ = drive_merge(
+                    &entries,
+                    &prefix.defs,
+                    &mut merger,
+                    &mut metrics,
+                    |merger, id, metrics| {
+                        task_map.clear();
+                        loop {
+                            let batch = match parked.get_mut(&id).and_then(VecDeque::pop_front) {
+                                Some(b) => {
+                                    metrics.on_unbuffer(&b);
+                                    b
+                                }
+                                None => loop {
+                                    match res_rx.recv() {
+                                        Ok((t, b)) if t == id => break b,
+                                        Ok((t, b)) => {
+                                            metrics.on_buffer(&b);
+                                            parked.entry(t).or_default().push_back(b);
+                                        }
+                                        // workers gone without finishing:
+                                        // budget abort — bail out
+                                        Err(_) => return Err(()),
+                                    }
+                                },
+                            };
+                            metrics.on_consume(&batch);
+                            let last = batch.last;
+                            let t = Instant::now();
+                            merger.forecast(budget.explored.load(Ordering::Relaxed));
+                            merger.consume(&batch, &mut task_map);
+                            metrics.merge_wall += t.elapsed();
+                            if last {
+                                return Ok(());
+                            }
+                        }
+                    },
+                );
+            });
         }
     }
+
+    let explored = budget.explored.load(Ordering::Relaxed).min(budget.max);
+    if let Some(e) = budget.into_error() {
+        return Err(e);
+    }
+
     let unique = merger.universe.len();
     let (universe, orbits) = merger.finish();
     Ok(ShardedEnumeration {
@@ -770,6 +1165,10 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
             tasks: task_count,
             shards,
             group_order: orbits.as_ref().map_or(1, Orbits::group_order),
+            batches: metrics.batches,
+            merge_wall_ms: metrics.merge_wall.as_secs_f64() * 1e3,
+            peak_buffered_bytes: metrics.peak_buffered,
+            largest_batch_bytes: metrics.largest_batch,
         },
         orbits,
     })
@@ -779,7 +1178,6 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
 mod tests {
     use super::*;
     use crate::enumerate::enumerate;
-    use hpl_model::ActionId;
 
     /// Asserts the two universes are byte-identical: same computations in
     /// the same `CompId` order, same event bindings, same payload table.
@@ -881,16 +1279,20 @@ mod tests {
         let seq = enumerate(p, EnumerationLimits::depth(depth)).unwrap();
         for shards in [1, 2, 8] {
             for split in [0, 1, 3, depth] {
-                let cfg = ShardConfig {
-                    shards,
-                    split_depth: Some(split),
-                    ..ShardConfig::with_shards(shards)
-                };
-                let out = enumerate_sharded(p, EnumerationLimits::depth(depth), &cfg).unwrap();
-                assert_identical(&out.universe, &seq);
-                assert_eq!(out.stats.explored, seq.universe().len());
-                assert_eq!(out.stats.unique, seq.universe().len());
-                assert!((out.stats.dedupe_ratio() - 1.0).abs() < 1e-9);
+                for batch in [1usize, 5, DEFAULT_BATCH_NODES] {
+                    let cfg = ShardConfig {
+                        shards,
+                        split_depth: Some(split),
+                        ..ShardConfig::with_shards(shards)
+                    }
+                    .batch_nodes(batch);
+                    let out = enumerate_sharded(p, EnumerationLimits::depth(depth), &cfg).unwrap();
+                    assert_identical(&out.universe, &seq);
+                    assert_eq!(out.stats.explored, seq.universe().len());
+                    assert_eq!(out.stats.unique, seq.universe().len());
+                    assert!((out.stats.dedupe_ratio() - 1.0).abs() < 1e-9);
+                    assert!(out.stats.batches >= out.stats.tasks);
+                }
             }
         }
     }
@@ -908,6 +1310,33 @@ mod tests {
     #[test]
     fn matches_sequential_picky_accepts() {
         check_matches_sequential(&Picky, 4);
+    }
+
+    #[test]
+    fn single_shard_streams_without_buffering() {
+        // with one shard every batch is merged the moment it is produced:
+        // the reorder buffer never holds anything, so the observed peak
+        // equals the largest single batch.
+        let cfg = ShardConfig::with_shards(1).batch_nodes(4);
+        let out =
+            enumerate_sharded(&Clocks { n: 3, k: 2 }, EnumerationLimits::depth(6), &cfg).unwrap();
+        assert!(out.stats.batches >= out.stats.tasks);
+        assert_eq!(out.stats.peak_buffered_bytes, out.stats.largest_batch_bytes);
+        assert!(out.stats.merge_wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn tiny_batches_bound_the_largest_batch() {
+        // batch_nodes = 1 caps every batch at one node record (plus the
+        // partition-table entries it introduces).
+        let one = ShardConfig::with_shards(2).batch_nodes(1);
+        let big = ShardConfig::with_shards(2);
+        let limits = EnumerationLimits::depth(6);
+        let small = enumerate_sharded(&Clocks { n: 3, k: 2 }, limits, &one).unwrap();
+        let large = enumerate_sharded(&Clocks { n: 3, k: 2 }, limits, &big).unwrap();
+        assert_identical(&small.universe, &large.universe);
+        assert!(small.stats.batches > large.stats.batches);
+        assert!(small.stats.largest_batch_bytes <= large.stats.largest_batch_bytes);
     }
 
     #[test]
@@ -994,10 +1423,12 @@ mod tests {
     }
 
     #[test]
-    fn quotient_is_deterministic_across_shard_counts() {
+    fn quotient_is_deterministic_across_shard_counts_and_batches() {
         let mut reference: Option<(Vec<Vec<u64>>, Vec<u64>)> = None;
-        for shards in [1usize, 2, 8] {
-            let cfg = ShardConfig::with_shards(shards).quotient();
+        for (shards, batch) in [(1usize, 1usize), (1, 64), (2, 1), (2, 64), (8, 7)] {
+            let cfg = ShardConfig::with_shards(shards)
+                .quotient()
+                .batch_nodes(batch);
             let out = enumerate_sharded(
                 &SymmetricClocks { n: 3, k: 2 },
                 EnumerationLimits::depth(6),
@@ -1042,20 +1473,23 @@ mod tests {
     #[test]
     fn budget_guard_trips_across_shards() {
         for shards in [1, 4] {
-            let cfg = ShardConfig {
-                split_depth: Some(1),
-                ..ShardConfig::with_shards(shards)
-            };
-            let err = enumerate_sharded(
-                &Clocks { n: 2, k: 3 },
-                EnumerationLimits {
-                    max_events: 6,
-                    max_computations: 10,
-                },
-                &cfg,
-            )
-            .unwrap_err();
-            assert!(matches!(err, CoreError::EnumerationBudgetExceeded { .. }));
+            for batch in [1usize, DEFAULT_BATCH_NODES] {
+                let cfg = ShardConfig {
+                    split_depth: Some(1),
+                    ..ShardConfig::with_shards(shards)
+                }
+                .batch_nodes(batch);
+                let err = enumerate_sharded(
+                    &Clocks { n: 2, k: 3 },
+                    EnumerationLimits {
+                        max_events: 6,
+                        max_computations: 10,
+                    },
+                    &cfg,
+                )
+                .unwrap_err();
+                assert!(matches!(err, CoreError::EnumerationBudgetExceeded { .. }));
+            }
         }
     }
 
@@ -1071,6 +1505,9 @@ mod tests {
         let ded = ShardConfig::with_shards(2).dedupe();
         assert!(ded.dedupe);
         assert_eq!(ded.shards, 2);
+        assert_eq!(ded.batch_nodes, DEFAULT_BATCH_NODES);
+        // the knob clamps to at least one node per batch
+        assert_eq!(ShardConfig::with_shards(1).batch_nodes(0).batch_nodes, 1);
     }
 
     #[test]
@@ -1084,5 +1521,20 @@ mod tests {
         // frontier at depth 1: one internal step per process → 2 tasks
         assert_eq!(out.stats.tasks, 2);
         assert_eq!(out.stats.shards, 2);
+    }
+
+    #[test]
+    fn generation_committed_once_per_enumeration() {
+        // trusted insertions defer the generation bump; two enumerations
+        // of the same protocol still get distinct generations, so
+        // generation-keyed caches cannot alias different universes.
+        let limits = EnumerationLimits::depth(4);
+        let cfg = ShardConfig::with_shards(2);
+        let a = enumerate_sharded(&PingPong, limits, &cfg).unwrap();
+        let b = enumerate_sharded(&PingPong, limits, &cfg).unwrap();
+        assert_ne!(
+            a.universe.universe().generation(),
+            b.universe.universe().generation()
+        );
     }
 }

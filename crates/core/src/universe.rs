@@ -183,19 +183,18 @@ impl Universe {
         Ok(id)
     }
 
-    /// Crate-internal pre-sizing for enumeration engines that know the
-    /// member count up front (avoids rehashing the id table as it grows).
-    pub(crate) fn reserve(&mut self, additional: usize) {
-        self.computations.reserve(additional);
-        self.by_ids.reserve(additional);
-    }
-
     /// Crate-internal fast-path insertion for enumeration engines: the
     /// caller guarantees the computation has the right system size, is
     /// consistent with the shared event space, and is **not** already a
     /// member. Skips the per-event consistency scan and the duplicate
     /// probe; the event registry is populated separately via
     /// [`Universe::register_events`].
+    ///
+    /// Unlike [`Universe::insert`], this does **not** draw a fresh
+    /// generation per call (a streaming merge performs one trusted
+    /// insert per kept node; the universe is private to the engine until
+    /// it finishes). The engine must call
+    /// [`Universe::commit_generation`] once before exposing the result.
     pub(crate) fn insert_trusted(&mut self, c: Computation) -> CompId {
         debug_assert_eq!(c.system_size(), self.system_size, "system size mismatch");
         let key: Vec<EventId> = c.iter().map(|e| e.id()).collect();
@@ -206,8 +205,27 @@ impl Universe {
         let id = CompId::new(self.computations.len());
         self.by_ids.insert(key, id);
         self.computations.push(c);
-        self.generation = next_generation();
         id
+    }
+
+    /// Crate-internal: grows the member and id tables toward a forecast
+    /// final count (monotone; a no-op once capacity suffices). Streaming
+    /// enumeration engines call this with the live explored counter so
+    /// the id table stops rehashing long before the merge catches up.
+    pub(crate) fn reserve_to(&mut self, target: usize) {
+        if let Some(add) = target.checked_sub(self.computations.len()) {
+            self.computations.reserve(add);
+            self.by_ids.reserve(add);
+        }
+    }
+
+    /// Crate-internal: draws one fresh generation for the batch of
+    /// trusted mutations performed since construction — the deferred
+    /// counterpart of the per-call bump in [`Universe::insert`], so
+    /// generation-keyed caches ([`crate::isomorphism::ClassCache`]) see
+    /// exactly one state per enumeration instead of one per node.
+    pub(crate) fn commit_generation(&mut self) {
+        self.generation = next_generation();
     }
 
     /// Crate-internal bulk registration of the shared event space backing

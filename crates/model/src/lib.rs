@@ -16,6 +16,10 @@
 //!   preceded in `z` by its corresponding send;
 //! * all events and all messages are distinguished.
 //!
+//! (A definition-by-definition map from the paper's §2–§5 to modules,
+//! key types and certifying tests lives in `docs/CONCORDANCE.md` at the
+//! repository root.)
+//!
 //! The central type is [`Computation`], a validated system computation.
 //! [`ProcessSet`] provides the set algebra the isomorphism calculus needs,
 //! [`causality`] the happened-before relation (`→` in the paper),

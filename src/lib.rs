@@ -19,7 +19,9 @@
 //! (`hpl-bench`, not re-exported here, holds the criterion suites and the
 //! `repro` paper-reproduction binary.)
 //!
-//! Start with the [`prelude`], the `quickstart` example, or DESIGN.md.
+//! Start with the [`prelude`], the `quickstart` example, or DESIGN.md;
+//! `docs/CONCORDANCE.md` maps every §2–§5 notion of the paper to its
+//! module, key types and certifying tests.
 //!
 //! # Example
 //!

@@ -218,3 +218,182 @@ fn dedupe_is_shard_deterministic_too() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Streaming merge vs buffered merge (PR 4)
+// ---------------------------------------------------------------------
+
+/// The buffered reference configuration: one batch per task (the batch
+/// cap far exceeds any subtree here), i.e. exactly the pre-streaming
+/// engine's buffering behaviour.
+fn buffered_cfg(shards: usize) -> ShardConfig {
+    ShardConfig::with_shards(shards).batch_nodes(usize::MAX)
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+    /// The streaming merge is byte-identical to the buffered merge (and
+    /// to the sequential reference) for every shard count × batch size,
+    /// across seeded irregular protocols — computations, `CompId` order,
+    /// event bindings and payload tables all agree.
+    #[test]
+    fn streaming_merge_matches_buffered_merge(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        batch in 1usize..64,
+    ) {
+        let p = SeededChaos { n, seed };
+        let limits = EnumerationLimits {
+            max_events: 5,
+            max_computations: 1_000_000,
+        };
+        let seq = enumerate(&p, limits).expect("within budget");
+        for shards in [1usize, 2, 8] {
+            let buffered = enumerate_sharded(&p, limits, &buffered_cfg(shards))
+                .expect("within budget");
+            let streamed = enumerate_sharded(
+                &p,
+                limits,
+                &ShardConfig::with_shards(shards).batch_nodes(batch),
+            )
+            .expect("within budget");
+            assert_identical(
+                &streamed.universe,
+                &buffered.universe,
+                &format!("streamed vs buffered chaos(seed={seed}, n={n}) @ {shards} shards, batch={batch}"),
+            );
+            assert_identical(
+                &streamed.universe,
+                &seq,
+                &format!("streamed vs sequential chaos(seed={seed}, n={n}) @ {shards} shards, batch={batch}"),
+            );
+            assert_eq!(streamed.stats.explored, buffered.stats.explored);
+            assert_eq!(streamed.stats.unique, buffered.stats.unique);
+            // streaming in smaller batches may only raise the batch
+            // count, never change what is merged
+            assert!(streamed.stats.batches >= buffered.stats.batches);
+        }
+    }
+}
+
+#[test]
+fn streaming_merge_matches_buffered_for_shipped_protocols() {
+    // the fixed-seed corollary of the proptest over the real protocols:
+    // streaming with a tiny batch size changes nothing but the batch count
+    let limits = EnumerationLimits {
+        max_events: 5,
+        max_computations: 1_000_000,
+    };
+    for shards in [1usize, 2, 8] {
+        let buffered = enumerate_sharded(&TokenBus::new(3), limits, &buffered_cfg(shards)).unwrap();
+        let streamed = enumerate_sharded(
+            &TokenBus::new(3),
+            limits,
+            &ShardConfig::with_shards(shards).batch_nodes(3),
+        )
+        .unwrap();
+        assert_identical(
+            &streamed.universe,
+            &buffered.universe,
+            &format!("token_bus streamed vs buffered @ {shards} shards"),
+        );
+    }
+}
+
+#[test]
+fn streaming_quotient_preserves_orbit_multiplicities() {
+    // multiplicities are accumulated in splice order: batch size and
+    // shard count must not perturb them
+    let limits = EnumerationLimits {
+        max_events: 6,
+        max_computations: 1_000_000,
+    };
+    let reference =
+        enumerate_sharded(&PushGossip { n: 3 }, limits, &buffered_cfg(1).quotient()).unwrap();
+    let ref_orbits = reference.orbits.expect("quotient attaches orbits");
+    for shards in [2usize, 8] {
+        for batch in [1usize, 17] {
+            let out = enumerate_sharded(
+                &PushGossip { n: 3 },
+                limits,
+                &ShardConfig::with_shards(shards)
+                    .quotient()
+                    .batch_nodes(batch),
+            )
+            .unwrap();
+            let orbits = out.orbits.expect("quotient attaches orbits");
+            assert_identical(
+                &out.universe,
+                &reference.universe,
+                &format!("quotient gossip @ {shards} shards, batch={batch}"),
+            );
+            assert_eq!(orbits.full_size(), ref_orbits.full_size());
+            for id in out.universe.universe().ids() {
+                assert_eq!(
+                    orbits.multiplicity(id),
+                    ref_orbits.multiplicity(id),
+                    "multiplicity of {id} @ {shards} shards, batch={batch}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ClassCache generation keys across the renumbering merge (PR 4)
+// ---------------------------------------------------------------------
+
+/// Regression test: the streaming merge's trusted insertions defer the
+/// universe's generation bump to one commit at `finish()`, and that
+/// committed generation must behave exactly like any other state key —
+/// distinct across enumerations (even byte-identical ones), stable for
+/// the lifetime of the result, and shared by clones — so a shared
+/// [`ClassCache`] can never serve one enumeration's `[P]`-partitions to
+/// another.
+#[test]
+fn class_cache_generation_keys_survive_renumbering() {
+    use hpl_core::{ClassCache, Evaluator, Formula, Interpretation};
+    use hpl_model::ProcessSet;
+
+    let limits = EnumerationLimits {
+        max_events: 5,
+        max_computations: 1_000_000,
+    };
+    let cfg = ShardConfig::with_shards(2).batch_nodes(4);
+    let a = enumerate_sharded(&TokenBus::new(3), limits, &cfg).unwrap();
+    let b = enumerate_sharded(&TokenBus::new(3), limits, &cfg).unwrap();
+
+    // byte-identical universes, distinct state keys
+    assert_identical(&a.universe, &b.universe, "repeat enumeration");
+    let (ua, ub) = (a.universe.universe(), b.universe.universe());
+    assert_ne!(
+        ua.generation(),
+        ub.generation(),
+        "each enumeration must commit a fresh generation"
+    );
+    // the key is stable: observing it twice gives the same value
+    assert_eq!(ua.generation(), ua.generation());
+    // clones share content and therefore the key
+    assert_eq!(ua.clone().generation(), ua.generation());
+
+    // a shared cache serves both universes correct partitions (both
+    // generations fit the retention window; neither aliases the other)
+    let cache = ClassCache::shared();
+    let mut interp = Interpretation::new();
+    let moved = interp.register("moved", |c| c.sends() > 0);
+    let f = Formula::knows(
+        ProcessSet::singleton(hpl_model::ProcessId::new(1)),
+        Formula::atom(moved),
+    );
+    let sat_a = Evaluator::with_class_cache(ua, &interp, cache.clone()).sat_set(&f);
+    let sat_b = Evaluator::with_class_cache(ub, &interp, cache.clone()).sat_set(&f);
+    assert_eq!(sat_a, sat_b, "identical universes, identical verdicts");
+    assert!(
+        cache.len() >= 2,
+        "distinct generations must occupy distinct cache slots"
+    );
+    // and a warm re-query of the first universe still answers correctly
+    let sat_a2 = Evaluator::with_class_cache(ua, &interp, cache).sat_set(&f);
+    assert_eq!(sat_a, sat_a2);
+}

@@ -196,10 +196,10 @@ fn outermost_corpus(n: usize, atoms: &[Formula]) -> Vec<Formula> {
 // The equivalence driver
 // ---------------------------------------------------------------------
 
-/// Enumerates `p` both ways and certifies, for shards {1, 2, 8}:
-/// byte-determinism of the quotient, pointwise formula agreement at
-/// every representative, and exact multiplicity expansion for the
-/// invariant corpus.
+/// Enumerates `p` both ways and certifies, for shards {1, 2, 8} ×
+/// streaming batch sizes {buffered, 7, default}: byte-determinism of
+/// the quotient, pointwise formula agreement at every representative,
+/// and exact multiplicity expansion for the invariant corpus.
 fn assert_quotient_matches_full<P: Protocol + Sync>(
     p: &P,
     depth: usize,
@@ -221,10 +221,19 @@ fn assert_quotient_matches_full<P: Protocol + Sync>(
     let mut eval_full = Evaluator::new(full.universe(), &interp);
 
     let mut reference: Option<(Vec<Vec<u64>>, Vec<u64>)> = None;
-    for shards in [1usize, 2, 8] {
-        let tag = format!("{label} @ {shards} shard(s)");
-        let q = enumerate_sharded(p, limits, &ShardConfig::with_shards(shards).quotient())
-            .expect("within budget");
+    // one batch size per shard count so the grid also spans the
+    // streaming-merge axis: fully buffered, tiny streamed batches, and
+    // the default
+    for (shards, batch) in [
+        (1usize, usize::MAX),
+        (2, 7),
+        (8, hpl_core::DEFAULT_BATCH_NODES),
+    ] {
+        let tag = format!("{label} @ {shards} shard(s), batch {batch}");
+        let cfg = ShardConfig::with_shards(shards)
+            .quotient()
+            .batch_nodes(batch);
+        let q = enumerate_sharded(p, limits, &cfg).expect("within budget");
         let orbits = q.orbits.as_ref().expect("quotient mode attaches orbits");
         let qu = q.universe.universe();
         assert_eq!(
