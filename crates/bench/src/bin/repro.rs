@@ -25,7 +25,14 @@
 //! approaches true CPU time).
 //! Quotient scenarios are additionally gated on their
 //! symmetry-reduction factor staying at or above `--min-reduction`
-//! (default 5×).
+//! (default 5×) — measured **with** the symmetry-soundness checker in
+//! the loop: each quotient scenario times a formula pass under
+//! `QuotientPolicy::Expand` (the default) and records the v4-schema
+//! admission counts (`formulas_admitted` / `formulas_expanded` /
+//! `formulas_rejected`), so the checker's orbit-expansion fallback can
+//! never silently eat the quotient speedup. Comparisons a gate had to
+//! skip (zero/missing baseline metric, non-finite current value) are
+//! printed as warnings instead of poisoning the ratios.
 
 use hpl_bench::report::{PerfReport, Scenario};
 use hpl_bench::{random_computation, InterleavingStress};
@@ -46,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut json = false;
-    let mut out_path = String::from("BENCH_pr4.json");
+    let mut out_path = String::from("BENCH_pr5.json");
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.25f64;
     let mut merge_tolerance = 1.0f64;
@@ -161,8 +168,78 @@ fn time_ms<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("rounds >= 1"))
 }
 
+/// The symmetry-soundness corpus shared by the admission and rejection
+/// passes: formulas spanning all three checker verdicts over the
+/// universe's own system size.
+fn soundness_corpus(n: usize, interp: &mut Interpretation) -> Vec<Formula> {
+    let nonempty = Formula::atom(interp.register_invariant("nonempty", |c| !c.is_empty()));
+    let sendy = Formula::atom(interp.register_invariant("any-send", |c| c.sends() >= 1));
+    let last = ProcessId::new(n - 1);
+    let dep =
+        Formula::atom(interp.register("last-quiet", move |c| c.iter().all(|e| !e.is_on(last))));
+    let p0 = ProcessSet::singleton(ProcessId::new(0));
+    let p1 = ProcessSet::singleton(ProcessId::new(1));
+    let full = ProcessSet::full(n);
+    vec![
+        nonempty.clone(),
+        Formula::everyone(nonempty.clone()),
+        Formula::common(sendy.clone()),
+        Formula::knows(full, nonempty.clone().and(sendy.clone())),
+        Formula::knows(p0, Formula::everyone(nonempty.clone())),
+        // outermost over a moved singleton: exact at representatives
+        Formula::knows(p1, sendy.clone()),
+        // nested over a moved singleton: expanded (rejected under Reject)
+        Formula::everyone(Formula::knows(p1, nonempty)),
+        // knowledge over a relabeling-dependent atom: ditto
+        Formula::knows(full, dep.clone()),
+        Formula::sure(p1, dep),
+    ]
+}
+
+/// The symmetry-soundness admission pass run inside each quotient
+/// scenario's timed region: the corpus evaluated under
+/// `QuotientPolicy::Expand` (the default), so the measured quotient
+/// wall time includes the checker and its orbit-expansion fallback.
+/// Returns `(admitted, expanded)` counts.
+fn quotient_admission_pass(
+    pu: &hpl_core::ProtocolUniverse,
+    orbits: &hpl_core::Orbits,
+) -> (usize, usize) {
+    use hpl_core::Invariance;
+    let mut interp = Interpretation::new();
+    let corpus = soundness_corpus(pu.universe().system_size(), &mut interp);
+    let mut eval = Evaluator::with_symmetry(pu.universe(), &interp, orbits);
+    let (mut admitted, mut expanded) = (0usize, 0usize);
+    for f in &corpus {
+        match eval.check_symmetry(f) {
+            Invariance::OutOfContract(_) => expanded += 1,
+            _ => admitted += 1,
+        }
+        std::hint::black_box(eval.sat_set(f).count());
+    }
+    (admitted, expanded)
+}
+
+/// The rejection count *measured* against a `QuotientPolicy::Reject`
+/// evaluator (typed `QuotientUnsound` errors from `try_sat_set`), kept
+/// outside the timed region: the sound formulas' full re-evaluation
+/// would otherwise inflate the gated wall times for a number the
+/// adversarial suite already proves equals the expanded count.
+fn quotient_rejection_count(pu: &hpl_core::ProtocolUniverse, orbits: &hpl_core::Orbits) -> usize {
+    use hpl_core::QuotientPolicy;
+    let mut interp = Interpretation::new();
+    let corpus = soundness_corpus(pu.universe().system_size(), &mut interp);
+    let mut reject =
+        Evaluator::with_symmetry_policy(pu.universe(), &interp, orbits, QuotientPolicy::Reject);
+    corpus
+        .iter()
+        .filter(|f| reject.try_sat_set(f).is_err())
+        .count()
+}
+
 /// The perf scenarios behind `--json`: enumeration (sequential vs
-/// sharded streaming), dedupe, symmetry quotient, and sat-set
+/// sharded streaming), dedupe, symmetry quotient (with the
+/// soundness-checker admission pass in the timed region), and sat-set
 /// throughput. Writes the report, prints a summary table, and — given a
 /// baseline — fails on wall-time regressions beyond `tolerance`, on
 /// active-merge-time (`merge_wall_ms`) regressions beyond
@@ -267,10 +344,16 @@ fn perf_report(
         max_events: 10,
         max_computations: 2_000_000,
     };
-    let (qbus_ms, qbus) = time_ms(rounds, || {
-        enumerate_sharded(&bus_rich, qlimits, &qcfg).expect("within budget")
+    let (qbus_ms, (qbus, qbus_counts)) = time_ms(rounds, || {
+        let out = enumerate_sharded(&bus_rich, qlimits, &qcfg).expect("within budget");
+        let counts = quotient_admission_pass(
+            &out.universe,
+            out.orbits.as_ref().expect("quotient attaches orbits"),
+        );
+        (out, counts)
     });
     let qbus_orbits = qbus.orbits.as_ref().expect("quotient attaches orbits");
+    let qbus_rejected = quotient_rejection_count(&qbus.universe, qbus_orbits);
     report.push(
         Scenario::new("quotient_token_bus_n3_c2_d10_sharded8", qbus_ms)
             .metric("explored", qbus.stats.explored as f64)
@@ -278,17 +361,26 @@ fn perf_report(
             .metric("reduction_factor", qbus_orbits.reduction_factor())
             .metric("group_order", qbus.stats.group_order as f64)
             .metric("merge_wall_ms", qbus.stats.merge_wall_ms)
-            .metric("peak_buffered_bytes", qbus.stats.peak_buffered_bytes as f64),
+            .metric("peak_buffered_bytes", qbus.stats.peak_buffered_bytes as f64)
+            .metric("formulas_admitted", qbus_counts.0 as f64)
+            .metric("formulas_expanded", qbus_counts.1 as f64)
+            .metric("formulas_rejected", qbus_rejected as f64),
     );
     let star = hpl_protocols::token_bus::BroadcastBus::with_chatter(4, 1);
     let star_limits = EnumerationLimits {
         max_events: 8,
         max_computations: 2_000_000,
     };
-    let (qstar_ms, qstar) = time_ms(rounds, || {
-        enumerate_sharded(&star, star_limits, &qcfg).expect("within budget")
+    let (qstar_ms, (qstar, qstar_counts)) = time_ms(rounds, || {
+        let out = enumerate_sharded(&star, star_limits, &qcfg).expect("within budget");
+        let counts = quotient_admission_pass(
+            &out.universe,
+            out.orbits.as_ref().expect("quotient attaches orbits"),
+        );
+        (out, counts)
     });
     let qstar_orbits = qstar.orbits.as_ref().expect("quotient attaches orbits");
+    let qstar_rejected = quotient_rejection_count(&qstar.universe, qstar_orbits);
     report.push(
         Scenario::new("quotient_broadcast_star_n4_c1_d8_sharded8", qstar_ms)
             .metric("explored", qstar.stats.explored as f64)
@@ -299,7 +391,14 @@ fn perf_report(
             .metric(
                 "peak_buffered_bytes",
                 qstar.stats.peak_buffered_bytes as f64,
-            ),
+            )
+            .metric("formulas_admitted", qstar_counts.0 as f64)
+            .metric("formulas_expanded", qstar_counts.1 as f64)
+            .metric("formulas_rejected", qstar_rejected as f64),
+    );
+    assert!(
+        qstar_counts.1 > 0,
+        "the star corpus must exercise the Expand fallback"
     );
 
     // -- sat-set throughput: knowledge queries over a 3.4k-computation
@@ -398,6 +497,11 @@ fn perf_report(
         .get_metric("speedup_vs_sequential")
         .unwrap_or(0.0);
     println!("sharded-vs-sequential speedup: {speedup:.2}×");
+    println!(
+        "soundness admission (bus | star): {}|{} admitted, {}|{} expanded under \
+         QuotientPolicy::Expand (Reject would refuse the expanded set)",
+        qbus_counts.0, qstar_counts.0, qbus_counts.1, qstar_counts.1
+    );
 
     // both gates report before either fails, so one violation cannot
     // mask the other's diagnostics
@@ -420,15 +524,18 @@ fn perf_report(
     if let Some(path) = baseline {
         let raw = std::fs::read_to_string(path)?;
         let base = PerfReport::parse_wall_times(&raw);
-        let regs = report.regressions(&base, tolerance);
-        if regs.is_empty() {
+        let wall = report.wall_gate(&base, tolerance);
+        for w in &wall.warnings {
+            println!("gate warning: {w}");
+        }
+        if wall.regressions.is_empty() {
             println!(
                 "baseline {path}: no regression beyond {:.0}%",
                 tolerance * 100.0
             );
         } else {
             eprintln!("PERF REGRESSIONS vs {path}:");
-            for r in &regs {
+            for r in &wall.regressions {
                 eprintln!("  {r}");
             }
             failed = true;
@@ -437,15 +544,18 @@ fn perf_report(
         // serial section, so its active time is gated separately (it
         // must not quietly grow back into the Amdahl ceiling)
         let merge_base = PerfReport::parse_metric(&raw, "merge_wall_ms");
-        let merge_regs = report.metric_regressions(&merge_base, "merge_wall_ms", merge_tolerance);
-        if merge_regs.is_empty() {
+        let merge = report.metric_gate(&merge_base, "merge_wall_ms", merge_tolerance);
+        for w in &merge.warnings {
+            println!("gate warning: {w}");
+        }
+        if merge.regressions.is_empty() {
             println!(
                 "merge gate: no merge_wall_ms regression beyond {:.0}%",
                 merge_tolerance * 100.0
             );
         } else {
             eprintln!("MERGE WALL-TIME REGRESSIONS vs {path}:");
-            for r in &merge_regs {
+            for r in &merge.regressions {
                 eprintln!("  {r}");
             }
             failed = true;
@@ -1107,6 +1217,21 @@ fn sweep_report() -> Result<(), Box<dyn std::error::Error>> {
         assert!(
             r.explored > 65,
             "sweep workloads must exceed the paper's toy sizes"
+        );
+    }
+
+    // the symmetry-soundness checker over the sweep corpus: how many
+    // formulas each policy admits on the star (the nontrivial group)
+    {
+        let star = BroadcastBus::with_chatter(4, 1);
+        let out = enumerate_sharded(&star, big(8), &qcfg)?;
+        let orbits = out.orbits.as_ref().expect("quotient attaches orbits");
+        let (admitted, expanded) = quotient_admission_pass(&out.universe, orbits);
+        let rejected = quotient_rejection_count(&out.universe, orbits);
+        println!(
+            "soundness checker on the star sweep corpus: {admitted} admitted on the \
+             quotient fast path, {expanded} orbit-expanded by QuotientPolicy::Expand \
+             (QuotientPolicy::Reject refuses {rejected} with typed errors)"
         );
     }
 

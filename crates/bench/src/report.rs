@@ -50,6 +50,18 @@ impl Scenario {
     }
 }
 
+/// The outcome of one regression gate: scenarios that regressed beyond
+/// tolerance, plus scenarios the comparison had to skip (with a warning
+/// each) because a value on either side was missing or degenerate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GateReport {
+    /// One human-readable line per regression beyond tolerance.
+    pub regressions: Vec<String>,
+    /// One human-readable line per skipped comparison — print these:
+    /// an unnoticed skip is how a broken metric neutralizes the gate.
+    pub warnings: Vec<String>,
+}
+
 /// The complete report: schema tag, host facts, scenarios.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PerfReport {
@@ -61,14 +73,17 @@ pub struct PerfReport {
     pub scenarios: Vec<Scenario>,
 }
 
-/// Schema identifier stamped into every report. `v3` added the
-/// streaming-merge metrics on sharded scenarios (`merge_wall_ms`,
-/// `peak_buffered_bytes`, `largest_batch_bytes`, `batches`) and the
-/// `peak_rss_kb` host fact; `v2` added the `host` object (`nproc`) and
-/// the quotient metrics (`orbit_count`, `reduction_factor`,
-/// `group_order`) on quotient scenarios; `v1` parsers that scan
-/// `scenarios[].name`/`wall_ms` still work.
-pub const SCHEMA: &str = "hpl-bench-report/v3";
+/// Schema identifier stamped into every report. `v4` added the
+/// symmetry-soundness admission counts on quotient scenarios
+/// (`formulas_admitted`, `formulas_expanded`, `formulas_rejected` — how
+/// the corpus fares under `QuotientPolicy::{Expand, Reject}`); `v3`
+/// added the streaming-merge metrics on sharded scenarios
+/// (`merge_wall_ms`, `peak_buffered_bytes`, `largest_batch_bytes`,
+/// `batches`) and the `peak_rss_kb` host fact; `v2` added the `host`
+/// object (`nproc`) and the quotient metrics (`orbit_count`,
+/// `reduction_factor`, `group_order`) on quotient scenarios; `v1`
+/// parsers that scan `scenarios[].name`/`wall_ms` still work.
+pub const SCHEMA: &str = "hpl-bench-report/v4";
 
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
@@ -189,8 +204,9 @@ impl PerfReport {
     /// Compares a secondary metric of this report against baseline
     /// values (as parsed by [`PerfReport::parse_metric`]); returns one
     /// human-readable line per scenario whose metric grew beyond
-    /// `tolerance`. Scenarios missing the metric on either side are
-    /// never regressions (new metrics phase in gracefully).
+    /// `tolerance`. Scenarios the gate had to skip surface as warnings
+    /// through [`PerfReport::metric_gate`]; this convenience wrapper
+    /// returns the regressions alone.
     #[must_use]
     pub fn metric_regressions(
         &self,
@@ -198,27 +214,77 @@ impl PerfReport {
         key: &str,
         tolerance: f64,
     ) -> Vec<String> {
-        self.gate_regressions(baseline, key, |s| s.get_metric(key), tolerance)
+        self.metric_gate(baseline, key, tolerance).regressions
     }
 
-    /// The one tolerance comparator behind both gates: extracts a value
+    /// Gates a secondary metric against the baseline, reporting both
+    /// regressions and every scenario the comparison had to **skip**:
+    /// a missing baseline entry, a zero/negative/non-finite baseline
+    /// value (the ratio would be infinite or NaN), or a non-finite
+    /// current value (which would otherwise pass every `>` comparison
+    /// silently). Each skip carries a warning line so a degenerate
+    /// metric can never quietly neutralize the CI gate.
+    #[must_use]
+    pub fn metric_gate(&self, baseline: &[(String, f64)], key: &str, tolerance: f64) -> GateReport {
+        self.gate(baseline, key, |s| s.get_metric(key), tolerance)
+    }
+
+    /// The one tolerance comparator behind every gate: extracts a value
     /// per scenario, joins on the baseline by name, and reports growth
-    /// beyond `tolerance`.
-    fn gate_regressions(
+    /// beyond `tolerance` — with explicit skip-with-warning handling of
+    /// degenerate values on either side.
+    fn gate(
         &self,
         baseline: &[(String, f64)],
         label: &str,
         extract: impl Fn(&Scenario) -> Option<f64>,
         tolerance: f64,
-    ) -> Vec<String> {
-        let mut out = Vec::new();
+    ) -> GateReport {
+        let mut report = GateReport::default();
+        // the warning guarantee must be two-sided: a baseline entry
+        // whose scenario disappeared, or whose metric the current
+        // report stopped emitting, would otherwise neutralize the gate
+        // silently (the loop below visits current scenarios only)
+        for (name, _) in baseline {
+            let gone = !self
+                .scenarios
+                .iter()
+                .any(|s| s.name == *name && extract(s).is_some());
+            if gone {
+                report.warnings.push(format!(
+                    "{name} {label}: baseline entry has no current value — skipped (scenario \
+                     renamed/removed or metric no longer emitted; the gate is not covering it)"
+                ));
+            }
+        }
         for s in &self.scenarios {
             let Some(v) = extract(s) else { continue };
             let Some((_, base)) = baseline.iter().find(|(n, _)| *n == s.name) else {
+                report.warnings.push(format!(
+                    "{} {label}: no baseline entry — skipped (new scenario or metric; \
+                     regenerate the baseline to gate it)",
+                    s.name
+                ));
                 continue;
             };
-            if *base > 0.0 && v > base * (1.0 + tolerance) {
-                out.push(format!(
+            if !base.is_finite() || *base <= 0.0 {
+                report.warnings.push(format!(
+                    "{} {label}: degenerate baseline {base} — skipped (a zero or non-finite \
+                     baseline cannot anchor a regression ratio; regenerate the baseline)",
+                    s.name
+                ));
+                continue;
+            }
+            if !v.is_finite() {
+                report.warnings.push(format!(
+                    "{} {label}: non-finite current value {v} — skipped (the measurement \
+                     itself is broken; a silent pass here would mask a real regression)",
+                    s.name
+                ));
+                continue;
+            }
+            if v > base * (1.0 + tolerance) {
+                report.regressions.push(format!(
                     "{} {label}: {v:.3} vs baseline {base:.3} (+{:.0}% > +{:.0}% allowed)",
                     s.name,
                     (v / base - 1.0) * 100.0,
@@ -226,17 +292,24 @@ impl PerfReport {
                 ));
             }
         }
-        out
+        report
     }
 
     /// Compares this report against a baseline (as parsed by
     /// [`PerfReport::parse_wall_times`]); returns one human-readable line
     /// per scenario whose wall time regressed beyond `tolerance`
-    /// (`0.25` = 25 % slower than baseline). Scenarios absent from the
-    /// baseline are new and never regressions.
+    /// (`0.25` = 25 % slower than baseline). See
+    /// [`PerfReport::wall_gate`] for the skip warnings.
     #[must_use]
     pub fn regressions(&self, baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
-        self.gate_regressions(baseline, "wall_ms", |s| Some(s.wall_ms), tolerance)
+        self.wall_gate(baseline, tolerance).regressions
+    }
+
+    /// The wall-time gate with explicit skip-with-warning handling
+    /// (same rules as [`PerfReport::metric_gate`]).
+    #[must_use]
+    pub fn wall_gate(&self, baseline: &[(String, f64)], tolerance: f64) -> GateReport {
+        self.gate(baseline, "wall_ms", |s| Some(s.wall_ms), tolerance)
     }
 
     /// The symmetry-quotient gate: one human-readable line per scenario
@@ -365,6 +438,62 @@ mod tests {
             .metric_regressions(&baseline, "merge_wall_ms", 0.5)
             .is_empty());
         assert!(r.metric_regressions(&baseline, "absent", 0.5).is_empty());
+    }
+
+    /// Regression for the CI-gate poisoning bug: a zero or missing
+    /// baseline metric, or a non-finite current value, must surface as
+    /// an explicit skip-with-warning — not an infinite/NaN ratio and
+    /// not a silent pass.
+    #[test]
+    fn degenerate_gate_inputs_are_skipped_with_warnings() {
+        let mut r = PerfReport::default();
+        r.push(Scenario::new("zero_base", 1.0).metric("merge_wall_ms", 5.0));
+        r.push(Scenario::new("nan_current", 1.0).metric("merge_wall_ms", f64::NAN));
+        r.push(Scenario::new("no_base", 1.0).metric("merge_wall_ms", 2.0));
+        r.push(Scenario::new("real_regression", 1.0).metric("merge_wall_ms", 9.0));
+        let baseline = vec![
+            ("zero_base".to_owned(), 0.0),
+            ("nan_current".to_owned(), 1.0),
+            ("real_regression".to_owned(), 1.0),
+            // scenario dropped (or metric no longer emitted) in the
+            // current report: must warn, not silently stop gating
+            ("vanished_scenario".to_owned(), 3.0),
+        ];
+        let gate = r.metric_gate(&baseline, "merge_wall_ms", 0.5);
+        assert_eq!(gate.regressions.len(), 1, "{gate:?}");
+        assert!(gate.regressions[0].starts_with("real_regression"));
+        assert_eq!(gate.warnings.len(), 4, "{gate:?}");
+        assert!(gate
+            .warnings
+            .iter()
+            .any(|w| w.starts_with("vanished_scenario") && w.contains("no current value")));
+        assert!(gate
+            .warnings
+            .iter()
+            .any(|w| w.starts_with("zero_base") && w.contains("degenerate baseline")));
+        assert!(gate
+            .warnings
+            .iter()
+            .any(|w| w.starts_with("nan_current") && w.contains("non-finite current")));
+        assert!(gate
+            .warnings
+            .iter()
+            .any(|w| w.starts_with("no_base") && w.contains("no baseline entry")));
+        // the compat wrapper returns the regressions alone, unchanged
+        assert_eq!(
+            r.metric_regressions(&baseline, "merge_wall_ms", 0.5),
+            gate.regressions
+        );
+        // a NaN or infinite ratio never reaches the output strings
+        for line in gate.regressions.iter().chain(&gate.warnings) {
+            assert!(!line.contains("inf%") && !line.contains("NaN%"), "{line}");
+        }
+        // the wall-time gate applies the same rules
+        let mut w = PerfReport::default();
+        w.push(Scenario::new("nan_wall", f64::NAN));
+        let wall = w.wall_gate(&[("nan_wall".to_owned(), 2.0)], 0.25);
+        assert!(wall.regressions.is_empty());
+        assert_eq!(wall.warnings.len(), 1);
     }
 
     #[test]

@@ -26,6 +26,17 @@ pub enum CoreError {
         /// The configured maximum number of computations.
         max_computations: usize,
     },
+    /// A quotient evaluator under
+    /// [`QuotientPolicy::Reject`](crate::QuotientPolicy) refused a
+    /// formula the symmetry-soundness checker classified out of
+    /// contract. The payload names the offending knowledge operator,
+    /// the orbit-variant subformula inside it, and the violating
+    /// generator or atom.
+    QuotientUnsound(Box<crate::soundness::SoundnessViolation>),
+    /// Expanding quotient satisfaction counts through orbit
+    /// multiplicities overflowed `u64`
+    /// ([`Orbits::expanded_count`](crate::Orbits::expanded_count)).
+    MultiplicityOverflow,
     /// An underlying model-layer error.
     Model(ModelError),
 }
@@ -44,6 +55,12 @@ impl fmt::Display for CoreError {
                 f,
                 "enumeration exceeded the budget of {max_computations} computations"
             ),
+            CoreError::QuotientUnsound(v) => {
+                write!(f, "quotient evaluation rejected: {v}")
+            }
+            CoreError::MultiplicityOverflow => {
+                write!(f, "orbit multiplicity expansion overflowed u64")
+            }
             CoreError::Model(e) => write!(f, "invalid computation: {e}"),
         }
     }

@@ -8,9 +8,11 @@
 //! `⋃ₚ [p]` (the greatest-fixpoint characterization).
 
 use crate::bitset::CompSet;
+use crate::error::CoreError;
 use crate::formula::{Formula, Interpretation};
 use crate::isomorphism::{ClassCache, IsoIndex};
-use crate::symmetry::{OrbitIndex, Orbits};
+use crate::soundness::{classify_invariance, Invariance};
+use crate::symmetry::{ExpandedUniverse, OrbitIndex, Orbits};
 use crate::universe::{CompId, Universe};
 use hpl_model::{ProcessId, ProcessSet};
 use std::collections::HashMap;
@@ -34,8 +36,49 @@ pub struct Evaluator<'u> {
     interp: &'u Interpretation,
     iso: IsoIndex<'u>,
     sym: Option<OrbitIndex<'u>>,
+    policy: QuotientPolicy,
     memo: HashMap<Formula, CompSet>,
+    // classification depends only on the (fixed) interpretation and
+    // group, never on universe contents, so it is never invalidated —
+    // without it every first evaluation of a subformula re-traverses
+    // its whole subtree through compute()'s recursion
+    classifications: std::cell::RefCell<HashMap<Formula, Invariance>>,
     components: Option<Components>,
+    expansion: Option<ExpansionState>,
+}
+
+/// What an orbit-aware evaluator does with a formula the
+/// symmetry-soundness checker ([`classify_invariance`]) classifies
+/// [`Invariance::OutOfContract`] — i.e. a formula whose quotient verdict
+/// would silently diverge from the full universe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum QuotientPolicy {
+    /// Refuse the query with a typed
+    /// [`CoreError::QuotientUnsound`] naming the offending subformula
+    /// and the violating generator (or atom). Use
+    /// [`Evaluator::try_sat_set`]; the infallible entry points panic.
+    Reject,
+    /// Transparently evaluate the out-of-contract subtree on
+    /// orbit-expanded classes (exact full-universe semantics), keeping
+    /// the quotient fast path for every invariant subtree. The default:
+    /// always correct, pays the `O(|G|)` expansion only where the
+    /// contract is actually violated.
+    #[default]
+    Expand,
+    /// Evaluate everything on the quotient without checking — the
+    /// pre-checker behavior, now opt-in. Verdicts of out-of-contract
+    /// formulas are **silently wrong**; reserve this for corpora
+    /// certified sound by other means.
+    Trust,
+}
+
+/// Lazily-built state of the [`QuotientPolicy::Expand`] fallback: the
+/// orbit-expanded virtual universe plus its own formula memo (virtual
+/// satisfaction sets, disjoint from the representative-level memo).
+#[derive(Debug)]
+struct ExpansionState {
+    xu: ExpandedUniverse,
+    xmemo: HashMap<Formula, CompSet>,
 }
 
 /// The cached common-knowledge reachability structure: per-computation
@@ -79,8 +122,11 @@ impl<'u> Evaluator<'u> {
             interp,
             iso: IsoIndex::with_cache(universe, cache),
             sym: None,
+            policy: QuotientPolicy::default(),
             memo: HashMap::new(),
+            classifications: std::cell::RefCell::new(HashMap::new()),
             components: None,
+            expansion: None,
         }
     }
 
@@ -90,21 +136,47 @@ impl<'u> Evaluator<'u> {
     /// knowledge and common-knowledge queries quantify over the full
     /// orbits of the stored representatives.
     ///
-    /// # Soundness
+    /// # Soundness — an enforced guarantee
     ///
-    /// Evaluation at a representative matches the full universe exactly
-    /// when every **atom** is invariant under the group and under
-    /// interleaving, and every **knowledge modality** `P knows _` either
-    /// uses a process set the group *stabilizes* (`π(P) = P` for all
-    /// `π`, e.g. the full set, or the fixed process of
-    /// [`SymmetryGroup::fixing`](hpl_model::SymmetryGroup::fixing)) or is
-    /// outermost. The restriction exists because a *nested* verdict
-    /// stored at a representative `s` stands in for its relabelings
-    /// `π·s`, and `π·s ⊨ P knows b` is `s ⊨ π⁻¹(P) knows b` — the same
-    /// stored verdict only when `π⁻¹(P) = P`. `Everyone` and `Common`
-    /// quantify over orbit-closed families of sets and may be nested
-    /// freely. The quotient-vs-full equivalence suite in
-    /// `tests/symmetry_quotient.rs` certifies this contract.
+    /// Every query is first classified by the symmetry-soundness checker
+    /// ([`classify_invariance`]): atoms through their declared
+    /// invariance ([`Interpretation::register_invariant`]), each
+    /// `P knows _` / `P sure _` through a stabilizer test on `P`
+    /// (`π(P) = P` for every group generator), `Everyone`/`Common`
+    /// closed under any group. The constructor defaults to
+    /// [`QuotientPolicy::Expand`], so **no query is ever silently
+    /// mis-evaluated**:
+    ///
+    /// * [`Invariance::Invariant`] formulas evaluate on the quotient
+    ///   fast path; verdicts match the full universe at every
+    ///   representative, and satisfaction counts expand exactly through
+    ///   [`Orbits::expanded_count`].
+    /// * [`Invariance::ExactAtRepresentatives`] formulas (an outermost
+    ///   knowledge operator over a non-stabilized set) also evaluate on
+    ///   the fast path; verdicts are pointwise exact at the stored
+    ///   representatives, but their counts must not be expanded.
+    /// * [`Invariance::OutOfContract`] formulas — a *nested* knowledge
+    ///   operator over a non-stabilized set, or knowledge over a
+    ///   relabeling-dependent atom — are handled per the policy:
+    ///   [`QuotientPolicy::Expand`] (default) evaluates just the
+    ///   out-of-contract subtree on orbit-expanded classes with exact
+    ///   full-universe semantics, [`QuotientPolicy::Reject`] returns
+    ///   [`CoreError::QuotientUnsound`] naming the offending subformula
+    ///   and the violating generator, and [`QuotientPolicy::Trust`]
+    ///   (opt-in via [`Evaluator::with_symmetry_policy`]) restores the
+    ///   old unchecked behavior.
+    ///
+    /// The restriction exists because a *nested* verdict stored at a
+    /// representative `s` stands in for its relabelings `π·s`, and
+    /// `π·s ⊨ P knows b` is `s ⊨ π⁻¹(P) knows b` — the same stored
+    /// verdict only when `π⁻¹(P) = P`. The quotient-vs-full equivalence
+    /// grid and the adversarial soundness proptest in
+    /// `tests/symmetry_quotient.rs` certify the guarantee.
+    ///
+    /// The checker trusts two declarations, each with an executable
+    /// certificate: the group really is an automorphism group
+    /// ([`check_closure`](crate::check_closure)), and atoms declared
+    /// invariant really are ([`Interpretation::validate_symmetry`]).
     ///
     /// # Example
     ///
@@ -140,16 +212,17 @@ impl<'u> Evaluator<'u> {
     ///
     /// let mut interp = Interpretation::new();
     /// // invariant atom: unchanged by relabeling or interleaving
-    /// let both = interp.register("both-stepped", |c| c.len() == 2);
+    /// let both = interp.register_invariant("both-stepped", |c| c.len() == 2);
     /// let mut ev = Evaluator::with_symmetry(out.universe.universe(), &interp, orbits);
     ///
     /// // the full set is stabilized by every group element
     /// let knows = Formula::knows(ProcessSet::full(2), Formula::atom(both));
+    /// assert!(ev.check_symmetry(&knows).is_invariant());
     /// let sat = ev.sat_set(&knows);
     /// // one stored representative satisfies it, standing for the two
     /// // complete interleavings of the full universe
     /// assert_eq!(sat.count(), 1);
-    /// assert_eq!(orbits.expanded_count(&sat), 2);
+    /// assert_eq!(orbits.expanded_count(&sat)?, 2);
     /// // 5 full-universe computations stand behind 3 representatives
     /// assert_eq!(orbits.full_size(), 5);
     /// assert_eq!(ev.universe().len(), 3);
@@ -165,13 +238,35 @@ impl<'u> Evaluator<'u> {
         interp: &'u Interpretation,
         orbits: &'u Orbits,
     ) -> Self {
+        Evaluator::with_symmetry_policy(universe, interp, orbits, QuotientPolicy::default())
+    }
+
+    /// [`Evaluator::with_symmetry`] with an explicit
+    /// [`QuotientPolicy`] — use [`QuotientPolicy::Reject`] to turn
+    /// out-of-contract queries into typed errors
+    /// ([`Evaluator::try_sat_set`]), or [`QuotientPolicy::Trust`] to
+    /// opt back into the old unchecked behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `orbits` does not describe exactly `universe`'s members.
+    #[must_use]
+    pub fn with_symmetry_policy(
+        universe: &'u Universe,
+        interp: &'u Interpretation,
+        orbits: &'u Orbits,
+        policy: QuotientPolicy,
+    ) -> Self {
         Evaluator {
             universe,
             interp,
             iso: IsoIndex::new(universe),
             sym: Some(OrbitIndex::new(universe, orbits)),
+            policy,
             memo: HashMap::new(),
+            classifications: std::cell::RefCell::new(HashMap::new()),
             components: None,
+            expansion: None,
         }
     }
 
@@ -201,14 +296,75 @@ impl<'u> Evaluator<'u> {
         self.sym.as_ref().map(OrbitIndex::orbits)
     }
 
+    /// The quotient policy, when this evaluator is orbit-aware (`None`
+    /// for plain evaluators, which need no contract).
+    #[must_use]
+    pub fn quotient_policy(&self) -> Option<QuotientPolicy> {
+        self.sym.as_ref().map(|_| self.policy)
+    }
+
+    /// Runs the symmetry-soundness checker on `f` against this
+    /// evaluator's group — its generating set
+    /// ([`Orbits::generators`]), so stabilizer tests cost `O(|gens|)`
+    /// per knowledge operator, not `O(|G|)`. Plain (non-quotient)
+    /// evaluators classify everything [`Invariance::Invariant`] —
+    /// there is no orbit to be variant along.
+    #[must_use]
+    pub fn check_symmetry(&self, f: &Formula) -> Invariance {
+        let Some(orbit) = &self.sym else {
+            return Invariance::Invariant;
+        };
+        if let Some(c) = self.classifications.borrow().get(f) {
+            return c.clone();
+        }
+        let c = classify_invariance(f, self.interp, orbit.orbits().generators());
+        self.classifications
+            .borrow_mut()
+            .insert(f.clone(), c.clone());
+        c
+    }
+
     /// The satisfaction set of `f`: all computations at which `f` holds.
+    ///
+    /// # Panics
+    ///
+    /// Under [`QuotientPolicy::Reject`], panics if the soundness checker
+    /// classifies `f` out of contract — use [`Evaluator::try_sat_set`]
+    /// for the typed error.
     pub fn sat_set(&mut self, f: &Formula) -> CompSet {
+        self.try_sat_set(f)
+            .unwrap_or_else(|e| panic!("quotient evaluator rejected the query: {e}"))
+    }
+
+    /// The satisfaction set of `f`, surfacing the
+    /// [`QuotientPolicy::Reject`] outcome as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::QuotientUnsound`] when this evaluator is
+    /// orbit-aware with [`QuotientPolicy::Reject`] and the checker
+    /// classifies `f` [`Invariance::OutOfContract`]. Infallible for
+    /// every other configuration.
+    pub fn try_sat_set(&mut self, f: &Formula) -> Result<CompSet, CoreError> {
         if let Some(s) = self.memo.get(f) {
-            return s.clone();
+            return Ok(s.clone());
+        }
+        if self.sym.is_some() && self.policy != QuotientPolicy::Trust {
+            if let Invariance::OutOfContract(v) = self.check_symmetry(f) {
+                match self.policy {
+                    QuotientPolicy::Reject => return Err(CoreError::QuotientUnsound(v)),
+                    QuotientPolicy::Expand => {
+                        let s = self.expand_sat(f);
+                        self.memo.insert(f.clone(), s.clone());
+                        return Ok(s);
+                    }
+                    QuotientPolicy::Trust => unreachable!("filtered above"),
+                }
+            }
         }
         let s = self.compute(f);
         self.memo.insert(f.clone(), s.clone());
-        s
+        Ok(s)
     }
 
     /// Does `f` hold at computation `x`? (The paper's `f at x`.)
@@ -344,6 +500,175 @@ impl<'u> Evaluator<'u> {
         s
     }
 
+    /// The [`QuotientPolicy::Expand`] fallback: evaluates an
+    /// out-of-contract formula over the orbit-expanded virtual universe
+    /// (exact full-universe semantics) and projects the verdict back to
+    /// the stored representatives.
+    fn expand_sat(&mut self, f: &Formula) -> CompSet {
+        let orbits = self
+            .sym
+            .as_ref()
+            .expect("expansion requires an orbit-aware evaluator")
+            .orbits();
+        if self.expansion.is_none() {
+            self.expansion = Some(ExpansionState {
+                xu: ExpandedUniverse::new(orbits),
+                xmemo: HashMap::new(),
+            });
+        }
+        // detach the expansion state so the recursion below may re-enter
+        // `sat_set` (for invariant subtrees) without aliasing it
+        let mut st = self.expansion.take().expect("just ensured");
+        let v = self.expand_compute(&mut st, f);
+        let rep = st.xu.project(&v);
+        self.expansion = Some(st);
+        rep
+    }
+
+    /// Satisfaction of `f` over the virtual members. Invariant subtrees
+    /// evaluate on the quotient fast path and lift their
+    /// representative-level verdicts; everything else runs the standard
+    /// semantics over the virtual `[P]`-classes, which are exactly the
+    /// full universe's.
+    fn expand_compute(&mut self, st: &mut ExpansionState, f: &Formula) -> CompSet {
+        if let Some(s) = st.xmemo.get(f) {
+            return s.clone();
+        }
+        let orbits = self.sym.as_ref().expect("quotient").orbits();
+        let n = st.xu.len();
+        let s = if self.check_symmetry(f).is_invariant() {
+            let rep = self.sat_set(f);
+            st.xu.lift(&rep)
+        } else {
+            match f {
+                Formula::True => CompSet::full(n),
+                Formula::False => CompSet::new(n),
+                Formula::Atom(id) => {
+                    // a relabeling-dependent atom: materialize each
+                    // virtual member π·r and ask the closure directly
+                    let mut s = CompSet::new(n);
+                    for vid in 0..n {
+                        let (rid, ei) = st.xu.member(vid);
+                        let c = self.universe.get(CompId::from_index(rid));
+                        let holds = if ei == 0 {
+                            self.interp.eval(*id, c)
+                        } else {
+                            self.interp.eval(*id, &c.permuted(&orbits.elements()[ei]))
+                        };
+                        if holds {
+                            s.insert(vid);
+                        }
+                    }
+                    s
+                }
+                Formula::Not(g) => {
+                    let mut s = self.expand_compute(st, g);
+                    s.complement();
+                    s
+                }
+                Formula::And(gs) => {
+                    let mut s = CompSet::full(n);
+                    for g in gs {
+                        let sg = self.expand_compute(st, g);
+                        s.intersect_with(&sg);
+                    }
+                    s
+                }
+                Formula::Or(gs) => {
+                    let mut s = CompSet::new(n);
+                    for g in gs {
+                        let sg = self.expand_compute(st, g);
+                        s.union_with(&sg);
+                    }
+                    s
+                }
+                Formula::Implies(a, b) => {
+                    let mut s = self.expand_compute(st, a);
+                    s.complement();
+                    let sb = self.expand_compute(st, b);
+                    s.union_with(&sb);
+                    s
+                }
+                Formula::Iff(a, b) => {
+                    let mut s = self.expand_compute(st, a);
+                    let sb = self.expand_compute(st, b);
+                    s.xor_with(&sb);
+                    s.complement();
+                    s
+                }
+                Formula::Knows(p, g) => {
+                    let sg = self.expand_compute(st, g);
+                    Self::expand_knows(st, orbits, *p, &sg)
+                }
+                Formula::Sure(p, g) => {
+                    let sg = self.expand_compute(st, g);
+                    let mut not_sg = sg.clone();
+                    not_sg.complement();
+                    let mut s = Self::expand_knows(st, orbits, *p, &sg);
+                    let s2 = Self::expand_knows(st, orbits, *p, &not_sg);
+                    s.union_with(&s2);
+                    s
+                }
+                Formula::Everyone(g) => {
+                    let sg = self.expand_compute(st, g);
+                    let mut s = CompSet::full(n);
+                    for pi in 0..self.universe.system_size() {
+                        let p = ProcessSet::singleton(ProcessId::new(pi));
+                        let kp = Self::expand_knows(st, orbits, p, &sg);
+                        s.intersect_with(&kp);
+                    }
+                    s
+                }
+                Formula::Common(g) => {
+                    let sg = self.expand_compute(st, g);
+                    // connected components of ⋃ₚ [p] over the virtual
+                    // members — the full universe's reachability
+                    let mut dsu = Dsu::new(n);
+                    for pi in 0..self.universe.system_size() {
+                        let p = ProcessSet::singleton(ProcessId::new(pi));
+                        for set in st.xu.member_sets(orbits, p).iter() {
+                            let mut prev: Option<usize> = None;
+                            for i in set.iter() {
+                                if let Some(j) = prev {
+                                    dsu.union(j, i);
+                                }
+                                prev = Some(i);
+                            }
+                        }
+                    }
+                    let mut comp_sets: HashMap<usize, CompSet> = HashMap::new();
+                    for vid in 0..n {
+                        comp_sets
+                            .entry(dsu.find(vid))
+                            .or_insert_with(|| CompSet::new(n))
+                            .insert(vid);
+                    }
+                    let mut s = CompSet::new(n);
+                    for set in comp_sets.values() {
+                        if set.is_subset(&sg) {
+                            s.union_with(set);
+                        }
+                    }
+                    s
+                }
+            }
+        };
+        st.xmemo.insert(f.clone(), s.clone());
+        s
+    }
+
+    /// `P knows ⟨sat⟩` over the virtual members: the full universe's
+    /// `[P]`-classes are the signature groups of the virtual members.
+    fn expand_knows(st: &ExpansionState, orbits: &Orbits, p: ProcessSet, sat: &CompSet) -> CompSet {
+        let mut s = CompSet::new(st.xu.len());
+        for set in st.xu.member_sets(orbits, p).iter() {
+            if set.is_subset(sat) {
+                s.union_with(set);
+            }
+        }
+        s
+    }
+
     /// Connected components of `⋃ₚ [p]` over the universe — the
     /// reachability relation underlying common knowledge. Component labels
     /// are representative indices.
@@ -408,6 +733,11 @@ impl<'u> Evaluator<'u> {
     pub fn clear_memo(&mut self) {
         self.memo.clear();
         self.components = None;
+        if let Some(st) = &mut self.expansion {
+            // the virtual universe is determined by the orbits and may
+            // stay; its formula memo is logically part of the sat memo
+            st.xmemo.clear();
+        }
     }
 
     /// Current memoization state, for diagnostics and tests.

@@ -14,7 +14,7 @@
 //! this on a universe.
 
 use crate::universe::Universe;
-use hpl_model::{Computation, ProcessSet};
+use hpl_model::{AtomInvariance, Computation, Permutation, ProcessSet};
 use std::fmt;
 
 /// Identifier of a registered atomic predicate.
@@ -40,7 +40,7 @@ impl AtomId {
 /// assert_eq!(interp.name(quiet), "quiet");
 /// ```
 pub struct Interpretation {
-    atoms: Vec<(String, AtomPredicate)>,
+    atoms: Vec<(String, AtomPredicate, AtomInvariance)>,
 }
 
 /// A boxed atomic predicate over computations.
@@ -53,13 +53,56 @@ impl Interpretation {
         Interpretation { atoms: Vec::new() }
     }
 
-    /// Registers a named predicate and returns its id.
+    /// Registers a named predicate and returns its id. The atom is
+    /// declared [`AtomInvariance::Dependent`] (the safe default): the
+    /// symmetry-soundness checker will not let a quotient evaluator
+    /// quantify over it inside a knowledge operator. Use
+    /// [`Interpretation::register_invariant`] for atoms whose verdict is
+    /// unchanged by the relevant symmetry group.
     pub fn register<F>(&mut self, name: &str, predicate: F) -> AtomId
     where
         F: Fn(&Computation) -> bool + 'static,
     {
-        self.atoms.push((name.to_owned(), Box::new(predicate)));
+        self.register_with(name, AtomInvariance::Dependent, predicate)
+    }
+
+    /// Registers a predicate **declared invariant under process
+    /// relabeling** through the symmetry group the universe was
+    /// quotiented by: `b at π·x = b at x` for every group element `π`.
+    /// The declaration is trusted by the static soundness checker
+    /// ([`classify_invariance`](crate::classify_invariance)); certify it
+    /// on an enumerated universe with
+    /// [`Interpretation::validate_symmetry`].
+    pub fn register_invariant<F>(&mut self, name: &str, predicate: F) -> AtomId
+    where
+        F: Fn(&Computation) -> bool + 'static,
+    {
+        self.register_with(name, AtomInvariance::Invariant, predicate)
+    }
+
+    /// Registers a predicate with an explicit invariance declaration.
+    pub fn register_with<F>(
+        &mut self,
+        name: &str,
+        invariance: AtomInvariance,
+        predicate: F,
+    ) -> AtomId
+    where
+        F: Fn(&Computation) -> bool + 'static,
+    {
+        self.atoms
+            .push((name.to_owned(), Box::new(predicate), invariance));
         AtomId(self.atoms.len() - 1)
+    }
+
+    /// The declared relabeling-invariance of an atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not from this registry.
+    #[must_use]
+    pub fn invariance(&self, id: AtomId) -> AtomInvariance {
+        self.atoms[id.0].2
     }
 
     /// Number of registered atoms.
@@ -99,6 +142,50 @@ impl Interpretation {
         (0..self.atoms.len()).map(AtomId)
     }
 
+    /// Verifies the **declared relabeling-invariance** of every atom on a
+    /// universe: each atom registered as [`AtomInvariance::Invariant`]
+    /// must satisfy `b at π·x = b at x` for every member `x` and every
+    /// group element `π` in `elements`. Returns the ids of atoms whose
+    /// declaration is wrong (empty = all declarations hold).
+    ///
+    /// This is the executable spot-check behind the static
+    /// symmetry-soundness checker, the atom-level analogue of
+    /// [`check_closure`](crate::check_closure): the checker trusts the
+    /// declarations, this method certifies them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element does not act on exactly the universe's
+    /// system size.
+    #[must_use]
+    pub fn validate_symmetry(&self, universe: &Universe, elements: &[Permutation]) -> Vec<AtomId> {
+        let n = universe.system_size();
+        assert!(
+            elements.iter().all(|p| p.len() == n),
+            "group elements must act on all {n} processes — expand declarations \
+             with SymmetryGroup::elements_for"
+        );
+        let mut bad = Vec::new();
+        'atoms: for id in self.ids() {
+            if self.invariance(id) != AtomInvariance::Invariant {
+                continue;
+            }
+            for (_, x) in universe.iter() {
+                let here = self.eval(id, x);
+                for pi in elements {
+                    if pi.is_identity() {
+                        continue;
+                    }
+                    if self.eval(id, &x.permuted(pi)) != here {
+                        bad.push(id);
+                        continue 'atoms;
+                    }
+                }
+            }
+        }
+        bad
+    }
+
     /// Verifies the paper's well-formedness condition for every atom on a
     /// universe: `x [D] y ⇒ b at x = b at y` (predicates depend only on
     /// per-process computations, not the interleaving). Returns the ids of
@@ -130,7 +217,7 @@ impl Default for Interpretation {
 impl fmt::Debug for Interpretation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Interpretation[")?;
-        for (i, (name, _)) in self.atoms.iter().enumerate() {
+        for (i, (name, _, _)) in self.atoms.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -291,37 +378,46 @@ impl Formula {
     /// interpretation.
     #[must_use]
     pub fn display_with(&self, interp: &Interpretation) -> String {
+        self.render(&|id| interp.name(id).to_owned())
+    }
+
+    /// Renders the formula without an interpretation: atoms appear as
+    /// `atom#i`. For contexts that cannot carry the registry, e.g. the
+    /// `Display` of [`SoundnessViolation`](crate::SoundnessViolation)
+    /// inside [`CoreError`](crate::CoreError).
+    #[must_use]
+    pub fn display_raw(&self) -> String {
+        self.render(&|id| format!("atom#{}", id.index()))
+    }
+
+    /// The one rendering implementation behind both display entry
+    /// points (a second hand-maintained printer would drift).
+    fn render(&self, atom: &dyn Fn(AtomId) -> String) -> String {
+        let join = |fs: &[Formula], sep: &str, empty: &str| {
+            if fs.is_empty() {
+                empty.to_owned()
+            } else {
+                let parts: Vec<String> = fs.iter().map(|f| f.render(atom)).collect();
+                format!("({})", parts.join(sep))
+            }
+        };
         match self {
             Formula::True => "true".to_owned(),
             Formula::False => "false".to_owned(),
-            Formula::Atom(id) => interp.name(*id).to_owned(),
-            Formula::Not(f) => format!("¬{}", f.display_with(interp)),
-            Formula::And(fs) => {
-                if fs.is_empty() {
-                    "true".to_owned()
-                } else {
-                    let parts: Vec<String> = fs.iter().map(|f| f.display_with(interp)).collect();
-                    format!("({})", parts.join(" ∧ "))
-                }
-            }
-            Formula::Or(fs) => {
-                if fs.is_empty() {
-                    "false".to_owned()
-                } else {
-                    let parts: Vec<String> = fs.iter().map(|f| f.display_with(interp)).collect();
-                    format!("({})", parts.join(" ∨ "))
-                }
-            }
+            Formula::Atom(id) => atom(*id),
+            Formula::Not(f) => format!("¬{}", f.render(atom)),
+            Formula::And(fs) => join(fs, " ∧ ", "true"),
+            Formula::Or(fs) => join(fs, " ∨ ", "false"),
             Formula::Implies(a, b) => {
-                format!("({} ⇒ {})", a.display_with(interp), b.display_with(interp))
+                format!("({} ⇒ {})", a.render(atom), b.render(atom))
             }
             Formula::Iff(a, b) => {
-                format!("({} ⇔ {})", a.display_with(interp), b.display_with(interp))
+                format!("({} ⇔ {})", a.render(atom), b.render(atom))
             }
-            Formula::Knows(p, f) => format!("K{} {}", p, f.display_with(interp)),
-            Formula::Sure(p, f) => format!("Sure{} {}", p, f.display_with(interp)),
-            Formula::Everyone(f) => format!("E {}", f.display_with(interp)),
-            Formula::Common(f) => format!("C {}", f.display_with(interp)),
+            Formula::Knows(p, f) => format!("K{} {}", p, f.render(atom)),
+            Formula::Sure(p, f) => format!("Sure{} {}", p, f.render(atom)),
+            Formula::Everyone(f) => format!("E {}", f.render(atom)),
+            Formula::Common(f) => format!("C {}", f.render(atom)),
         }
     }
 }
@@ -370,6 +466,45 @@ mod tests {
     }
 
     #[test]
+    fn invariance_declarations() {
+        let mut interp = Interpretation::new();
+        let a = interp.register("dep", |_| true);
+        let b = interp.register_invariant("inv", |c| c.len() > 1);
+        let c = interp.register_with("explicit", AtomInvariance::Dependent, |_| false);
+        assert_eq!(interp.invariance(a), AtomInvariance::Dependent);
+        assert_eq!(interp.invariance(b), AtomInvariance::Invariant);
+        assert_eq!(interp.invariance(c), AtomInvariance::Dependent);
+    }
+
+    #[test]
+    fn validate_symmetry_flags_false_declarations() {
+        use hpl_model::{ScenarioPool, SymmetryGroup};
+        // two symmetric processes, at most one internal step each
+        let mut pool = ScenarioPool::new(2);
+        let a0 = pool.internal(ProcessId::new(0));
+        let a1 = pool.internal(ProcessId::new(1));
+        let mut u = Universe::new(2);
+        u.insert(pool.compose([]).unwrap()).unwrap();
+        u.insert(pool.compose([a0]).unwrap()).unwrap();
+        u.insert(pool.compose([a1]).unwrap()).unwrap();
+
+        let mut interp = Interpretation::new();
+        let good = interp.register_invariant("stepped", |c| c.len() == 1);
+        // names a specific process — not invariant under the swap
+        let bad =
+            interp.register_invariant("p0-acted", |c| c.iter().any(|e| e.is_on(ProcessId::new(0))));
+        // dependent atoms are never checked, however asymmetric
+        let _dep = interp.register("p1-acted", |c| c.iter().any(|e| e.is_on(ProcessId::new(1))));
+
+        let els = SymmetryGroup::Full { n: 2 }.elements();
+        assert_eq!(interp.validate_symmetry(&u, &els), vec![bad]);
+        assert_ne!(good, bad);
+        // under the identity-only expansion nothing can be violated
+        let trivial = SymmetryGroup::Trivial.elements_for(2);
+        assert!(interp.validate_symmetry(&u, &trivial).is_empty());
+    }
+
+    #[test]
     fn constructors_and_depth() {
         let p = ProcessSet::from_indices([0]);
         let q = ProcessSet::from_indices([1]);
@@ -392,6 +527,8 @@ mod tests {
         let p = ProcessSet::from_indices([0]);
         let f = Formula::knows(p, Formula::atom(b).not());
         assert_eq!(f.display_with(&interp), "K{p0} ¬token-at-r");
+        // the raw renderer is the same printer with placeholder atoms
+        assert_eq!(f.display_raw(), "K{p0} ¬atom#0");
         let g = Formula::atom(b).implies(Formula::True);
         assert_eq!(g.display_with(&interp), "(token-at-r ⇒ true)");
         let h = Formula::And(vec![]);

@@ -87,6 +87,7 @@ pub mod isomorphism;
 pub mod local;
 pub mod parallel;
 pub mod parser;
+pub mod soundness;
 pub mod symmetry;
 pub mod transfer;
 pub mod universe;
@@ -99,14 +100,16 @@ pub use enumerate::{
     enumerate, EnumerationLimits, LocalStep, LocalView, ProtoAction, Protocol, ProtocolUniverse,
 };
 pub use error::CoreError;
-pub use eval::{Evaluator, MemoStats};
+pub use eval::{Evaluator, MemoStats, QuotientPolicy};
 pub use formula::{AtomId, Formula, Interpretation};
 pub use fusion::{fuse_lemma1, fuse_theorem2, FusionError};
 pub use isomorphism::{ClassCache, IsoIndex};
 pub use parallel::{
     enumerate_sharded, EnumerationStats, ShardConfig, ShardedEnumeration, DEFAULT_BATCH_NODES,
+    DEFAULT_MAX_BUFFERED_BATCHES,
 };
 pub use parser::parse;
+pub use soundness::{classify_invariance, Invariance, SoundnessViolation, VarianceCause};
 pub use symmetry::{canonical_key, check_closure, OrbitClasses, OrbitIndex, Orbits};
 pub use universe::{CompId, Universe};
 pub use views::{BoundedMemory, EventCounts, FullHistory, ViewAbstraction, ViewIndex};

@@ -32,8 +32,17 @@
 //!
 //! Peak merge memory is bounded by the batches that have *finished but
 //! not yet spliced* (out-of-order completions) plus the batch being
-//! consumed — not by the total node count. With one shard nothing is
-//! buffered at all: subtrees are explored lazily at their splice points.
+//! consumed — not by the total node count — and the in-flight side is
+//! **hard-capped** by a batch-credit scheme
+//! ([`ShardConfig::max_buffered_batches`]): a worker shipping a batch
+//! for any task other than the one the merge is splicing must hold a
+//! credit, returned when the batch is consumed, so even the adversarial
+//! schedule (one slow early task, many fast later ones) cannot grow the
+//! reorder buffer past the cap; head-task batches throttle against an
+//! equally-sized slot window, so a fast producer cannot pile them into
+//! the result channel ahead of a slow merge either. With one shard
+//! nothing is buffered at all: subtrees are explored lazily at their
+//! splice points.
 //! [`EnumerationStats`] reports the observed bound
 //! (`peak_buffered_bytes`, `largest_batch_bytes`) and the active merge
 //! time (`merge_wall_ms`).
@@ -116,6 +125,21 @@ pub struct ShardConfig {
     /// interleaving, evaluated through
     /// [`Evaluator::with_symmetry`](crate::Evaluator::with_symmetry).
     pub quotient: bool,
+    /// Hard cap on finished-but-not-yet-spliced batches the merge may
+    /// park in its reorder buffer. Workers producing for a task other
+    /// than the one the merge is currently splicing must hold one of
+    /// these **batch credits** per in-flight batch; on the adversarial
+    /// schedule — one slow early task, many fast later ones — this
+    /// bounds `peak_buffered_bytes` by
+    /// `max_buffered_batches × largest_batch_bytes` plus the batch being
+    /// consumed, where it used to grow with the whole remaining tree.
+    /// The head task's own batches never park, but they throttle
+    /// against an equally-sized **head-slot window** so a fast producer
+    /// cannot pile them into the result channel ahead of a slow merge
+    /// either: total in-flight batches (parked + channel) stay within
+    /// `2 × max_buffered_batches`. The output is independent of this
+    /// knob. Clamped to at least 1.
+    pub max_buffered_batches: usize,
 }
 
 /// Default [`ShardConfig::batch_nodes`]: large enough that channel and
@@ -123,9 +147,15 @@ pub struct ShardConfig {
 /// few hundred kilobytes.
 pub const DEFAULT_BATCH_NODES: usize = 32_768;
 
+/// Default [`ShardConfig::max_buffered_batches`]: enough slack that
+/// ordinary out-of-order completions never block a worker, while the
+/// worst-case reorder buffer stays a few dozen batches (≈ tens of
+/// megabytes at the default batch size) instead of the whole tree.
+pub const DEFAULT_MAX_BUFFERED_BATCHES: usize = 64;
+
 impl ShardConfig {
-    /// A configuration with `shards` workers and default split depth and
-    /// batch size, no dedupe, no quotient.
+    /// A configuration with `shards` workers and default split depth,
+    /// batch size and reorder-buffer cap, no dedupe, no quotient.
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
         ShardConfig {
@@ -134,6 +164,7 @@ impl ShardConfig {
             batch_nodes: DEFAULT_BATCH_NODES,
             dedupe: false,
             quotient: false,
+            max_buffered_batches: DEFAULT_MAX_BUFFERED_BATCHES,
         }
     }
 
@@ -142,6 +173,14 @@ impl ShardConfig {
     #[must_use]
     pub fn batch_nodes(mut self, nodes: usize) -> Self {
         self.batch_nodes = nodes.max(1);
+        self
+    }
+
+    /// Sets the reorder-buffer cap (see
+    /// [`ShardConfig::max_buffered_batches`]).
+    #[must_use]
+    pub fn max_buffered_batches(mut self, batches: usize) -> Self {
+        self.max_buffered_batches = batches.max(1);
         self
     }
 
@@ -196,10 +235,7 @@ impl Default for ShardConfig {
     fn default() -> Self {
         ShardConfig {
             shards: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            split_depth: None,
-            batch_nodes: DEFAULT_BATCH_NODES,
-            dedupe: false,
-            quotient: false,
+            ..ShardConfig::with_shards(1)
         }
     }
 }
@@ -340,11 +376,14 @@ struct Task {
 
 /// One streamed unit of worker output: the partition-table entries
 /// discovered since the previous batch of the same task, plus a run of
-/// pre-order node records. `last` marks the task's final batch.
+/// pre-order node records. `last` marks the task's final batch;
+/// `credited` records whether the producer holds a reorder-buffer
+/// credit for it (released when the merge consumes the batch).
 struct TaskBatch {
     defs: Vec<EventDef>,
     nodes: Vec<NodeRec>,
     last: bool,
+    credited: bool,
 }
 
 impl TaskBatch {
@@ -395,6 +434,122 @@ impl Budget {
 
     fn into_error(self) -> Option<CoreError> {
         self.first_error.into_inner()
+    }
+}
+
+/// The batch-credit gate bounding the merge's in-flight batches.
+///
+/// A worker about to ship a batch for task `t` first calls
+/// [`ReorderGate::admit`]. If `t` is **not** the task the merge is
+/// currently splicing (the *head*), the batch must take one of
+/// `max_buffered_batches` *parked credits*, blocking the worker until a
+/// parked batch is consumed (releasing its credit), the head advances
+/// to the worker's task, or the run shuts down; since every such batch
+/// holds a credit from send to consumption, the reorder buffer — and
+/// its share of the unbounded result channel — can never exceed the
+/// cap. Head-task batches never park, but they can still outrun a slow
+/// merge *inside the channel* (the merge is the serial section in
+/// quotient mode), so they take a *head slot* from an equally-sized
+/// window instead, released as the merge consumes them — total
+/// in-flight batches are therefore hard-bounded by `2 ×
+/// max_buffered_batches`, not just the parked side.
+///
+/// Deadlock-freedom: tasks are queued and pulled in splice order, so
+/// when the merge waits on head task `h`, either a worker is already
+/// producing `h` or `h` is still queued and some worker — having
+/// finished an earlier task — will pull it next; workers blocked on
+/// parked credits are by definition producing for tasks *after* `h`,
+/// whose batches the merge does not need yet, and a worker blocked on
+/// a head slot implies a full window of `h`-batches already sits in
+/// the channel for the merge to consume (each consumption releases a
+/// slot). [`ReorderGate::set_head`] wakes waiters whenever the merge
+/// advances, and [`ReorderGate::shutdown`] (abort or teardown) opens
+/// the gate unconditionally so no worker outlives the run blocked.
+struct ReorderGate {
+    state: std::sync::Mutex<GateState>,
+    cv: std::sync::Condvar,
+}
+
+struct GateState {
+    credits: usize,
+    head_slots: usize,
+    head: usize,
+    open: bool,
+}
+
+impl ReorderGate {
+    fn new(credits: usize) -> Self {
+        let credits = credits.max(1);
+        ReorderGate {
+            state: std::sync::Mutex::new(GateState {
+                credits,
+                head_slots: credits,
+                head: 0,
+                open: false,
+            }),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Blocks until the batch for `task` may be shipped; returns whether
+    /// a parked credit was consumed (`true` exactly for batches that may
+    /// park — head-task batches take a head slot instead and return
+    /// `false`).
+    fn admit(&self, task: usize) -> bool {
+        let mut s = self.lock();
+        loop {
+            if s.open {
+                return false;
+            }
+            if s.head == task {
+                if s.head_slots > 0 {
+                    s.head_slots -= 1;
+                    return false;
+                }
+            } else if s.credits > 0 {
+                s.credits -= 1;
+                return true;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Returns a consumed parked batch's credit to the pool.
+    fn release(&self) {
+        self.lock().credits += 1;
+        self.cv.notify_all();
+    }
+
+    /// Returns a consumed head batch's slot to the window. (After
+    /// [`ReorderGate::shutdown`] uncredited batches bypassed the gate,
+    /// so the counter may grow past the window — harmless, the run is
+    /// tearing down and `open` short-circuits every admit.)
+    fn release_head(&self) {
+        self.lock().head_slots += 1;
+        self.cv.notify_all();
+    }
+
+    /// The merge is now splicing `task`: its batches take head slots
+    /// rather than parked credits.
+    fn set_head(&self, task: usize) {
+        self.lock().head = task;
+        self.cv.notify_all();
+    }
+
+    /// Opens the gate unconditionally (abort or teardown) so blocked
+    /// workers can drain and exit.
+    fn shutdown(&self) {
+        self.lock().open = true;
+        self.cv.notify_all();
     }
 }
 
@@ -650,6 +805,7 @@ impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
             defs,
             nodes: std::mem::take(&mut buf.nodes),
             last,
+            credited: false,
         });
     }
 
@@ -952,6 +1108,7 @@ fn worker_loop<P: Protocol + ?Sized>(
     max_events: usize,
     batch_nodes: usize,
     budget: &Budget,
+    gate: &ReorderGate,
     queue: &Mutex<channel::Receiver<Task>>,
     results: &Sender<(usize, TaskBatch)>,
 ) {
@@ -961,13 +1118,20 @@ fn worker_loop<P: Protocol + ?Sized>(
         };
         let mut ex = Explorer::new(protocol, max_events, budget);
         ex.replay(&task.path);
-        let done = ex.run_subtree(task.path.len(), batch_nodes, &mut |batch| {
+        let done = ex.run_subtree(task.path.len(), batch_nodes, &mut |mut batch| {
+            // the reorder-buffer credit: blocks while the buffer is at
+            // capacity and the merge is splicing another task
+            batch.credited = gate.admit(task.id);
             // the coordinator outlives the workers; a send failure means
             // the run is being torn down
             let _ = results.send((task.id, batch));
         });
         if done.is_err() {
-            return; // budget exhausted or sibling failure; error is recorded
+            // budget exhausted or sibling failure; the error is recorded.
+            // Open the gate so siblings blocked on credits can drain and
+            // observe the abort themselves.
+            gate.shutdown();
+            return;
         }
     }
 }
@@ -1040,9 +1204,12 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
     // Phases 2+3, fused: workers explore disjoint id partitions while the
     // coordinator streams their batches through the merge in splice order.
     let mode = if config.quotient {
-        let elements = protocol.symmetry().elements_for(protocol.system_size());
+        let group = protocol.symmetry();
+        let elements = group.elements_for(protocol.system_size());
+        let generators = group.generators_for(protocol.system_size());
         MergeMode::Quotient(Box::new(QuotientState::new(
             elements,
+            generators,
             protocol.system_size(),
         )))
     } else if config.dedupe {
@@ -1087,17 +1254,19 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
             // queue multi-consumer (real crossbeam receivers are MPMC and
             // would not need it)
             let queue = Mutex::new(task_rx);
+            let gate = ReorderGate::new(config.max_buffered_batches);
             let (res_tx, res_rx) = channel::unbounded::<(usize, TaskBatch)>();
             std::thread::scope(|s| {
                 for _ in 0..shards {
                     let res_tx = res_tx.clone();
-                    let (queue, budget) = (&queue, &budget);
+                    let (queue, budget, gate) = (&queue, &budget, &gate);
                     s.spawn(move || {
                         worker_loop(
                             protocol,
                             limits.max_events,
                             batch_nodes,
                             budget,
+                            gate,
                             queue,
                             &res_tx,
                         );
@@ -1106,7 +1275,8 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
                 drop(res_tx);
                 // Reorder buffer: batches of tasks that finished ahead of
                 // their splice point. This — not the node count — is the
-                // merge's peak memory.
+                // merge's peak memory; every parked batch holds a gate
+                // credit, so it never exceeds `max_buffered_batches`.
                 let mut parked: HashMap<usize, VecDeque<TaskBatch>> = HashMap::new();
                 let _ = drive_merge(
                     &entries,
@@ -1115,6 +1285,7 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
                     &mut metrics,
                     |merger, id, metrics| {
                         task_map.clear();
+                        gate.set_head(id);
                         loop {
                             let batch = match parked.get_mut(&id).and_then(VecDeque::pop_front) {
                                 Some(b) => {
@@ -1135,6 +1306,11 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
                                 },
                             };
                             metrics.on_consume(&batch);
+                            if batch.credited {
+                                gate.release();
+                            } else {
+                                gate.release_head();
+                            }
                             let last = batch.last;
                             let t = Instant::now();
                             merger.forecast(budget.explored.load(Ordering::Relaxed));
@@ -1146,6 +1322,9 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
                         }
                     },
                 );
+                // teardown: wake any worker still blocked on a credit
+                // (normal completion leaves none; abort paths may)
+                gate.shutdown();
             });
         }
     }
@@ -1493,6 +1672,106 @@ mod tests {
         }
     }
 
+    /// Adversarial reorder-buffer schedule: the worker that pulls the
+    /// first (splice-order head) task stalls, while the other worker
+    /// races through the many later tasks. Without the credit gate the
+    /// merge would park every one of those batches; with it, parked
+    /// batches can never exceed `max_buffered_batches`.
+    struct SlowFirstWorker {
+        n: usize,
+        k: usize,
+        main: std::thread::ThreadId,
+        stalled: AtomicBool,
+    }
+
+    impl SlowFirstWorker {
+        fn new(n: usize, k: usize) -> Self {
+            SlowFirstWorker {
+                n,
+                k,
+                main: std::thread::current().id(),
+                stalled: AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl Protocol for SlowFirstWorker {
+        fn system_size(&self) -> usize {
+            self.n
+        }
+        fn actions(&self, _p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+            // the first worker-thread call stalls: tasks are pulled in
+            // splice order, so with high probability this is the worker
+            // replaying task 0 — the exact schedule that used to grow
+            // the reorder buffer without bound. (The *assertions* below
+            // are schedule-independent; the stall only makes the
+            // adversarial case the one actually exercised.)
+            if std::thread::current().id() != self.main
+                && !self.stalled.swap(true, Ordering::Relaxed)
+            {
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            if view.len() < self.k {
+                vec![ProtoAction::Internal {
+                    action: ActionId::new(view.len() as u32),
+                }]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_buffer_is_hard_bounded_under_adversarial_schedule() {
+        let protocol = SlowFirstWorker::new(3, 3);
+        let limits = EnumerationLimits::depth(8);
+        let cap = 2usize;
+        let cfg = ShardConfig {
+            split_depth: Some(2),
+            ..ShardConfig::with_shards(2)
+        }
+        .batch_nodes(8)
+        .max_buffered_batches(cap);
+        let out = enumerate_sharded(&protocol, limits, &cfg).unwrap();
+        // the hard bound: parked batches ≤ cap, each at most the largest
+        // batch, plus the batch being consumed
+        assert!(
+            out.stats.peak_buffered_bytes <= (cap + 1) * out.stats.largest_batch_bytes,
+            "reorder buffer exceeded its credit cap: peak {} > ({cap} + 1) × {}",
+            out.stats.peak_buffered_bytes,
+            out.stats.largest_batch_bytes
+        );
+        // enough streamed batches that an unbounded buffer could have
+        // grown far past the cap — the schedule is genuinely adversarial
+        assert!(out.stats.batches > 3 * cap, "{} batches", out.stats.batches);
+        // and the credit gate changes scheduling only, never output
+        let seq = enumerate(&SlowFirstWorker::new(3, 3), limits).unwrap();
+        assert_identical(&out.universe, &seq);
+    }
+
+    #[test]
+    fn budget_abort_releases_credit_blocked_workers() {
+        // the gate must not deadlock the scope join when the budget
+        // trips while workers wait on credits
+        let protocol = Clocks { n: 3, k: 3 };
+        let cfg = ShardConfig {
+            split_depth: Some(1),
+            ..ShardConfig::with_shards(4)
+        }
+        .batch_nodes(1)
+        .max_buffered_batches(1);
+        let err = enumerate_sharded(
+            &protocol,
+            EnumerationLimits {
+                max_events: 9,
+                max_computations: 50,
+            },
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::EnumerationBudgetExceeded { .. }));
+    }
+
     #[test]
     fn default_config_is_usable() {
         let out = enumerate_sharded(
@@ -1506,8 +1785,18 @@ mod tests {
         assert!(ded.dedupe);
         assert_eq!(ded.shards, 2);
         assert_eq!(ded.batch_nodes, DEFAULT_BATCH_NODES);
-        // the knob clamps to at least one node per batch
+        // the knobs clamp to at least one node per batch / parked batch
         assert_eq!(ShardConfig::with_shards(1).batch_nodes(0).batch_nodes, 1);
+        assert_eq!(
+            ShardConfig::with_shards(1)
+                .max_buffered_batches(0)
+                .max_buffered_batches,
+            1
+        );
+        assert_eq!(
+            ShardConfig::default().max_buffered_batches,
+            DEFAULT_MAX_BUFFERED_BATCHES
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 use crate::bitset::CompSet;
 use crate::enumerate::ProtocolUniverse;
+use crate::error::CoreError;
 use crate::universe::{CompId, Universe};
 use hpl_model::{Computation, Event, EventKind, MessageId, Permutation, ProcessSet};
 use std::cell::RefCell;
@@ -282,6 +283,7 @@ impl Canonicalizer {
 /// plus per-representative multiplicities and descriptors.
 pub(crate) struct QuotientState {
     canon: Canonicalizer,
+    generators: Vec<Permutation>,
     key_to_rep: HashMap<Vec<u64>, u32>,
     multiplicity: Vec<u64>,
     descs: Vec<Descs>,
@@ -300,9 +302,18 @@ pub(crate) enum OrbitDecision {
 }
 
 impl QuotientState {
-    pub(crate) fn new(elements: Vec<Permutation>, system_size: usize) -> Self {
+    /// `elements` is the expanded group (canonicalization minimizes over
+    /// it); `generators` is a generating set of the same group, carried
+    /// through to [`Orbits::generators`] so stabilizer tests downstream
+    /// stay `O(|gens|)` instead of `O(|G|)`.
+    pub(crate) fn new(
+        elements: Vec<Permutation>,
+        generators: Vec<Permutation>,
+        system_size: usize,
+    ) -> Self {
         QuotientState {
             canon: Canonicalizer::new(elements, system_size),
+            generators,
             key_to_rep: HashMap::new(),
             multiplicity: Vec::new(),
             descs: Vec::new(),
@@ -344,6 +355,7 @@ impl QuotientState {
     pub(crate) fn into_orbits(self) -> Orbits {
         Orbits {
             elements: self.canon.elements,
+            generators: self.generators,
             multiplicity: self.multiplicity,
             descs: self.descs,
         }
@@ -357,6 +369,7 @@ impl QuotientState {
 #[derive(Debug)]
 pub struct Orbits {
     elements: Vec<Permutation>,
+    generators: Vec<Permutation>,
     multiplicity: Vec<u64>,
     descs: Vec<Descs>,
 }
@@ -366,6 +379,18 @@ impl Orbits {
     #[must_use]
     pub fn elements(&self) -> &[Permutation] {
         &self.elements
+    }
+
+    /// A generating set of the group (empty for the trivial group) —
+    /// what stabilizer questions should iterate: the stabilizer of a
+    /// process set is a subgroup, so checking `π(P) = P` on the
+    /// generators decides it for all [`Orbits::elements`] at
+    /// `O(|gens|)` instead of `O(|G|)` cost. This is what the
+    /// symmetry-soundness checker
+    /// ([`classify_invariance`](crate::classify_invariance)) runs on.
+    #[must_use]
+    pub fn generators(&self) -> &[Permutation] {
+        &self.generators
     }
 
     /// The order of the symmetry group.
@@ -388,18 +413,38 @@ impl Orbits {
     }
 
     /// The size of the full (un-quotiented) universe: the sum of all
-    /// multiplicities.
+    /// multiplicities. Cannot overflow for enumerated orbits — the merge
+    /// increments one multiplicity per explored node, so the sum equals
+    /// the explored node count (a `usize`); the saturation below is a
+    /// guard for hand-built orbit structures only.
     #[must_use]
     pub fn full_size(&self) -> u64 {
-        self.multiplicity.iter().sum()
+        self.multiplicity
+            .iter()
+            .fold(0u64, |acc, &m| acc.saturating_add(m))
     }
 
     /// Expands a set of representatives to its full-universe cardinality
     /// — use wherever a *count* over the full universe matters (e.g.
-    /// "the formula holds in N computations").
-    #[must_use]
-    pub fn expanded_count(&self, set: &CompSet) -> u64 {
-        set.iter().map(|i| self.multiplicity[i]).sum()
+    /// "the formula holds in N computations"). Meaningful only for
+    /// formulas the soundness checker classifies
+    /// [`Invariant`](crate::Invariance::Invariant): an orbit-variant
+    /// satisfaction set does not hold at whole orbits, so its expansion
+    /// counts computations the formula may not hold at.
+    ///
+    /// The summation is widened to `u128` — at `|G| = (n−1)!`-scale
+    /// multiplicities over large universes the running total can exceed
+    /// `u64` long before the final count does not, so per-step checked
+    /// arithmetic is not enough to distinguish a transient spike from a
+    /// true overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MultiplicityOverflow`] if the expanded count
+    /// does not fit `u64`, instead of silently wrapping.
+    pub fn expanded_count(&self, set: &CompSet) -> Result<u64, CoreError> {
+        let total: u128 = set.iter().map(|i| u128::from(self.multiplicity[i])).sum();
+        u64::try_from(total).map_err(|_| CoreError::MultiplicityOverflow)
     }
 
     /// The universe reduction factor `full_size / orbit_count`.
@@ -555,6 +600,148 @@ impl<'u> OrbitIndex<'u> {
             member_sets,
             orbit_sets,
         }
+    }
+}
+
+/// The **orbit-expanded** view of a quotient universe: one *virtual
+/// member* per distinct relabeling `π·r` of every stored representative
+/// `r` (one per `[D]`-class of the full universe — interleavings share
+/// all per-process projections, so no formula can distinguish them).
+///
+/// This is the fallback arena of
+/// [`QuotientPolicy::Expand`](crate::QuotientPolicy): out-of-contract
+/// subtrees evaluate here with exact full-universe semantics — `[P]`
+/// classes are rebuilt over the virtual members from the same structural
+/// signatures that drive the quotient — while invariant subtrees keep
+/// the quotient fast path and merely *lift* their representative-level
+/// verdicts ([`ExpandedUniverse::lift`]).
+#[derive(Debug)]
+pub(crate) struct ExpandedUniverse {
+    /// Per virtual member: (representative id, group-element index of a
+    /// permutation realizing it).
+    members: Vec<(u32, u32)>,
+    /// Per representative: the virtual id of its identity relabeling.
+    rep_member: Vec<u32>,
+    inverses: Vec<Permutation>,
+    /// Per `ProcessSet::bits`: the `[P]`-partition of the virtual
+    /// members (member sets only — classes have no quotient side here).
+    classes: RefCell<HashMap<u128, Rc<Vec<CompSet>>>>,
+}
+
+impl ExpandedUniverse {
+    /// Materializes the virtual member list of an orbit structure.
+    pub(crate) fn new(orbits: &Orbits) -> Self {
+        let elements = &orbits.elements;
+        // rep_member, project() and the dependent-atom materialization
+        // in eval's expand_compute all read `element 0` as "the
+        // identity relabeling" — pin the invariant every group
+        // expansion currently satisfies by construction
+        debug_assert!(
+            elements[0].is_identity(),
+            "group expansions list the identity first"
+        );
+        let n = elements[0].len();
+        let all = ProcessSet::full(n);
+        let inverses: Vec<Permutation> = elements.iter().map(Permutation::inverse).collect();
+        let mut seen: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut members = Vec::new();
+        let mut rep_member = vec![0u32; orbits.orbit_count()];
+        let mut key = Vec::new();
+        for (rid, descs) in orbits.descs.iter().enumerate() {
+            for (ei, (pi, inv)) in elements.iter().zip(&inverses).enumerate() {
+                key.clear();
+                emit_signature(descs, pi, inv, all, &mut key);
+                let next = members.len() as u32;
+                let vid = *seen.entry(key.clone()).or_insert_with(|| {
+                    members.push((rid as u32, ei as u32));
+                    next
+                });
+                if ei == 0 {
+                    // the identity signature of a representative is
+                    // unique (quotient members are [D]-distinct), so
+                    // this virtual member belongs to rid alone
+                    rep_member[rid] = vid;
+                }
+            }
+        }
+        ExpandedUniverse {
+            members,
+            rep_member,
+            inverses,
+            classes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Number of virtual members (distinct relabelings, i.e. the size of
+    /// the full universe's `[D]`-quotient).
+    pub(crate) fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The (representative, group-element index) pair of a virtual
+    /// member.
+    pub(crate) fn member(&self, vid: usize) -> (usize, usize) {
+        let (rid, ei) = self.members[vid];
+        (rid as usize, ei as usize)
+    }
+
+    /// The full universe's `[P]`-partition over the virtual members
+    /// (cached per process set).
+    pub(crate) fn member_sets(&self, orbits: &Orbits, p: ProcessSet) -> Rc<Vec<CompSet>> {
+        if let Some(c) = self.classes.borrow().get(&p.bits()) {
+            return Rc::clone(c);
+        }
+        let n = self.members.len();
+        let mut key_to_class: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut sets: Vec<CompSet> = Vec::new();
+        let mut key = Vec::new();
+        for (vid, &(rid, ei)) in self.members.iter().enumerate() {
+            key.clear();
+            emit_signature(
+                &orbits.descs[rid as usize],
+                &orbits.elements[ei as usize],
+                &self.inverses[ei as usize],
+                p,
+                &mut key,
+            );
+            let class = match key_to_class.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let c = sets.len();
+                    key_to_class.insert(key.clone(), c);
+                    sets.push(CompSet::new(n));
+                    c
+                }
+            };
+            sets[class].insert(vid);
+        }
+        let rc = Rc::new(sets);
+        self.classes.borrow_mut().insert(p.bits(), Rc::clone(&rc));
+        rc
+    }
+
+    /// Lifts a representative-level satisfaction set to the virtual
+    /// members — sound exactly for orbit-invariant verdicts.
+    pub(crate) fn lift(&self, rep: &CompSet) -> CompSet {
+        let mut s = CompSet::new(self.members.len());
+        for (vid, &(rid, _)) in self.members.iter().enumerate() {
+            if rep.contains(rid as usize) {
+                s.insert(vid);
+            }
+        }
+        s
+    }
+
+    /// Projects a virtual satisfaction set back to representative level
+    /// (each representative reads its identity relabeling).
+    pub(crate) fn project(&self, v: &CompSet) -> CompSet {
+        let mut s = CompSet::new(self.rep_member.len());
+        for (rid, &vid) in self.rep_member.iter().enumerate() {
+            if v.contains(vid as usize) {
+                s.insert(rid);
+            }
+        }
+        s
     }
 }
 
@@ -761,8 +948,8 @@ mod tests {
     #[test]
     fn quotient_state_tracks_multiplicities() {
         let (pool, evs) = symmetric_pool();
-        let elements = SymmetryGroup::Full { n: 3 }.elements();
-        let mut q = QuotientState::new(elements, 3);
+        let group = SymmetryGroup::Full { n: 3 };
+        let mut q = QuotientState::new(group.elements(), group.generators_for(3), 3);
         let mut count_reps = 0;
         // orbit of singletons: 3 members; orbit of pairs: 6 members
         let sequences: Vec<Vec<hpl_model::EventId>> = vec![
@@ -799,6 +986,32 @@ mod tests {
         let mut set = CompSet::new(3);
         set.insert(1);
         set.insert(2);
-        assert_eq!(orbits.expanded_count(&set), 9);
+        assert_eq!(orbits.expanded_count(&set), Ok(9));
+    }
+
+    /// Regression: multiplicity expansion must fail typed, not wrap. At
+    /// `|G| = (n−1)!`-scale multiplicities the u64 running total can
+    /// wrap long before anyone notices the count is nonsense.
+    #[test]
+    fn expanded_count_overflow_is_a_typed_error() {
+        let orbits = Orbits {
+            elements: vec![Permutation::identity(2)],
+            generators: Vec::new(),
+            multiplicity: vec![u64::MAX, u64::MAX, 2],
+            descs: vec![Descs::new(), Descs::new(), Descs::new()],
+        };
+        let mut one = CompSet::new(3);
+        one.insert(0);
+        assert_eq!(orbits.expanded_count(&one), Ok(u64::MAX));
+        let mut both = CompSet::new(3);
+        both.insert(0);
+        both.insert(2);
+        assert_eq!(
+            orbits.expanded_count(&both),
+            Err(crate::error::CoreError::MultiplicityOverflow)
+        );
+        // full_size saturates rather than wrapping (documented guard for
+        // hand-built structures; enumerated orbits cannot reach it)
+        assert_eq!(orbits.full_size(), u64::MAX);
     }
 }

@@ -90,4 +90,4 @@ pub use error::ModelError;
 pub use event::{Event, EventKind};
 pub use id::{ActionId, EventId, MessageId, ProcessId};
 pub use procset::ProcessSet;
-pub use symmetry::{Permutation, SymmetryGroup};
+pub use symmetry::{AtomInvariance, Permutation, SymmetryGroup};

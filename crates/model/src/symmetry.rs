@@ -152,6 +152,19 @@ impl Permutation {
         Permutation { image }
     }
 
+    /// Tests whether this permutation **stabilizes** a process set:
+    /// `π(P) = P` (as a set). The stabilizer condition is what licenses
+    /// storing a nested `P knows _` verdict at an orbit representative —
+    /// see the symmetry-soundness checker in `hpl-core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member of the set is out of the permutation's range.
+    #[must_use]
+    pub fn stabilizes(&self, p: ProcessSet) -> bool {
+        p.permuted(self) == p
+    }
+
     /// The composition `self ∘ other` (apply `other` first).
     ///
     /// # Panics
@@ -383,6 +396,70 @@ impl SymmetryGroup {
         }
     }
 
+    /// A **generating set** of the group for a system of `n` processes:
+    /// a (usually tiny) list of permutations whose closure under
+    /// composition and inverse is the whole group. Stabilizer questions
+    /// (`π(P) = P` for every group element) reduce to the generators —
+    /// the stabilizer of a set is a subgroup — so callers testing
+    /// invariance should iterate this list, not the expanded
+    /// [`elements_for`](SymmetryGroup::elements_for).
+    ///
+    /// The identity-only groups return an empty list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is declared for a system size other than `n`.
+    #[must_use]
+    pub fn generators_for(&self, n: usize) -> Vec<Permutation> {
+        match self {
+            SymmetryGroup::Trivial => Vec::new(),
+            SymmetryGroup::Full { n: m } => {
+                assert_eq!(*m, n, "symmetry group declared for {m} processes, not {n}");
+                match n {
+                    0 | 1 => Vec::new(),
+                    2 => vec![Permutation::transposition(2, 0, 1)],
+                    // S_n = ⟨(0 1), (0 1 … n−1)⟩
+                    _ => vec![
+                        Permutation::transposition(n, 0, 1),
+                        Permutation::rotation(n, 1),
+                    ],
+                }
+            }
+            SymmetryGroup::Rotations { n: m } => {
+                assert_eq!(*m, n, "symmetry group declared for {m} processes, not {n}");
+                if n <= 1 {
+                    Vec::new()
+                } else {
+                    vec![Permutation::rotation(n, 1)]
+                }
+            }
+            SymmetryGroup::Generated(gens) => {
+                if let Some(first) = gens.first() {
+                    assert_eq!(
+                        first.len(),
+                        n,
+                        "symmetry generators act on {} processes, not {n}",
+                        first.len()
+                    );
+                }
+                gens.iter().filter(|g| !g.is_identity()).cloned().collect()
+            }
+        }
+    }
+
+    /// Does every element of the group stabilize `p` (`π(P) = P`)? Tested
+    /// on the generators only — the stabilizer of a set is a subgroup, so
+    /// generator stabilization implies group stabilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`SymmetryGroup::generators_for`].
+    #[must_use]
+    pub fn stabilizes(&self, p: ProcessSet, n: usize) -> bool {
+        self.generators_for(n).iter().all(|g| g.stabilizes(p))
+    }
+
     /// The order of the group (`elements().len()`).
     ///
     /// # Panics
@@ -403,6 +480,30 @@ impl SymmetryGroup {
     pub fn is_trivial(&self) -> bool {
         self.order() == 1
     }
+}
+
+/// How an atomic predicate behaves under process relabeling through a
+/// protocol's declared [`SymmetryGroup`] — the per-atom metadata behind
+/// the symmetry-soundness checker in `hpl-core`.
+///
+/// The declaration is **relative to the declared group**: an atom that
+/// names a process the group fixes (e.g. "p0 crashed" under a group
+/// fixing `p0`) is `Invariant` even though it is not invariant under
+/// arbitrary relabelings. Declarations are trusted by the static
+/// checker; `hpl-core` ships an executable spot-check
+/// (`Interpretation::validate_symmetry`) that verifies them on an
+/// enumerated universe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AtomInvariance {
+    /// The atom's verdict may change when symmetric processes are
+    /// relabeled. The safe default: the checker then refuses to store
+    /// the atom's verdict on behalf of a whole orbit inside a knowledge
+    /// operator.
+    #[default]
+    Dependent,
+    /// The atom's verdict is unchanged by every relabeling in the
+    /// declared group: `b at π·x = b at x` for all group elements `π`.
+    Invariant,
 }
 
 /// Heap's algorithm, collecting every permutation of `scratch`.
@@ -560,6 +661,53 @@ mod tests {
         // fixing an interior process
         let g = SymmetryGroup::fixing(3, 1);
         assert_eq!(g.order(), 2);
+    }
+
+    #[test]
+    fn generators_generate_the_declared_group() {
+        for (group, n) in [
+            (SymmetryGroup::Full { n: 4 }, 4),
+            (SymmetryGroup::Rotations { n: 5 }, 5),
+            (SymmetryGroup::fixing(4, 0), 4),
+            (SymmetryGroup::Trivial, 3),
+        ] {
+            let gens = group.generators_for(n);
+            let closure = SymmetryGroup::Generated(if gens.is_empty() {
+                vec![Permutation::identity(n)]
+            } else {
+                gens.clone()
+            });
+            let a: BTreeSet<_> = closure.elements().into_iter().collect();
+            let b: BTreeSet<_> = group.elements_for(n).into_iter().collect();
+            assert_eq!(a, b, "{group:?}: generators must span the group");
+        }
+    }
+
+    #[test]
+    fn stabilizer_tests() {
+        let rot = Permutation::rotation(4, 1);
+        assert!(rot.stabilizes(ProcessSet::full(4)));
+        assert!(!rot.stabilizes(ProcessSet::from_indices([0])));
+        assert!(Permutation::transposition(4, 1, 2).stabilizes(ProcessSet::from_indices([1, 2])));
+
+        let fix0 = SymmetryGroup::fixing(4, 0);
+        assert!(fix0.stabilizes(ProcessSet::singleton(ProcessId::new(0)), 4));
+        assert!(fix0.stabilizes(ProcessSet::from_indices([1, 2, 3]), 4));
+        assert!(fix0.stabilizes(ProcessSet::full(4), 4));
+        assert!(!fix0.stabilizes(ProcessSet::singleton(ProcessId::new(2)), 4));
+        // the trivial group stabilizes everything
+        assert!(SymmetryGroup::Trivial.stabilizes(ProcessSet::from_indices([1]), 3));
+        // rotations stabilize only ∅ and the full set
+        let rots = SymmetryGroup::Rotations { n: 4 };
+        assert!(rots.stabilizes(ProcessSet::EMPTY, 4));
+        assert!(rots.stabilizes(ProcessSet::full(4), 4));
+        assert!(!rots.stabilizes(ProcessSet::from_indices([0, 2]), 4));
+    }
+
+    #[test]
+    fn atom_invariance_defaults_dependent() {
+        assert_eq!(AtomInvariance::default(), AtomInvariance::Dependent);
+        assert_ne!(AtomInvariance::Invariant, AtomInvariance::Dependent);
     }
 
     #[test]

@@ -131,7 +131,7 @@ pub fn verify_impossibility(
         EnumerationLimits::depth(depth),
     )?;
     let mut interp = Interpretation::new();
-    let atom = Formula::atom(interp.register("p0-crashed", crashed));
+    let atom = Formula::atom(interp.register_invariant("p0-crashed", crashed));
     let observer = ProcessSet::singleton(ProcessId::new(1));
 
     let mut eval = Evaluator::new(pu.universe(), &interp);
@@ -305,7 +305,7 @@ mod tests {
         )
         .unwrap();
         let mut interp = Interpretation::new();
-        let atom = Formula::atom(interp.register("p0-crashed", crashed));
+        let atom = Formula::atom(interp.register_invariant("p0-crashed", crashed));
         let mut eval = Evaluator::new(pu.universe(), &interp);
         let worker = ProcessSet::singleton(ProcessId::new(0));
         assert!(eval.holds_everywhere(&Formula::sure(worker, atom)));

@@ -100,7 +100,7 @@ pub fn knowledge_price(
 ) -> Result<Vec<PriceRow>, CoreError> {
     let pu = enumerate(&PushGossip { n }, EnumerationLimits::depth(depth))?;
     let mut interp = Interpretation::new();
-    let base = Formula::atom(interp.register("rumor-started", rumor_started));
+    let base = Formula::atom(interp.register_invariant("rumor-started", rumor_started));
     let mut eval = Evaluator::new(pu.universe(), &interp);
 
     let mut rows = Vec::new();
@@ -130,7 +130,7 @@ pub fn knowledge_price(
 pub fn common_knowledge_unattainable(n: usize, depth: usize) -> Result<bool, CoreError> {
     let pu = enumerate(&PushGossip { n }, EnumerationLimits::depth(depth))?;
     let mut interp = Interpretation::new();
-    let base = Formula::atom(interp.register("rumor-started", rumor_started));
+    let base = Formula::atom(interp.register_invariant("rumor-started", rumor_started));
     let mut eval = Evaluator::new(pu.universe(), &interp);
     let ck = Formula::common(base);
     Ok(eval.sat_set(&ck).is_empty() && eval.is_constant(&ck))

@@ -205,7 +205,9 @@ impl Protocol for BroadcastBus {
     /// Every permutation fixing the initial holder `p0` is an
     /// automorphism: the holder rule reads only local step counts, the
     /// send set ("all others") is permutation-covariant, and chatter
-    /// depends only on the local step count.
+    /// depends only on the local step count. Atom declarations matching
+    /// this group live in [`token_atoms`]; the symmetry-soundness
+    /// checker enforces both ends of the contract at query time.
     fn symmetry(&self) -> SymmetryGroup {
         SymmetryGroup::fixing(self.n, 0)
     }
@@ -236,11 +238,28 @@ pub fn universe(n: usize, depth: usize) -> Result<ProtocolUniverse, CoreError> {
 
 /// Registers the five `holds-token-at-i` atoms and returns them in
 /// process order.
+///
+/// Invariance declaration (for the symmetry-soundness checker):
+/// `token-at-p0` reads only `p0`'s local counts and every token-family
+/// symmetry group fixes `p0` ([`SymmetryGroup::Trivial`] for the line
+/// bus, [`SymmetryGroup::fixing`]`(n, 0)` for the star), so it is
+/// declared invariant; `token-at-pi` for `i > 0` names a relabelable
+/// process and stays relabeling-dependent — a quotient evaluator will
+/// reject or orbit-expand knowledge over it, exactly as the paper's
+/// formula (which nests knowledge of *specific* bus neighbours)
+/// requires on a symmetric topology.
 pub fn token_atoms(interp: &mut Interpretation, n: usize) -> Vec<Formula> {
     (0..n)
         .map(|i| {
             let p = ProcessId::new(i);
-            let id = interp.register(&format!("token-at-p{i}"), move |c| holds_token(c, p));
+            let invariance = if i == 0 {
+                hpl_model::AtomInvariance::Invariant
+            } else {
+                hpl_model::AtomInvariance::Dependent
+            };
+            let id = interp.register_with(&format!("token-at-p{i}"), invariance, move |c| {
+                holds_token(c, p)
+            });
             Formula::atom(id)
         })
         .collect()

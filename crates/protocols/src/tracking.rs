@@ -131,7 +131,7 @@ pub fn verify_unsure_at_change(
 ) -> Result<TrackingReport, CoreError> {
     let pu = enumerate(&Toggler { max_toggles }, EnumerationLimits::depth(depth))?;
     let mut interp = Interpretation::new();
-    let b = Formula::atom(interp.register("bit", bit));
+    let b = Formula::atom(interp.register_invariant("bit", bit));
     let owner = ProcessSet::singleton(ProcessId::new(0));
     let tracker = ProcessSet::singleton(ProcessId::new(1));
 

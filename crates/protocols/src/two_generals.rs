@@ -126,9 +126,12 @@ pub fn universe(max_rounds: usize, depth: usize) -> Result<ProtocolUniverse, Cor
     )
 }
 
-/// Registers the `attack-planned` atom.
+/// Registers the `attack-planned` atom, declared relabeling-invariant:
+/// it reads only `g0`'s sends and every sound symmetry group of the
+/// asymmetric generals fixes `g0` (only [`SymmetryGroup::Trivial`] is
+/// declared).
 pub fn attack_atom(interp: &mut Interpretation) -> Formula {
-    Formula::atom(interp.register("attack-planned", attack_planned))
+    Formula::atom(interp.register_invariant("attack-planned", attack_planned))
 }
 
 /// The alternating nested-knowledge formula of depth `k`:

@@ -12,16 +12,23 @@
 //!    seeds × shard counts {1, 2, 8}, and the orbit multiplicities
 //!    expand quotient satisfaction counts to exact full-universe counts.
 //!
-//! The corpus follows the soundness contract documented on
-//! [`Evaluator::with_symmetry`]: atoms invariant under the group and
-//! under interleaving; nested `knows` only over group-stabilized
-//! process sets; `Everyone`/`Common` nested freely; arbitrary `knows`
-//! only outermost.
+//! The corpus follows the soundness contract **enforced** by
+//! [`Evaluator::with_symmetry`]: atoms declared invariant under the
+//! group (and interleaving-invariant per the paper); nested `knows`
+//! only over group-stabilized process sets; `Everyone`/`Common` nested
+//! freely; arbitrary `knows` only outermost. Since PR 5 the contract is
+//! checked, not documented: the grid additionally certifies that the
+//! soundness checker admits the whole corpus under
+//! [`QuotientPolicy::Reject`], and the adversarial suite at the bottom
+//! certifies the other direction — every formula where quotient and
+//! full evaluation diverge is classified out of contract, rejected by
+//! `Reject` and corrected by `Expand`.
 
 use hpl_core::symmetry::struct_signature;
 use hpl_core::{
-    canonical_key, check_closure, enumerate_sharded, CompId, EnumerationLimits, Evaluator, Formula,
-    Interpretation, LocalStep, LocalView, ProtoAction, Protocol, ShardConfig,
+    canonical_key, check_closure, enumerate_sharded, CompId, CoreError, EnumerationLimits,
+    Evaluator, Formula, Interpretation, Invariance, LocalStep, LocalView, ProtoAction, Protocol,
+    QuotientPolicy, ShardConfig, ShardedEnumeration, VarianceCause,
 };
 use hpl_model::{
     ActionId, Computation, ComputationBuilder, MessageId, ProcessId, ProcessSet, SymmetryGroup,
@@ -137,12 +144,13 @@ impl Protocol for SeededRing {
 // ---------------------------------------------------------------------
 
 /// Atoms invariant under any process relabeling and under interleaving
-/// (they read only multiset/count structure of the computation).
+/// (they read only multiset/count structure of the computation) —
+/// registered as such, so the soundness checker admits nesting them.
 fn invariant_atoms(n: usize, interp: &mut Interpretation) -> Vec<Formula> {
-    let a = interp.register("nonempty", |c| !c.is_empty());
-    let b = interp.register("busy", |c| c.len() >= 3);
-    let s = interp.register("any-send", |c| c.sends() >= 1);
-    let w = interp.register("some-proc-two-events", move |c| {
+    let a = interp.register_invariant("nonempty", |c| !c.is_empty());
+    let b = interp.register_invariant("busy", |c| c.len() >= 3);
+    let s = interp.register_invariant("any-send", |c| c.sends() >= 1);
+    let w = interp.register_invariant("some-proc-two-events", move |c| {
         (0..n).any(|i| c.iter().filter(|e| e.is_on(pid(i))).count() >= 2)
     });
     [a, b, s, w].into_iter().map(Formula::atom).collect()
@@ -269,6 +277,11 @@ fn assert_quotient_matches_full<P: Protocol + Sync>(
             .collect();
 
         let mut eval_q = Evaluator::with_symmetry(qu, &interp, orbits);
+        // the in-contract corpus must never be rejected: the checker
+        // classifies every formula sound, and a Reject-policy evaluator
+        // answers all of them with the same verdicts
+        let mut eval_reject =
+            Evaluator::with_symmetry_policy(qu, &interp, orbits, QuotientPolicy::Reject);
         for f in corpus.iter().chain(&outer) {
             let sq = eval_q.sat_set(f);
             let sf = eval_full.sat_set(f);
@@ -279,12 +292,26 @@ fn assert_quotient_matches_full<P: Protocol + Sync>(
                     "{tag}: {f:?} disagrees at representative {rid}"
                 );
             }
+            assert!(
+                eval_q.check_symmetry(f).is_sound(),
+                "{tag}: checker must admit the in-contract formula {f:?}"
+            );
+            let rejected = eval_reject
+                .try_sat_set(f)
+                .unwrap_or_else(|e| panic!("{tag}: Reject refused in-contract {f:?}: {e}"));
+            assert_eq!(rejected, sq, "{tag}: policies disagree on {f:?}");
         }
         for f in &corpus {
+            assert!(
+                eval_q.check_symmetry(f).is_invariant(),
+                "{tag}: the nesting corpus must be fully invariant ({f:?})"
+            );
             let sq = eval_q.sat_set(f);
             let sf = eval_full.sat_set(f);
             assert_eq!(
-                orbits.expanded_count(&sq),
+                orbits
+                    .expanded_count(&sq)
+                    .expect("corpus counts stay far below u64"),
                 sf.count() as u64,
                 "{tag}: expanded satisfaction count of {f:?}"
             );
@@ -390,6 +417,269 @@ fn declared_groups_are_really_automorphism_groups() {
             check_closure(&pu, &ring.symmetry().elements_for(4)).is_ok(),
             "seed {seed}: rotations must be automorphisms of the seeded ring"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The soundness hole, demonstrated and closed
+// ---------------------------------------------------------------------
+
+/// The minimal witness of the latent bug this PR closes: two
+/// interchangeable clocks, nested `knows` over the (non-stabilized)
+/// singletons. `Trust` — the old, unchecked behavior — returns a
+/// silently wrong verdict; the checker pinpoints it, `Reject` turns it
+/// into a typed error, and `Expand` (the new default) corrects it.
+#[test]
+fn trust_divergence_is_classified_rejected_and_corrected() {
+    let p = SymClocks { n: 2, k: 1 };
+    let limits = EnumerationLimits {
+        max_events: 2,
+        max_computations: 1_000,
+    };
+    let full = enumerate_sharded(&p, limits, &ShardConfig::with_shards(2))
+        .expect("within budget")
+        .universe;
+    let q = enumerate_sharded(&p, limits, &ShardConfig::with_shards(2).quotient())
+        .expect("within budget");
+    let orbits = q.orbits.as_ref().expect("quotient attaches orbits");
+    let qu = q.universe.universe();
+
+    let mut interp = Interpretation::new();
+    let nonempty = Formula::atom(interp.register_invariant("nonempty", |c| !c.is_empty()));
+    let inner = Formula::knows(ProcessSet::singleton(pid(0)), nonempty);
+    let f = Formula::knows(ProcessSet::singleton(pid(1)), inner.clone());
+
+    let mut eval_full = Evaluator::new(full.universe(), &interp);
+    let sf = eval_full.sat_set(&f);
+    let map: Vec<CompId> = qu
+        .iter()
+        .map(|(_, c)| {
+            full.universe()
+                .id_of(c)
+                .expect("representative is a member")
+        })
+        .collect();
+
+    // Trust (the old default) silently diverges on this formula …
+    let mut trust = Evaluator::with_symmetry_policy(qu, &interp, orbits, QuotientPolicy::Trust);
+    let st = trust.sat_set(&f);
+    let diverged = map
+        .iter()
+        .enumerate()
+        .any(|(rid, fid)| st.contains(rid) != sf.contains(fid.index()));
+    assert!(
+        diverged,
+        "the latent bug must be reproducible under Trust, or this witness is vacuous"
+    );
+
+    // … the checker classifies it out of contract, naming the inner
+    // knowledge operator and a generator moving its process set …
+    let mut expand = Evaluator::with_symmetry(qu, &interp, orbits);
+    assert_eq!(expand.quotient_policy(), Some(QuotientPolicy::Expand));
+    match expand.check_symmetry(&f) {
+        Invariance::OutOfContract(v) => {
+            assert_eq!(v.operator, f);
+            assert_eq!(v.subformula, inner);
+            match &v.cause {
+                VarianceCause::MovedSet { set, generator } => {
+                    assert_eq!(*set, ProcessSet::singleton(pid(0)));
+                    assert!(!generator.stabilizes(*set));
+                }
+                other => panic!("wrong cause: {other:?}"),
+            }
+            assert!(v.describe(&interp).contains("nonempty"));
+        }
+        other => panic!("expected OutOfContract, got {other:?}"),
+    }
+
+    // … Reject refuses it with the same typed diagnosis …
+    let mut reject = Evaluator::with_symmetry_policy(qu, &interp, orbits, QuotientPolicy::Reject);
+    match reject.try_sat_set(&f) {
+        Err(CoreError::QuotientUnsound(v)) => {
+            assert!(matches!(v.cause, VarianceCause::MovedSet { .. }));
+        }
+        other => panic!("expected QuotientUnsound, got {other:?}"),
+    }
+
+    // … and Expand, the new default, matches the full universe exactly.
+    let se = expand.sat_set(&f);
+    for (rid, fid) in map.iter().enumerate() {
+        assert_eq!(
+            se.contains(rid),
+            sf.contains(fid.index()),
+            "Expand must agree with the full universe at representative {rid}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial soundness suite: random formulas, many of them breaking
+// the contract on purpose
+// ---------------------------------------------------------------------
+
+use std::sync::OnceLock;
+
+struct AdversarialSetup {
+    full: ShardedEnumeration,
+    quotient: ShardedEnumeration,
+}
+
+fn enumerate_both<P: Protocol + Sync>(p: &P, depth: usize) -> AdversarialSetup {
+    let limits = EnumerationLimits {
+        max_events: depth,
+        max_computations: 1_000_000,
+    };
+    AdversarialSetup {
+        full: enumerate_sharded(p, limits, &ShardConfig::with_shards(2)).expect("within budget"),
+        quotient: enumerate_sharded(p, limits, &ShardConfig::with_shards(2).quotient())
+            .expect("within budget"),
+    }
+}
+
+/// The token star under `fixing(3, 0)`: relabelings of `p1`/`p2`.
+fn star_setup() -> &'static AdversarialSetup {
+    static S: OnceLock<AdversarialSetup> = OnceLock::new();
+    S.get_or_init(|| enumerate_both(&BroadcastBus::with_chatter(3, 1), 4))
+}
+
+/// Fully interchangeable clocks under `S_3`.
+fn clocks_setup() -> &'static AdversarialSetup {
+    static S: OnceLock<AdversarialSetup> = OnceLock::new();
+    S.get_or_init(|| enumerate_both(&SymClocks { n: 3, k: 2 }, 4))
+}
+
+/// Honest declarations: two genuinely invariant atoms, two genuinely
+/// relabeling-dependent ones (they name `p1`/`p2`, which both groups
+/// move).
+fn adversarial_interp() -> (Interpretation, Vec<Formula>) {
+    let mut interp = Interpretation::new();
+    let atoms = vec![
+        Formula::atom(interp.register_invariant("nonempty", |c| !c.is_empty())),
+        Formula::atom(interp.register_invariant("any-send", |c| c.sends() >= 1)),
+        Formula::atom(interp.register("p1-acted", |c| c.iter().any(|e| e.is_on(pid(1))))),
+        Formula::atom(interp.register("p2-quiet", |c| c.iter().all(|e| !e.is_on(pid(2))))),
+    ];
+    (interp, atoms)
+}
+
+/// A random formula mixing invariant and dependent atoms, booleans and
+/// knowledge operators over arbitrary process sets — by construction
+/// most draws violate the quotient contract one way or another.
+fn random_formula(rng: &mut StdRng, atoms: &[Formula], n: usize, depth: usize) -> Formula {
+    if depth == 0 {
+        return atoms[rng.random_range(0..atoms.len())].clone();
+    }
+    let any_set = |rng: &mut StdRng| {
+        let bits = rng.random_range(1..(1u32 << n));
+        ProcessSet::from_indices((0..n).filter(|i| bits >> i & 1 == 1))
+    };
+    match rng.random_range(0..8) {
+        0 => random_formula(rng, atoms, n, depth - 1).not(),
+        1 => random_formula(rng, atoms, n, depth - 1).and(random_formula(rng, atoms, n, depth - 1)),
+        2 => random_formula(rng, atoms, n, depth - 1).or(random_formula(rng, atoms, n, depth - 1)),
+        3 => random_formula(rng, atoms, n, depth - 1).implies(random_formula(
+            rng,
+            atoms,
+            n,
+            depth - 1,
+        )),
+        4 => {
+            let p = any_set(rng);
+            Formula::knows(p, random_formula(rng, atoms, n, depth - 1))
+        }
+        5 => {
+            let p = any_set(rng);
+            Formula::sure(p, random_formula(rng, atoms, n, depth - 1))
+        }
+        6 => Formula::everyone(random_formula(rng, atoms, n, depth - 1)),
+        _ => Formula::common(random_formula(rng, atoms, n, depth - 1)),
+    }
+}
+
+/// One adversarial case: certifies, for a random formula,
+///
+/// 1. any Trust-vs-full divergence is classified out of contract,
+/// 2. `Expand` always matches the full universe pointwise at the
+///    representatives,
+/// 3. `Reject` admits exactly the formulas the checker calls sound
+///    (and answers them identically), and
+/// 4. invariant formulas expand their satisfaction counts exactly.
+fn adversarial_case(setup: &AdversarialSetup, n: usize, seed: u64) {
+    let (interp, atoms) = adversarial_interp();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = random_formula(&mut rng, &atoms, n, 1 + (seed % 3) as usize);
+
+    let full_u = setup.full.universe.universe();
+    let orbits = setup.quotient.orbits.as_ref().expect("quotient");
+    let qu = setup.quotient.universe.universe();
+    let map: Vec<CompId> = qu
+        .iter()
+        .map(|(_, c)| full_u.id_of(c).expect("representative is a member"))
+        .collect();
+
+    let mut eval_full = Evaluator::new(full_u, &interp);
+    let sf = eval_full.sat_set(&f);
+
+    let mut trust = Evaluator::with_symmetry_policy(qu, &interp, orbits, QuotientPolicy::Trust);
+    let st = trust.sat_set(&f);
+    let diverged = map
+        .iter()
+        .enumerate()
+        .any(|(rid, fid)| st.contains(rid) != sf.contains(fid.index()));
+    let cls = trust.check_symmetry(&f);
+
+    // (1) every silent wrong answer is caught by the static checker
+    if diverged {
+        assert!(
+            !cls.is_sound(),
+            "seed {seed}: {f:?} diverges under Trust but was classified {cls:?}"
+        );
+    }
+
+    // (2) the Expand fallback restores full-universe semantics
+    let mut expand = Evaluator::with_symmetry(qu, &interp, orbits);
+    let se = expand.sat_set(&f);
+    for (rid, fid) in map.iter().enumerate() {
+        assert_eq!(
+            se.contains(rid),
+            sf.contains(fid.index()),
+            "seed {seed}: Expand diverges from full for {f:?} at representative {rid}"
+        );
+    }
+
+    // (3) Reject admits exactly the sound formulas
+    let mut reject = Evaluator::with_symmetry_policy(qu, &interp, orbits, QuotientPolicy::Reject);
+    match (cls.is_sound(), reject.try_sat_set(&f)) {
+        (true, Ok(sr)) => assert_eq!(sr, se, "seed {seed}: policies disagree on sound {f:?}"),
+        (true, Err(e)) => panic!("seed {seed}: in-contract formula {f:?} rejected: {e}"),
+        (false, Ok(_)) => panic!("seed {seed}: out-of-contract formula {f:?} admitted"),
+        (false, Err(CoreError::QuotientUnsound(_))) => {}
+        (false, Err(e)) => panic!("seed {seed}: unexpected error {e}"),
+    }
+
+    // (4) invariant verdicts expand their counts exactly
+    if cls.is_invariant() {
+        assert_eq!(
+            orbits.expanded_count(&se).expect("small universes"),
+            sf.count() as u64,
+            "seed {seed}: expanded count of invariant {f:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ground truth vs checker on the token star (`fixing(3, 0)`).
+    #[test]
+    fn adversarial_soundness_on_the_star(seed in 0u64..1_000_000) {
+        adversarial_case(star_setup(), 3, seed);
+    }
+
+    /// Ground truth vs checker on fully symmetric clocks (`S_3`).
+    #[test]
+    fn adversarial_soundness_on_symmetric_clocks(seed in 0u64..1_000_000) {
+        adversarial_case(clocks_setup(), 3, seed);
     }
 }
 
