@@ -8,7 +8,7 @@
 //! Usage: `cargo run --release -p hpl-bench --bin repro [section…]`
 //! where sections are any of:
 //! `figures example axioms local properties theorem1 extension transfer
-//! generals tracking failure termination ablation extras sweep`
+//! generals tracking failure termination ablation extras sweep faults`
 //! (default: all).
 //!
 //! Performance-report mode:
@@ -33,8 +33,15 @@
 //! never silently eat the quotient speedup. Comparisons a gate had to
 //! skip (zero/missing baseline metric, non-finite current value) are
 //! printed as warnings instead of poisoning the ratios.
+//! The v5 schema adds the fault-model sweep (`fault_scenarios`):
+//! Two Generals universes sampled from seeded lossy/partitioned
+//! simulations at drop rates 0 → 0.5, each carrying the machine-checked
+//! witness fields (`ck_attained`, `knows_attained`,
+//! `max_knowledge_level`). Like the quotient gate, the witness gate
+//! runs without a baseline — common knowledge attained anywhere, or
+//! plain knowledge attained nowhere, fails the run.
 
-use hpl_bench::report::{PerfReport, Scenario};
+use hpl_bench::report::{FaultScenario, PerfReport, Scenario};
 use hpl_bench::{random_computation, InterleavingStress};
 use hpl_core::isomorphism::properties;
 use hpl_core::{
@@ -47,13 +54,13 @@ use hpl_protocols::termination::{run_detector, DetectorKind, WorkloadConfig};
 use hpl_protocols::tracking::accuracy_run;
 use hpl_protocols::two_generals;
 use hpl_protocols::{failure, token_bus, tracking};
-use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig, SimTime};
+use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig, PartitionSchedule, SimTime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut json = false;
-    let mut out_path = String::from("BENCH_pr5.json");
+    let mut out_path = String::from("BENCH_pr6.json");
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.25f64;
     let mut merge_tolerance = 1.0f64;
@@ -126,6 +133,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if want("generals") {
         two_generals_report()?;
+    }
+    if want("faults") {
+        faults_report()?;
     }
     if want("tracking") {
         tracking_report()?;
@@ -476,6 +486,82 @@ fn perf_report(
             .metric("speedup_vs_fresh", sat_ms / shared_ms),
     );
 
+    // -- the fault-model sweep (schema v5): Two Generals under message
+    // loss and a partition/heal schedule. Each record is the empirical
+    // witness of the paper's corollary — `ck_attained` must stay false
+    // while plain knowledge climbs — checked by the unconditional
+    // witness gate below; the build scenario puts the pipeline's wall
+    // time under the regular regression gate ----------------------------
+    let fault_base = hpl_core::FaultModel::new(NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform { lo: 1, hi: 10 },
+        drop_probability: 0.0,
+        fifo: false,
+    }))
+    .runs(48)
+    .seeded(17);
+    // batched ×32 so the sub-millisecond build clears the gate's noise
+    let fault_batch = 32usize;
+    let (fault_ms, w0) = time_ms(rounds, || {
+        let mut last = None;
+        for _ in 0..fault_batch {
+            last = Some(two_generals::fault_witness(3, &fault_base, shards).expect("valid model"));
+        }
+        last.expect("batch >= 1")
+    });
+    report.push(
+        Scenario::new("fault_universe_two_generals_build_x32", fault_ms)
+            .metric("universe_size", w0.universe_size as f64)
+            .metric("runs", w0.runs as f64)
+            .metric("distinct_traces", w0.distinct_traces as f64)
+            .metric("shards", shards as f64),
+    );
+    let push_witness =
+        |report: &mut PerfReport, name: &str, w: &hpl_protocols::two_generals::FaultWitness| {
+            report.push_fault(FaultScenario {
+                name: name.to_owned(),
+                drop_probability: w.drop_probability,
+                runs: w.runs,
+                universe_size: w.universe_size,
+                distinct_traces: w.distinct_traces,
+                ck_attained: w.ck_attained,
+                knows_attained: w.knows_attained,
+                max_knowledge_level: w.max_knowledge_level,
+                delivered: w.delivered,
+                dropped: w.dropped,
+            });
+        };
+    let drop_axis = fault_base.crash_drop_grid(&[0.0, 0.1, 0.25, 0.5], &[]);
+    for (name, model) in [
+        "two_generals_drop_0",
+        "two_generals_drop_10",
+        "two_generals_drop_25",
+        "two_generals_drop_50",
+    ]
+    .into_iter()
+    .zip(&drop_axis)
+    {
+        let w = two_generals::fault_witness(3, model, shards).expect("valid fault model");
+        push_witness(&mut report, name, &w);
+    }
+    // the partition axis: cut the generals apart mid-exchange, heal late
+    let partition_model = hpl_core::FaultModel::new(
+        NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 10 },
+            drop_probability: 0.0,
+            fifo: false,
+        })
+        .with_partition(PartitionSchedule::split(
+            [0],
+            [1],
+            SimTime::from_ticks(6),
+            Some(SimTime::from_ticks(60)),
+        )),
+    )
+    .runs(48)
+    .seeded(17);
+    let wp = two_generals::fault_witness(3, &partition_model, shards).expect("valid fault model");
+    push_witness(&mut report, "two_generals_partition_heal", &wp);
+
     // -- emit + gate ----------------------------------------------------
     // process-wide peak RSS (VmHWM) after all scenarios — dominated by
     // the full universes the scenarios build, not by merge buffering
@@ -492,6 +578,18 @@ fn perf_report(
     );
     for s in &report.scenarios {
         println!("{:>42}  {:>10.3} ms", s.name, s.wall_ms);
+    }
+    for s in &report.fault_scenarios {
+        println!(
+            "{:>42}  drop {:.2}  CK {}  knows {}  level {}  ({} traces / {} states)",
+            s.name,
+            s.drop_probability,
+            s.ck_attained,
+            s.knows_attained,
+            s.max_knowledge_level,
+            s.distinct_traces,
+            s.universe_size,
+        );
     }
     let speedup = report.scenarios[0]
         .get_metric("speedup_vs_sequential")
@@ -517,6 +615,22 @@ fn perf_report(
         eprintln!("QUOTIENT REDUCTION BELOW FLOOR:");
         for f in &floors {
             eprintln!("  {f}");
+        }
+        failed = true;
+    }
+
+    // the Two Generals witness gate also needs no baseline: the
+    // expected values are theorems, not measurements
+    let witness = report.fault_witness_violations();
+    if witness.is_empty() {
+        println!(
+            "witness gate: common knowledge unattained at every fault point ({} records)",
+            report.fault_scenarios.len()
+        );
+    } else {
+        eprintln!("TWO GENERALS WITNESS VIOLATIONS:");
+        for v in &witness {
+            eprintln!("  {v}");
         }
         failed = true;
     }
@@ -936,6 +1050,42 @@ fn two_generals_report() -> Result<(), Box<dyn std::error::Error>> {
     println!("common knowledge impossible: {ck}");
     assert!(ck);
     println!("two generals: REPRODUCED");
+    Ok(())
+}
+
+/// The fault-model axis: the same corollary, checked *empirically* over
+/// universes sampled from seeded lossy and partitioned simulations.
+fn faults_report() -> Result<(), Box<dyn std::error::Error>> {
+    section("Two generals under faults: sampled lossy/partitioned universes");
+    let base = hpl_core::FaultModel::new(NetworkConfig::uniform(ChannelConfig {
+        delay: DelayModel::Uniform { lo: 1, hi: 10 },
+        drop_probability: 0.0,
+        fifo: false,
+    }))
+    .runs(48)
+    .seeded(17);
+    println!("drop    runs  traces  states  delivered  CK     knows  level");
+    for model in base.crash_drop_grid(&[0.0, 0.1, 0.25, 0.5], &[]) {
+        let w = two_generals::fault_witness(3, &model, 8)?;
+        println!(
+            "{:<7} {:<5} {:<7} {:<7} {:<10} {:<6} {:<6} {}",
+            w.drop_probability,
+            w.runs,
+            w.distinct_traces,
+            w.universe_size,
+            w.delivered,
+            w.ck_attained,
+            w.knows_attained,
+            w.max_knowledge_level
+        );
+        assert!(
+            !w.ck_attained,
+            "corollary violated at drop {}",
+            w.drop_probability
+        );
+        assert!(w.knows_attained);
+    }
+    println!("common knowledge unattained at every sampled drop rate: REPRODUCED");
     Ok(())
 }
 

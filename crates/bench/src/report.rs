@@ -62,6 +62,36 @@ pub struct GateReport {
     pub warnings: Vec<String>,
 }
 
+/// One point of the fault-model sweep: the empirical Two Generals
+/// witness at a given drop rate / partition schedule, reported as its
+/// own record (no `wall_ms` — the witness fields are correctness
+/// claims, not timings; build cost is gated through a regular
+/// [`Scenario`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultScenario {
+    /// Stable scenario identifier (e.g. `two_generals_drop_25`).
+    pub name: String,
+    /// Default-channel drop probability of the swept fault model.
+    pub drop_probability: f64,
+    /// Seeded simulation runs sampled.
+    pub runs: usize,
+    /// Universe size after dedup and prefix closure.
+    pub universe_size: usize,
+    /// Distinct full-run traces before prefix closure.
+    pub distinct_traces: usize,
+    /// Whether `C{0,1}(attack-planned)` is attained anywhere — the Two
+    /// Generals corollary requires `false`.
+    pub ck_attained: bool,
+    /// Whether some process's plain knowledge of the attack is attained.
+    pub knows_attained: bool,
+    /// Highest attained nested-knowledge level.
+    pub max_knowledge_level: usize,
+    /// Messages delivered, summed over runs.
+    pub delivered: usize,
+    /// Messages dropped, summed over runs.
+    pub dropped: usize,
+}
+
 /// The complete report: schema tag, host facts, scenarios.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PerfReport {
@@ -71,19 +101,27 @@ pub struct PerfReport {
     pub host: Vec<(String, f64)>,
     /// Measured scenarios, in run order.
     pub scenarios: Vec<Scenario>,
+    /// Fault-model sweep records (schema v5); empty for reports that do
+    /// not run the sweep.
+    pub fault_scenarios: Vec<FaultScenario>,
 }
 
-/// Schema identifier stamped into every report. `v4` added the
-/// symmetry-soundness admission counts on quotient scenarios
-/// (`formulas_admitted`, `formulas_expanded`, `formulas_rejected` — how
-/// the corpus fares under `QuotientPolicy::{Expand, Reject}`); `v3`
-/// added the streaming-merge metrics on sharded scenarios
-/// (`merge_wall_ms`, `peak_buffered_bytes`, `largest_batch_bytes`,
-/// `batches`) and the `peak_rss_kb` host fact; `v2` added the `host`
-/// object (`nproc`) and the quotient metrics (`orbit_count`,
-/// `reduction_factor`, `group_order`) on quotient scenarios; `v1`
-/// parsers that scan `scenarios[].name`/`wall_ms` still work.
-pub const SCHEMA: &str = "hpl-bench-report/v4";
+/// Schema identifier stamped into every report. `v5` added the
+/// `fault_scenarios` array — the drop-rate/partition sweep with the
+/// machine-checked Two Generals witness (`ck_attained` must be `false`,
+/// `knows_attained` `true`; see [`PerfReport::fault_witness_violations`]);
+/// `v4` added the symmetry-soundness admission counts on quotient
+/// scenarios (`formulas_admitted`, `formulas_expanded`,
+/// `formulas_rejected` — how the corpus fares under
+/// `QuotientPolicy::{Expand, Reject}`); `v3` added the streaming-merge
+/// metrics on sharded scenarios (`merge_wall_ms`, `peak_buffered_bytes`,
+/// `largest_batch_bytes`, `batches`) and the `peak_rss_kb` host fact;
+/// `v2` added the `host` object (`nproc`) and the quotient metrics
+/// (`orbit_count`, `reduction_factor`, `group_order`) on quotient
+/// scenarios; `v1` parsers that scan `scenarios[].name`/`wall_ms` still
+/// work (fault records carry no `wall_ms`, so wall-time scanners skip
+/// them).
+pub const SCHEMA: &str = "hpl-bench-report/v5";
 
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
@@ -114,6 +152,11 @@ impl PerfReport {
     /// Records a host fact (e.g. `nproc`).
     pub fn host_fact(&mut self, key: &str, value: f64) {
         self.host.push((key.to_owned(), value));
+    }
+
+    /// Appends a fault-sweep record.
+    pub fn push_fault(&mut self, s: FaultScenario) {
+        self.fault_scenarios.push(s);
     }
 
     /// Renders the report as pretty-printed JSON.
@@ -154,7 +197,36 @@ impl PerfReport {
                 "    }\n"
             });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if !self.fault_scenarios.is_empty() {
+            out.push_str(",\n  \"fault_scenarios\": [\n");
+            for (i, s) in self.fault_scenarios.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"name\": \"{}\",", escape(&s.name));
+                out.push_str("      \"drop_probability\": ");
+                write_f64(&mut out, s.drop_probability);
+                let _ = writeln!(out, ",");
+                let _ = writeln!(out, "      \"runs\": {},", s.runs);
+                let _ = writeln!(out, "      \"universe_size\": {},", s.universe_size);
+                let _ = writeln!(out, "      \"distinct_traces\": {},", s.distinct_traces);
+                let _ = writeln!(out, "      \"ck_attained\": {},", s.ck_attained);
+                let _ = writeln!(out, "      \"knows_attained\": {},", s.knows_attained);
+                let _ = writeln!(
+                    out,
+                    "      \"max_knowledge_level\": {},",
+                    s.max_knowledge_level
+                );
+                let _ = writeln!(out, "      \"delivered\": {},", s.delivered);
+                let _ = writeln!(out, "      \"dropped\": {}", s.dropped);
+                out.push_str(if i + 1 < self.fault_scenarios.len() {
+                    "    },\n"
+                } else {
+                    "    }\n"
+                });
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -310,6 +382,36 @@ impl PerfReport {
     #[must_use]
     pub fn wall_gate(&self, baseline: &[(String, f64)], tolerance: f64) -> GateReport {
         self.gate(baseline, "wall_ms", |s| Some(s.wall_ms), tolerance)
+    }
+
+    /// The Two Generals witness gate: one human-readable line per fault
+    /// record that contradicts the paper. A violation is common
+    /// knowledge attained anywhere (the corollary says it cannot be, at
+    /// *any* drop rate — zero included), or plain knowledge failing to
+    /// be attained (g0 always knows its own decision; a `false` here
+    /// means the witness machinery itself broke). Unlike the perf
+    /// gates, this one needs no baseline: the expected values are
+    /// theorems.
+    #[must_use]
+    pub fn fault_witness_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.fault_scenarios {
+            if s.ck_attained {
+                out.push(format!(
+                    "{}: common knowledge attained at drop {} — violates the Two Generals \
+                     corollary",
+                    s.name, s.drop_probability
+                ));
+            }
+            if !s.knows_attained {
+                out.push(format!(
+                    "{}: plain knowledge never attained at drop {} — witness machinery broken \
+                     (g0 must know its own decision)",
+                    s.name, s.drop_probability
+                ));
+            }
+        }
+        out
     }
 
     /// The symmetry-quotient gate: one human-readable line per scenario
@@ -494,6 +596,52 @@ mod tests {
         let wall = w.wall_gate(&[("nan_wall".to_owned(), 2.0)], 0.25);
         assert!(wall.regressions.is_empty());
         assert_eq!(wall.warnings.len(), 1);
+    }
+
+    fn witness(name: &str, drop: f64, ck: bool, knows: bool) -> FaultScenario {
+        FaultScenario {
+            name: name.to_owned(),
+            drop_probability: drop,
+            runs: 16,
+            universe_size: 40,
+            distinct_traces: 7,
+            ck_attained: ck,
+            knows_attained: knows,
+            max_knowledge_level: 2,
+            delivered: 30,
+            dropped: 10,
+        }
+    }
+
+    #[test]
+    fn fault_scenarios_render_and_stay_invisible_to_wall_gates() {
+        let mut r = sample();
+        r.push_fault(witness("two_generals_drop_25", 0.25, false, true));
+        let json = r.to_json();
+        assert!(json.contains("\"fault_scenarios\": ["));
+        assert!(json.contains("\"ck_attained\": false"));
+        assert!(json.contains("\"knows_attained\": true"));
+        assert!(json.contains("\"drop_probability\": 0.25"));
+        // v1-style wall-time scanners must skip fault records (no wall_ms)
+        let walls = PerfReport::parse_wall_times(&json);
+        assert_eq!(walls.len(), 2, "{walls:?}");
+        assert!(walls.iter().all(|(n, _)| n != "two_generals_drop_25"));
+    }
+
+    #[test]
+    fn fault_witness_gate() {
+        let mut r = PerfReport::default();
+        // an empty sweep gates nothing
+        assert!(r.fault_witness_violations().is_empty());
+        r.push_fault(witness("ok_0", 0.0, false, true));
+        r.push_fault(witness("ok_25", 0.25, false, true));
+        assert!(r.fault_witness_violations().is_empty());
+        r.push_fault(witness("ck_leak", 0.5, true, true));
+        r.push_fault(witness("knows_broken", 0.1, false, false));
+        let v = r.fault_witness_violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].starts_with("ck_leak") && v[0].contains("Two Generals"));
+        assert!(v[1].starts_with("knows_broken"));
     }
 
     #[test]

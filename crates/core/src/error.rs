@@ -37,6 +37,13 @@ pub enum CoreError {
     /// multiplicities overflowed `u64`
     /// ([`Orbits::expanded_count`](crate::Orbits::expanded_count)).
     MultiplicityOverflow,
+    /// A fault-model universe construction was given a configuration the
+    /// simulator rejects (invalid network parameters, out-of-range crash
+    /// schedule); see [`crate::fault_universe::build_fault_universe`].
+    InvalidFaultModel {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
     /// An underlying model-layer error.
     Model(ModelError),
 }
@@ -60,6 +67,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::MultiplicityOverflow => {
                 write!(f, "orbit multiplicity expansion overflowed u64")
+            }
+            CoreError::InvalidFaultModel { reason } => {
+                write!(f, "invalid fault model: {reason}")
             }
             CoreError::Model(e) => write!(f, "invalid computation: {e}"),
         }

@@ -81,6 +81,7 @@ pub mod enumerate;
 pub mod error;
 pub mod eval;
 pub mod extension;
+pub mod fault_universe;
 pub mod formula;
 pub mod fusion;
 pub mod isomorphism;
@@ -101,6 +102,7 @@ pub use enumerate::{
 };
 pub use error::CoreError;
 pub use eval::{Evaluator, MemoStats, QuotientPolicy};
+pub use fault_universe::{build_fault_universe, FaultModel, FaultStats, FaultUniverse};
 pub use formula::{AtomId, Formula, Interpretation};
 pub use fusion::{fuse_lemma1, fuse_theorem2, FusionError};
 pub use isomorphism::{ClassCache, IsoIndex};

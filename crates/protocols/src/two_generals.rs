@@ -15,10 +15,12 @@
 //! the `coordinated_attack` example prints.
 
 use hpl_core::{
-    enumerate, CoreError, EnumerationLimits, Evaluator, Formula, Interpretation, LocalStep,
-    LocalView, ProtoAction, Protocol, ProtocolUniverse,
+    build_fault_universe, enumerate, CoreError, EnumerationLimits, Evaluator, FaultModel,
+    FaultUniverse, Formula, Interpretation, LocalStep, LocalView, ProtoAction, Protocol,
+    ProtocolUniverse,
 };
 use hpl_model::{ActionId, Computation, ProcessId, ProcessSet, SymmetryGroup};
+use hpl_sim::{Context, Node, Payload};
 
 /// Payload tag for plan/ack messages.
 pub const PLAN: u32 = 1;
@@ -179,6 +181,139 @@ pub fn common_knowledge_impossible(eval: &mut Evaluator<'_>, attack: &Formula) -
     eval.is_constant(&ck) && eval.sat_set(&ck).is_empty()
 }
 
+/// The two-generals exchange as a *timed* [`Node`] for the simulator —
+/// the same alternating logic as the enumeration [`Protocol`] (`g0`
+/// initiates then acks every ack; `g1` only acks), so fault-model
+/// universes sampled from lossy runs are directly comparable with the
+/// exhaustively enumerated ones.
+#[derive(Debug)]
+pub struct GeneralNode {
+    max_rounds: usize,
+    sent: usize,
+    received: usize,
+}
+
+impl GeneralNode {
+    /// A general that will dispatch at most `max_rounds` messengers.
+    #[must_use]
+    pub fn new(max_rounds: usize) -> Self {
+        GeneralNode {
+            max_rounds,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    fn maybe_send(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.me().index();
+        let should = self.sent < self.max_rounds
+            && if me == 0 {
+                self.sent == 0 || self.received >= self.sent
+            } else {
+                self.received > self.sent
+            };
+        if should {
+            ctx.send(ProcessId::new(1 - me), Payload::tag(PLAN));
+            self.sent += 1;
+        }
+    }
+}
+
+impl Node for GeneralNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.maybe_send(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, _msg: Payload) {
+        self.received += 1;
+        self.maybe_send(ctx);
+    }
+}
+
+/// Samples a fault-model universe of two-generals runs: `model.runs`
+/// seeded simulations of [`GeneralNode`]s under the model's network
+/// (loss, partitions) and crash schedule.
+///
+/// # Errors
+///
+/// Forwards [`build_fault_universe`] errors (invalid fault model).
+pub fn sim_fault_universe(
+    max_rounds: usize,
+    model: &FaultModel,
+    shards: usize,
+) -> Result<FaultUniverse, CoreError> {
+    build_fault_universe(2, model, shards, |_| Box::new(GeneralNode::new(max_rounds)))
+}
+
+/// Machine-checked outcome of one point of the fault sweep: what the
+/// generals can and cannot come to know under a given fault regime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWitness {
+    /// The default-channel drop probability of the sampled model.
+    pub drop_probability: f64,
+    /// Seeded runs sampled.
+    pub runs: usize,
+    /// Universe size after dedup and prefix closure.
+    pub universe_size: usize,
+    /// Distinct full-run traces (before prefix closure).
+    pub distinct_traces: usize,
+    /// Is `C{g0,g1}(attack-planned)` attained *anywhere* in the sampled
+    /// universe? The Two Generals corollary says this must be `false`.
+    pub ck_attained: bool,
+    /// Is some general's plain knowledge (`K_g0` or `K_g1` of
+    /// `attack-planned`) attained somewhere?
+    pub knows_attained: bool,
+    /// Highest `k` with [`nested`]`(k, attack)` attained somewhere
+    /// (`0` = the fact itself is attained but no one knows it).
+    pub max_knowledge_level: usize,
+    /// Messages delivered, summed over runs.
+    pub delivered: usize,
+    /// Messages dropped, summed over runs.
+    pub dropped: usize,
+}
+
+/// Evaluates the Two Generals witness over a sampled fault universe:
+/// common knowledge of `attack-planned` must never be attained, while
+/// plain (and nested) knowledge still climbs with every delivery that
+/// survives the faults.
+///
+/// # Errors
+///
+/// Forwards [`sim_fault_universe`] errors.
+pub fn fault_witness(
+    max_rounds: usize,
+    model: &FaultModel,
+    shards: usize,
+) -> Result<FaultWitness, CoreError> {
+    let fu = sim_fault_universe(max_rounds, model, shards)?;
+    let mut interp = Interpretation::new();
+    let attack = attack_atom(&mut interp);
+    let mut eval = Evaluator::new(&fu.universe, &interp);
+    let ck_attained = !eval.sat_set(&Formula::common(attack.clone())).is_empty();
+    let knows_attained = (0..2).any(|g| {
+        let k = Formula::knows(ProcessSet::singleton(ProcessId::new(g)), attack.clone());
+        !eval.sat_set(&k).is_empty()
+    });
+    let mut max_knowledge_level = 0;
+    for k in 1..=(2 * max_rounds + 1) {
+        if eval.sat_set(&nested(k, &attack)).is_empty() {
+            break;
+        }
+        max_knowledge_level = k;
+    }
+    Ok(FaultWitness {
+        drop_probability: model.network.default.drop_probability,
+        runs: fu.stats.runs,
+        universe_size: fu.universe.len(),
+        distinct_traces: fu.stats.distinct_traces,
+        ck_attained,
+        knows_attained,
+        max_knowledge_level,
+        delivered: fu.stats.delivered,
+        dropped: fu.stats.dropped,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +382,83 @@ mod tests {
         assert!(common_knowledge_impossible(&mut eval, &attack));
         let ladder = knowledge_ladder(&rich, &mut eval, &attack, 2);
         assert_eq!(ladder, vec![true, true, true]);
+    }
+
+    #[test]
+    fn general_nodes_mirror_the_enumeration_protocol() {
+        use hpl_sim::{NetworkConfig, SimTime, Simulation};
+        // lossless: the full alternating exchange, 2·max_rounds messengers
+        let mut sim = Simulation::builder(2)
+            .network(NetworkConfig::default())
+            .build(|_| Box::new(GeneralNode::new(3)));
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.stats().sent, 6);
+        assert_eq!(sim.stats().delivered, 6);
+        let trace = sim.trace();
+        // sends strictly alternate g0, g1, g0, …
+        let senders: Vec<usize> = trace
+            .iter()
+            .filter(|e| e.is_send())
+            .map(|e| e.process().index())
+            .collect();
+        assert_eq!(senders, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    /// The empirical Two Generals witness, as a directed assertion: at
+    /// every sampled drop rate, common knowledge of the attack plan is
+    /// never attained, while plain knowledge still climbs.
+    #[test]
+    fn fault_sweep_never_attains_common_knowledge() {
+        use hpl_sim::{ChannelConfig, DelayModel, NetworkConfig};
+        let base = FaultModel::new(NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 10 },
+            drop_probability: 0.0,
+            fifo: false,
+        }))
+        .runs(12)
+        .seeded(5);
+        for model in base.crash_drop_grid(&[0.0, 0.1, 0.25, 0.5], &[]) {
+            let w = fault_witness(2, &model, 2).unwrap();
+            assert!(
+                !w.ck_attained,
+                "common knowledge attained at drop {} — the corollary is violated",
+                w.drop_probability
+            );
+            assert!(
+                w.knows_attained,
+                "plain knowledge must still be attainable at drop {}",
+                w.drop_probability
+            );
+            if w.drop_probability == 0.0 {
+                assert_eq!(
+                    w.max_knowledge_level, 4,
+                    "lossless exchange buys one nested level per delivery"
+                );
+                assert_eq!(w.distinct_traces, 1, "lossless runs dedupe to one trace");
+            } else {
+                assert!(w.dropped > 0, "drop {} lost nothing", w.drop_probability);
+            }
+        }
+    }
+
+    /// A permanent partition is the extreme fault: no deliveries at all,
+    /// so nested knowledge never gets off the ground — yet g0 still
+    /// plainly knows its own decision.
+    #[test]
+    fn partitioned_generals_learn_nothing_nested() {
+        use hpl_sim::{NetworkConfig, PartitionSchedule, SimTime};
+        let net = NetworkConfig::default().with_partition(PartitionSchedule::split(
+            [0],
+            [1],
+            SimTime::ZERO,
+            None,
+        ));
+        let model = FaultModel::new(net).runs(4);
+        let w = fault_witness(2, &model, 1).unwrap();
+        assert!(!w.ck_attained);
+        assert!(w.knows_attained, "g0 knows it sent the messenger");
+        assert_eq!(w.max_knowledge_level, 0);
+        assert_eq!(w.delivered, 0);
     }
 
     #[test]

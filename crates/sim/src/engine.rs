@@ -20,6 +20,10 @@ pub const CRASH_ACTION: ActionId = ActionId::new(0x7fff_ffff);
 /// [`SimulationBuilder::record_timer_events`].
 pub const TIMER_ACTION_BASE: u32 = 0x4000_0000;
 
+/// Salt xor-ed into the seed to derive the fault RNG stream, keeping it
+/// disjoint from the delay stream (an arbitrary odd 64-bit constant).
+const FAULT_STREAM_SALT: u64 = 0xA076_1D64_78BD_642F;
+
 #[derive(PartialEq, Eq)]
 enum QueueItem {
     Start(ProcessId),
@@ -95,15 +99,30 @@ impl SimulationBuilder {
 
     /// Builds the simulation, creating one node per process and
     /// scheduling every node's `on_start` at time zero.
+    ///
+    /// Delays and fault coins are drawn from two RNG streams split from
+    /// the seed, so two runs with the same seed but different
+    /// drop/partition settings sample *identical* delay sequences — the
+    /// paired-seed property fault sweeps rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network configuration is invalid (see
+    /// [`crate::NetworkConfig::validate`]) — misconfiguration fails
+    /// fast at construction, never mid-run.
     pub fn build<F>(self, mut make_node: F) -> Simulation
     where
         F: FnMut(ProcessId) -> Box<dyn Node>,
     {
+        if let Err(e) = self.network.validate() {
+            panic!("invalid network configuration: {e}");
+        }
         let nodes: Vec<Box<dyn Node>> = (0..self.n).map(|i| make_node(ProcessId::new(i))).collect();
         let mut sim = Simulation {
             nodes,
             network: self.network,
-            rng: StdRng::seed_from_u64(self.seed),
+            delay_rng: StdRng::seed_from_u64(self.seed),
+            fault_rng: StdRng::seed_from_u64(self.seed ^ FAULT_STREAM_SALT),
             clock: SimTime::ZERO,
             queue: BinaryHeap::new(),
             seq: 0,
@@ -131,7 +150,14 @@ impl SimulationBuilder {
 pub struct Simulation {
     nodes: Vec<Box<dyn Node>>,
     network: NetworkConfig,
-    rng: StdRng,
+    /// Delay sampling only — never consumed by fault decisions, so the
+    /// stream is identical across same-seed runs with different faults.
+    delay_rng: StdRng,
+    /// Drop coins only, split from the seed via [`FAULT_STREAM_SALT`].
+    /// One coin is drawn per send *unconditionally* (even at drop
+    /// probability 0), which couples drop decisions monotonically
+    /// across drop rates for a fixed seed.
+    fault_rng: StdRng,
     clock: SimTime,
     queue: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
@@ -292,6 +318,15 @@ impl Simulation {
                     self.stats.dropped += 1;
                     return;
                 }
+                // Partitions cut links at delivery time: a message whose
+                // delivery instant falls inside an active partition window
+                // separating sender from receiver is lost, even if it was
+                // sent before the partition started.
+                if self.network.severed(from.index(), to.index(), self.clock) {
+                    self.stats.dropped += 1;
+                    self.stats.partition_dropped += 1;
+                    return;
+                }
                 self.stats.delivered += 1;
                 *self.stats.delivered_by_tag.entry(payload.tag).or_insert(0) += 1;
                 let id = self.fresh_event_id();
@@ -378,13 +413,18 @@ impl Simulation {
                     },
                 ));
                 let link = self.network.link(p.index(), to.index());
-                if link.drop_probability > 0.0
-                    && self.rng.random_range(0.0..1.0f64) < link.drop_probability
-                {
+                // Draw the fault coin and the delay unconditionally, from
+                // their dedicated streams: the i-th send consumes the i-th
+                // sample of each stream regardless of drop settings or
+                // outcomes, so same-seed runs under different drop rates
+                // give surviving messages identical delays, and the set of
+                // dropped sends grows monotonically with the drop rate.
+                let coin: f64 = self.fault_rng.random_range(0.0..1.0f64);
+                let mut at = self.clock.after(link.delay.sample(&mut self.delay_rng));
+                if coin < link.drop_probability {
                     self.stats.dropped += 1;
                     return;
                 }
-                let mut at = self.clock.after(link.delay.sample(&mut self.rng));
                 if link.fifo {
                     let horizon = self
                         .fifo_horizon
@@ -719,5 +759,189 @@ mod tests {
         let more = sim.run_to_quiescence(usize::MAX);
         assert!(sim.is_quiescent());
         assert!(more > 0);
+    }
+
+    /// One-shot sender of `count` indexed messages plus a receiver that
+    /// records `(index, delivery time)` — the probe for the paired-seed
+    /// coupling tests below.
+    struct IndexedBurst {
+        count: i64,
+    }
+    impl Node for IndexedBurst {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..self.count {
+                ctx.send(ProcessId::new(1), Payload::with(1, i));
+            }
+        }
+    }
+    struct ArrivalLog {
+        got: Vec<(i64, u64)>,
+    }
+    impl Node for ArrivalLog {
+        fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, msg: Payload) {
+            self.got.push((msg.a, ctx.now().ticks()));
+        }
+    }
+
+    fn arrivals(seed: u64, drop: f64) -> Vec<(i64, u64)> {
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 1000 },
+            drop_probability: drop,
+            fifo: false,
+        });
+        let mut sim = Simulation::builder(2).seed(seed).network(net).build(|p| {
+            if p.index() == 0 {
+                Box::new(IndexedBurst { count: 60 }) as Box<dyn Node>
+            } else {
+                Box::new(ArrivalLog { got: Vec::new() })
+            }
+        });
+        sim.run_until(SimTime::MAX);
+        sim.node_as::<ArrivalLog>(ProcessId::new(1))
+            .unwrap()
+            .got
+            .clone()
+    }
+
+    /// Regression for the headline bug: the drop coin used to be drawn
+    /// only when `drop_probability > 0`, from the same stream as delays,
+    /// so same-seed runs with different drop rates sampled *different*
+    /// delay sequences and fault sweeps were not paired. With split
+    /// streams, surviving messages keep their delivery times unchanged
+    /// no matter the drop rate.
+    #[test]
+    fn paired_seed_coupling_across_drop_rates() {
+        for seed in [0u64, 7, 42] {
+            let base: std::collections::HashMap<i64, u64> =
+                arrivals(seed, 0.0).into_iter().collect();
+            assert_eq!(base.len(), 60, "lossless run delivers everything");
+            let lossy = arrivals(seed, 0.2);
+            assert!(
+                lossy.len() < 60,
+                "drop 0.2 must lose something (seed {seed})"
+            );
+            assert!(
+                !lossy.is_empty(),
+                "drop 0.2 must deliver something (seed {seed})"
+            );
+            for (idx, at) in &lossy {
+                assert_eq!(
+                    base.get(idx),
+                    Some(at),
+                    "message {idx} changed delivery time between drop 0.0 and 0.2 (seed {seed})"
+                );
+            }
+        }
+    }
+
+    /// The shared fault stream also couples drop *decisions*: the set of
+    /// messages dropped at rate p is a subset of those dropped at any
+    /// higher rate, for a fixed seed.
+    #[test]
+    fn drop_sets_grow_monotonically_with_rate() {
+        for seed in [1u64, 13] {
+            let low: HashSet<i64> = arrivals(seed, 0.2).into_iter().map(|(i, _)| i).collect();
+            let high: HashSet<i64> = arrivals(seed, 0.5).into_iter().map(|(i, _)| i).collect();
+            assert!(
+                high.is_subset(&low),
+                "survivors at 0.5 must survive at 0.2 (seed {seed})"
+            );
+            assert!(
+                high.len() < low.len(),
+                "higher rate drops strictly more here"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_drops_in_window_only() {
+        use crate::network::PartitionSchedule;
+        struct Staggered;
+        impl Node for Staggered {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                // delivery at send time + 2 (constant delay below)
+                ctx.send(ProcessId::new(1), Payload::with(1, 0)); // t2: before window
+                ctx.set_timer(6, 0); // resend at t6 → t8: inside window
+                ctx.set_timer(20, 0); // resend at t20 → t22: after heal
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _id: TimerId, _tag: u32) {
+                ctx.send(
+                    ProcessId::new(1),
+                    Payload::with(1, ctx.now().ticks() as i64),
+                );
+            }
+        }
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Constant(2),
+            ..Default::default()
+        })
+        .with_partition(PartitionSchedule::split(
+            [0],
+            [1],
+            SimTime::from_ticks(5),
+            Some(SimTime::from_ticks(15)),
+        ));
+        let mut sim = Simulation::builder(2).network(net).build(|p| {
+            if p.index() == 0 {
+                Box::new(Staggered) as Box<dyn Node>
+            } else {
+                Box::new(ArrivalLog { got: Vec::new() })
+            }
+        });
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.stats().sent, 3);
+        assert_eq!(sim.stats().delivered, 2);
+        assert_eq!(sim.stats().dropped, 1);
+        assert_eq!(sim.stats().partition_dropped, 1);
+        let log = sim.node_as::<ArrivalLog>(ProcessId::new(1)).unwrap();
+        assert_eq!(log.got, vec![(0, 2), (20, 22)]);
+    }
+
+    /// A message already in flight when the partition starts is lost if
+    /// its delivery instant lands inside the window — the cut applies at
+    /// delivery time, not send time.
+    #[test]
+    fn partition_drops_in_flight_messages() {
+        use crate::network::PartitionSchedule;
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Constant(10),
+            ..Default::default()
+        })
+        .with_partition(PartitionSchedule::split(
+            [0],
+            [1],
+            SimTime::from_ticks(5),
+            None,
+        ));
+        let mut sim = ping_sim(0, net);
+        sim.run_until(SimTime::MAX);
+        // sent at t0, delivery due t10 — inside the unhealed partition
+        assert_eq!(sim.stats().sent, 3);
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().partition_dropped, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network configuration")]
+    fn build_rejects_invalid_drop_probability() {
+        let net = NetworkConfig::uniform(ChannelConfig {
+            drop_probability: f64::NAN,
+            ..Default::default()
+        });
+        let _ = Simulation::builder(2)
+            .network(net)
+            .build(|_| Box::new(PlaceholderNode));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network configuration")]
+    fn build_rejects_empty_uniform_range() {
+        let net = NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 8, hi: 2 },
+            ..Default::default()
+        });
+        let _ = Simulation::builder(2)
+            .network(net)
+            .build(|_| Box::new(PlaceholderNode));
     }
 }

@@ -1,7 +1,10 @@
-//! Network models: delay distributions, reordering and loss.
+//! Network models: delay distributions, reordering, loss and partitions.
 
+use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::error::Error;
+use std::fmt;
 
 /// A message-delay distribution (in ticks).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -19,17 +22,51 @@ pub enum DelayModel {
     /// Exponential with the given mean — unbounded delays, the
     /// asynchronous-model stand-in.
     Exponential {
-        /// Mean delay in ticks (must be ≥ 1).
+        /// Mean delay in ticks (must be ≥ 1; rejected by
+        /// [`DelayModel::validate`] otherwise).
         mean: u64,
     },
 }
 
 impl DelayModel {
+    /// Checks the model's parameters, so misconfiguration surfaces at
+    /// construction ([`crate::Simulation::builder`] validates through
+    /// here) instead of mid-run inside [`DelayModel::sample`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimConfigError::EmptyUniformRange`] for `Uniform { lo > hi }`.
+    /// * [`SimConfigError::ZeroExponentialMean`] for
+    ///   `Exponential { mean: 0 }` (a zero mean is not a distribution;
+    ///   it used to be silently clamped to 1, contradicting the docs).
+    pub fn validate(self) -> Result<(), SimConfigError> {
+        match self {
+            DelayModel::Constant(_) => Ok(()),
+            DelayModel::Uniform { lo, hi } => {
+                if lo > hi {
+                    Err(SimConfigError::EmptyUniformRange { lo, hi })
+                } else {
+                    Ok(())
+                }
+            }
+            DelayModel::Exponential { mean } => {
+                if mean == 0 {
+                    Err(SimConfigError::ZeroExponentialMean)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     /// Samples a delay.
     ///
     /// # Panics
     ///
-    /// Panics if a `Uniform` model has `lo > hi`.
+    /// Panics on parameters [`DelayModel::validate`] rejects (`Uniform`
+    /// with `lo > hi`, `Exponential` with `mean: 0`). Simulations built
+    /// through [`crate::Simulation::builder`] never hit these: the
+    /// builder validates the whole network up front.
     #[must_use]
     pub fn sample(self, rng: &mut StdRng) -> u64 {
         match self {
@@ -39,7 +76,8 @@ impl DelayModel {
                 rng.random_range(lo..=hi)
             }
             DelayModel::Exponential { mean } => {
-                let mean = mean.max(1) as f64;
+                assert!(mean >= 1, "exponential delay requires mean >= 1");
+                let mean = mean as f64;
                 let u: f64 = rng.random_range(0.0..1.0f64);
                 // inverse CDF; clamp to avoid ln(0)
                 let x = -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln();
@@ -73,6 +111,26 @@ pub struct ChannelConfig {
     pub fifo: bool,
 }
 
+impl ChannelConfig {
+    /// Checks the channel's parameters (see [`DelayModel::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimConfigError::DropProbabilityOutOfRange`] when
+    ///   `drop_probability` is NaN or outside `[0, 1]`. A NaN compares
+    ///   false against every coin toss, so it used to behave as "never
+    ///   drop" silently.
+    /// * Delay-model errors, forwarded.
+    pub fn validate(self) -> Result<(), SimConfigError> {
+        if !(0.0..=1.0).contains(&self.drop_probability) {
+            return Err(SimConfigError::DropProbabilityOutOfRange {
+                value: self.drop_probability,
+            });
+        }
+        self.delay.validate()
+    }
+}
+
 impl Default for ChannelConfig {
     fn default() -> Self {
         ChannelConfig {
@@ -83,13 +141,101 @@ impl Default for ChannelConfig {
     }
 }
 
-/// Network-wide configuration: a default channel plus per-link overrides.
+/// A timed network partition: from `start` until `heal` (forever when
+/// `None`), hosts in *different* groups cannot exchange messages.
+///
+/// Hosts not listed in any group form one implicit extra group of their
+/// own — they stay connected to each other but are cut from every
+/// listed group. The cut is applied per link **at delivery time**:
+/// messages already in flight when the partition starts are dropped if
+/// their delivery falls inside the window, and messages sent during the
+/// window survive if their sampled delay lands after `heal`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionSchedule {
+    /// The connected components the partition splits listed hosts into.
+    pub groups: Vec<Vec<usize>>,
+    /// When the partition takes effect (inclusive).
+    pub start: SimTime,
+    /// When the partition heals (exclusive); `None` means never.
+    pub heal: Option<SimTime>,
+}
+
+impl PartitionSchedule {
+    /// A two-sided split `left | right` active on `[start, heal)`.
+    #[must_use]
+    pub fn split(
+        left: impl IntoIterator<Item = usize>,
+        right: impl IntoIterator<Item = usize>,
+        start: SimTime,
+        heal: Option<SimTime>,
+    ) -> Self {
+        PartitionSchedule {
+            groups: vec![left.into_iter().collect(), right.into_iter().collect()],
+            start,
+            heal,
+        }
+    }
+
+    /// Checks the schedule: `heal` (when given) must be after `start`,
+    /// and no host may appear in two groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimConfigError::EmptyPartitionWindow`] or
+    /// [`SimConfigError::AmbiguousPartition`].
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if let Some(heal) = self.heal {
+            if heal <= self.start {
+                return Err(SimConfigError::EmptyPartitionWindow {
+                    start: self.start,
+                    heal,
+                });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for g in &self.groups {
+            for &h in g {
+                if !seen.insert(h) {
+                    return Err(SimConfigError::AmbiguousPartition { host: h });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this schedule is in force at `at`.
+    #[must_use]
+    pub fn active_at(&self, at: SimTime) -> bool {
+        at >= self.start && self.heal.is_none_or(|h| at < h)
+    }
+
+    /// Whether the schedule separates `src` from `dst` at `at`.
+    #[must_use]
+    pub fn severs(&self, src: usize, dst: usize, at: SimTime) -> bool {
+        if !self.active_at(at) {
+            return false;
+        }
+        let group_of = |h: usize| self.groups.iter().position(|g| g.contains(&h));
+        group_of(src) != group_of(dst)
+    }
+}
+
+/// Network-wide configuration: a default channel, per-link overrides,
+/// and timed partition schedules.
 #[derive(Clone, Debug, Default)]
 pub struct NetworkConfig {
     /// Applied to links without an override.
     pub default: ChannelConfig,
-    /// Per `(src, dst)` overrides, by process index.
+    /// Per `(src, dst)` overrides, by process index. At most one entry
+    /// per directed link: [`NetworkConfig::with_link`] replaces in
+    /// place. If entries are pushed here directly, [`NetworkConfig::link`]
+    /// resolves duplicates by scanning from the **most recently added**
+    /// entry — last write wins either way.
     pub overrides: Vec<((usize, usize), ChannelConfig)>,
+    /// Timed partitions, each applied per link at delivery time. A
+    /// delivery is dropped if *any* schedule severs the link at the
+    /// delivery instant.
+    pub partitions: Vec<PartitionSchedule>,
 }
 
 impl NetworkConfig {
@@ -99,17 +245,38 @@ impl NetworkConfig {
         NetworkConfig {
             default: config,
             overrides: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
-    /// Sets an override for the directed link `src → dst`.
+    /// Sets an override for the directed link `src → dst`, replacing any
+    /// previous override for the same link (explicit last-write-wins —
+    /// duplicate entries used to accumulate with the losers silently
+    /// shadowed).
     #[must_use]
     pub fn with_link(mut self, src: usize, dst: usize, config: ChannelConfig) -> Self {
-        self.overrides.push(((src, dst), config));
+        if let Some(slot) = self
+            .overrides
+            .iter_mut()
+            .find(|((s, d), _)| (*s, *d) == (src, dst))
+        {
+            slot.1 = config;
+        } else {
+            self.overrides.push(((src, dst), config));
+        }
         self
     }
 
-    /// The configuration of the directed link `src → dst`.
+    /// Adds a timed partition schedule.
+    #[must_use]
+    pub fn with_partition(mut self, schedule: PartitionSchedule) -> Self {
+        self.partitions.push(schedule);
+        self
+    }
+
+    /// The configuration of the directed link `src → dst`: the most
+    /// recently added override for the link, falling back to
+    /// [`NetworkConfig::default`].
     #[must_use]
     pub fn link(&self, src: usize, dst: usize) -> ChannelConfig {
         self.overrides
@@ -119,7 +286,90 @@ impl NetworkConfig {
             .map(|(_, c)| *c)
             .unwrap_or(self.default)
     }
+
+    /// Whether any partition schedule severs `src → dst` at `at`.
+    #[must_use]
+    pub fn severed(&self, src: usize, dst: usize, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(src, dst, at))
+    }
+
+    /// Validates the whole configuration — default channel, every
+    /// override, every partition schedule. The simulation builder calls
+    /// this so misconfiguration fails at construction, not mid-run.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimConfigError`] found, in declaration order.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        self.default.validate()?;
+        for ((_, _), c) in &self.overrides {
+            c.validate()?;
+        }
+        for p in &self.partitions {
+            p.validate()?;
+        }
+        Ok(())
+    }
 }
+
+/// A rejected network configuration (see [`NetworkConfig::validate`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SimConfigError {
+    /// `drop_probability` is NaN or outside `[0, 1]`.
+    DropProbabilityOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// A `Uniform` delay with `lo > hi` samples from an empty range.
+    EmptyUniformRange {
+        /// Configured minimum.
+        lo: u64,
+        /// Configured maximum.
+        hi: u64,
+    },
+    /// An `Exponential` delay with mean 0 is not a distribution.
+    ZeroExponentialMean,
+    /// A partition that heals at or before its start never takes effect.
+    EmptyPartitionWindow {
+        /// Configured start.
+        start: SimTime,
+        /// Configured heal time.
+        heal: SimTime,
+    },
+    /// A host listed in two partition groups has no well-defined side.
+    AmbiguousPartition {
+        /// The host appearing twice.
+        host: usize,
+    },
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimConfigError::DropProbabilityOutOfRange { value } => {
+                write!(f, "drop probability {value} is not in [0, 1]")
+            }
+            SimConfigError::EmptyUniformRange { lo, hi } => {
+                write!(f, "uniform delay range is empty (lo {lo} > hi {hi})")
+            }
+            SimConfigError::ZeroExponentialMean => {
+                write!(f, "exponential delay mean must be >= 1")
+            }
+            SimConfigError::EmptyPartitionWindow { start, heal } => {
+                write!(
+                    f,
+                    "partition heals at {heal}, at or before its start {start}"
+                )
+            }
+            SimConfigError::AmbiguousPartition { host } => {
+                write!(f, "host {host} appears in more than one partition group")
+            }
+        }
+    }
+}
+
+impl Error for SimConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -183,5 +433,127 @@ mod tests {
         assert_eq!(net.link(0, 1), slow);
         assert_eq!(net.link(1, 0), fast);
         assert_eq!(net.link(2, 2), fast);
+    }
+
+    /// Regression: duplicate `(src, dst)` overrides used to accumulate
+    /// with the earlier entries silently shadowed; `with_link` now
+    /// replaces in place, and direct pushes still resolve newest-first.
+    #[test]
+    fn with_link_replaces_duplicates() {
+        let a = ChannelConfig {
+            delay: DelayModel::Constant(1),
+            ..Default::default()
+        };
+        let b = ChannelConfig {
+            delay: DelayModel::Constant(2),
+            ..Default::default()
+        };
+        let net = NetworkConfig::default()
+            .with_link(0, 1, a)
+            .with_link(0, 1, b);
+        assert_eq!(net.overrides.len(), 1, "replace, don't accumulate");
+        assert_eq!(net.link(0, 1), b, "last write wins");
+        // direct pushes (the documented escape hatch) resolve newest-first
+        let mut raw = NetworkConfig::default();
+        raw.overrides.push(((2, 3), a));
+        raw.overrides.push(((2, 3), b));
+        assert_eq!(raw.link(2, 3), b);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert_eq!(
+            DelayModel::Uniform { lo: 9, hi: 3 }.validate(),
+            Err(SimConfigError::EmptyUniformRange { lo: 9, hi: 3 })
+        );
+        assert_eq!(
+            DelayModel::Exponential { mean: 0 }.validate(),
+            Err(SimConfigError::ZeroExponentialMean)
+        );
+        assert!(DelayModel::Exponential { mean: 1 }.validate().is_ok());
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let c = ChannelConfig {
+                drop_probability: bad,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    c.validate(),
+                    Err(SimConfigError::DropProbabilityOutOfRange { .. })
+                ),
+                "{bad} must be rejected"
+            );
+        }
+        assert!(ChannelConfig::default().validate().is_ok());
+        // the network validator reaches overrides and partitions
+        let net = NetworkConfig::default().with_link(
+            0,
+            1,
+            ChannelConfig {
+                delay: DelayModel::Uniform { lo: 5, hi: 2 },
+                ..Default::default()
+            },
+        );
+        assert!(net.validate().is_err());
+        let net = NetworkConfig::default().with_partition(PartitionSchedule::split(
+            [0],
+            [1],
+            SimTime::from_ticks(10),
+            Some(SimTime::from_ticks(10)),
+        ));
+        assert_eq!(
+            net.validate(),
+            Err(SimConfigError::EmptyPartitionWindow {
+                start: SimTime::from_ticks(10),
+                heal: SimTime::from_ticks(10),
+            })
+        );
+        let net = NetworkConfig::default().with_partition(PartitionSchedule {
+            groups: vec![vec![0, 1], vec![1, 2]],
+            start: SimTime::ZERO,
+            heal: None,
+        });
+        assert_eq!(
+            net.validate(),
+            Err(SimConfigError::AmbiguousPartition { host: 1 })
+        );
+    }
+
+    #[test]
+    fn partition_severs_and_heals() {
+        let p = PartitionSchedule::split(
+            [0, 1],
+            [2],
+            SimTime::from_ticks(10),
+            Some(SimTime::from_ticks(20)),
+        );
+        assert!(p.validate().is_ok());
+        // before start and from heal onward: connected
+        assert!(!p.severs(0, 2, SimTime::from_ticks(9)));
+        assert!(!p.severs(0, 2, SimTime::from_ticks(20)));
+        // inside the window: cross-group cut, intra-group open
+        assert!(p.severs(0, 2, SimTime::from_ticks(10)));
+        assert!(p.severs(2, 1, SimTime::from_ticks(15)));
+        assert!(!p.severs(0, 1, SimTime::from_ticks(15)));
+        // unlisted hosts form an implicit extra group: cut from listed
+        // groups, connected to each other
+        assert!(p.severs(0, 7, SimTime::from_ticks(15)));
+        assert!(!p.severs(7, 8, SimTime::from_ticks(15)));
+        // a heal-less partition never lifts
+        let forever = PartitionSchedule::split([0], [1], SimTime::from_ticks(5), None);
+        assert!(forever.severs(0, 1, SimTime::MAX));
+        // network-level query unions schedules
+        let net =
+            NetworkConfig::default()
+                .with_partition(p)
+                .with_partition(PartitionSchedule::split(
+                    [0],
+                    [1],
+                    SimTime::from_ticks(40),
+                    Some(SimTime::from_ticks(50)),
+                ));
+        assert!(net.severed(0, 2, SimTime::from_ticks(12)));
+        assert!(net.severed(0, 1, SimTime::from_ticks(45)));
+        assert!(!net.severed(0, 1, SimTime::from_ticks(30)));
     }
 }

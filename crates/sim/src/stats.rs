@@ -9,8 +9,12 @@ pub struct SimStats {
     pub sent: usize,
     /// Messages delivered.
     pub delivered: usize,
-    /// Messages dropped by the network.
+    /// Messages dropped by the network (loss coins, crashed receivers
+    /// and partitions combined; `sent == delivered + dropped` at
+    /// quiescence).
     pub dropped: usize,
+    /// The subset of `dropped` lost to an active partition window.
+    pub partition_dropped: usize,
     /// Timer events fired.
     pub timers_fired: usize,
     /// Internal events recorded by nodes.

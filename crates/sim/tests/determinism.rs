@@ -90,6 +90,55 @@ fn different_seeds_diverge() {
     }
 }
 
+/// Runs the chatter workload under a partition + crash fault schedule.
+fn run_faulty_to_text(n: usize, seed: u64) -> String {
+    let net = randomized_network()
+        .with_partition(hpl_sim::PartitionSchedule::split(
+            [0, 1],
+            [2, 3],
+            SimTime::from_ticks(20),
+            Some(SimTime::from_ticks(45)),
+        ))
+        .with_link(
+            0,
+            2,
+            ChannelConfig {
+                delay: DelayModel::Exponential { mean: 5 },
+                drop_probability: 0.4,
+                fifo: false,
+            },
+        );
+    let mut sim = Simulation::builder(n)
+        .seed(seed)
+        .network(net)
+        .build(|_| Box::new(Chatter { n }));
+    sim.schedule_crash(ProcessId::new(3), SimTime::from_ticks(30));
+    sim.run_until(SimTime::from_ticks(500));
+    format!(
+        "{}\n--stats sent={} delivered={} dropped={} partition_dropped={}",
+        hpl_model::trace::to_text(&sim.trace()),
+        sim.stats().sent,
+        sim.stats().delivered,
+        sim.stats().dropped,
+        sim.stats().partition_dropped,
+    )
+}
+
+/// Lossy, partitioned, crash-injected runs replay byte-identically —
+/// the property the fault-model universe construction rests on.
+#[test]
+fn faulty_runs_replay_byte_identically() {
+    for seed in [0u64, 3, 0xBAD_F00D] {
+        let a = run_faulty_to_text(4, seed);
+        let b = run_faulty_to_text(4, seed);
+        assert_eq!(a, b, "faulty seed {seed} must replay identically");
+        assert!(
+            a.contains("partition_dropped="),
+            "evidence string must carry the partition counter"
+        );
+    }
+}
+
 #[test]
 fn determinism_survives_rebuild_interleaving() {
     // Build both simulations first, then drive them alternately: shared
