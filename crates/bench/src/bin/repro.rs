@@ -40,8 +40,22 @@
 //! `max_knowledge_level`). Like the quotient gate, the witness gate
 //! runs without a baseline — common knowledge attained anywhere, or
 //! plain knowledge attained nowhere, fails the run.
+//! The v6 schema adds the query-service records (`query_scenarios`):
+//! `repro query-bench --json` measures queries/sec through the
+//! persistent [`hpl_runtime::QueryService`] at 1/4/16 concurrent
+//! clients over token-bus (quotient), push-gossip and Two Generals
+//! snapshots, gated as a throughput **floor** (`--qps-tolerance`,
+//! default 0.5 — generous because single-core runners serialize the
+//! client fleet) plus an unconditional determinism witness. `repro
+//! serve` opens the same snapshots behind a line-oriented REPL.
+//!
+//! Gate failures exit with a distinct code per class so CI logs say
+//! what broke without scraping: wall/merge time 2, quotient reduction
+//! 3, fault witness 4, query throughput/determinism 5 (the
+//! lowest-numbered failing class wins; every class still prints its
+//! diagnostics first).
 
-use hpl_bench::report::{FaultScenario, PerfReport, Scenario};
+use hpl_bench::report::{FaultScenario, PerfReport, QueryScenario, Scenario};
 use hpl_bench::{random_computation, InterleavingStress};
 use hpl_core::isomorphism::properties;
 use hpl_core::{
@@ -60,16 +74,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut json = false;
-    let mut out_path = String::from("BENCH_pr6.json");
+    let mut serve = false;
+    let mut query_bench = false;
+    let mut out_path: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.25f64;
     let mut merge_tolerance = 1.0f64;
     let mut min_reduction = 5.0f64;
+    let mut qps_tolerance = 0.5f64;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
-            "--out" => out_path = it.next().ok_or("--out needs a path")?,
+            "serve" => serve = true,
+            "query-bench" => query_bench = true,
+            "--out" => out_path = Some(it.next().ok_or("--out needs a path")?),
             "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--tolerance" => {
                 tolerance = it
@@ -89,16 +108,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .ok_or("--min-reduction needs a factor")?
                     .parse::<f64>()?;
             }
+            "--qps-tolerance" => {
+                qps_tolerance = it
+                    .next()
+                    .ok_or("--qps-tolerance needs a fraction")?
+                    .parse::<f64>()?;
+            }
             _ => args.push(a),
         }
     }
+    if serve {
+        return serve_mode();
+    }
+    if query_bench {
+        return query_bench_report(
+            &out_path.unwrap_or_else(|| "BENCH_pr7_query.json".to_owned()),
+            baseline.as_deref(),
+            qps_tolerance,
+        );
+    }
     if json {
         return perf_report(
-            &out_path,
+            &out_path.unwrap_or_else(|| "BENCH_pr7.json".to_owned()),
             baseline.as_deref(),
             tolerance,
             merge_tolerance,
             min_reduction,
+            qps_tolerance,
         );
     }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -247,6 +283,407 @@ fn quotient_rejection_count(pu: &hpl_core::ProtocolUniverse, orbits: &hpl_core::
         .count()
 }
 
+/// One registered snapshot of the query bench / REPL: an enumerated
+/// universe, its interpretation, optional quotient structure, and the
+/// formula batch (as parser text — the service's front door).
+struct QueryWorkload {
+    name: &'static str,
+    universe: std::sync::Arc<Universe>,
+    interp: std::sync::Arc<Interpretation>,
+    orbits: Option<std::sync::Arc<hpl_core::Orbits>>,
+    queries: Vec<&'static str>,
+}
+
+/// The three query workloads: the chatter-rich token bus on its
+/// symmetry quotient (planner selects quotient-vs-expand per subtree),
+/// push gossip and Two Generals on plain snapshots. Batches mix plain
+/// atoms, sound quotient knowledge, out-of-contract knowledge (Expand
+/// fallback), folding fodder and repeated subtrees, so throughput is
+/// measured with the planner, the soundness checker and both caches in
+/// the loop.
+fn query_workloads() -> Result<Vec<QueryWorkload>, Box<dyn std::error::Error>> {
+    use hpl_core::enumerate_sharded;
+    use hpl_protocols::gossip::{self, PushGossip};
+    use std::sync::Arc;
+
+    let mut out = Vec::new();
+    {
+        let cfg = ShardConfig::with_shards(4).quotient();
+        let q = enumerate_sharded(
+            &token_bus::TokenBus::with_chatter(3, 2),
+            EnumerationLimits::depth(10),
+            &cfg,
+        )?;
+        let orbits = q.orbits.expect("quotient attaches orbits");
+        let mut interp = Interpretation::new();
+        token_bus::token_atoms(&mut interp, 3);
+        out.push(QueryWorkload {
+            name: "token_bus_quotient",
+            universe: Arc::new(q.universe.into_universe()),
+            interp: Arc::new(interp),
+            orbits: Some(Arc::new(orbits)),
+            queries: vec![
+                "token-at-p0",
+                "!token-at-p1",
+                "token-at-p0 | token-at-p1 | token-at-p2",
+                "K{p0} token-at-p0",
+                "E token-at-p0",
+                "C (token-at-p0 | !token-at-p0)",
+                "Sure{p1} token-at-p0",
+                "K{p1} !token-at-p0",
+                "K{p0} (token-at-p0 & true)",
+                "(token-at-p0 & !token-at-p1) | !(token-at-p0 & !token-at-p1)",
+            ],
+        });
+    }
+    {
+        let pu = enumerate(&PushGossip { n: 3 }, EnumerationLimits::depth(6))?;
+        let mut interp = Interpretation::new();
+        interp.register("rumor-started", gossip::rumor_started);
+        interp.register("p2-informed", |c| {
+            c.iter()
+                .any(|e| e.is_on(ProcessId::new(2)) && e.is_receive())
+        });
+        out.push(QueryWorkload {
+            name: "gossip_push",
+            universe: Arc::new(pu.into_universe()),
+            interp: Arc::new(interp),
+            orbits: None,
+            queries: vec![
+                "rumor-started",
+                "p2-informed -> rumor-started",
+                "K{p2} rumor-started",
+                "K{p0} !p2-informed",
+                "E rumor-started",
+                "C rumor-started",
+                "Sure{p1} p2-informed",
+                "K{p1} K{p2} rumor-started",
+            ],
+        });
+    }
+    {
+        let pu = two_generals::universe(3, 6)?;
+        let mut interp = Interpretation::new();
+        two_generals::attack_atom(&mut interp);
+        out.push(QueryWorkload {
+            name: "two_generals",
+            universe: Arc::new(pu.into_universe()),
+            interp: Arc::new(interp),
+            orbits: None,
+            queries: vec![
+                "attack-planned",
+                "!attack-planned",
+                "K{p1} attack-planned",
+                "K{p0} K{p1} attack-planned",
+                "C attack-planned",
+                "Sure{p1} attack-planned",
+                "E attack-planned -> attack-planned",
+                "attack-planned & true",
+            ],
+        });
+    }
+    Ok(out)
+}
+
+/// Starts a service and registers every workload under its name.
+fn start_query_service(workloads: &[QueryWorkload], workers: usize) -> hpl_runtime::QueryService {
+    use hpl_core::QuotientPolicy;
+    let service = hpl_runtime::QueryService::start(workers);
+    for w in workloads {
+        match &w.orbits {
+            Some(o) => service.register_quotient(
+                w.name,
+                w.universe.clone(),
+                w.interp.clone(),
+                o.clone(),
+                QuotientPolicy::Expand,
+            ),
+            None => service.register(w.name, w.universe.clone(), w.interp.clone()),
+        };
+    }
+    service
+}
+
+/// Runs the query-throughput scenarios into `report`: each workload ×
+/// {1, 4, 16} concurrent clients, every client walking the formula
+/// batch repeatedly through its own session. Each response is compared
+/// byte-for-byte against a sequential `Evaluator` reference — the
+/// record's `determinism_ok` witness — and latency quantiles come from
+/// the client-observed per-query times.
+///
+/// Like the wall scenarios (`time_ms`), each record is the **best of
+/// several passes**, each pass on a fresh cold service: the elapsed
+/// time is dominated by the corpus's first (cold-cache) evaluations,
+/// whose single-core wall time is noisy, and best-of-N lands both the
+/// baseline and the gated run near the reproducible upper envelope.
+/// The determinism witness is the opposite — it must hold on *every*
+/// pass, not just the fastest.
+fn run_query_scenarios(report: &mut PerfReport) -> Result<(), Box<dyn std::error::Error>> {
+    use hpl_core::{parse, QuotientPolicy};
+    use std::sync::Mutex;
+
+    let workloads = query_workloads()?;
+    let client_counts = [1usize, 4, 16];
+    let rounds = 6usize; // batch walks per client: repeats exercise the sat cache
+    let passes = 3usize; // best-of passes per record (cold service each)
+
+    for w in &workloads {
+        // the sequential reference, computed once per workload
+        let reference: Vec<hpl_core::CompSet> = {
+            let mut eval = match &w.orbits {
+                Some(o) => Evaluator::with_symmetry_policy(
+                    &w.universe,
+                    &w.interp,
+                    o,
+                    QuotientPolicy::Expand,
+                ),
+                None => Evaluator::new(&w.universe, &w.interp),
+            };
+            w.queries
+                .iter()
+                .map(|q| {
+                    let f = parse(q, &w.interp)?;
+                    Ok(eval.try_sat_set(&f)?)
+                })
+                .collect::<Result<_, Box<dyn std::error::Error>>>()?
+        };
+
+        for &clients in &client_counts {
+            let mut best: Option<QueryScenario> = None;
+            let mut all_passes_ok = true;
+            for _ in 0..passes {
+                let service = start_query_service(std::slice::from_ref(w), clients);
+                let latencies = Mutex::new(Vec::<f64>::new());
+                let determinism_ok = Mutex::new(true);
+                let t0 = std::time::Instant::now();
+                std::thread::scope(|s| {
+                    for t in 0..clients {
+                        let service = &service;
+                        let latencies = &latencies;
+                        let determinism_ok = &determinism_ok;
+                        let reference = &reference;
+                        let queries = &w.queries;
+                        let name = w.name;
+                        s.spawn(move || {
+                            let session = service.session(name).expect("registered workload");
+                            let mut local = Vec::with_capacity(rounds * queries.len());
+                            let mut ok = true;
+                            let n = queries.len();
+                            for r in 0..rounds {
+                                for k in 0..n {
+                                    let i = (k + t + r) % n; // rotated: overlapping batches
+                                    let resp =
+                                        session.query(queries[i]).expect("batch queries evaluate");
+                                    local.push(resp.elapsed.as_secs_f64() * 1e3);
+                                    ok &= *resp.sat == reference[i];
+                                }
+                            }
+                            latencies.lock().expect("poisoned").extend(local);
+                            *determinism_ok.lock().expect("poisoned") &= ok;
+                        });
+                    }
+                });
+                let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let mut lats = latencies.into_inner().expect("poisoned");
+                lats.sort_by(f64::total_cmp);
+                let queries_served = lats.len();
+                let quantile = |q: f64| lats[((queries_served - 1) as f64 * q) as usize];
+                let snap = service.snapshot(w.name).expect("registered workload");
+                let stats = snap.sat_cache_stats();
+                all_passes_ok &= determinism_ok.into_inner().expect("poisoned");
+                let pass = QueryScenario {
+                    name: format!("query_{}_c{clients}", w.name),
+                    clients,
+                    queries: queries_served,
+                    elapsed_ms,
+                    qps: queries_served as f64 / (elapsed_ms / 1e3),
+                    p50_ms: quantile(0.5),
+                    p99_ms: quantile(0.99),
+                    coalesced: snap.coalesced(),
+                    cache_hits: stats.hits,
+                    determinism_ok: true, // folded in below, across every pass
+                };
+                if best.as_ref().is_none_or(|b| pass.qps > b.qps) {
+                    best = Some(pass);
+                }
+            }
+            let mut record = best.expect("passes >= 1");
+            record.determinism_ok = all_passes_ok;
+            report.push_query(record);
+        }
+    }
+    Ok(())
+}
+
+/// Prints the query records and applies the two query gates: the
+/// unconditional determinism witness (violations exit 5) and — when a
+/// readable baseline is given — the qps floor. A missing baseline file
+/// or entry skips with a warning instead of failing, so the gate
+/// bootstraps cleanly before the baseline is first committed.
+fn gate_query_scenarios(
+    report: &PerfReport,
+    baseline: Option<&str>,
+    qps_tolerance: f64,
+) -> Option<i32> {
+    let mut worst = None;
+    for s in &report.query_scenarios {
+        println!(
+            "{:>42}  {:>8.0} qps  p50 {:>7.3} ms  p99 {:>7.3} ms  ({} clients, {} queries, \
+             {} coalesced, {} cache hits)",
+            s.name, s.qps, s.p50_ms, s.p99_ms, s.clients, s.queries, s.coalesced, s.cache_hits
+        );
+    }
+    let witness = report.query_determinism_violations();
+    if witness.is_empty() {
+        println!(
+            "determinism gate: concurrent results byte-identical to sequential ({} records)",
+            report.query_scenarios.len()
+        );
+    } else {
+        eprintln!("QUERY DETERMINISM VIOLATIONS:");
+        for v in &witness {
+            eprintln!("  {v}");
+        }
+        worst = Some(EXIT_QUERY);
+    }
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(path) {
+            Ok(raw) => {
+                let base = PerfReport::parse_metric(&raw, "qps");
+                let gate = report.query_qps_gate(&base, qps_tolerance);
+                for w in &gate.warnings {
+                    println!("gate warning: {w}");
+                }
+                if gate.regressions.is_empty() {
+                    println!(
+                        "query gate: no qps floor breach beyond −{:.0}%",
+                        qps_tolerance * 100.0
+                    );
+                } else {
+                    eprintln!("QUERY THROUGHPUT REGRESSIONS vs {path}:");
+                    for r in &gate.regressions {
+                        eprintln!("  {r}");
+                    }
+                    worst = Some(worst.map_or(EXIT_QUERY, |w: i32| w.min(EXIT_QUERY)));
+                }
+            }
+            Err(e) => {
+                // skip-with-warning: a missing baseline must not fail
+                // the bootstrap run that generates it
+                println!("gate warning: baseline {path} unreadable ({e}) — qps gate skipped");
+            }
+        }
+    }
+    worst
+}
+
+/// `repro query-bench`: the query scenarios alone, written as a
+/// schema-v6 report and gated only on throughput + determinism.
+fn query_bench_report(
+    out_path: &str,
+    baseline: Option<&str>,
+    qps_tolerance: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut report = PerfReport::default();
+    report.host_fact(
+        "nproc",
+        std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
+    );
+    run_query_scenarios(&mut report)?;
+    if let Some(kb) = hpl_bench::peak_rss_kb() {
+        report.host_fact("peak_rss_kb", kb);
+    }
+    std::fs::write(out_path, report.to_json())?;
+    println!(
+        "=== query-bench report ({} records) → {out_path} ===",
+        report.query_scenarios.len()
+    );
+    if let Some(code) = gate_query_scenarios(&report, baseline, qps_tolerance) {
+        std::process::exit(code);
+    }
+    Ok(())
+}
+
+/// `repro serve`: the three workload snapshots behind a line-oriented
+/// REPL. One query per line, `<scenario> <formula>`; `:scenarios`
+/// lists the registered names, `:quit` (or EOF) exits.
+fn serve_mode() -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::BufRead as _;
+
+    let workloads = query_workloads()?;
+    let service = start_query_service(&workloads, 2);
+    println!("=== hpl knowledge-query service ===");
+    for w in &workloads {
+        let snap = service.snapshot(w.name).expect("registered workload");
+        println!(
+            "  {} — {} computations (generation {}){}",
+            w.name,
+            snap.universe().len(),
+            snap.generation(),
+            if w.orbits.is_some() {
+                ", symmetry quotient"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("query: <scenario> <formula>   e.g. `two_generals K{{p1}} attack-planned`");
+    println!("commands: :scenarios, :quit");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == ":quit" {
+            break;
+        }
+        if line == ":scenarios" {
+            for name in service.scenarios() {
+                println!("{name}");
+            }
+            continue;
+        }
+        let Some((scenario, text)) = line.split_once(char::is_whitespace) else {
+            println!("error: expected `<scenario> <formula>` (try :scenarios)");
+            continue;
+        };
+        let session = match service.session(scenario.trim()) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("error: {e}");
+                continue;
+            }
+        };
+        match session.query(text.trim()) {
+            Ok(resp) => println!(
+                "{} of {} computations satisfy ({} µs, plan: {} nodes, {} folded, {} deduped, \
+                 {} quotient steps{})",
+                resp.count,
+                resp.universe_len,
+                resp.elapsed.as_micros(),
+                resp.plan.nodes,
+                resp.plan.folded,
+                resp.plan.deduped,
+                resp.plan.quotient_steps,
+                if resp.coalesced { ", coalesced" } else { "" }
+            ),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Distinct exit codes per failed gate class, so CI logs identify the
+/// broken subsystem without scraping diagnostics (the lowest-numbered
+/// failing class wins).
+const EXIT_WALL: i32 = 2;
+const EXIT_REDUCTION: i32 = 3;
+const EXIT_WITNESS: i32 = 4;
+const EXIT_QUERY: i32 = 5;
+
 /// The perf scenarios behind `--json`: enumeration (sequential vs
 /// sharded streaming), dedupe, symmetry quotient (with the
 /// soundness-checker admission pass in the timed region), and sat-set
@@ -261,6 +698,7 @@ fn perf_report(
     tolerance: f64,
     merge_tolerance: f64,
     min_reduction: f64,
+    qps_tolerance: f64,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use hpl_core::enumerate_sharded;
 
@@ -562,6 +1000,11 @@ fn perf_report(
     let wp = two_generals::fault_witness(3, &partition_model, shards).expect("valid fault model");
     push_witness(&mut report, "two_generals_partition_heal", &wp);
 
+    // -- the query-service scenarios (schema v6): throughput and
+    // latency quantiles through the persistent QueryService at 1/4/16
+    // concurrent clients, with the per-run determinism witness ---------
+    run_query_scenarios(&mut report)?;
+
     // -- emit + gate ----------------------------------------------------
     // process-wide peak RSS (VmHWM) after all scenarios — dominated by
     // the full universes the scenarios build, not by merge buffering
@@ -601,9 +1044,13 @@ fn perf_report(
         qbus_counts.0, qstar_counts.0, qbus_counts.1, qstar_counts.1
     );
 
-    // both gates report before either fails, so one violation cannot
-    // mask the other's diagnostics
-    let mut failed = false;
+    // every gate reports before any fails, so one violation cannot mask
+    // another's diagnostics; the exit code identifies the
+    // lowest-numbered failing class
+    let mut worst: Option<i32> = None;
+    let fail = |worst: &mut Option<i32>, class: i32| {
+        *worst = Some(worst.map_or(class, |w| w.min(class)));
+    };
 
     // the symmetry gate runs unconditionally (no baseline needed): a
     // quotient scenario recording a reduction factor below the floor
@@ -616,7 +1063,7 @@ fn perf_report(
         for f in &floors {
             eprintln!("  {f}");
         }
-        failed = true;
+        fail(&mut worst, EXIT_REDUCTION);
     }
 
     // the Two Generals witness gate also needs no baseline: the
@@ -632,7 +1079,7 @@ fn perf_report(
         for v in &witness {
             eprintln!("  {v}");
         }
-        failed = true;
+        fail(&mut worst, EXIT_WITNESS);
     }
 
     if let Some(path) = baseline {
@@ -652,7 +1099,7 @@ fn perf_report(
             for r in &wall.regressions {
                 eprintln!("  {r}");
             }
-            failed = true;
+            fail(&mut worst, EXIT_WALL);
         }
         // the merge gate: the streaming merge is the engine's residual
         // serial section, so its active time is gated separately (it
@@ -672,11 +1119,16 @@ fn perf_report(
             for r in &merge.regressions {
                 eprintln!("  {r}");
             }
-            failed = true;
+            fail(&mut worst, EXIT_WALL);
         }
     }
-    if failed {
-        std::process::exit(1);
+    // the query gates: determinism unconditionally, the qps floor
+    // against the same baseline file (skip-with-warning when absent)
+    if let Some(class) = gate_query_scenarios(&report, baseline, qps_tolerance) {
+        fail(&mut worst, class);
+    }
+    if let Some(code) = worst {
+        std::process::exit(code);
     }
     Ok(())
 }

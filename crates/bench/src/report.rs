@@ -92,6 +92,41 @@ pub struct FaultScenario {
     pub dropped: usize,
 }
 
+/// One measured query-service workload (schema v6): a client fleet
+/// hammering one registered scenario of the persistent
+/// [`QueryService`](../../hpl_runtime/struct.QueryService.html) with a
+/// formula batch, reported as throughput and latency quantiles.
+///
+/// `elapsed_ms` is deliberately **not** named `wall_ms`: wall-time
+/// scanners ([`PerfReport::parse_wall_times`]) must stay blind to query
+/// records — their gate is a throughput *floor*
+/// ([`PerfReport::query_qps_gate`]), not a wall-time ceiling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryScenario {
+    /// Stable identifier (e.g. `query_token_bus_quotient_c4`).
+    pub name: String,
+    /// Concurrent client threads issuing queries.
+    pub clients: usize,
+    /// Total queries served across the fleet.
+    pub queries: usize,
+    /// End-to-end batch wall time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Queries per second across the fleet — the gated metric.
+    pub qps: f64,
+    /// Median per-query latency (milliseconds, client-observed).
+    pub p50_ms: f64,
+    /// 99th-percentile per-query latency (milliseconds).
+    pub p99_ms: f64,
+    /// Requests that coalesced behind an identical in-flight request.
+    pub coalesced: u64,
+    /// Cross-query satisfaction-cache hits.
+    pub cache_hits: u64,
+    /// Whether every concurrent result was byte-identical to the
+    /// sequential reference evaluation (a correctness claim, checked
+    /// per run like the fault witness).
+    pub determinism_ok: bool,
+}
+
 /// The complete report: schema tag, host facts, scenarios.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PerfReport {
@@ -104,9 +139,16 @@ pub struct PerfReport {
     /// Fault-model sweep records (schema v5); empty for reports that do
     /// not run the sweep.
     pub fault_scenarios: Vec<FaultScenario>,
+    /// Query-service throughput records (schema v6); empty for reports
+    /// that do not run the query bench.
+    pub query_scenarios: Vec<QueryScenario>,
 }
 
-/// Schema identifier stamped into every report. `v5` added the
+/// Schema identifier stamped into every report. `v6` added the
+/// `query_scenarios` array — persistent-service throughput records
+/// (`qps`, `p50_ms`, `p99_ms` at 1/4/16 concurrent clients, plus the
+/// per-run `determinism_ok` witness) gated as a **floor** via
+/// [`PerfReport::query_qps_gate`]; `v5` added the
 /// `fault_scenarios` array — the drop-rate/partition sweep with the
 /// machine-checked Two Generals witness (`ck_attained` must be `false`,
 /// `knows_attained` `true`; see [`PerfReport::fault_witness_violations`]);
@@ -119,9 +161,9 @@ pub struct PerfReport {
 /// `v2` added the `host` object (`nproc`) and the quotient metrics
 /// (`orbit_count`, `reduction_factor`, `group_order`) on quotient
 /// scenarios; `v1` parsers that scan `scenarios[].name`/`wall_ms` still
-/// work (fault records carry no `wall_ms`, so wall-time scanners skip
-/// them).
-pub const SCHEMA: &str = "hpl-bench-report/v5";
+/// work (fault and query records carry no `wall_ms`, so wall-time
+/// scanners skip them).
+pub const SCHEMA: &str = "hpl-bench-report/v6";
 
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
@@ -157,6 +199,11 @@ impl PerfReport {
     /// Appends a fault-sweep record.
     pub fn push_fault(&mut self, s: FaultScenario) {
         self.fault_scenarios.push(s);
+    }
+
+    /// Appends a query-service throughput record.
+    pub fn push_query(&mut self, s: QueryScenario) {
+        self.query_scenarios.push(s);
     }
 
     /// Renders the report as pretty-printed JSON.
@@ -219,6 +266,33 @@ impl PerfReport {
                 let _ = writeln!(out, "      \"delivered\": {},", s.delivered);
                 let _ = writeln!(out, "      \"dropped\": {}", s.dropped);
                 out.push_str(if i + 1 < self.fault_scenarios.len() {
+                    "    },\n"
+                } else {
+                    "    }\n"
+                });
+            }
+            out.push_str("  ]");
+        }
+        if !self.query_scenarios.is_empty() {
+            out.push_str(",\n  \"query_scenarios\": [\n");
+            for (i, s) in self.query_scenarios.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"name\": \"{}\",", escape(&s.name));
+                let _ = writeln!(out, "      \"clients\": {},", s.clients);
+                let _ = writeln!(out, "      \"queries\": {},", s.queries);
+                out.push_str("      \"elapsed_ms\": ");
+                write_f64(&mut out, s.elapsed_ms);
+                out.push_str(",\n      \"qps\": ");
+                write_f64(&mut out, s.qps);
+                out.push_str(",\n      \"p50_ms\": ");
+                write_f64(&mut out, s.p50_ms);
+                out.push_str(",\n      \"p99_ms\": ");
+                write_f64(&mut out, s.p99_ms);
+                let _ = writeln!(out, ",");
+                let _ = writeln!(out, "      \"coalesced\": {},", s.coalesced);
+                let _ = writeln!(out, "      \"cache_hits\": {},", s.cache_hits);
+                let _ = writeln!(out, "      \"determinism_ok\": {}", s.determinism_ok);
+                out.push_str(if i + 1 < self.query_scenarios.len() {
                     "    },\n"
                 } else {
                     "    }\n"
@@ -412,6 +486,81 @@ impl PerfReport {
             }
         }
         out
+    }
+
+    /// The query-throughput gate: compares each query scenario's `qps`
+    /// against baseline values (as parsed by
+    /// [`PerfReport::parse_metric`] with key `qps`) in the **floor**
+    /// direction — a regression is throughput *falling* below
+    /// `baseline × (1 − tolerance)`, the mirror image of the wall-time
+    /// ceiling gates. Degenerate values on either side skip with a
+    /// warning under the same rules as [`PerfReport::metric_gate`].
+    #[must_use]
+    pub fn query_qps_gate(&self, baseline: &[(String, f64)], tolerance: f64) -> GateReport {
+        let mut report = GateReport::default();
+        for (name, _) in baseline {
+            if !self.query_scenarios.iter().any(|s| s.name == *name) {
+                report.warnings.push(format!(
+                    "{name} qps: baseline entry has no current value — skipped (scenario \
+                     renamed/removed; the gate is not covering it)"
+                ));
+            }
+        }
+        for s in &self.query_scenarios {
+            let Some((_, base)) = baseline.iter().find(|(n, _)| *n == s.name) else {
+                report.warnings.push(format!(
+                    "{} qps: no baseline entry — skipped (new scenario; regenerate the \
+                     baseline to gate it)",
+                    s.name
+                ));
+                continue;
+            };
+            if !base.is_finite() || *base <= 0.0 {
+                report.warnings.push(format!(
+                    "{} qps: degenerate baseline {base} — skipped (a zero or non-finite \
+                     baseline cannot anchor a throughput floor; regenerate the baseline)",
+                    s.name
+                ));
+                continue;
+            }
+            if !s.qps.is_finite() {
+                report.warnings.push(format!(
+                    "{} qps: non-finite current value {} — skipped (the measurement itself \
+                     is broken; a silent pass here would mask a real regression)",
+                    s.name, s.qps
+                ));
+                continue;
+            }
+            if s.qps < base * (1.0 - tolerance) {
+                report.regressions.push(format!(
+                    "{} qps: {:.1} vs baseline {base:.1} (−{:.0}% > −{:.0}% allowed)",
+                    s.name,
+                    s.qps,
+                    (1.0 - s.qps / base) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        report
+    }
+
+    /// The query-determinism gate: one human-readable line per query
+    /// record whose concurrent results diverged from the sequential
+    /// reference. Like the fault witness, this needs no baseline — the
+    /// expected value is a theorem of the service design.
+    #[must_use]
+    pub fn query_determinism_violations(&self) -> Vec<String> {
+        self.query_scenarios
+            .iter()
+            .filter(|s| !s.determinism_ok)
+            .map(|s| {
+                format!(
+                    "{}: concurrent sat-sets diverged from the sequential reference at \
+                     {} clients",
+                    s.name, s.clients
+                )
+            })
+            .collect()
     }
 
     /// The symmetry-quotient gate: one human-readable line per scenario
@@ -642,6 +791,92 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v[0].starts_with("ck_leak") && v[0].contains("Two Generals"));
         assert!(v[1].starts_with("knows_broken"));
+    }
+
+    fn query_record(name: &str, clients: usize, qps: f64, ok: bool) -> QueryScenario {
+        QueryScenario {
+            name: name.to_owned(),
+            clients,
+            queries: 160,
+            elapsed_ms: 12.0,
+            qps,
+            p50_ms: 0.4,
+            p99_ms: 1.9,
+            coalesced: 3,
+            cache_hits: 40,
+            determinism_ok: ok,
+        }
+    }
+
+    #[test]
+    fn query_scenarios_render_and_stay_invisible_to_wall_gates() {
+        let mut r = sample();
+        r.push_query(query_record("query_token_bus_c4", 4, 1234.5, true));
+        let json = r.to_json();
+        assert!(json.contains("\"query_scenarios\": ["));
+        assert!(json.contains("\"qps\": 1234.5"));
+        assert!(json.contains("\"p99_ms\": 1.9"));
+        assert!(json.contains("\"determinism_ok\": true"));
+        assert!(json.contains(SCHEMA));
+        // query records carry elapsed_ms, not wall_ms: scanners skip them
+        let walls = PerfReport::parse_wall_times(&json);
+        assert_eq!(walls.len(), 2, "{walls:?}");
+        assert!(walls.iter().all(|(n, _)| n != "query_token_bus_c4"));
+        // the qps baseline side parses straight off the rendered report
+        assert_eq!(
+            PerfReport::parse_metric(&json, "qps"),
+            vec![("query_token_bus_c4".to_owned(), 1234.5)]
+        );
+    }
+
+    #[test]
+    fn query_qps_gate_is_a_floor() {
+        let mut r = PerfReport::default();
+        r.push_query(query_record("fast_enough", 1, 900.0, true));
+        r.push_query(query_record("regressed", 4, 400.0, true));
+        r.push_query(query_record("new_one", 16, 50.0, true));
+        r.push_query(query_record("nan_current", 1, f64::NAN, true));
+        let baseline = vec![
+            ("fast_enough".to_owned(), 1000.0),
+            ("regressed".to_owned(), 1000.0),
+            ("nan_current".to_owned(), 100.0),
+            ("zero_base".to_owned(), 0.0),
+            ("vanished".to_owned(), 10.0),
+        ];
+        // zero_base is also current, with a degenerate baseline
+        r.push_query(query_record("zero_base", 1, 5.0, true));
+        let gate = r.query_qps_gate(&baseline, 0.4);
+        // 900 ≥ 1000×0.6 passes; 400 < 600 regresses; growth never does
+        assert_eq!(gate.regressions.len(), 1, "{gate:?}");
+        assert!(gate.regressions[0].starts_with("regressed qps"));
+        assert_eq!(gate.warnings.len(), 4, "{gate:?}");
+        assert!(gate
+            .warnings
+            .iter()
+            .any(|w| w.starts_with("new_one") && w.contains("no baseline entry")));
+        assert!(gate
+            .warnings
+            .iter()
+            .any(|w| w.starts_with("nan_current") && w.contains("non-finite current")));
+        assert!(gate
+            .warnings
+            .iter()
+            .any(|w| w.starts_with("zero_base") && w.contains("degenerate baseline")));
+        assert!(gate
+            .warnings
+            .iter()
+            .any(|w| w.starts_with("vanished") && w.contains("no current value")));
+    }
+
+    #[test]
+    fn query_determinism_gate() {
+        let mut r = PerfReport::default();
+        assert!(r.query_determinism_violations().is_empty());
+        r.push_query(query_record("ok", 4, 100.0, true));
+        r.push_query(query_record("diverged", 16, 100.0, false));
+        let v = r.query_determinism_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].starts_with("diverged") && v[0].contains("16 clients"));
     }
 
     #[test]

@@ -203,6 +203,14 @@ impl ProtocolUniverse {
         &self.universe
     }
 
+    /// Releases the underlying universe, discarding the payload table —
+    /// the hand-off point to owners that need the universe alone, e.g.
+    /// an `Arc<Universe>` snapshot registered with a query service.
+    #[must_use]
+    pub fn into_universe(self) -> Universe {
+        self.universe
+    }
+
     /// The payload tag of a message.
     #[must_use]
     pub fn payload_of(&self, m: MessageId) -> Option<u32> {

@@ -10,12 +10,14 @@
 use crate::bitset::CompSet;
 use crate::error::CoreError;
 use crate::formula::{Formula, Interpretation};
-use crate::isomorphism::{ClassCache, IsoIndex};
+use crate::isomorphism::{ClassCache, IsoIndex, MAX_CACHED_GENERATIONS};
 use crate::soundness::{classify_invariance, Invariance};
 use crate::symmetry::{ExpandedUniverse, OrbitIndex, Orbits};
 use crate::universe::{CompId, Universe};
 use hpl_model::{ProcessId, ProcessSet};
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Evaluates formulas over a universe under an interpretation.
@@ -45,6 +47,9 @@ pub struct Evaluator<'u> {
     classifications: std::cell::RefCell<HashMap<Formula, Invariance>>,
     components: Option<Components>,
     expansion: Option<ExpansionState>,
+    /// Cross-evaluator satisfaction-set cache, with the universe
+    /// generation pinned at attach time ([`Evaluator::with_sat_cache`]).
+    shared: Option<(u64, Arc<SatCache>)>,
 }
 
 /// What an orbit-aware evaluator does with a formula the
@@ -100,6 +105,116 @@ pub struct MemoStats {
     pub components_cached: bool,
 }
 
+/// A thread-safe **cross-query satisfaction-set cache**, keyed by
+/// `(universe generation, formula)`.
+///
+/// This is the mutable half of the evaluator split: an [`Evaluator`]
+/// stays a cheap per-thread view (its private memo lives and dies with
+/// it), while the results worth keeping — final satisfaction sets over
+/// an immutable snapshot — land here, behind a mutex, where any number
+/// of evaluators on any number of threads can reuse them. Attach with
+/// [`Evaluator::with_sat_cache`]; the attach pins the universe's current
+/// [`generation`](Universe::generation), so entries can never leak
+/// across snapshot states even if the underlying universe later grows.
+///
+/// # Sharing contract
+///
+/// A satisfaction set is a function of the universe state **and** the
+/// interpretation, orbit structure, and quotient policy the evaluator
+/// ran under. Share one `SatCache` only among evaluators configured
+/// identically over the same snapshot (the query service enforces this
+/// by holding one cache per registered scenario). Generations are
+/// process-unique, so caches of *different* universes may share a
+/// `SatCache` without collision — but distinct interpretations over the
+/// same universe must not.
+///
+/// Entries for up to [`MAX_CACHED_GENERATIONS`] distinct generations
+/// are retained (least-recently-served eviction), mirroring
+/// [`ClassCache`].
+#[derive(Debug, Default)]
+pub struct SatCache {
+    inner: Mutex<SatCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct SatCacheInner {
+    /// Generations currently cached, most recently served last.
+    recent: Vec<u64>,
+    map: HashMap<(u64, Formula), CompSet>,
+}
+
+/// Hit/miss/occupancy counters of a [`SatCache`], for the query
+/// service's bench report and for tests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SatCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to evaluation.
+    pub misses: u64,
+    /// Satisfaction sets currently cached.
+    pub entries: usize,
+}
+
+impl SatCache {
+    /// Creates an empty cache behind an [`Arc`], ready to be shared.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(SatCache::default())
+    }
+
+    /// Looks up the satisfaction set of `f` over generation `generation`,
+    /// counting the outcome in [`SatCacheStats`].
+    #[must_use]
+    pub fn lookup(&self, generation: u64, f: &Formula) -> Option<CompSet> {
+        let inner = self.inner.lock();
+        let hit = inner.map.get(&(generation, f.clone())).cloned();
+        drop(inner);
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Publishes the satisfaction set of `f` over generation
+    /// `generation`. Serving a generation beyond the
+    /// [`MAX_CACHED_GENERATIONS`] window evicts the least recently
+    /// served one's entries.
+    pub fn publish(&self, generation: u64, f: &Formula, sat: &CompSet) {
+        let mut inner = self.inner.lock();
+        match inner.recent.iter().position(|&g| g == generation) {
+            Some(i) => {
+                let g = inner.recent.remove(i);
+                inner.recent.push(g);
+            }
+            None => {
+                inner.recent.push(generation);
+                if inner.recent.len() > MAX_CACHED_GENERATIONS {
+                    let evicted = inner.recent.remove(0);
+                    inner.map.retain(|&(g, _), _| g != evicted);
+                }
+            }
+        }
+        inner
+            .map
+            .entry((generation, f.clone()))
+            .or_insert_with(|| sat.clone());
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> SatCacheStats {
+        SatCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().map.len(),
+        }
+    }
+}
+
 impl<'u> Evaluator<'u> {
     /// Creates an evaluator for a universe and interpretation.
     #[must_use]
@@ -127,6 +242,7 @@ impl<'u> Evaluator<'u> {
             classifications: std::cell::RefCell::new(HashMap::new()),
             components: None,
             expansion: None,
+            shared: None,
         }
     }
 
@@ -267,7 +383,27 @@ impl<'u> Evaluator<'u> {
             classifications: std::cell::RefCell::new(HashMap::new()),
             components: None,
             expansion: None,
+            shared: None,
         }
+    }
+
+    /// Attaches a cross-evaluator [`SatCache`], pinning the universe's
+    /// current [`generation`](Universe::generation): satisfaction sets
+    /// this evaluator computes are published under that generation, and
+    /// lookups hit whatever identically-configured evaluators published
+    /// before. See the [`SatCache`] sharing contract — the cache must
+    /// only be shared among evaluators with the same interpretation,
+    /// orbit structure, and quotient policy over this snapshot.
+    #[must_use]
+    pub fn with_sat_cache(mut self, cache: Arc<SatCache>) -> Self {
+        self.shared = Some((self.universe.generation(), cache));
+        self
+    }
+
+    /// The attached cross-evaluator cache, if any.
+    #[must_use]
+    pub fn sat_cache(&self) -> Option<&Arc<SatCache>> {
+        self.shared.as_ref().map(|(_, c)| c)
     }
 
     /// The universe being evaluated over.
@@ -349,6 +485,12 @@ impl<'u> Evaluator<'u> {
         if let Some(s) = self.memo.get(f) {
             return Ok(s.clone());
         }
+        if let Some((generation, cache)) = &self.shared {
+            if let Some(s) = cache.lookup(*generation, f) {
+                self.memo.insert(f.clone(), s.clone());
+                return Ok(s);
+            }
+        }
         if self.sym.is_some() && self.policy != QuotientPolicy::Trust {
             if let Invariance::OutOfContract(v) = self.check_symmetry(f) {
                 match self.policy {
@@ -356,6 +498,7 @@ impl<'u> Evaluator<'u> {
                     QuotientPolicy::Expand => {
                         let s = self.expand_sat(f);
                         self.memo.insert(f.clone(), s.clone());
+                        self.publish(f, &s);
                         return Ok(s);
                     }
                     QuotientPolicy::Trust => unreachable!("filtered above"),
@@ -364,7 +507,17 @@ impl<'u> Evaluator<'u> {
         }
         let s = self.compute(f);
         self.memo.insert(f.clone(), s.clone());
+        self.publish(f, &s);
         Ok(s)
+    }
+
+    /// Publishes a freshly computed satisfaction set to the attached
+    /// [`SatCache`] (no-op without one). Rejections are never cached:
+    /// re-deriving the classification is cheap and already memoized.
+    fn publish(&self, f: &Formula, s: &CompSet) {
+        if let Some((generation, cache)) = &self.shared {
+            cache.publish(*generation, f, s);
+        }
     }
 
     /// Does `f` hold at computation `x`? (The paper's `f at x`.)

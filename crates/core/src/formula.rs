@@ -43,8 +43,11 @@ pub struct Interpretation {
     atoms: Vec<(String, AtomPredicate, AtomInvariance)>,
 }
 
-/// A boxed atomic predicate over computations.
-type AtomPredicate = Box<dyn Fn(&Computation) -> bool>;
+/// A boxed atomic predicate over computations. Predicates are `Send +
+/// Sync` so an [`Interpretation`] can sit behind an `Arc` and be read
+/// by a pool of query workers evaluating against one shared universe
+/// snapshot.
+type AtomPredicate = Box<dyn Fn(&Computation) -> bool + Send + Sync>;
 
 impl Interpretation {
     /// Creates an empty registry.
@@ -61,7 +64,7 @@ impl Interpretation {
     /// unchanged by the relevant symmetry group.
     pub fn register<F>(&mut self, name: &str, predicate: F) -> AtomId
     where
-        F: Fn(&Computation) -> bool + 'static,
+        F: Fn(&Computation) -> bool + Send + Sync + 'static,
     {
         self.register_with(name, AtomInvariance::Dependent, predicate)
     }
@@ -75,7 +78,7 @@ impl Interpretation {
     /// [`Interpretation::validate_symmetry`].
     pub fn register_invariant<F>(&mut self, name: &str, predicate: F) -> AtomId
     where
-        F: Fn(&Computation) -> bool + 'static,
+        F: Fn(&Computation) -> bool + Send + Sync + 'static,
     {
         self.register_with(name, AtomInvariance::Invariant, predicate)
     }
@@ -88,7 +91,7 @@ impl Interpretation {
         predicate: F,
     ) -> AtomId
     where
-        F: Fn(&Computation) -> bool + 'static,
+        F: Fn(&Computation) -> bool + Send + Sync + 'static,
     {
         self.atoms
             .push((name.to_owned(), Box::new(predicate), invariance));

@@ -252,6 +252,68 @@ pub fn classify_invariance(
     }
 }
 
+/// Classifies **every distinct subformula** of `f` in one post-order
+/// walk: the returned schedule lists each unique subformula exactly
+/// once, children strictly before parents, `f` itself last, each paired
+/// with its [`classify_invariance`] verdict.
+///
+/// This is the query planner's hook: a planner can turn the schedule
+/// directly into an evaluation order (bottom-up, so every memo lookup
+/// of a child hits) and use the per-subtree verdicts for
+/// quotient-vs-full selection — `Invariant` subtrees stay on the
+/// quotient fast path, `OutOfContract` ones are known in advance to
+/// take the policy fallback (orbit expansion or rejection). Duplicate
+/// subtrees appear once, which is exactly the common-subformula
+/// deduplication the evaluator's memo exploits.
+#[must_use]
+pub fn classify_subformulas(
+    f: &Formula,
+    interp: &Interpretation,
+    generators: &[Permutation],
+) -> Vec<(Formula, Invariance)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut order = Vec::new();
+    collect_post_order(f, &mut seen, &mut order);
+    order
+        .into_iter()
+        .map(|g| {
+            let verdict = classify_invariance(&g, interp, generators);
+            (g, verdict)
+        })
+        .collect()
+}
+
+/// Appends `f`'s distinct subformulas to `out` post-order (children
+/// before parents, duplicates skipped).
+fn collect_post_order(
+    f: &Formula,
+    seen: &mut std::collections::HashSet<Formula>,
+    out: &mut Vec<Formula>,
+) {
+    if seen.contains(f) {
+        return;
+    }
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_) => {}
+        Formula::Not(g)
+        | Formula::Knows(_, g)
+        | Formula::Sure(_, g)
+        | Formula::Everyone(g)
+        | Formula::Common(g) => collect_post_order(g, seen, out),
+        Formula::And(gs) | Formula::Or(gs) => {
+            for g in gs {
+                collect_post_order(g, seen, out);
+            }
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            collect_post_order(a, seen, out);
+            collect_post_order(b, seen, out);
+        }
+    }
+    seen.insert(f.clone());
+    out.push(f.clone());
+}
+
 /// The first generator moving `set`, if any.
 fn moved_by<'a>(set: ProcessSet, gens: &[&'a Permutation]) -> Option<&'a Permutation> {
     gens.iter().find(|g| !g.stabilizes(set)).copied()

@@ -1,12 +1,21 @@
 //! # hpl-runtime — real threads, recorded as computations
 //!
-//! A small message-passing runtime over OS threads and crossbeam
-//! channels whose every execution is captured as a validated
-//! [`hpl_model::Computation`]. It demonstrates that the calculus of
-//! *How Processes Learn* applies to genuine concurrent interleavings,
-//! not only simulated ones: traces recorded here feed directly into
-//! `hpl-core`'s causality and chain analyses (see the `live_run`
-//! example).
+//! Two runtime shapes live here:
+//!
+//! 1. A small message-passing runtime over OS threads and crossbeam
+//!    channels whose every execution is captured as a validated
+//!    [`hpl_model::Computation`]. It demonstrates that the calculus of
+//!    *How Processes Learn* applies to genuine concurrent
+//!    interleavings, not only simulated ones: traces recorded here feed
+//!    directly into `hpl-core`'s causality and chain analyses (see the
+//!    `live_run` example).
+//! 2. The **persistent knowledge-query service** ([`QueryService`]):
+//!    generation-keyed immutable universe snapshots, a formula-text
+//!    session API ([`Session`]), a query planner with constant folding,
+//!    common-subformula dedup and per-subtree quotient selection
+//!    ([`planner`]), in-flight request coalescing ([`batching`]), and a
+//!    worker pool evaluating concurrently through shared class/sat-set
+//!    caches ([`service`]).
 //!
 //! ## Recording discipline
 //!
@@ -45,6 +54,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod batching;
+pub mod planner;
+pub mod service;
+pub mod session;
+
+pub use batching::{Admission, Ticket};
+pub use planner::{execute, fold, plan, PlanStats, PlanStep, QueryPlan, SubtreeMode};
+pub use service::{QueryError, QueryService, Snapshot};
+pub use session::{QueryResponse, Session};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hpl_model::{ActionId, Computation, Event, EventId, EventKind, MessageId, ProcessId};

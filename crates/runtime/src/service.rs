@@ -1,0 +1,361 @@
+//! The persistent knowledge-query service.
+//!
+//! A [`QueryService`] is the long-lived server shape of the calculus:
+//! it owns immutable, generation-keyed universe **snapshots** (one per
+//! registered scenario) and a pool of worker threads that evaluate
+//! parsed, planned epistemic queries against them concurrently. Per
+//! snapshot it shares
+//!
+//! * a [`ClassCache`] — `[P]`-partitions, reused by every evaluator a
+//!   worker spins up,
+//! * a [`SatCache`] — final satisfaction sets keyed
+//!   `(generation, formula)`, so repeated queries cost a lookup, and
+//! * an [`Admission`] table — identical requests *in flight* coalesce
+//!   behind one evaluation (see [`crate::batching`]).
+//!
+//! Clients talk to the service through [`Session`]s
+//! ([`QueryService::session`]): formula text in, satisfaction sets and
+//! plan/caching diagnostics out. Concurrent results are byte-identical
+//! to a sequential [`Evaluator`] over the same snapshot — the
+//! `concurrent_determinism` suite certifies this across protocols,
+//! quotient policies and thread counts.
+
+use crate::batching::Admission;
+use crate::planner::{self, QueryPlan};
+use crate::session::Session;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hpl_core::isomorphism::ClassCache;
+use hpl_core::{
+    CompSet, CoreError, Evaluator, Formula, Interpretation, Orbits, QuotientPolicy, SatCache,
+    SatCacheStats, Universe,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What a query ultimately resolves to: the satisfaction set of the
+/// folded root formula, or a typed failure. `Arc`-wrapped so one
+/// leader's result broadcasts to coalesced followers without copying
+/// the bitset.
+pub type Outcome = Result<Arc<CompSet>, QueryError>;
+
+/// A typed query failure. `Clone`, so admission can broadcast failures
+/// to followers exactly like successes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryError {
+    /// The formula text did not parse against the scenario's
+    /// interpretation.
+    Parse(String),
+    /// No scenario registered under this name.
+    UnknownScenario(String),
+    /// The quotient snapshot rejected the query as out of the symmetry
+    /// contract ([`QuotientPolicy::Reject`]).
+    Unsound(String),
+    /// The service's worker pool has shut down.
+    ServiceStopped,
+    /// An unexpected evaluation failure.
+    Internal(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "parse error: {m}"),
+            QueryError::UnknownScenario(s) => write!(f, "unknown scenario: {s}"),
+            QueryError::Unsound(m) => write!(f, "query rejected: {m}"),
+            QueryError::ServiceStopped => write!(f, "query service stopped"),
+            QueryError::Internal(m) => write!(f, "internal evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<CoreError> for QueryError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::QuotientUnsound(_) => QueryError::Unsound(e.to_string()),
+            other => QueryError::Internal(other.to_string()),
+        }
+    }
+}
+
+/// An immutable, generation-keyed view of one registered scenario:
+/// the universe, its interpretation, optional quotient structure, and
+/// the caches every evaluation against it shares.
+#[derive(Debug)]
+pub struct Snapshot {
+    pub(crate) name: String,
+    pub(crate) universe: Arc<Universe>,
+    pub(crate) interp: Arc<Interpretation>,
+    pub(crate) orbits: Option<Arc<Orbits>>,
+    pub(crate) policy: QuotientPolicy,
+    /// The universe generation pinned at registration — the cache key
+    /// prefix for every satisfaction set computed on this snapshot.
+    pub(crate) generation: u64,
+    pub(crate) classes: Arc<ClassCache>,
+    pub(crate) sats: Arc<SatCache>,
+    pub(crate) admission: Admission<Outcome>,
+}
+
+impl Snapshot {
+    /// The scenario name this snapshot was registered under.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The universe generation pinned at registration.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The snapshot's universe.
+    #[must_use]
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    /// The snapshot's interpretation.
+    #[must_use]
+    pub fn interpretation(&self) -> &Arc<Interpretation> {
+        &self.interp
+    }
+
+    /// The quotient policy (meaningful only for quotient snapshots).
+    #[must_use]
+    pub fn policy(&self) -> QuotientPolicy {
+        self.policy
+    }
+
+    /// Hit/miss counters of the cross-query satisfaction-set cache.
+    #[must_use]
+    pub fn sat_cache_stats(&self) -> SatCacheStats {
+        self.sats.stats()
+    }
+
+    /// Requests that joined an in-flight identical request instead of
+    /// evaluating.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.admission.coalesced()
+    }
+
+    /// Plans a formula for this snapshot (see [`crate::planner`]).
+    #[must_use]
+    pub fn plan(&self, f: &Formula) -> QueryPlan {
+        planner::plan(
+            f,
+            &self.interp,
+            self.orbits.as_deref().map(Orbits::generators),
+        )
+    }
+
+    /// Evaluates a plan on a fresh evaluator wired to this snapshot's
+    /// shared caches. This is what pool workers run; it is also the
+    /// sequential reference path (same code, one thread).
+    pub(crate) fn evaluate(&self, plan: &QueryPlan) -> Outcome {
+        let mut eval = match &self.orbits {
+            Some(o) => {
+                Evaluator::with_symmetry_policy(&self.universe, &self.interp, o, self.policy)
+            }
+            None => Evaluator::with_class_cache(&self.universe, &self.interp, self.classes.clone()),
+        }
+        .with_sat_cache(self.sats.clone());
+        planner::execute(plan, &mut eval)
+            .map(Arc::new)
+            .map_err(QueryError::from)
+    }
+}
+
+/// One unit of pool work: a planned query against a snapshot, with a
+/// one-shot reply channel back to the session that submitted it.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) snapshot: Arc<Snapshot>,
+    pub(crate) plan: QueryPlan,
+    pub(crate) reply: Sender<Outcome>,
+}
+
+/// The single shared handle to the pool's job channel. Sessions go
+/// through this slot instead of holding `Sender` clones, so emptying
+/// it on shutdown is enough to disconnect the channel and stop the
+/// workers even while sessions are still alive.
+pub(crate) type JobSlot = Arc<Mutex<Option<Sender<Job>>>>;
+
+/// The persistent knowledge-query service: registered snapshots plus a
+/// worker pool. Dropping the service shuts the pool down; sessions
+/// still holding it then get [`QueryError::ServiceStopped`].
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::{Interpretation, Universe};
+/// use hpl_model::ScenarioPool;
+/// use hpl_runtime::QueryService;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pool = ScenarioPool::new(2);
+/// let mut u = Universe::new(2);
+/// u.insert(pool.compose([])?)?;
+/// let mut interp = Interpretation::new();
+/// interp.register("quiet", |c| c.is_empty());
+///
+/// let service = QueryService::start(2);
+/// service.register("demo", Arc::new(u), Arc::new(interp));
+/// let session = service.session("demo")?;
+/// let resp = session.query("K{p0} quiet")?;
+/// assert_eq!(resp.count, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct QueryService {
+    snapshots: Mutex<HashMap<String, Arc<Snapshot>>>,
+    jobs: JobSlot,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts a service with `workers` pool threads (at least one).
+    #[must_use]
+    pub fn start(workers: usize) -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("hpl-query-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryService {
+            snapshots: Mutex::new(HashMap::new()),
+            jobs: Arc::new(Mutex::new(Some(tx))),
+            workers,
+        }
+    }
+
+    /// Registers (or replaces) a plain scenario snapshot. Returns the
+    /// pinned universe generation — the cache key for every
+    /// satisfaction set computed on it.
+    pub fn register(
+        &self,
+        name: &str,
+        universe: Arc<Universe>,
+        interp: Arc<Interpretation>,
+    ) -> u64 {
+        self.install(name, universe, interp, None, QuotientPolicy::default())
+    }
+
+    /// Registers (or replaces) a **symmetry-quotient** scenario
+    /// snapshot: knowledge queries quantify over whole orbits, and the
+    /// planner selects quotient-vs-full per subtree with the soundness
+    /// classifier under the given policy.
+    pub fn register_quotient(
+        &self,
+        name: &str,
+        universe: Arc<Universe>,
+        interp: Arc<Interpretation>,
+        orbits: Arc<Orbits>,
+        policy: QuotientPolicy,
+    ) -> u64 {
+        self.install(name, universe, interp, Some(orbits), policy)
+    }
+
+    fn install(
+        &self,
+        name: &str,
+        universe: Arc<Universe>,
+        interp: Arc<Interpretation>,
+        orbits: Option<Arc<Orbits>>,
+        policy: QuotientPolicy,
+    ) -> u64 {
+        let generation = universe.generation();
+        let snapshot = Arc::new(Snapshot {
+            name: name.to_owned(),
+            universe,
+            interp,
+            orbits,
+            policy,
+            generation,
+            classes: ClassCache::shared(),
+            sats: SatCache::shared(),
+            admission: Admission::new(),
+        });
+        self.snapshots.lock().insert(name.to_owned(), snapshot);
+        generation
+    }
+
+    /// Opens a session against a registered scenario. Sessions are
+    /// independent: create one per client thread.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownScenario`] if nothing is registered under
+    /// `scenario`, [`QueryError::ServiceStopped`] after shutdown.
+    pub fn session(&self, scenario: &str) -> Result<Session, QueryError> {
+        let snapshot = self
+            .snapshots
+            .lock()
+            .get(scenario)
+            .cloned()
+            .ok_or_else(|| QueryError::UnknownScenario(scenario.to_owned()))?;
+        if self.jobs.lock().is_none() {
+            return Err(QueryError::ServiceStopped);
+        }
+        Ok(Session::new(snapshot, Arc::clone(&self.jobs)))
+    }
+
+    /// The snapshot registered under `scenario`, if any (diagnostics
+    /// and bench reporting).
+    #[must_use]
+    pub fn snapshot(&self, scenario: &str) -> Option<Arc<Snapshot>> {
+        self.snapshots.lock().get(scenario).cloned()
+    }
+
+    /// Names of all registered scenarios, sorted.
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.snapshots.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        // the slot holds the channel's only sender: emptying it
+        // disconnects the channel, so workers drain the already-queued
+        // jobs and exit — even while sessions are still alive (they
+        // find the slot empty and fail fast with `ServiceStopped`)
+        drop(self.jobs.lock().take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Pool worker: pull a job, evaluate it against its snapshot, reply.
+/// The shared receiver sits behind a mutex (the vendored channel is
+/// single-consumer); evaluation itself runs outside the lock.
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = rx.lock();
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // channel closed: the service dropped its sender
+        };
+        let outcome = job.snapshot.evaluate(&job.plan);
+        // a session that gave up waiting is fine
+        let _ = job.reply.send(outcome);
+    }
+}

@@ -1,0 +1,151 @@
+//! Client sessions against a [`QueryService`](crate::QueryService).
+//!
+//! A [`Session`] pins one scenario snapshot and accepts formula
+//! **text**: each query is parsed against the snapshot's
+//! interpretation ([`hpl_core::parser`]), planned
+//! ([`crate::planner`]), admitted through the coalescing layer
+//! ([`crate::batching`]), and evaluated on the service's worker pool.
+//! The response carries the satisfaction set plus everything the bench
+//! report wants to know about how the query was served.
+
+use crate::batching::Ticket;
+use crate::planner::PlanStats;
+use crate::service::{Job, JobSlot, Outcome, QueryError, Snapshot};
+use crossbeam::channel::unbounded;
+use hpl_core::{parse, CompSet, Formula};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A client handle against one registered scenario. Cheap to create
+/// (two `Arc` clones); make one per client thread.
+#[derive(Debug)]
+pub struct Session {
+    snapshot: Arc<Snapshot>,
+    jobs: JobSlot,
+}
+
+/// A served query: the satisfaction set of the folded root formula
+/// over the snapshot, plus plan and serving diagnostics.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The scenario the session is bound to.
+    pub scenario: String,
+    /// The universe generation the result is valid for.
+    pub generation: u64,
+    /// The constant-folded root formula that was evaluated.
+    pub formula: Formula,
+    /// The satisfaction set (bit-set over the snapshot's universe).
+    pub sat: Arc<CompSet>,
+    /// Number of satisfying computations (`sat.count()`).
+    pub count: usize,
+    /// Universe size, for "k of n" reporting.
+    pub universe_len: usize,
+    /// `true` if this request coalesced behind an identical in-flight
+    /// one instead of evaluating.
+    pub coalesced: bool,
+    /// What the planner did (folding / dedup / quotient selection).
+    pub plan: PlanStats,
+    /// End-to-end latency as observed by the client.
+    pub elapsed: Duration,
+}
+
+impl Session {
+    pub(crate) fn new(snapshot: Arc<Snapshot>, jobs: JobSlot) -> Self {
+        Session { snapshot, jobs }
+    }
+
+    /// The scenario this session is bound to.
+    #[must_use]
+    pub fn scenario(&self) -> &str {
+        self.snapshot.name()
+    }
+
+    /// The universe generation this session's results are keyed by.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.snapshot.generation()
+    }
+
+    /// The snapshot this session queries.
+    #[must_use]
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// Parses and serves a formula, e.g. `"K{p0} token-at-p0"`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Parse`] on bad syntax or unknown atoms;
+    /// otherwise as [`Session::query_formula`].
+    pub fn query(&self, text: &str) -> Result<QueryResponse, QueryError> {
+        let f = parse(text, &self.snapshot.interp).map_err(|e| QueryError::Parse(e.to_string()))?;
+        self.query_formula(&f)
+    }
+
+    /// Serves an already-constructed formula.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Unsound`] when a `Reject`-policy quotient snapshot
+    /// refuses an out-of-contract formula;
+    /// [`QueryError::ServiceStopped`] after the service dropped.
+    pub fn query_formula(&self, f: &Formula) -> Result<QueryResponse, QueryError> {
+        let start = Instant::now();
+        let plan = self.snapshot.plan(f);
+        let generation = self.snapshot.generation;
+        let (outcome, coalesced) = match self.snapshot.admission.admit(generation, plan.root()) {
+            Ticket::Leader => {
+                let outcome = self.submit(&plan);
+                // settle on *every* path — an unsettled entry would
+                // strand followers until disconnect
+                self.snapshot
+                    .admission
+                    .settle(generation, plan.root(), &outcome);
+                (outcome, false)
+            }
+            Ticket::Follower(rx) => match rx.recv() {
+                Ok(outcome) => (outcome, true),
+                // the leader vanished without settling: serve ourselves
+                Err(_) => (self.submit(&plan), false),
+            },
+        };
+        let sat = outcome?;
+        Ok(QueryResponse {
+            scenario: self.snapshot.name().to_owned(),
+            generation,
+            formula: plan.root().clone(),
+            count: sat.count(),
+            universe_len: self.snapshot.universe.len(),
+            sat,
+            coalesced,
+            plan: plan.stats(),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Ships a plan to the worker pool and blocks for the outcome.
+    /// The sender lives in the service's shared slot — never in the
+    /// session — so a dropped service means an empty slot here (fail
+    /// fast), not a channel held open past the pool's shutdown.
+    fn submit(&self, plan: &crate::planner::QueryPlan) -> Outcome {
+        let (tx, rx) = unbounded();
+        let sent = {
+            let guard = self.jobs.lock();
+            match guard.as_ref() {
+                Some(jobs) => jobs
+                    .send(Job {
+                        snapshot: Arc::clone(&self.snapshot),
+                        plan: plan.clone(),
+                        reply: tx,
+                    })
+                    .is_ok(),
+                None => false,
+            }
+        };
+        if !sent {
+            return Err(QueryError::ServiceStopped);
+        }
+        rx.recv().map_err(|_| QueryError::ServiceStopped)?
+    }
+}

@@ -1,0 +1,320 @@
+//! Concurrent determinism of the query service: N client threads
+//! issuing the same and overlapping formula batches against one
+//! `Arc<Universe>` snapshot must get satisfaction sets **byte-identical**
+//! to a sequential `Evaluator` over the same universe — across
+//! protocols × quotient policies {Expand, Reject} × thread counts
+//! {1, 4, 16}.
+
+use hpl_core::{
+    enumerate, enumerate_sharded, CompSet, EnumerationLimits, Evaluator, Formula, Interpretation,
+    Orbits, QuotientPolicy, ShardConfig, Universe,
+};
+use hpl_model::ProcessSet;
+use hpl_protocols::{token_bus, two_generals};
+use hpl_runtime::{QueryError, QueryService};
+use std::sync::Arc;
+
+/// One scenario snapshot plus its formula corpus.
+struct Fixture {
+    name: &'static str,
+    universe: Arc<Universe>,
+    interp: Arc<Interpretation>,
+    orbits: Option<Arc<Orbits>>,
+    corpus: Vec<Formula>,
+}
+
+/// Atoms `t0` (invariant) / `t1`, `t2` (dependent) over three
+/// processes: a corpus spanning plain propositional structure, sound
+/// quotient knowledge, exact-at-representatives knowledge, and
+/// out-of-contract formulas that force the Expand/Reject policies to
+/// diverge in behavior (never in correctness).
+fn mixed_corpus(atoms: &[Formula]) -> Vec<Formula> {
+    let t0 = atoms[0].clone();
+    let t1 = atoms[1].clone();
+    let t2 = atoms[2].clone();
+    let p0 = ProcessSet::from_indices([0]);
+    let p1 = ProcessSet::from_indices([1]);
+    let shared = t0.clone().and(t1.clone());
+    vec![
+        t0.clone(),
+        t1.clone(),
+        t0.clone().not(),
+        shared.clone().or(shared.clone().not()),
+        t0.clone().implies(t2.clone()),
+        // sound on the quotient: knowledge of an invariant atom
+        Formula::knows(p0, t0.clone()),
+        Formula::everyone(t0.clone()),
+        Formula::common(t0.clone()),
+        Formula::sure(p1, t0.clone()),
+        // exact at representatives: outermost knowledge over a moved set
+        Formula::knows(p1, t0.clone()),
+        Formula::knows(p1, Formula::knows(p0, t0.clone())),
+        // out of contract: knowledge over a dependent atom / nested
+        // knowledge over a moved set — Expand computes exactly,
+        // Reject errors (on both the service and the reference)
+        Formula::knows(p0, t1.clone()),
+        Formula::everyone(Formula::knows(p1, t0.clone())),
+        Formula::sure(p1, t1),
+        // constant folding fodder
+        t0.clone().and(Formula::True),
+        Formula::knows(p0, t0.or(Formula::True)),
+    ]
+}
+
+fn token_fixture() -> Fixture {
+    let cfg = ShardConfig::with_shards(4).quotient();
+    let out = enumerate_sharded(
+        &token_bus::TokenBus::with_chatter(3, 2),
+        EnumerationLimits::depth(8),
+        &cfg,
+    )
+    .expect("token-bus enumeration");
+    let orbits = out.orbits.expect("quotient mode yields orbits");
+    let mut interp = Interpretation::new();
+    let atoms = token_bus::token_atoms(&mut interp, 3);
+    Fixture {
+        name: "token_bus",
+        universe: Arc::new(out.universe.into_universe()),
+        interp: Arc::new(interp),
+        orbits: Some(Arc::new(orbits)),
+        corpus: mixed_corpus(&atoms),
+    }
+}
+
+fn broadcast_fixture() -> Fixture {
+    let cfg = ShardConfig::with_shards(4).quotient();
+    let out = enumerate_sharded(
+        &token_bus::BroadcastBus::with_chatter(3, 1),
+        EnumerationLimits::depth(7),
+        &cfg,
+    )
+    .expect("broadcast-bus enumeration");
+    let orbits = out.orbits.expect("quotient mode yields orbits");
+    let mut interp = Interpretation::new();
+    let atoms = token_bus::token_atoms(&mut interp, 3);
+    Fixture {
+        name: "broadcast",
+        universe: Arc::new(out.universe.into_universe()),
+        interp: Arc::new(interp),
+        orbits: Some(Arc::new(orbits)),
+        corpus: mixed_corpus(&atoms),
+    }
+}
+
+fn generals_fixture() -> Fixture {
+    let pu = two_generals::universe(3, 6).expect("two-generals enumeration");
+    let mut interp = Interpretation::new();
+    let attack = two_generals::attack_atom(&mut interp);
+    let g0 = ProcessSet::from_indices([0]);
+    let g1 = ProcessSet::from_indices([1]);
+    let corpus = vec![
+        attack.clone(),
+        attack.clone().not(),
+        Formula::knows(g1, attack.clone()),
+        Formula::knows(g0, Formula::knows(g1, attack.clone())),
+        Formula::common(attack.clone()),
+        Formula::sure(g1, attack.clone()),
+        Formula::everyone(attack.clone()).implies(attack.clone()),
+        attack.clone().and(Formula::True),
+    ];
+    Fixture {
+        name: "two_generals",
+        universe: Arc::new(pu.into_universe()),
+        interp: Arc::new(interp),
+        orbits: None,
+        corpus,
+    }
+}
+
+/// Sequential reference: a plain/symmetry `Evaluator` over the same
+/// snapshot, same policy, evaluated formula by formula.
+fn reference(fx: &Fixture, policy: QuotientPolicy) -> Vec<Result<CompSet, ()>> {
+    let mut eval = match &fx.orbits {
+        Some(o) => Evaluator::with_symmetry_policy(&fx.universe, &fx.interp, o, policy),
+        None => Evaluator::new(&fx.universe, &fx.interp),
+    };
+    fx.corpus
+        .iter()
+        .map(|f| eval.try_sat_set(f).map_err(|_| ()))
+        .collect()
+}
+
+/// The matrix cell: `threads` clients, each walking the corpus from a
+/// rotated start (overlapping batches), every response compared
+/// byte-for-byte against the sequential reference.
+fn assert_concurrent_matches_sequential(fx: &Fixture, policy: QuotientPolicy, threads: usize) {
+    let want = reference(fx, policy);
+    let service = QueryService::start(threads);
+    match &fx.orbits {
+        Some(o) => service.register_quotient(
+            fx.name,
+            Arc::clone(&fx.universe),
+            Arc::clone(&fx.interp),
+            Arc::clone(o),
+            policy,
+        ),
+        None => service.register(fx.name, Arc::clone(&fx.universe), Arc::clone(&fx.interp)),
+    };
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let service = &service;
+            let want = &want;
+            let corpus = &fx.corpus;
+            let name = fx.name;
+            s.spawn(move || {
+                let session = service.session(name).expect("registered scenario");
+                let n = corpus.len();
+                for k in 0..n {
+                    let i = (k + t) % n; // rotated: overlapping, not lockstep
+                    match (session.query_formula(&corpus[i]), &want[i]) {
+                        (Ok(resp), Ok(expected)) => {
+                            assert_eq!(
+                                *resp.sat, *expected,
+                                "{name}/{policy:?}/t{threads}: sat set of {:?} diverged",
+                                corpus[i]
+                            );
+                            assert_eq!(resp.count, expected.count());
+                        }
+                        (Err(QueryError::Unsound(_)), Err(())) => {}
+                        (got, _) => panic!(
+                            "{name}/{policy:?}/t{threads}: outcome class diverged for {:?}: \
+                             service said {:?}",
+                            corpus[i],
+                            got.map(|r| r.count)
+                        ),
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_results_match_sequential_across_matrix() {
+    let fixtures = [token_fixture(), broadcast_fixture(), generals_fixture()];
+    for fx in &fixtures {
+        for policy in [QuotientPolicy::Expand, QuotientPolicy::Reject] {
+            for threads in [1, 4, 16] {
+                assert_concurrent_matches_sequential(fx, policy, threads);
+            }
+        }
+    }
+}
+
+/// All threads hammering the *same* formula simultaneously: results
+/// must still match, and every request must be accounted for as either
+/// a leader or a coalesced follower.
+#[test]
+fn identical_inflight_requests_coalesce_and_agree() {
+    let fx = token_fixture();
+    let f = Formula::common(fx.corpus[0].clone());
+    let mut seq = Evaluator::with_symmetry_policy(
+        &fx.universe,
+        &fx.interp,
+        fx.orbits.as_ref().expect("quotient fixture"),
+        QuotientPolicy::Expand,
+    );
+    let want = seq.try_sat_set(&f).expect("sound formula");
+
+    let threads = 16;
+    let service = QueryService::start(4);
+    service.register_quotient(
+        fx.name,
+        Arc::clone(&fx.universe),
+        Arc::clone(&fx.interp),
+        Arc::clone(fx.orbits.as_ref().expect("quotient fixture")),
+        QuotientPolicy::Expand,
+    );
+    let barrier = std::sync::Barrier::new(threads);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let service = &service;
+            let barrier = &barrier;
+            let f = &f;
+            let want = &want;
+            let name = fx.name;
+            s.spawn(move || {
+                let session = service.session(name).expect("registered scenario");
+                barrier.wait();
+                let resp = session.query_formula(f).expect("sound formula");
+                assert_eq!(*resp.sat, *want, "coalesced result diverged");
+            });
+        }
+    });
+
+    let snap = service.snapshot(fx.name).expect("registered scenario");
+    let stats = snap.sat_cache_stats();
+    assert!(
+        stats.hits + stats.misses > 0,
+        "the shared sat cache must have been consulted"
+    );
+    // every request either led, coalesced behind a leader, or hit the
+    // sat cache after an earlier settle — never a fourth path
+    assert!(snap.coalesced() <= (threads as u64 - 1));
+}
+
+/// Sessions surviving the service's drop get a typed error, not a hang.
+#[test]
+fn dropped_service_fails_queries_with_typed_error() {
+    let fx = generals_fixture();
+    let service = QueryService::start(2);
+    service.register(fx.name, Arc::clone(&fx.universe), Arc::clone(&fx.interp));
+    let session = service.session(fx.name).expect("registered scenario");
+    assert!(session.query_formula(&fx.corpus[0]).is_ok());
+    drop(service);
+    assert_eq!(
+        session.query_formula(&fx.corpus[0]).unwrap_err(),
+        QueryError::ServiceStopped
+    );
+}
+
+/// The formula-text front door: parsed queries agree with constructed
+/// ones, and parse failures surface as typed errors.
+#[test]
+fn text_queries_agree_with_constructed_formulas() {
+    let fx = generals_fixture();
+    let service = QueryService::start(2);
+    service.register(fx.name, Arc::clone(&fx.universe), Arc::clone(&fx.interp));
+    let session = service.session(fx.name).expect("registered scenario");
+
+    let text = session.query("K{p1} attack-planned").expect("parses");
+    let constructed = session
+        .query_formula(&Formula::knows(
+            ProcessSet::from_indices([1]),
+            fx.corpus[0].clone(),
+        ))
+        .expect("evaluates");
+    assert_eq!(*text.sat, *constructed.sat);
+
+    assert!(matches!(
+        session.query("K{p1} no-such-atom"),
+        Err(QueryError::Parse(_))
+    ));
+    assert!(matches!(session.query("K{p1"), Err(QueryError::Parse(_))));
+}
+
+/// Plain sequential enumeration and the service agree too (the plain
+/// snapshot path has no orbit machinery to hide behind).
+#[test]
+fn plain_enumerated_universe_round_trips() {
+    let pu = enumerate(&token_bus::TokenBus::new(2), EnumerationLimits::depth(6))
+        .expect("plain enumeration");
+    let mut interp = Interpretation::new();
+    let atoms = token_bus::token_atoms(&mut interp, 2);
+    let universe = Arc::new(pu.into_universe());
+    let interp = Arc::new(interp);
+
+    let mut seq = Evaluator::new(&universe, &interp);
+    let f = Formula::knows(ProcessSet::from_indices([0]), atoms[0].clone());
+    let want = seq.sat_set(&f);
+
+    let service = QueryService::start(1);
+    service.register("plain", Arc::clone(&universe), Arc::clone(&interp));
+    let session = service.session("plain").expect("registered scenario");
+    let resp = session
+        .query_formula(&f)
+        .expect("plain queries are infallible");
+    assert_eq!(*resp.sat, want);
+    assert_eq!(resp.universe_len, universe.len());
+}

@@ -1,0 +1,375 @@
+//! Planner soundness: CSE'd, folded, bottom-up plans must be
+//! **pointwise equal** to naive recursive evaluation.
+//!
+//! The ground truth here is deliberately primitive: a recursive
+//! evaluator with no memoization, no folding, no class caches — `[P]`
+//! classes brute-forced through [`Computation::agrees_on`] and common
+//! knowledge through reachability closure over the union of the
+//! single-process relations. Whatever the planner reorders, dedups or
+//! folds, [`hpl_runtime::execute`] must land on exactly the same
+//! bit-sets, across an adversarial random corpus in the PR 5 style
+//! (most draws break the quotient contract on purpose).
+
+use hpl_core::{
+    enumerate_sharded, CompSet, CoreError, EnumerationLimits, Evaluator, Formula, Interpretation,
+    QuotientPolicy, ShardConfig, Universe,
+};
+use hpl_model::{Computation, ProcessId, ProcessSet};
+use hpl_protocols::token_bus::BroadcastBus;
+use hpl_runtime::{execute, fold, plan};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+// ---------------------------------------------------------------------
+// Naive recursive reference evaluator
+// ---------------------------------------------------------------------
+
+/// `{y : x [P] y}` by brute force, straight off the paper's definition.
+fn naive_class(u: &Universe, x: &Computation, p: ProcessSet) -> CompSet {
+    let mut s = CompSet::new(u.len());
+    for (id, y) in u.iter() {
+        if x.agrees_on(y, p) {
+            s.insert(id.index());
+        }
+    }
+    s
+}
+
+/// Reachability closure of `x` under the union of all single-process
+/// relations — the component common knowledge quantifies over.
+fn naive_component(u: &Universe, start: usize) -> CompSet {
+    let n = u.len();
+    let comps: Vec<&Computation> = u.iter().map(|(_, c)| c).collect();
+    let mut seen = CompSet::new(n);
+    seen.insert(start);
+    let mut frontier = vec![start];
+    while let Some(i) = frontier.pop() {
+        for j in 0..n {
+            if !seen.contains(j)
+                && (0..u.system_size()).any(|p| comps[i].agrees_on_process(comps[j], pid(p)))
+            {
+                seen.insert(j);
+                frontier.push(j);
+            }
+        }
+    }
+    seen
+}
+
+/// Naive recursive semantics: no memo, no folding, no shared state.
+fn naive(u: &Universe, interp: &Interpretation, f: &Formula) -> CompSet {
+    let n = u.len();
+    let knows = |sg: &CompSet, p: ProcessSet| {
+        let mut s = CompSet::new(n);
+        for (id, x) in u.iter() {
+            if naive_class(u, x, p).is_subset(sg) {
+                s.insert(id.index());
+            }
+        }
+        s
+    };
+    match f {
+        Formula::True => CompSet::full(n),
+        Formula::False => CompSet::new(n),
+        Formula::Atom(id) => {
+            let mut s = CompSet::new(n);
+            for (i, c) in u.iter() {
+                if interp.eval(*id, c) {
+                    s.insert(i.index());
+                }
+            }
+            s
+        }
+        Formula::Not(g) => {
+            let mut s = naive(u, interp, g);
+            s.complement();
+            s
+        }
+        Formula::And(gs) => {
+            let mut s = CompSet::full(n);
+            for g in gs {
+                s.intersect_with(&naive(u, interp, g));
+            }
+            s
+        }
+        Formula::Or(gs) => {
+            let mut s = CompSet::new(n);
+            for g in gs {
+                s.union_with(&naive(u, interp, g));
+            }
+            s
+        }
+        Formula::Implies(a, b) => {
+            let mut s = naive(u, interp, a);
+            s.complement();
+            s.union_with(&naive(u, interp, b));
+            s
+        }
+        Formula::Iff(a, b) => {
+            let mut s = naive(u, interp, a);
+            s.xor_with(&naive(u, interp, b));
+            s.complement();
+            s
+        }
+        Formula::Knows(p, g) => knows(&naive(u, interp, g), *p),
+        Formula::Sure(p, g) => {
+            let sg = naive(u, interp, g);
+            let mut not_sg = sg.clone();
+            not_sg.complement();
+            let mut s = knows(&sg, *p);
+            s.union_with(&knows(&not_sg, *p));
+            s
+        }
+        Formula::Everyone(g) => {
+            let sg = naive(u, interp, g);
+            let mut s = CompSet::full(n);
+            for p in 0..u.system_size() {
+                s.intersect_with(&knows(&sg, ProcessSet::singleton(pid(p))));
+            }
+            s
+        }
+        Formula::Common(g) => {
+            let sg = naive(u, interp, g);
+            let mut s = CompSet::new(n);
+            for i in 0..n {
+                if naive_component(u, i).is_subset(&sg) {
+                    s.insert(i);
+                }
+            }
+            s
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial corpus (PR 5 idiom): honest invariance declarations,
+// random formulas that mostly break the quotient contract
+// ---------------------------------------------------------------------
+
+fn adversarial_interp() -> (Interpretation, Vec<Formula>) {
+    let mut interp = Interpretation::new();
+    let atoms = vec![
+        Formula::atom(interp.register_invariant("nonempty", |c| !c.is_empty())),
+        Formula::atom(interp.register_invariant("any-send", |c| c.sends() >= 1)),
+        Formula::atom(interp.register("p1-acted", |c| c.iter().any(|e| e.is_on(pid(1))))),
+        Formula::atom(interp.register("p2-quiet", |c| c.iter().all(|e| !e.is_on(pid(2))))),
+    ];
+    (interp, atoms)
+}
+
+/// Random formulas over invariant + dependent atoms, all operators,
+/// arbitrary process sets; `True`/`False` leaves feed the folder.
+fn random_formula(rng: &mut StdRng, atoms: &[Formula], n: usize, depth: usize) -> Formula {
+    if depth == 0 {
+        return match rng.random_range(0..6) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => atoms[rng.random_range(0..atoms.len())].clone(),
+        };
+    }
+    let any_set = |rng: &mut StdRng| {
+        let bits = rng.random_range(1..(1u32 << n));
+        ProcessSet::from_indices((0..n).filter(|i| bits >> i & 1 == 1))
+    };
+    match rng.random_range(0..9) {
+        0 => random_formula(rng, atoms, n, depth - 1).not(),
+        1 => random_formula(rng, atoms, n, depth - 1).and(random_formula(rng, atoms, n, depth - 1)),
+        2 => random_formula(rng, atoms, n, depth - 1).or(random_formula(rng, atoms, n, depth - 1)),
+        3 => random_formula(rng, atoms, n, depth - 1).implies(random_formula(
+            rng,
+            atoms,
+            n,
+            depth - 1,
+        )),
+        4 => random_formula(rng, atoms, n, depth - 1).iff(random_formula(rng, atoms, n, depth - 1)),
+        5 => Formula::knows(any_set(rng), random_formula(rng, atoms, n, depth - 1)),
+        6 => Formula::sure(any_set(rng), random_formula(rng, atoms, n, depth - 1)),
+        7 => Formula::everyone(random_formula(rng, atoms, n, depth - 1)),
+        _ => Formula::common(random_formula(rng, atoms, n, depth - 1)),
+    }
+}
+
+struct Setup {
+    full: Universe,
+    quotient: Universe,
+    orbits: hpl_core::Orbits,
+    interp: Interpretation,
+    atoms: Vec<Formula>,
+}
+
+fn setup() -> Setup {
+    let limits = EnumerationLimits::depth(4);
+    let full = enumerate_sharded(
+        &BroadcastBus::with_chatter(3, 1),
+        limits,
+        &ShardConfig::with_shards(2),
+    )
+    .expect("within budget");
+    let q = enumerate_sharded(
+        &BroadcastBus::with_chatter(3, 1),
+        limits,
+        &ShardConfig::with_shards(2).quotient(),
+    )
+    .expect("within budget");
+    let orbits = q.orbits.expect("quotient mode yields orbits");
+    let (interp, atoms) = adversarial_interp();
+    Setup {
+        full: full.universe.into_universe(),
+        quotient: q.universe.into_universe(),
+        orbits,
+        interp,
+        atoms,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The suite
+// ---------------------------------------------------------------------
+
+/// Plain universes: `execute(plan(f))` pointwise-equals the naive
+/// recursive reference, for every random draw. This pins down constant
+/// folding, common-subformula dedup and the bottom-up schedule all at
+/// once — any unsound rewrite shows up as a flipped bit.
+#[test]
+fn planned_evaluation_matches_naive_reference_on_plain_universes() {
+    let s = setup();
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = random_formula(&mut rng, &s.atoms, 3, 1 + (seed % 3) as usize);
+        let want = naive(&s.full, &s.interp, &f);
+
+        let p = plan(&f, &s.interp, None);
+        let mut eval = Evaluator::new(&s.full, &s.interp);
+        let got = execute(&p, &mut eval).expect("plain evaluation is total");
+        assert_eq!(
+            got,
+            want,
+            "seed {seed}: plan of {f:?} diverged from naive reference \
+             (folded root {:?})",
+            p.root()
+        );
+    }
+}
+
+/// Folding alone is semantically exact: `naive(fold(f)) == naive(f)`.
+#[test]
+fn folding_is_semantically_exact() {
+    let s = setup();
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0xF0 ^ seed.wrapping_mul(2654435761));
+        let f = random_formula(&mut rng, &s.atoms, 3, 1 + (seed % 3) as usize);
+        let folded = fold(&f);
+        assert_eq!(
+            naive(&s.full, &s.interp, &folded),
+            naive(&s.full, &s.interp, &f),
+            "seed {seed}: folding changed the meaning of {f:?} -> {folded:?}"
+        );
+    }
+}
+
+/// Quotient universes under `Expand`: the planned evaluation matches a
+/// direct (unplanned) `try_sat_set` of the original formula, which PR 5
+/// certified against the full universe.
+#[test]
+fn planned_quotient_evaluation_matches_direct_under_expand() {
+    let s = setup();
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(0xE ^ seed.wrapping_mul(40503));
+        let f = random_formula(&mut rng, &s.atoms, 3, 1 + (seed % 3) as usize);
+
+        let mut direct = Evaluator::with_symmetry_policy(
+            &s.quotient,
+            &s.interp,
+            &s.orbits,
+            QuotientPolicy::Expand,
+        );
+        let want = direct.try_sat_set(&f).expect("Expand is total");
+
+        let p = plan(&f, &s.interp, Some(s.orbits.generators()));
+        let mut eval = Evaluator::with_symmetry_policy(
+            &s.quotient,
+            &s.interp,
+            &s.orbits,
+            QuotientPolicy::Expand,
+        );
+        let got = execute(&p, &mut eval).expect("Expand is total");
+        assert_eq!(got, want, "seed {seed}: planned Expand diverged for {f:?}");
+    }
+}
+
+/// Quotient universes under `Reject`: the planned evaluation errors
+/// exactly when direct evaluation of the **folded** formula errors
+/// (the folded root is what the service evaluates and reports; folding
+/// may soundly discharge vacuous out-of-contract subtrees like
+/// `K_P(true)`, so the unfolded syntax is not the contract). Given the
+/// same folded input, the bottom-up schedule may not reject more or
+/// less than direct recursion — the soundness lattice is monotone —
+/// and both must agree bit-for-bit when they admit.
+#[test]
+fn planned_quotient_evaluation_matches_direct_under_reject() {
+    let s = setup();
+    let mut rejected = 0usize;
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(0xBAD ^ seed.wrapping_mul(7919));
+        let f = random_formula(&mut rng, &s.atoms, 3, 1 + (seed % 3) as usize);
+
+        let mut direct = Evaluator::with_symmetry_policy(
+            &s.quotient,
+            &s.interp,
+            &s.orbits,
+            QuotientPolicy::Reject,
+        );
+        let want = direct.try_sat_set(&fold(&f));
+
+        let p = plan(&f, &s.interp, Some(s.orbits.generators()));
+        let mut eval = Evaluator::with_symmetry_policy(
+            &s.quotient,
+            &s.interp,
+            &s.orbits,
+            QuotientPolicy::Reject,
+        );
+        match (execute(&p, &mut eval), want) {
+            (Ok(got), Ok(want)) => {
+                assert_eq!(got, want, "seed {seed}: planned Reject diverged for {f:?}");
+            }
+            (Err(CoreError::QuotientUnsound(_)), Err(CoreError::QuotientUnsound(_))) => {
+                rejected += 1;
+            }
+            (got, want) => panic!(
+                "seed {seed}: outcome class diverged for {f:?}: plan said \
+                 {:?}, direct said {:?}",
+                got.map(|s| s.count()),
+                want.map(|s| s.count())
+            ),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "the adversarial corpus must exercise the Reject path"
+    );
+}
+
+/// Shared subtrees: a formula whose subtree appears four times is
+/// deduplicated by the planner and still evaluates exactly.
+#[test]
+fn deduplicated_shared_subtrees_evaluate_exactly() {
+    let s = setup();
+    let g = s.atoms[0].clone().and(s.atoms[2].clone());
+    let f = Formula::knows(ProcessSet::from_indices([0]), g.clone())
+        .or(g.clone().not())
+        .and(g.clone().implies(g.clone()));
+
+    let p = plan(&f, &s.interp, None);
+    assert!(
+        p.stats().deduped > 0,
+        "the repeated subtree must be deduplicated, stats: {:?}",
+        p.stats()
+    );
+    let mut eval = Evaluator::new(&s.full, &s.interp);
+    let got = execute(&p, &mut eval).expect("plain evaluation is total");
+    assert_eq!(got, naive(&s.full, &s.interp, &f));
+}
