@@ -47,13 +47,34 @@
 //! snapshots, gated as a throughput **floor** (`--qps-tolerance`,
 //! default 0.5 — generous because single-core runners serialize the
 //! client fleet) plus an unconditional determinism witness. `repro
-//! serve` opens the same snapshots behind a line-oriented REPL.
+//! serve` opens the same snapshots behind a line-oriented REPL
+//! (`:stats [scenario]` prints the Prometheus-style metrics snapshot).
+//!
+//! The v7 schema adds the telemetry surfaces. Timed regions keep the
+//! recorder **disabled** — the wall gate doubles as the zero-overhead
+//! assertion — and each sharded scenario then re-runs once with the
+//! recorder enabled (the *instrumented pass*), attaching a `telemetry`
+//! object: stage wall breakdown (`explore_ms` / `merge_ms` /
+//! `renumber_ms`), merge credit-stall time and its share of explore
+//! time (`stall_share`, gated absolutely by `--stall-tolerance`,
+//! default 0.5), and `telemetry_wall_ms`, the telemetry-on wall time
+//! whose delta against `wall_ms` is the documented recorder overhead.
+//! Query records gain `cache_hit_rate`, gated as a baseline-free floor
+//! (`--min-cache-hit-rate`, default 0.5 — the workloads repeat their
+//! formula batch, so the satisfaction cache must carry the repeats).
+//! Both gates skip with a warning when no record carries the metric.
+//!
+//! Trace mode: `repro trace [stress|query|faults|all] --chrome PATH`
+//! runs the named scenario once with span tracing on and writes a
+//! Chrome trace-event JSON (load in Perfetto / `chrome://tracing`)
+//! showing the per-shard explore/merge/renumber spans and the
+//! per-query parse/plan/eval/respond stages.
 //!
 //! Gate failures exit with a distinct code per class so CI logs say
 //! what broke without scraping: wall/merge time 2, quotient reduction
-//! 3, fault witness 4, query throughput/determinism 5 (the
-//! lowest-numbered failing class wins; every class still prints its
-//! diagnostics first).
+//! 3, fault witness 4, query throughput/determinism 5, telemetry
+//! (stall share / cache hit rate) 6 (the lowest-numbered failing class
+//! wins; every class still prints its diagnostics first).
 
 use hpl_bench::report::{FaultScenario, PerfReport, QueryScenario, Scenario};
 use hpl_bench::{random_computation, InterleavingStress};
@@ -76,18 +97,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut json = false;
     let mut serve = false;
     let mut query_bench = false;
+    let mut trace: Option<String> = None;
+    let mut chrome_out: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.25f64;
     let mut merge_tolerance = 1.0f64;
     let mut min_reduction = 5.0f64;
     let mut qps_tolerance = 0.5f64;
+    let mut stall_tolerance = 0.5f64;
+    let mut min_cache_hit_rate = 0.5f64;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
             "serve" => serve = true,
             "query-bench" => query_bench = true,
+            "trace" => {
+                // optional scenario operand; flags keep their meaning
+                trace = Some(match it.next() {
+                    Some(s) if !s.starts_with("--") => s,
+                    Some(flag) => {
+                        // not a scenario: re-dispatch the flag below
+                        let chained = std::iter::once(flag).chain(it);
+                        it = chained.collect::<Vec<_>>().into_iter();
+                        "all".to_owned()
+                    }
+                    None => "all".to_owned(),
+                });
+            }
+            "--chrome" => chrome_out = Some(it.next().ok_or("--chrome needs a path")?),
             "--out" => out_path = Some(it.next().ok_or("--out needs a path")?),
             "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--tolerance" => {
@@ -114,27 +153,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .ok_or("--qps-tolerance needs a fraction")?
                     .parse::<f64>()?;
             }
+            "--stall-tolerance" => {
+                stall_tolerance = it
+                    .next()
+                    .ok_or("--stall-tolerance needs a fraction")?
+                    .parse::<f64>()?;
+            }
+            "--min-cache-hit-rate" => {
+                min_cache_hit_rate = it
+                    .next()
+                    .ok_or("--min-cache-hit-rate needs a fraction")?
+                    .parse::<f64>()?;
+            }
             _ => args.push(a),
         }
+    }
+    if let Some(scenario) = trace {
+        return trace_mode(
+            &scenario,
+            &chrome_out.unwrap_or_else(|| "TRACE_repro.json".to_owned()),
+        );
     }
     if serve {
         return serve_mode();
     }
     if query_bench {
         return query_bench_report(
-            &out_path.unwrap_or_else(|| "BENCH_pr7_query.json".to_owned()),
+            &out_path.unwrap_or_else(|| "BENCH_pr8_query.json".to_owned()),
             baseline.as_deref(),
             qps_tolerance,
+            min_cache_hit_rate,
         );
     }
     if json {
         return perf_report(
-            &out_path.unwrap_or_else(|| "BENCH_pr7.json".to_owned()),
+            &out_path.unwrap_or_else(|| "BENCH_pr8.json".to_owned()),
             baseline.as_deref(),
-            tolerance,
-            merge_tolerance,
-            min_reduction,
-            qps_tolerance,
+            GateConfig {
+                tolerance,
+                merge_tolerance,
+                min_reduction,
+                qps_tolerance,
+                stall_tolerance,
+                min_cache_hit_rate,
+            },
         );
     }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -501,6 +563,14 @@ fn run_query_scenarios(report: &mut PerfReport) -> Result<(), Box<dyn std::error
                     p99_ms: quantile(0.99),
                     coalesced: snap.coalesced(),
                     cache_hits: stats.hits,
+                    // every workload walks its batch `rounds` times, so
+                    // the repeats must hit the satisfaction cache; NaN
+                    // ("not measured") only if no lookup ever happened
+                    cache_hit_rate: if stats.hits + stats.misses == 0 {
+                        f64::NAN
+                    } else {
+                        stats.hit_rate()
+                    },
                     determinism_ok: true, // folded in below, across every pass
                 };
                 if best.as_ref().is_none_or(|b| pass.qps > b.qps) {
@@ -515,23 +585,50 @@ fn run_query_scenarios(report: &mut PerfReport) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
-/// Prints the query records and applies the two query gates: the
-/// unconditional determinism witness (violations exit 5) and — when a
-/// readable baseline is given — the qps floor. A missing baseline file
-/// or entry skips with a warning instead of failing, so the gate
-/// bootstraps cleanly before the baseline is first committed.
+/// Prints the query records and applies the query gates: the
+/// unconditional determinism witness (violations exit 5), the
+/// baseline-free satisfaction-cache hit-rate floor (violations exit 6),
+/// and — when a readable baseline is given — the qps floor. A missing
+/// baseline file or entry skips with a warning instead of failing, so
+/// the gates bootstrap cleanly before the baseline is first committed.
 fn gate_query_scenarios(
     report: &PerfReport,
     baseline: Option<&str>,
     qps_tolerance: f64,
+    min_cache_hit_rate: f64,
 ) -> Option<i32> {
     let mut worst = None;
     for s in &report.query_scenarios {
         println!(
             "{:>42}  {:>8.0} qps  p50 {:>7.3} ms  p99 {:>7.3} ms  ({} clients, {} queries, \
-             {} coalesced, {} cache hits)",
-            s.name, s.qps, s.p50_ms, s.p99_ms, s.clients, s.queries, s.coalesced, s.cache_hits
+             {} coalesced, {} cache hits, {:.2} hit rate)",
+            s.name,
+            s.qps,
+            s.p50_ms,
+            s.p99_ms,
+            s.clients,
+            s.queries,
+            s.coalesced,
+            s.cache_hits,
+            s.cache_hit_rate
         );
+    }
+    let hit = report.cache_hit_rate_violations(min_cache_hit_rate);
+    for w in &hit.warnings {
+        println!("gate warning: {w}");
+    }
+    if hit.regressions.is_empty() {
+        println!(
+            "cache gate: every measured hit rate ≥ {:.2} ({} records)",
+            min_cache_hit_rate,
+            report.query_scenarios.len()
+        );
+    } else {
+        eprintln!("SAT-CACHE HIT-RATE VIOLATIONS:");
+        for r in &hit.regressions {
+            eprintln!("  {r}");
+        }
+        worst = Some(EXIT_TELEMETRY);
     }
     let witness = report.query_determinism_violations();
     if witness.is_empty() {
@@ -578,11 +675,13 @@ fn gate_query_scenarios(
 }
 
 /// `repro query-bench`: the query scenarios alone, written as a
-/// schema-v6 report and gated only on throughput + determinism.
+/// schema-v7 report and gated on throughput, determinism and the
+/// satisfaction-cache hit-rate floor.
 fn query_bench_report(
     out_path: &str,
     baseline: Option<&str>,
     qps_tolerance: f64,
+    min_cache_hit_rate: f64,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mut report = PerfReport::default();
     report.host_fact(
@@ -598,7 +697,7 @@ fn query_bench_report(
         "=== query-bench report ({} records) → {out_path} ===",
         report.query_scenarios.len()
     );
-    if let Some(code) = gate_query_scenarios(&report, baseline, qps_tolerance) {
+    if let Some(code) = gate_query_scenarios(&report, baseline, qps_tolerance, min_cache_hit_rate) {
         std::process::exit(code);
     }
     Ok(())
@@ -606,7 +705,9 @@ fn query_bench_report(
 
 /// `repro serve`: the three workload snapshots behind a line-oriented
 /// REPL. One query per line, `<scenario> <formula>`; `:scenarios`
-/// lists the registered names, `:quit` (or EOF) exits.
+/// lists the registered names, `:stats [scenario]` prints the
+/// Prometheus-style metrics snapshot (all scenarios when no name is
+/// given), `:quit` (or EOF) exits.
 fn serve_mode() -> Result<(), Box<dyn std::error::Error>> {
     use std::io::BufRead as _;
 
@@ -628,7 +729,7 @@ fn serve_mode() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("query: <scenario> <formula>   e.g. `two_generals K{{p1}} attack-planned`");
-    println!("commands: :scenarios, :quit");
+    println!("commands: :scenarios, :stats [scenario], :quit");
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -643,6 +744,21 @@ fn serve_mode() -> Result<(), Box<dyn std::error::Error>> {
         if line == ":scenarios" {
             for name in service.scenarios() {
                 println!("{name}");
+            }
+            continue;
+        }
+        if line == ":stats" || line == "stats" || line.starts_with(":stats ") {
+            let wanted = line.strip_prefix(":stats").unwrap_or("").trim();
+            let names: Vec<String> = if wanted.is_empty() {
+                service.scenarios()
+            } else {
+                vec![wanted.to_owned()]
+            };
+            for name in names {
+                match service.session(&name) {
+                    Ok(session) => print!("{}", session.metrics_snapshot()),
+                    Err(e) => println!("error: {e}"),
+                }
             }
             continue;
         }
@@ -676,6 +792,84 @@ fn serve_mode() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `repro trace [stress|query|faults|all] --chrome PATH`: runs the
+/// named scenario once with the recorder **and** span tracing enabled,
+/// then writes the collected spans as Chrome trace-event JSON — load
+/// the file in Perfetto or `chrome://tracing` to see the per-shard
+/// explore/merge/renumber lanes and the per-query
+/// parse/plan/eval/respond stages on their client threads.
+fn trace_mode(scenario: &str, chrome_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use hpl_core::enumerate_sharded;
+
+    let known = ["stress", "query", "faults", "all"];
+    if !known.contains(&scenario) {
+        return Err(
+            format!("unknown trace scenario `{scenario}` (expected one of {known:?})").into(),
+        );
+    }
+    let want = |name: &str| scenario == name || scenario == "all";
+
+    hpl_telemetry::reset();
+    hpl_telemetry::set_enabled(true);
+    hpl_telemetry::set_tracing(true);
+    if want("stress") {
+        let cfg = ShardConfig::with_shards(8);
+        let limits = EnumerationLimits {
+            max_events: 12,
+            max_computations: 2_000_000,
+        };
+        let out = enumerate_sharded(&InterleavingStress { n: 3, k: 4 }, limits, &cfg)?;
+        println!(
+            "traced stress enumeration: {} computations over {} tasks",
+            out.stats.unique, out.stats.tasks
+        );
+    }
+    if want("query") {
+        let workloads = query_workloads()?;
+        let service = start_query_service(&workloads, 2);
+        let mut served = 0usize;
+        for w in &workloads {
+            let session = service.session(w.name)?;
+            for _ in 0..2 {
+                for q in &w.queries {
+                    session.query(q)?;
+                    served += 1;
+                }
+            }
+        }
+        println!(
+            "traced query service: {served} queries over {} workloads",
+            workloads.len()
+        );
+    }
+    if want("faults") {
+        let model = hpl_core::FaultModel::new(NetworkConfig::uniform(ChannelConfig {
+            delay: DelayModel::Uniform { lo: 1, hi: 10 },
+            drop_probability: 0.25,
+            fifo: false,
+        }))
+        .runs(48)
+        .seeded(17);
+        let w = two_generals::fault_witness(3, &model, 8)?;
+        println!(
+            "traced fault-universe build: {} states from {} runs",
+            w.universe_size, w.runs
+        );
+    }
+    hpl_telemetry::set_tracing(false);
+    hpl_telemetry::set_enabled(false);
+    let events = hpl_telemetry::global().span_events().len();
+    let json = hpl_telemetry::chrome_trace();
+    std::fs::write(chrome_path, &json)?;
+    hpl_telemetry::reset();
+    println!(
+        "=== chrome trace ({events} spans, {} bytes) → {chrome_path} ===",
+        json.len()
+    );
+    println!("open in Perfetto (https://ui.perfetto.dev) or chrome://tracing");
+    Ok(())
+}
+
 /// Distinct exit codes per failed gate class, so CI logs identify the
 /// broken subsystem without scraping diagnostics (the lowest-numbered
 /// failing class wins).
@@ -683,6 +877,70 @@ const EXIT_WALL: i32 = 2;
 const EXIT_REDUCTION: i32 = 3;
 const EXIT_WITNESS: i32 = 4;
 const EXIT_QUERY: i32 = 5;
+const EXIT_TELEMETRY: i32 = 6;
+
+/// The gate thresholds behind `repro --json`, bundled so the perf
+/// runner's signature survives new gates.
+struct GateConfig {
+    tolerance: f64,
+    merge_tolerance: f64,
+    min_reduction: f64,
+    qps_tolerance: f64,
+    stall_tolerance: f64,
+    min_cache_hit_rate: f64,
+}
+
+/// Runs `f` once with the telemetry recorder **enabled** (spans and
+/// counters live, tracing off) on an otherwise clean recorder, and
+/// returns the telemetry-on wall time plus the snapshot. The recorder
+/// is disabled and wiped again afterwards so the timed regions around
+/// the call stay uninstrumented.
+fn instrumented_pass<T>(f: impl FnOnce() -> T) -> (f64, hpl_telemetry::TelemetrySnapshot) {
+    hpl_telemetry::reset();
+    hpl_telemetry::set_enabled(true);
+    let t0 = std::time::Instant::now();
+    std::hint::black_box(f());
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    hpl_telemetry::set_enabled(false);
+    let snap = hpl_telemetry::snapshot();
+    hpl_telemetry::reset();
+    (wall_ms, snap)
+}
+
+/// The v7 `telemetry` block of a sharded enumeration scenario, derived
+/// from one instrumented pass: the stage wall breakdown (summed span
+/// durations across workers — on a multi-core host these overlap, so
+/// they can exceed the wall), the merge credit-stall time, and
+/// `stall_share`, the stalled fraction of total explore time that the
+/// `--stall-tolerance` gate caps.
+fn sharded_telemetry(
+    wall_ms: f64,
+    snap: &hpl_telemetry::TelemetrySnapshot,
+) -> Vec<(&'static str, f64)> {
+    let ms = |name: &str| snap.histogram(name).map_or(0.0, |h| h.sum as f64 / 1e6);
+    let explore_ms = ms("enum.explore");
+    let stall_ms = snap.counter("enum.credit_stall_ns") as f64 / 1e6;
+    let mut out = vec![
+        ("telemetry_wall_ms", wall_ms),
+        ("explore_ms", explore_ms),
+        ("merge_ms", ms("enum.merge")),
+        ("renumber_ms", ms("enum.renumber")),
+        ("stall_ms", stall_ms),
+        ("batches", snap.counter("enum.batches") as f64),
+    ];
+    if explore_ms > 0.0 {
+        out.push(("stall_share", stall_ms / explore_ms));
+    }
+    out
+}
+
+/// Attaches a telemetry block to a scenario record.
+fn with_telemetry(mut s: Scenario, telemetry: Vec<(&'static str, f64)>) -> Scenario {
+    for (k, v) in telemetry {
+        s = s.telemetry(k, v);
+    }
+    s
+}
 
 /// The perf scenarios behind `--json`: enumeration (sequential vs
 /// sharded streaming), dedupe, symmetry quotient (with the
@@ -695,12 +953,17 @@ const EXIT_QUERY: i32 = 5;
 fn perf_report(
     out_path: &str,
     baseline: Option<&str>,
-    tolerance: f64,
-    merge_tolerance: f64,
-    min_reduction: f64,
-    qps_tolerance: f64,
+    gates: GateConfig,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use hpl_core::enumerate_sharded;
+    let GateConfig {
+        tolerance,
+        merge_tolerance,
+        min_reduction,
+        qps_tolerance,
+        stall_tolerance,
+        min_cache_hit_rate,
+    } = gates;
 
     let mut report = PerfReport::default();
     report.host_fact(
@@ -730,7 +993,12 @@ fn perf_report(
         seq.universe().len(),
         "sharded engine must reproduce the sequential universe"
     );
-    report.push(
+    // the instrumented pass: one extra telemetry-enabled run, outside
+    // the timed region, feeding the v7 telemetry block (the timed runs
+    // above stay uninstrumented — their gate is the overhead assertion)
+    let (par_tele_ms, par_snap) =
+        instrumented_pass(|| enumerate_sharded(&stress, slimits, &cfg).expect("within budget"));
+    report.push(with_telemetry(
         Scenario::new("enumerate_stress_n3_k4_d12_sharded8", par_ms)
             .metric("wall_ms_sequential", seq_ms)
             .metric("speedup_vs_sequential", seq_ms / par_ms)
@@ -741,7 +1009,8 @@ fn perf_report(
             .metric("batches", par.stats.batches as f64)
             .metric("peak_buffered_bytes", par.stats.peak_buffered_bytes as f64)
             .metric("largest_batch_bytes", par.stats.largest_batch_bytes as f64),
-    );
+        sharded_telemetry(par_tele_ms, &par_snap),
+    ));
     report.push(
         Scenario::new("enumerate_stress_n3_k4_d12_sequential", seq_ms)
             .metric("universe_size", seq.universe().len() as f64),
@@ -773,14 +1042,17 @@ fn perf_report(
     let (ded_ms, ded) = time_ms(rounds, || {
         enumerate_sharded(&stress, slimits, &dcfg).expect("within budget")
     });
-    report.push(
+    let (ded_tele_ms, ded_snap) =
+        instrumented_pass(|| enumerate_sharded(&stress, slimits, &dcfg).expect("within budget"));
+    report.push(with_telemetry(
         Scenario::new("dedupe_stress_n3_k4_d12_sharded8", ded_ms)
             .metric("explored", ded.stats.explored as f64)
             .metric("universe_size", ded.stats.unique as f64)
             .metric("dedupe_ratio", ded.stats.dedupe_ratio())
             .metric("merge_wall_ms", ded.stats.merge_wall_ms)
             .metric("peak_buffered_bytes", ded.stats.peak_buffered_bytes as f64),
-    );
+        sharded_telemetry(ded_tele_ms, &ded_snap),
+    ));
 
     // -- symmetry quotient on the token family: the chatter-rich line
     // bus (trivial group: pure interleaving collapse) and the broadcast
@@ -1082,6 +1354,24 @@ fn perf_report(
         fail(&mut worst, EXIT_WITNESS);
     }
 
+    // the merge-stall gate (v7, also baseline-free): the instrumented
+    // pass's credit-stall share must stay below the absolute ceiling —
+    // a reorder gate starving the workers shows up here long before it
+    // moves the gated wall times
+    let stall = report.stall_share_violations(stall_tolerance);
+    for w in &stall.warnings {
+        println!("gate warning: {w}");
+    }
+    if stall.regressions.is_empty() {
+        println!("stall gate: every instrumented stall share ≤ {stall_tolerance:.2}");
+    } else {
+        eprintln!("MERGE CREDIT-STALL VIOLATIONS:");
+        for r in &stall.regressions {
+            eprintln!("  {r}");
+        }
+        fail(&mut worst, EXIT_TELEMETRY);
+    }
+
     if let Some(path) = baseline {
         let raw = std::fs::read_to_string(path)?;
         let base = PerfReport::parse_wall_times(&raw);
@@ -1122,9 +1412,11 @@ fn perf_report(
             fail(&mut worst, EXIT_WALL);
         }
     }
-    // the query gates: determinism unconditionally, the qps floor
-    // against the same baseline file (skip-with-warning when absent)
-    if let Some(class) = gate_query_scenarios(&report, baseline, qps_tolerance) {
+    // the query gates: determinism and the cache hit-rate floor
+    // unconditionally, the qps floor against the same baseline file
+    // (skip-with-warning when absent)
+    if let Some(class) = gate_query_scenarios(&report, baseline, qps_tolerance, min_cache_hit_rate)
+    {
         fail(&mut worst, class);
     }
     if let Some(code) = worst {

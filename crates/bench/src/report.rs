@@ -23,6 +23,13 @@ pub struct Scenario {
     pub wall_ms: f64,
     /// Secondary metrics, reported for trend analysis but not gated.
     pub metrics: Vec<(String, f64)>,
+    /// Telemetry readings from the **instrumented pass** (schema v7):
+    /// recorder counters and derived ratios measured in a separate,
+    /// telemetry-enabled run of the same scenario — never from the
+    /// timed pass, whose wall time must stay uninstrumented. Rendered
+    /// as a nested `"telemetry"` object; empty for scenarios without
+    /// an instrumented pass.
+    pub telemetry: Vec<(String, f64)>,
 }
 
 impl Scenario {
@@ -33,6 +40,7 @@ impl Scenario {
             name: name.to_owned(),
             wall_ms,
             metrics: Vec::new(),
+            telemetry: Vec::new(),
         }
     }
 
@@ -43,10 +51,26 @@ impl Scenario {
         self
     }
 
+    /// Adds a telemetry reading from the instrumented pass.
+    #[must_use]
+    pub fn telemetry(mut self, key: &str, value: f64) -> Self {
+        self.telemetry.push((key.to_owned(), value));
+        self
+    }
+
     /// Looks up a secondary metric.
     #[must_use]
     pub fn get_metric(&self, key: &str) -> Option<f64> {
         self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Looks up a telemetry reading.
+    #[must_use]
+    pub fn get_telemetry(&self, key: &str) -> Option<f64> {
+        self.telemetry
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
     }
 }
 
@@ -121,6 +145,12 @@ pub struct QueryScenario {
     pub coalesced: u64,
     /// Cross-query satisfaction-cache hits.
     pub cache_hits: u64,
+    /// Satisfaction-cache hit rate `hits / (hits + misses)` measured
+    /// over this workload (schema v7), gated as a **floor** by
+    /// [`PerfReport::cache_hit_rate_violations`] on workloads that
+    /// repeat formulas. `NaN` (rendered `null`) means "not measured" —
+    /// a workload the hit-rate gate deliberately skips.
+    pub cache_hit_rate: f64,
     /// Whether every concurrent result was byte-identical to the
     /// sequential reference evaluation (a correctness claim, checked
     /// per run like the fault witness).
@@ -144,7 +174,13 @@ pub struct PerfReport {
     pub query_scenarios: Vec<QueryScenario>,
 }
 
-/// Schema identifier stamped into every report. `v6` added the
+/// Schema identifier stamped into every report. `v7` added the
+/// per-scenario `telemetry` object — recorder readings from a separate
+/// instrumented pass (stage wall breakdown, `stall_share`,
+/// `telemetry_wall_ms`) gated **absolutely** via
+/// [`PerfReport::stall_share_violations`] — and the `cache_hit_rate`
+/// field on query records, a baseline-free floor via
+/// [`PerfReport::cache_hit_rate_violations`]; `v6` added the
 /// `query_scenarios` array — persistent-service throughput records
 /// (`qps`, `p50_ms`, `p99_ms` at 1/4/16 concurrent clients, plus the
 /// per-run `determinism_ok` witness) gated as a **floor** via
@@ -163,7 +199,7 @@ pub struct PerfReport {
 /// scenarios; `v1` parsers that scan `scenarios[].name`/`wall_ms` still
 /// work (fault and query records carry no `wall_ms`, so wall-time
 /// scanners skip them).
-pub const SCHEMA: &str = "hpl-bench-report/v6";
+pub const SCHEMA: &str = "hpl-bench-report/v7";
 
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
@@ -227,17 +263,19 @@ impl PerfReport {
             let _ = writeln!(out, "      \"name\": \"{}\",", escape(&s.name));
             out.push_str("      \"wall_ms\": ");
             write_f64(&mut out, s.wall_ms);
-            if s.metrics.is_empty() {
-                out.push('\n');
-            } else {
-                out.push_str(",\n      \"metrics\": {\n");
-                for (j, (k, v)) in s.metrics.iter().enumerate() {
+            for (label, entries) in [("metrics", &s.metrics), ("telemetry", &s.telemetry)] {
+                if entries.is_empty() {
+                    continue;
+                }
+                let _ = write!(out, ",\n      \"{label}\": {{\n");
+                for (j, (k, v)) in entries.iter().enumerate() {
                     let _ = write!(out, "        \"{}\": ", escape(k));
                     write_f64(&mut out, *v);
-                    out.push_str(if j + 1 < s.metrics.len() { ",\n" } else { "\n" });
+                    out.push_str(if j + 1 < entries.len() { ",\n" } else { "\n" });
                 }
-                out.push_str("      }\n");
+                out.push_str("      }");
             }
+            out.push('\n');
             out.push_str(if i + 1 < self.scenarios.len() {
                 "    },\n"
             } else {
@@ -291,6 +329,9 @@ impl PerfReport {
                 let _ = writeln!(out, ",");
                 let _ = writeln!(out, "      \"coalesced\": {},", s.coalesced);
                 let _ = writeln!(out, "      \"cache_hits\": {},", s.cache_hits);
+                out.push_str("      \"cache_hit_rate\": ");
+                write_f64(&mut out, s.cache_hit_rate);
+                let _ = writeln!(out, ",");
                 let _ = writeln!(out, "      \"determinism_ok\": {}", s.determinism_ok);
                 out.push_str(if i + 1 < self.query_scenarios.len() {
                     "    },\n"
@@ -581,6 +622,86 @@ impl PerfReport {
             })
             .collect()
     }
+
+    /// The merge-stall gate (schema v7): one regression line per
+    /// scenario whose instrumented-pass `stall_share` telemetry — the
+    /// fraction of total explore time the reorder gate spent blocked on
+    /// credit — exceeds `ceiling`. Unlike the perf gates this is
+    /// **absolute** (the expected value is "small", not "whatever the
+    /// baseline said"), so it needs no baseline file; but the
+    /// skip-with-warning guarantee still holds: if no scenario carries
+    /// the telemetry at all (telemetry compiled out, or the
+    /// instrumented pass was skipped), the gate warns instead of
+    /// silently covering nothing.
+    #[must_use]
+    pub fn stall_share_violations(&self, ceiling: f64) -> GateReport {
+        let mut report = GateReport::default();
+        let mut covered = 0usize;
+        for s in &self.scenarios {
+            let Some(share) = s.get_telemetry("stall_share") else {
+                continue;
+            };
+            if !share.is_finite() {
+                report.warnings.push(format!(
+                    "{} stall_share: non-finite value {share} — skipped (the instrumented \
+                     pass is broken; a silent pass here would mask a real stall)",
+                    s.name
+                ));
+                continue;
+            }
+            covered += 1;
+            if share > ceiling {
+                report.regressions.push(format!(
+                    "{} stall_share: {share:.3} above the {ceiling:.3} ceiling (merge \
+                     back-pressure is dominating explore time)",
+                    s.name
+                ));
+            }
+        }
+        if covered == 0 {
+            report.warnings.push(
+                "stall_share: no scenario carries the telemetry — gate covered nothing \
+                 (telemetry compiled out or the instrumented pass did not run)"
+                    .to_owned(),
+            );
+        }
+        report
+    }
+
+    /// The satisfaction-cache hit-rate gate (schema v7): one regression
+    /// line per query record whose measured `cache_hit_rate` falls
+    /// below `floor`. Baseline-free like the stall gate — a workload
+    /// that repeats formulas is *supposed* to hit the cache, whatever
+    /// last week's report said. Records with a `NaN` hit rate (the
+    /// workloads the bench deliberately does not gate) are skipped
+    /// silently; if **every** record skips, the gate warns that it
+    /// covered nothing.
+    #[must_use]
+    pub fn cache_hit_rate_violations(&self, floor: f64) -> GateReport {
+        let mut report = GateReport::default();
+        let mut covered = 0usize;
+        for s in &self.query_scenarios {
+            if !s.cache_hit_rate.is_finite() {
+                continue;
+            }
+            covered += 1;
+            if s.cache_hit_rate < floor {
+                report.regressions.push(format!(
+                    "{} cache_hit_rate: {:.3} below the {floor:.3} floor at {} clients \
+                     (repeated formulas are missing the satisfaction cache)",
+                    s.name, s.cache_hit_rate, s.clients
+                ));
+            }
+        }
+        if covered == 0 && !self.query_scenarios.is_empty() {
+            report.warnings.push(
+                "cache_hit_rate: no query record carries a measured rate — gate covered \
+                 nothing (hit-rate accounting broken or bench not updated)"
+                    .to_owned(),
+            );
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -804,6 +925,7 @@ mod tests {
             p99_ms: 1.9,
             coalesced: 3,
             cache_hits: 40,
+            cache_hit_rate: f64::NAN,
             determinism_ok: ok,
         }
     }
@@ -877,6 +999,71 @@ mod tests {
         let v = r.query_determinism_violations();
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].starts_with("diverged") && v[0].contains("16 clients"));
+    }
+
+    #[test]
+    fn telemetry_blocks_render_and_are_queryable() {
+        let mut r = sample();
+        r.push(
+            Scenario::new("instrumented", 8.0)
+                .metric("universe_size", 64.0)
+                .telemetry("stall_share", 0.125)
+                .telemetry("explore_ms", 6.5),
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"telemetry\": {\n        \"stall_share\": 0.125"));
+        assert!(json.contains("\"explore_ms\": 6.5"));
+        // scenarios without telemetry render no (empty) telemetry object
+        assert_eq!(json.matches("\"telemetry\"").count(), 1);
+        assert_eq!(r.scenarios[2].get_telemetry("stall_share"), Some(0.125));
+        assert_eq!(r.scenarios[2].get_telemetry("absent"), None);
+        assert_eq!(r.scenarios[0].get_telemetry("stall_share"), None);
+        // the rendered report still satisfies the generic scanners
+        let walls = PerfReport::parse_wall_times(&json);
+        assert_eq!(walls.len(), 3, "{walls:?}");
+    }
+
+    #[test]
+    fn stall_share_gate_is_absolute_with_bootstrap_warning() {
+        let mut r = sample();
+        // no scenario instrumented yet: warn, never pass silently
+        let empty = r.stall_share_violations(0.5);
+        assert!(empty.regressions.is_empty());
+        assert_eq!(empty.warnings.len(), 1, "{empty:?}");
+        assert!(empty.warnings[0].contains("covered nothing"));
+        r.push(Scenario::new("calm", 1.0).telemetry("stall_share", 0.1));
+        r.push(Scenario::new("stalled", 1.0).telemetry("stall_share", 0.8));
+        r.push(Scenario::new("broken", 1.0).telemetry("stall_share", f64::NAN));
+        let gate = r.stall_share_violations(0.5);
+        assert_eq!(gate.regressions.len(), 1, "{gate:?}");
+        assert!(gate.regressions[0].starts_with("stalled"));
+        assert_eq!(gate.warnings.len(), 1, "{gate:?}");
+        assert!(gate.warnings[0].starts_with("broken"));
+    }
+
+    #[test]
+    fn cache_hit_rate_gate_is_a_floor_with_bootstrap_warning() {
+        let mut r = PerfReport::default();
+        // no query records at all: nothing to gate, no warning either
+        assert_eq!(r.cache_hit_rate_violations(0.5), GateReport::default());
+        // records exist but none carries a rate: warn
+        r.push_query(query_record("unmeasured", 1, 100.0, true));
+        let empty = r.cache_hit_rate_violations(0.5);
+        assert!(empty.regressions.is_empty());
+        assert_eq!(empty.warnings.len(), 1, "{empty:?}");
+        assert!(empty.warnings[0].contains("covered nothing"));
+        let mut hot = query_record("hot", 4, 100.0, true);
+        hot.cache_hit_rate = 0.9;
+        let mut cold = query_record("cold", 4, 100.0, true);
+        cold.cache_hit_rate = 0.2;
+        r.push_query(hot);
+        r.push_query(cold);
+        let gate = r.cache_hit_rate_violations(0.5);
+        assert_eq!(gate.regressions.len(), 1, "{gate:?}");
+        assert!(gate.regressions[0].starts_with("cold cache_hit_rate"));
+        assert!(gate.warnings.is_empty(), "{gate:?}");
+        // a NaN rate renders as null so v7 consumers see "not measured"
+        assert!(r.to_json().contains("\"cache_hit_rate\": null"));
     }
 
     #[test]

@@ -155,7 +155,35 @@ pub struct SatCacheStats {
     pub misses: u64,
     /// Satisfaction sets currently cached.
     pub entries: usize,
+    /// Estimated resident size of the cached sets in bytes (bitset
+    /// words plus a fixed per-entry overhead for the key and map slot).
+    /// The cache is unbounded in formulas per generation — the query
+    /// service watches this estimate against a high-water mark until
+    /// eviction lands (see ROADMAP).
+    pub resident_bytes: usize,
 }
+
+impl SatCacheStats {
+    /// Hit rate over all lookups so far, `0.0` when there were none.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// Estimated bytes a [`SatCache`] entry occupies beyond its bitset
+/// words: the `(generation, formula)` key, hash-map slot, and `CompSet`
+/// header. A deliberate round figure — the point is trend, not
+/// accounting.
+const SAT_ENTRY_OVERHEAD_BYTES: usize = 96;
 
 impl SatCache {
     /// Creates an empty cache behind an [`Arc`], ready to be shared.
@@ -173,8 +201,10 @@ impl SatCache {
         drop(inner);
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            hpl_telemetry::counter_add("eval.sat_cache_hit", 1);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            hpl_telemetry::counter_add("eval.sat_cache_miss", 1);
         }
         hit
     }
@@ -207,10 +237,19 @@ impl SatCache {
     /// Current counters.
     #[must_use]
     pub fn stats(&self) -> SatCacheStats {
+        let (entries, resident_bytes) = {
+            let inner = self.inner.lock();
+            let words: usize = inner.map.values().map(|s| s.words().len() * 8).sum();
+            (
+                inner.map.len(),
+                words + inner.map.len() * SAT_ENTRY_OVERHEAD_BYTES,
+            )
+        };
         SatCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.inner.lock().map.len(),
+            entries,
+            resident_bytes,
         }
     }
 }
@@ -483,8 +522,11 @@ impl<'u> Evaluator<'u> {
     /// every other configuration.
     pub fn try_sat_set(&mut self, f: &Formula) -> Result<CompSet, CoreError> {
         if let Some(s) = self.memo.get(f) {
+            hpl_telemetry::counter_add("eval.memo_hit", 1);
             return Ok(s.clone());
         }
+        hpl_telemetry::counter_add("eval.memo_miss", 1);
+        let _eval = hpl_telemetry::span("eval.sat_set");
         if let Some((generation, cache)) = &self.shared {
             if let Some(s) = cache.lookup(*generation, f) {
                 self.memo.insert(f.clone(), s.clone());
@@ -496,6 +538,7 @@ impl<'u> Evaluator<'u> {
                 match self.policy {
                     QuotientPolicy::Reject => return Err(CoreError::QuotientUnsound(v)),
                     QuotientPolicy::Expand => {
+                        hpl_telemetry::counter_add("eval.expand_fallback", 1);
                         let s = self.expand_sat(f);
                         self.memo.insert(f.clone(), s.clone());
                         self.publish(f, &s);

@@ -189,8 +189,10 @@ impl ClassCache {
             }
         }
         if let Some(c) = inner.map.get(&(generation, p.bits())) {
+            hpl_telemetry::counter_add("eval.class_cache_hit", 1);
             return Arc::clone(c);
         }
+        hpl_telemetry::counter_add("eval.class_cache_miss", 1);
         let classes = Arc::new(build());
         inner
             .map

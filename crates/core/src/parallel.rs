@@ -503,24 +503,38 @@ impl ReorderGate {
     /// `false`).
     fn admit(&self, task: usize) -> bool {
         let mut s = self.lock();
-        loop {
+        // credit-stall accounting: first blocked iteration starts the
+        // clock (telemetry observes the wait, it never alters it)
+        let mut stalled: Option<Instant> = None;
+        let credited = loop {
             if s.open {
-                return false;
+                break false;
             }
             if s.head == task {
                 if s.head_slots > 0 {
                     s.head_slots -= 1;
-                    return false;
+                    break false;
                 }
             } else if s.credits > 0 {
                 s.credits -= 1;
-                return true;
+                break true;
+            }
+            if stalled.is_none() && hpl_telemetry::enabled() {
+                stalled = Some(Instant::now());
             }
             s = self
                 .cv
                 .wait(s)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+        };
+        drop(s);
+        if let Some(t) = stalled {
+            #[allow(clippy::cast_possible_truncation)]
+            let ns = t.elapsed().as_nanos() as u64;
+            hpl_telemetry::counter_add("enum.credit_stall_ns", ns);
+            hpl_telemetry::record("enum.credit_stall", ns);
         }
+        credited
     }
 
     /// Returns a consumed parked batch's credit to the pool.
@@ -975,7 +989,10 @@ impl Merger {
     /// Consumes one streamed batch: renumbers its partition-table run,
     /// then replays its node records.
     fn consume(&mut self, batch: &TaskBatch, map: &mut Vec<EventId>) {
-        self.renumber(&batch.defs, map);
+        {
+            let _renumber = hpl_telemetry::span("enum.renumber");
+            self.renumber(&batch.defs, map);
+        }
         for rec in &batch.nodes {
             let e = self.event(map[rec.local as usize]);
             self.apply(rec.depth, e);
@@ -1058,6 +1075,8 @@ impl MergeMetrics {
         self.batches += 1;
         self.largest_batch = self.largest_batch.max(bytes);
         self.peak_buffered = self.peak_buffered.max(self.buffered_now + bytes);
+        hpl_telemetry::counter_add("enum.batches", 1);
+        hpl_telemetry::record("enum.batch_bytes", bytes as u64);
     }
 
     /// Accounts a batch parked in the reorder buffer (finished out of
@@ -1065,6 +1084,10 @@ impl MergeMetrics {
     fn on_buffer(&mut self, batch: &TaskBatch) {
         self.buffered_now += batch.approx_bytes();
         self.peak_buffered = self.peak_buffered.max(self.buffered_now);
+        if hpl_telemetry::enabled() {
+            hpl_telemetry::record("enum.buffered_bytes", self.buffered_now as u64);
+            hpl_telemetry::counter("enum.peak_buffered_bytes").max(self.peak_buffered as u64);
+        }
     }
 
     fn on_unbuffer(&mut self, batch: &TaskBatch) {
@@ -1103,6 +1126,7 @@ fn drive_merge(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)] // one call site; a worker is exactly this context
 fn worker_loop<P: Protocol + ?Sized>(
     protocol: &P,
     max_events: usize,
@@ -1110,12 +1134,17 @@ fn worker_loop<P: Protocol + ?Sized>(
     budget: &Budget,
     gate: &ReorderGate,
     queue: &Mutex<channel::Receiver<Task>>,
+    pending: &AtomicUsize,
     results: &Sender<(usize, TaskBatch)>,
 ) {
     loop {
         let Some(task) = queue.lock().try_recv() else {
             return;
         };
+        // work-queue depth as observed at each pull (telemetry only)
+        let depth = pending.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        hpl_telemetry::record("enum.queue_depth", depth as u64);
+        let _explore = hpl_telemetry::span("enum.explore");
         let mut ex = Explorer::new(protocol, max_events, budget);
         ex.replay(&task.path);
         let done = ex.run_subtree(task.path.len(), batch_nodes, &mut |mut batch| {
@@ -1196,9 +1225,12 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
     let mut entries = Vec::new();
     let mut tasks = Vec::new();
     let mut prefix = Explorer::new(protocol, limits.max_events, &budget);
-    let outcome = budget
-        .charge()
-        .and_then(|()| prefix.explore_prefix(0, split, &mut Vec::new(), &mut entries, &mut tasks));
+    let outcome = {
+        let _prefix = hpl_telemetry::span("enum.prefix");
+        budget.charge().and_then(|()| {
+            prefix.explore_prefix(0, split, &mut Vec::new(), &mut entries, &mut tasks)
+        })
+    };
     let task_count = tasks.len();
 
     // Phases 2+3, fused: workers explore disjoint id partitions while the
@@ -1225,12 +1257,14 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
             // Single-shard: explore each subtree lazily at its splice
             // point, merging batches the moment they are produced —
             // nothing is ever buffered.
+            let _merge = hpl_telemetry::span("enum.merge");
             let _ = drive_merge(
                 &entries,
                 &prefix.defs,
                 &mut merger,
                 &mut metrics,
                 |merger, id, metrics| {
+                    let _explore = hpl_telemetry::span("enum.explore");
                     let mut ex = Explorer::new(protocol, limits.max_events, &budget);
                     ex.replay(&tasks[id].path);
                     task_map.clear();
@@ -1245,6 +1279,7 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
             );
         } else {
             let (task_tx, task_rx) = channel::unbounded();
+            let pending = AtomicUsize::new(tasks.len());
             for t in tasks {
                 task_tx.send(t).expect("receiver alive");
             }
@@ -1259,7 +1294,7 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
             std::thread::scope(|s| {
                 for _ in 0..shards {
                     let res_tx = res_tx.clone();
-                    let (queue, budget, gate) = (&queue, &budget, &gate);
+                    let (queue, budget, gate, pending) = (&queue, &budget, &gate, &pending);
                     s.spawn(move || {
                         worker_loop(
                             protocol,
@@ -1268,11 +1303,13 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
                             budget,
                             gate,
                             queue,
+                            pending,
                             &res_tx,
                         );
                     });
                 }
                 drop(res_tx);
+                let _merge = hpl_telemetry::span("enum.merge");
                 // Reorder buffer: batches of tasks that finished ahead of
                 // their splice point. This — not the node count — is the
                 // merge's peak memory; every parked batch holds a gate

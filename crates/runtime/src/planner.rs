@@ -136,6 +136,15 @@ pub fn plan(f: &Formula, interp: &Interpretation, generators: Option<&[Permutati
             .filter(|s| s.mode == SubtreeMode::Fallback)
             .count(),
     };
+    // fold the per-plan counters into the global recorder — the one
+    // aggregated reporting path; `PlanStats` stays the per-query view
+    if hpl_telemetry::enabled() {
+        hpl_telemetry::counter_add("plan.nodes", stats.nodes as u64);
+        hpl_telemetry::counter_add("plan.folded", stats.folded as u64);
+        hpl_telemetry::counter_add("plan.deduped", stats.deduped as u64);
+        hpl_telemetry::counter_add("plan.quotient_steps", stats.quotient_steps as u64);
+        hpl_telemetry::counter_add("plan.fallback_steps", stats.fallback_steps as u64);
+    }
     QueryPlan { root, steps, stats }
 }
 

@@ -32,8 +32,16 @@ use hpl_core::{
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Default [`SatCache`] resident-bytes high-water mark (64 MiB): past
+/// it the service logs a one-time warning per scenario. The cache is
+/// unbounded per generation by design until eviction lands (ROADMAP
+/// follow-on); the warning makes the growth visible instead of silent.
+pub const DEFAULT_SAT_CACHE_HIGH_WATER: usize = 64 * 1024 * 1024;
 
 /// What a query ultimately resolves to: the satisfaction set of the
 /// folded root formula, or a typed failure. `Arc`-wrapped so one
@@ -98,6 +106,9 @@ pub struct Snapshot {
     pub(crate) classes: Arc<ClassCache>,
     pub(crate) sats: Arc<SatCache>,
     pub(crate) admission: Admission<Outcome>,
+    /// Shared with the owning service (one knob for all scenarios).
+    high_water: Arc<AtomicUsize>,
+    warned: AtomicBool,
 }
 
 impl Snapshot {
@@ -144,6 +155,38 @@ impl Snapshot {
         self.admission.coalesced()
     }
 
+    /// Requests that led an evaluation.
+    #[must_use]
+    pub fn led(&self) -> u64 {
+        self.admission.led()
+    }
+
+    /// Whether this snapshot's [`SatCache`] has crossed the service's
+    /// resident-bytes high-water mark (and the one-time warning fired).
+    #[must_use]
+    pub fn sat_cache_warned(&self) -> bool {
+        self.warned.load(Ordering::Relaxed)
+    }
+
+    /// Checks the [`SatCache`] resident-bytes estimate against the
+    /// high-water mark, logging a one-time warning per scenario on the
+    /// way past it. Called by pool workers after each evaluation.
+    fn note_sat_cache_size(&self) {
+        if self.warned.load(Ordering::Relaxed) {
+            return;
+        }
+        let stats = self.sats.stats();
+        let mark = self.high_water.load(Ordering::Relaxed);
+        if stats.resident_bytes > mark && !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: scenario '{}' sat-cache holds {} entries (~{} bytes), past the \
+                 {} byte high-water mark; eviction is a planned follow-on — consider \
+                 re-registering the scenario to reset the cache",
+                self.name, stats.entries, stats.resident_bytes, mark
+            );
+        }
+    }
+
     /// Plans a formula for this snapshot (see [`crate::planner`]).
     #[must_use]
     pub fn plan(&self, f: &Formula) -> QueryPlan {
@@ -178,6 +221,9 @@ pub(crate) struct Job {
     pub(crate) snapshot: Arc<Snapshot>,
     pub(crate) plan: QueryPlan,
     pub(crate) reply: Sender<Outcome>,
+    /// Submission instant, captured only while telemetry is enabled —
+    /// the worker turns it into queue-wait time.
+    pub(crate) submitted: Option<Instant>,
 }
 
 /// The single shared handle to the pool's job channel. Sessions go
@@ -218,6 +264,7 @@ pub struct QueryService {
     snapshots: Mutex<HashMap<String, Arc<Snapshot>>>,
     jobs: JobSlot,
     workers: Vec<JoinHandle<()>>,
+    sat_cache_high_water: Arc<AtomicUsize>,
 }
 
 impl QueryService {
@@ -231,7 +278,7 @@ impl QueryService {
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("hpl-query-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(i, &rx))
                     .expect("spawn query worker")
             })
             .collect();
@@ -239,7 +286,16 @@ impl QueryService {
             snapshots: Mutex::new(HashMap::new()),
             jobs: Arc::new(Mutex::new(Some(tx))),
             workers,
+            sat_cache_high_water: Arc::new(AtomicUsize::new(DEFAULT_SAT_CACHE_HIGH_WATER)),
         }
+    }
+
+    /// Sets the [`SatCache`] resident-bytes high-water mark shared by
+    /// every registered scenario (default
+    /// [`DEFAULT_SAT_CACHE_HIGH_WATER`]). Crossing it triggers a
+    /// one-time warning per scenario; it does **not** evict.
+    pub fn set_sat_cache_high_water(&self, bytes: usize) {
+        self.sat_cache_high_water.store(bytes, Ordering::Relaxed);
     }
 
     /// Registers (or replaces) a plain scenario snapshot. Returns the
@@ -288,6 +344,8 @@ impl QueryService {
             classes: ClassCache::shared(),
             sats: SatCache::shared(),
             admission: Admission::new(),
+            high_water: Arc::clone(&self.sat_cache_high_water),
+            warned: AtomicBool::new(false),
         });
         self.snapshots.lock().insert(name.to_owned(), snapshot);
         generation
@@ -345,7 +403,12 @@ impl Drop for QueryService {
 /// Pool worker: pull a job, evaluate it against its snapshot, reply.
 /// The shared receiver sits behind a mutex (the vendored channel is
 /// single-consumer); evaluation itself runs outside the lock.
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(index: usize, rx: &Mutex<Receiver<Job>>) {
+    // per-worker busy-time counter (utilization = busy / wall), plus
+    // the pool-wide totals; resolved once per worker
+    let busy = hpl_telemetry::global().counter(&format!("service.worker_{index}_busy_ns"));
+    let busy_total = hpl_telemetry::counter("service.worker_busy_ns");
+    let jobs_total = hpl_telemetry::counter("service.jobs");
     loop {
         let job = {
             let guard = rx.lock();
@@ -354,7 +417,23 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
         let Ok(job) = job else {
             return; // channel closed: the service dropped its sender
         };
-        let outcome = job.snapshot.evaluate(&job.plan);
+        if let Some(submitted) = job.submitted {
+            #[allow(clippy::cast_possible_truncation)]
+            hpl_telemetry::record("service.queue_wait", submitted.elapsed().as_nanos() as u64);
+        }
+        let started = hpl_telemetry::enabled().then(Instant::now);
+        let outcome = {
+            let _evaluate = hpl_telemetry::span("service.evaluate");
+            job.snapshot.evaluate(&job.plan)
+        };
+        if let Some(t) = started {
+            #[allow(clippy::cast_possible_truncation)]
+            let ns = t.elapsed().as_nanos() as u64;
+            busy.add(ns);
+            busy_total.add(ns);
+            jobs_total.add(1);
+        }
+        job.snapshot.note_sat_cache_size();
         // a session that gave up waiting is fine
         let _ = job.reply.send(outcome);
     }

@@ -79,7 +79,10 @@ impl Session {
     /// [`QueryError::Parse`] on bad syntax or unknown atoms;
     /// otherwise as [`Session::query_formula`].
     pub fn query(&self, text: &str) -> Result<QueryResponse, QueryError> {
-        let f = parse(text, &self.snapshot.interp).map_err(|e| QueryError::Parse(e.to_string()))?;
+        let f = {
+            let _parse = hpl_telemetry::span("query.parse");
+            parse(text, &self.snapshot.interp).map_err(|e| QueryError::Parse(e.to_string()))?
+        };
         self.query_formula(&f)
     }
 
@@ -91,9 +94,15 @@ impl Session {
     /// refuses an out-of-contract formula;
     /// [`QueryError::ServiceStopped`] after the service dropped.
     pub fn query_formula(&self, f: &Formula) -> Result<QueryResponse, QueryError> {
+        let _query = hpl_telemetry::span("query");
+        hpl_telemetry::counter_add("query.requests", 1);
         let start = Instant::now();
-        let plan = self.snapshot.plan(f);
+        let plan = {
+            let _plan = hpl_telemetry::span("query.plan");
+            self.snapshot.plan(f)
+        };
         let generation = self.snapshot.generation;
+        let _eval = hpl_telemetry::span("query.eval");
         let (outcome, coalesced) = match self.snapshot.admission.admit(generation, plan.root()) {
             Ticket::Leader => {
                 let outcome = self.submit(&plan);
@@ -110,6 +119,11 @@ impl Session {
                 Err(_) => (self.submit(&plan), false),
             },
         };
+        drop(_eval);
+        let _respond = hpl_telemetry::span("query.respond");
+        if coalesced {
+            hpl_telemetry::counter_add("query.coalesced", 1);
+        }
         let sat = outcome?;
         Ok(QueryResponse {
             scenario: self.snapshot.name().to_owned(),
@@ -122,6 +136,35 @@ impl Session {
             plan: plan.stats(),
             elapsed: start.elapsed(),
         })
+    }
+
+    /// A Prometheus-style text exposition of the service's live
+    /// counters for this session's scenario: satisfaction-set cache
+    /// hits, misses, occupancy and resident-bytes estimate, admission
+    /// coalescing, and universe shape — followed by everything the
+    /// global telemetry recorder has collected (empty while telemetry
+    /// is disabled). This is what the `stats` command of `repro serve`
+    /// prints.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let scenario = self.snapshot.name();
+        let stats = self.snapshot.sat_cache_stats();
+        let mut out = String::new();
+        let mut gauge = |name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{{scenario=\"{scenario}\"}} {v}");
+        };
+        gauge("hpl_sat_cache_hits", stats.hits);
+        gauge("hpl_sat_cache_misses", stats.misses);
+        gauge("hpl_sat_cache_entries", stats.entries as u64);
+        gauge("hpl_sat_cache_resident_bytes", stats.resident_bytes as u64);
+        gauge("hpl_admission_coalesced", self.snapshot.coalesced());
+        gauge("hpl_admission_led", self.snapshot.led());
+        gauge("hpl_universe_len", self.snapshot.universe.len() as u64);
+        gauge("hpl_generation", self.snapshot.generation);
+        out.push_str(&hpl_telemetry::snapshot().prometheus_text());
+        out
     }
 
     /// Ships a plan to the worker pool and blocks for the outcome.
@@ -138,6 +181,7 @@ impl Session {
                         snapshot: Arc::clone(&self.snapshot),
                         plan: plan.clone(),
                         reply: tx,
+                        submitted: hpl_telemetry::enabled().then(Instant::now),
                     })
                     .is_ok(),
                 None => false,

@@ -1,0 +1,102 @@
+//! The service's observability surfaces: the Prometheus-style metrics
+//! snapshot a `Session` exposes (what `repro serve`'s `:stats` prints)
+//! and the satisfaction-cache high-water warning.
+
+use hpl_core::{enumerate, EnumerationLimits, Interpretation, Universe};
+use hpl_protocols::token_bus::{self, TokenBus};
+use hpl_runtime::QueryService;
+use std::sync::Arc;
+
+fn snapshot_parts() -> (Arc<Universe>, Arc<Interpretation>) {
+    let pu = enumerate(&TokenBus::new(3), EnumerationLimits::depth(8)).expect("within budget");
+    let mut interp = Interpretation::new();
+    token_bus::token_atoms(&mut interp, 3);
+    (Arc::new(pu.into_universe()), Arc::new(interp))
+}
+
+/// Reads the value of `metric{scenario="..."} value` from the
+/// exposition text.
+fn gauge_value(text: &str, metric: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.starts_with(&format!("{metric}{{")))?
+        .rsplit(' ')
+        .next()?
+        .parse()
+        .ok()
+}
+
+#[test]
+fn metrics_snapshot_exposes_cache_and_admission_gauges() {
+    let (universe, interp) = snapshot_parts();
+    let universe_len = universe.len() as u64;
+    let service = QueryService::start(1);
+    service.register("bus", universe, interp);
+    let session = service.session("bus").expect("registered");
+
+    // same formula twice: the second answer must come from the cache
+    session.query("token-at-p0").expect("evaluates");
+    session.query("token-at-p0").expect("evaluates");
+
+    let text = session.metrics_snapshot();
+    for metric in [
+        "hpl_sat_cache_hits",
+        "hpl_sat_cache_misses",
+        "hpl_sat_cache_entries",
+        "hpl_sat_cache_resident_bytes",
+        "hpl_admission_coalesced",
+        "hpl_admission_led",
+        "hpl_universe_len",
+        "hpl_generation",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {metric} gauge")),
+            "missing TYPE line for {metric} in:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("{metric}{{scenario=\"bus\"}}")),
+            "missing sample for {metric} in:\n{text}"
+        );
+    }
+    assert!(gauge_value(&text, "hpl_sat_cache_hits").expect("parses") >= 1);
+    assert!(gauge_value(&text, "hpl_sat_cache_entries").expect("parses") >= 1);
+    assert!(gauge_value(&text, "hpl_sat_cache_resident_bytes").expect("parses") > 0);
+    assert_eq!(
+        gauge_value(&text, "hpl_universe_len"),
+        Some(universe_len),
+        "universe gauge must report the snapshot's size"
+    );
+}
+
+#[test]
+fn sat_cache_high_water_mark_trips_once() {
+    let (universe, interp) = snapshot_parts();
+    let service = QueryService::start(1);
+    service.register("bus", universe, interp);
+    // 1 byte: any cached satisfaction set is past the mark
+    service.set_sat_cache_high_water(1);
+    let session = service.session("bus").expect("registered");
+    let snap = service.snapshot("bus").expect("registered");
+    assert!(
+        !snap.sat_cache_warned(),
+        "must not warn before any query caches anything"
+    );
+    session.query("token-at-p0").expect("evaluates");
+    assert!(
+        snap.sat_cache_warned(),
+        "a cached entry past the high-water mark must trip the warning"
+    );
+}
+
+#[test]
+fn high_water_mark_defaults_leave_small_caches_quiet() {
+    let (universe, interp) = snapshot_parts();
+    let service = QueryService::start(1);
+    service.register("bus", universe, interp);
+    let session = service.session("bus").expect("registered");
+    session.query("token-at-p0").expect("evaluates");
+    let snap = service.snapshot("bus").expect("registered");
+    assert!(
+        !snap.sat_cache_warned(),
+        "a few kilobytes must stay far below the default 64 MiB mark"
+    );
+}

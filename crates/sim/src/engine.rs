@@ -136,6 +136,7 @@ impl SimulationBuilder {
             message_tags: HashMap::new(),
             fifo_horizon: HashMap::new(),
             stats: SimStats::default(),
+            tele: SimTele::new(),
         };
         for i in 0..sim.nodes.len() {
             sim.push(SimTime::ZERO, QueueItem::Start(ProcessId::new(i)));
@@ -171,6 +172,33 @@ pub struct Simulation {
     message_tags: HashMap<MessageId, u32>,
     fifo_horizon: HashMap<(usize, usize), SimTime>,
     stats: SimStats,
+    tele: SimTele,
+}
+
+/// Cached global-recorder counter handles mirroring [`SimStats`]: the
+/// recorder is the one aggregated reporting path across runs, while
+/// `SimStats` stays the exact per-run view.
+#[derive(Debug)]
+struct SimTele {
+    sent: hpl_telemetry::Counter,
+    delivered: hpl_telemetry::Counter,
+    dropped: hpl_telemetry::Counter,
+    partition_dropped: hpl_telemetry::Counter,
+    timers_fired: hpl_telemetry::Counter,
+    internal_events: hpl_telemetry::Counter,
+}
+
+impl SimTele {
+    fn new() -> Self {
+        SimTele {
+            sent: hpl_telemetry::counter("sim.sent"),
+            delivered: hpl_telemetry::counter("sim.delivered"),
+            dropped: hpl_telemetry::counter("sim.dropped"),
+            partition_dropped: hpl_telemetry::counter("sim.partition_dropped"),
+            timers_fired: hpl_telemetry::counter("sim.timers_fired"),
+            internal_events: hpl_telemetry::counter("sim.internal_events"),
+        }
+    }
 }
 
 impl Simulation {
@@ -316,6 +344,7 @@ impl Simulation {
             } => {
                 if self.crashed[to.index()] {
                     self.stats.dropped += 1;
+                    self.tele.dropped.add(1);
                     return;
                 }
                 // Partitions cut links at delivery time: a message whose
@@ -325,9 +354,12 @@ impl Simulation {
                 if self.network.severed(from.index(), to.index(), self.clock) {
                     self.stats.dropped += 1;
                     self.stats.partition_dropped += 1;
+                    self.tele.dropped.add(1);
+                    self.tele.partition_dropped.add(1);
                     return;
                 }
                 self.stats.delivered += 1;
+                self.tele.delivered.add(1);
                 *self.stats.delivered_by_tag.entry(payload.tag).or_insert(0) += 1;
                 let id = self.fresh_event_id();
                 self.trace_events.push(Event::new(
@@ -345,6 +377,7 @@ impl Simulation {
                     return;
                 }
                 self.stats.timers_fired += 1;
+                self.tele.timers_fired.add(1);
                 if self.record_timers {
                     let eid = self.fresh_event_id();
                     self.trace_events.push(Event::new(
@@ -399,6 +432,7 @@ impl Simulation {
         match effect {
             Effect::Send { to, payload } => {
                 self.stats.sent += 1;
+                self.tele.sent.add(1);
                 *self.stats.sent_by_tag.entry(payload.tag).or_insert(0) += 1;
                 let model_msg = MessageId::new(self.next_message);
                 self.next_message += 1;
@@ -423,6 +457,7 @@ impl Simulation {
                 let mut at = self.clock.after(link.delay.sample(&mut self.delay_rng));
                 if coin < link.drop_probability {
                     self.stats.dropped += 1;
+                    self.tele.dropped.add(1);
                     return;
                 }
                 if link.fifo {
@@ -453,6 +488,7 @@ impl Simulation {
             }
             Effect::Internal { action } => {
                 self.stats.internal_events += 1;
+                self.tele.internal_events.add(1);
                 let eid = self.fresh_event_id();
                 self.trace_events
                     .push(Event::new(eid, p, EventKind::Internal { action }));

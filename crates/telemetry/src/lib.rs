@@ -1,0 +1,54 @@
+//! Unified observability for the How-Processes-Learn workspace.
+//!
+//! One [`Recorder`] holds every metric the engine emits — named atomic
+//! **counters**, log-bucketed **histograms** (p50/p95/p99 with no
+//! allocation on the record path), and nestable thread-aware **spans**
+//! — behind two switches:
+//!
+//! * the `enabled` **cargo feature** (on by default): with it off the
+//!   whole crate is inlined no-ops and every instrumentation site in
+//!   the workspace compiles away;
+//! * a **runtime flag** ([`set_enabled`]): with the feature on but the
+//!   flag off, each call site costs one relaxed atomic load — a few
+//!   nanoseconds — so instrumented code can stay on the hot path.
+//!
+//! Telemetry only *observes*: it reads clocks and bumps atomics, never
+//! influences scheduling or iteration order, so enumeration output is
+//! byte-identical with telemetry on or off (certified by the
+//! `telemetry_determinism` suite).
+//!
+//! Most call sites use the process-global recorder through the free
+//! functions ([`counter`], [`histogram`], [`span`], [`snapshot`]);
+//! tests that want isolation construct their own [`Recorder`] and call
+//! the same methods on it.
+//!
+//! Three export surfaces, shared by `repro`, the query service, and
+//! CI:
+//!
+//! * [`chrome_trace`] — span events as Chrome trace-event JSON,
+//!   loadable in Perfetto / `chrome://tracing`;
+//! * [`TelemetrySnapshot::prometheus_text`] — Prometheus-style text
+//!   exposition (used by `Session::metrics_snapshot` and the `stats`
+//!   command of `repro serve`);
+//! * [`snapshot`] — a plain data snapshot the bench report folds into
+//!   its per-scenario `telemetry` blocks (schema v7).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod export;
+
+pub use export::{chrome_trace_json, HistogramSnapshot, SpanEvent, TelemetrySnapshot};
+
+#[cfg(feature = "enabled")]
+#[path = "real.rs"]
+mod imp;
+
+#[cfg(not(feature = "enabled"))]
+#[path = "noop.rs"]
+mod imp;
+
+pub use imp::{
+    chrome_trace, counter, counter_add, enabled, global, histogram, record, reset, set_enabled,
+    set_tracing, snapshot, span, tracing, Counter, Hist, Recorder, SpanGuard,
+};

@@ -1,0 +1,181 @@
+//! The compiled-out implementation (cargo feature `enabled` off).
+//!
+//! Every type is zero-sized and every function is an empty `#[inline]`
+//! body, so instrumentation sites across the workspace vanish at
+//! codegen while the API (and dependent code) stays identical.
+
+use crate::export::{SpanEvent, TelemetrySnapshot};
+
+/// No-op counter handle (telemetry compiled out).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Discards the addend.
+    #[inline]
+    pub fn add(&self, _v: u64) {}
+
+    /// Discards the candidate maximum.
+    #[inline]
+    pub fn max(&self, _v: u64) {}
+
+    /// Always zero.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op histogram handle (telemetry compiled out).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hist;
+
+impl Hist {
+    /// Discards the sample.
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+
+    /// Always empty.
+    #[inline]
+    #[must_use]
+    pub fn snapshot(&self) -> crate::HistogramSnapshot {
+        crate::HistogramSnapshot::default()
+    }
+}
+
+/// No-op recorder (telemetry compiled out).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Recorder;
+
+impl Recorder {
+    /// Creates a no-op recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder
+    }
+
+    /// Ignored.
+    pub fn set_enabled(&self, _on: bool) {}
+
+    /// Always `false`.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Ignored.
+    pub fn set_tracing(&self, _on: bool) {}
+
+    /// Always `false`.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        false
+    }
+
+    /// A no-op counter handle.
+    #[must_use]
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+
+    /// A no-op histogram handle.
+    #[must_use]
+    pub fn histogram(&self, _name: &str) -> Hist {
+        Hist
+    }
+
+    /// Nothing to clear.
+    pub fn reset(&self) {}
+
+    /// Always empty.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::default()
+    }
+
+    /// Always empty.
+    #[must_use]
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        Vec::new()
+    }
+
+    /// An empty (but well-formed) trace envelope.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        "{\"traceEvents\":[]}".to_owned()
+    }
+}
+
+/// The process-global no-op recorder.
+#[must_use]
+pub fn global() -> &'static Recorder {
+    static R: Recorder = Recorder;
+    &R
+}
+
+/// Ignored (telemetry compiled out).
+pub fn set_enabled(_on: bool) {}
+
+/// Always `false` (telemetry compiled out).
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Ignored (telemetry compiled out).
+pub fn set_tracing(_on: bool) {}
+
+/// Always `false` (telemetry compiled out).
+#[inline]
+#[must_use]
+pub fn tracing() -> bool {
+    false
+}
+
+/// A no-op counter handle.
+#[must_use]
+pub fn counter(_name: &'static str) -> Counter {
+    Counter
+}
+
+/// Discards the add.
+#[inline]
+pub fn counter_add(_name: &'static str, _v: u64) {}
+
+/// A no-op histogram handle.
+#[must_use]
+pub fn histogram(_name: &'static str) -> Hist {
+    Hist
+}
+
+/// Discards the sample.
+#[inline]
+pub fn record(_name: &'static str, _v: u64) {}
+
+/// Nothing to clear.
+pub fn reset() {}
+
+/// Always empty.
+#[must_use]
+pub fn snapshot() -> TelemetrySnapshot {
+    TelemetrySnapshot::default()
+}
+
+/// An empty (but well-formed) trace envelope.
+#[must_use]
+pub fn chrome_trace() -> String {
+    global().chrome_trace()
+}
+
+/// No-op span guard (telemetry compiled out).
+#[derive(Debug, Default)]
+pub struct SpanGuard;
+
+/// A guard that records nothing.
+#[inline]
+#[must_use]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
