@@ -64,6 +64,21 @@
 //! formula batch, so the satisfaction cache must carry the repeats).
 //! Both gates skip with a warning when no record carries the metric.
 //!
+//! The v8 schema adds the incremental-growth records
+//! (`incremental_scenarios`): `repro sweep --incremental` enumerates a
+//! checkpointed universe at a shallow horizon, grows it in place with
+//! [`hpl_core::extend_sharded`] to the depth-14 sweep horizon, and
+//! times the extension chain against a from-scratch rebuild at that
+//! horizon under the same configuration. Each record carries
+//! `extend_wall_ms` / `rebuild_wall_ms`, the `speedup` ratio, the
+//! frontier `resumed` count, and the per-run byte-identity witness
+//! `identical` (same computations in the same order, same event
+//! bindings, same payload table). The gate is baseline-free: every
+//! record must be byte-identical **and** reach the `--min-speedup`
+//! floor (default 1.0 — growing must beat rebuilding), and on
+//! bootstrap (no records) it skips with a warning instead of passing
+//! silently.
+//!
 //! Trace mode: `repro trace [stress|query|faults|all] --chrome PATH`
 //! runs the named scenario once with span tracing on and writes a
 //! Chrome trace-event JSON (load in Perfetto / `chrome://tracing`)
@@ -73,10 +88,11 @@
 //! Gate failures exit with a distinct code per class so CI logs say
 //! what broke without scraping: wall/merge time 2, quotient reduction
 //! 3, fault witness 4, query throughput/determinism 5, telemetry
-//! (stall share / cache hit rate) 6 (the lowest-numbered failing class
-//! wins; every class still prints its diagnostics first).
+//! (stall share / cache hit rate) 6, incremental growth (identity or
+//! speedup floor) 7 (the lowest-numbered failing class wins; every
+//! class still prints its diagnostics first).
 
-use hpl_bench::report::{FaultScenario, PerfReport, QueryScenario, Scenario};
+use hpl_bench::report::{FaultScenario, IncrementalScenario, PerfReport, QueryScenario, Scenario};
 use hpl_bench::{random_computation, InterleavingStress};
 use hpl_core::isomorphism::properties;
 use hpl_core::{
@@ -97,6 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut json = false;
     let mut serve = false;
     let mut query_bench = false;
+    let mut incremental = false;
     let mut trace: Option<String> = None;
     let mut chrome_out: Option<String> = None;
     let mut out_path: Option<String> = None;
@@ -107,12 +124,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut qps_tolerance = 0.5f64;
     let mut stall_tolerance = 0.5f64;
     let mut min_cache_hit_rate = 0.5f64;
+    let mut min_speedup = 1.0f64;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
             "serve" => serve = true,
             "query-bench" => query_bench = true,
+            "--incremental" => incremental = true,
             "trace" => {
                 // optional scenario operand; flags keep their meaning
                 trace = Some(match it.next() {
@@ -165,6 +184,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .ok_or("--min-cache-hit-rate needs a fraction")?
                     .parse::<f64>()?;
             }
+            "--min-speedup" => {
+                min_speedup = it
+                    .next()
+                    .ok_or("--min-speedup needs a factor")?
+                    .parse::<f64>()?;
+            }
             _ => args.push(a),
         }
     }
@@ -177,9 +202,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if serve {
         return serve_mode();
     }
+    if incremental {
+        return incremental_sweep_report(
+            &out_path.unwrap_or_else(|| "BENCH_pr9_incremental.json".to_owned()),
+            min_speedup,
+        );
+    }
     if query_bench {
         return query_bench_report(
-            &out_path.unwrap_or_else(|| "BENCH_pr8_query.json".to_owned()),
+            &out_path.unwrap_or_else(|| "BENCH_pr9_query.json".to_owned()),
             baseline.as_deref(),
             qps_tolerance,
             min_cache_hit_rate,
@@ -187,7 +218,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if json {
         return perf_report(
-            &out_path.unwrap_or_else(|| "BENCH_pr8.json".to_owned()),
+            &out_path.unwrap_or_else(|| "BENCH_pr9.json".to_owned()),
             baseline.as_deref(),
             GateConfig {
                 tolerance,
@@ -878,6 +909,7 @@ const EXIT_REDUCTION: i32 = 3;
 const EXIT_WITNESS: i32 = 4;
 const EXIT_QUERY: i32 = 5;
 const EXIT_TELEMETRY: i32 = 6;
+const EXIT_INCREMENTAL: i32 = 7;
 
 /// The gate thresholds behind `repro --json`, bundled so the perf
 /// runner's signature survives new gates.
@@ -2158,6 +2190,158 @@ fn sweep_report() -> Result<(), Box<dyn std::error::Error>> {
     assert!(verified && holds > 0);
     println!("§5-scale sweep: REPRODUCED under the quotient");
     Ok(())
+}
+
+/// Byte-identity of a grown universe against a from-scratch one: size,
+/// per-id computations, event-id bindings, payload tables — the same
+/// comparison `tests/incremental.rs` certifies across randomized
+/// protocols, re-checked here on the sweep workloads so the gate's
+/// speedup claim can never outlive the correctness claim.
+fn universes_identical(a: &hpl_core::ProtocolUniverse, b: &hpl_core::ProtocolUniverse) -> bool {
+    a.universe().len() == b.universe().len()
+        && a.payload_table() == b.payload_table()
+        && a.universe().iter().all(|(id, c)| {
+            b.universe().get(id) == c
+                && c.iter()
+                    .all(|e| a.universe().event(e.id()) == b.universe().event(e.id()))
+        })
+}
+
+/// One incremental-growth measurement: enumerate `schedule[0]` with a
+/// checkpoint (untimed), then time the extension chain through the
+/// rest of the schedule against a from-scratch enumeration at the
+/// deepest horizon (both best-of-`rounds`), and witness byte-identity
+/// of the two results.
+fn measure_growth<P: hpl_core::Protocol + Sync>(
+    name: &str,
+    protocol: &P,
+    schedule: &[usize],
+    cfg: &ShardConfig,
+    rounds: usize,
+) -> Result<IncrementalScenario, Box<dyn std::error::Error>> {
+    use hpl_core::{enumerate_sharded, extend_sharded};
+    let lim = |d: usize| EnumerationLimits {
+        max_events: d,
+        max_computations: 20_000_000,
+    };
+    let deepest = *schedule.last().expect("schedules are nonempty");
+    let base = enumerate_sharded(protocol, lim(schedule[0]), cfg)?;
+    let seed_frontier = base.frontier.expect("checkpoint requested");
+    // interleave rebuild/extend rounds (best-of each) so slow drift in
+    // the host's clock rate — turbo decay over a long sweep — cannot
+    // systematically favor whichever side is measured last
+    let mut rebuild_wall_ms = f64::INFINITY;
+    let mut extend_wall_ms = f64::INFINITY;
+    let mut scratch = None;
+    let mut grown = None;
+    for _ in 0..rounds.max(1) {
+        let (ms, out) = time_ms(1, || enumerate_sharded(protocol, lim(deepest), cfg));
+        rebuild_wall_ms = rebuild_wall_ms.min(ms);
+        scratch = Some(out?);
+        let (ms, out) = time_ms(1, || {
+            let mut out = extend_sharded(protocol, &seed_frontier, lim(schedule[1]), cfg)?;
+            for &d in &schedule[2..] {
+                let frontier = out.frontier.take().expect("checkpoint requested");
+                out = extend_sharded(protocol, &frontier, lim(d), cfg)?;
+            }
+            Ok::<_, hpl_core::CoreError>(out)
+        });
+        extend_wall_ms = extend_wall_ms.min(ms);
+        grown = Some(out?);
+    }
+    let scratch = scratch.expect("at least one round ran");
+    let grown = grown.expect("at least one round ran");
+    let identical = universes_identical(&grown.universe, &scratch.universe);
+    Ok(IncrementalScenario {
+        name: name.to_owned(),
+        depths: schedule.to_vec(),
+        extend_wall_ms,
+        rebuild_wall_ms,
+        speedup: rebuild_wall_ms / extend_wall_ms,
+        resumed: grown.stats.resumed,
+        universe_size: grown.universe.universe().len(),
+        identical,
+    })
+}
+
+/// `repro sweep --incremental`: the incremental-growth sweep behind
+/// the v8 `incremental_scenarios` records and CI's exit-7 gate. Grows
+/// checkpointed symmetry-rich workloads to their deepest horizon and
+/// requires the extension chain to (a) reproduce the from-scratch
+/// universe byte-identically and (b) beat the rebuild's wall time by
+/// `min_speedup`.
+///
+/// The gated workloads are the broadcast-star family because that is
+/// the regime where growing in place genuinely pays: resuming from a
+/// frontier re-walks the old tree (protocol actions per edge, same as
+/// a rebuild) but skips the *merge decision* on every replayed node,
+/// so the win scales with the cost of canonicalizing over the
+/// automorphism group — order `(n−1)!` for the star. Trivial-group
+/// workloads (the line bus, two generals) re-decide almost for free
+/// and a rebuild stays at parity or better; their grown universes are
+/// still certified byte-identical by `tests/incremental.rs`, they just
+/// make no speed claim.
+fn incremental_sweep_report(
+    out_path: &str,
+    min_speedup: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use hpl_protocols::token_bus::BroadcastBus;
+
+    section("incremental sweep: grown checkpoints vs from-scratch rebuilds");
+    let mut report = PerfReport::default();
+    report.host_fact(
+        "nproc",
+        std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
+    );
+
+    let rounds = 3;
+    // the depth-14 sweep: |G| = 5! = 120, one-level growth
+    report.push_incremental(measure_growth(
+        "incremental_broadcast_star6_quotient_d13_d14",
+        &BroadcastBus::new(6),
+        &[13, 14],
+        &ShardConfig::with_shards(1).quotient().checkpoint(),
+        rounds,
+    )?);
+    // |G| = 4! = 24 with chatter-widened branching
+    report.push_incremental(measure_growth(
+        "incremental_broadcast_star5_chatter_quotient_d7_d8",
+        &BroadcastBus::with_chatter(5, 1),
+        &[7, 8],
+        &ShardConfig::with_shards(1).quotient().checkpoint(),
+        rounds,
+    )?);
+
+    println!(
+        "{:>46} {:>9} {:>11} {:>11} {:>8} {:>9}",
+        "scenario", "universe", "extend_ms", "rebuild_ms", "speedup", "identical"
+    );
+    for s in &report.incremental_scenarios {
+        println!(
+            "{:>46} {:>9} {:>11.1} {:>11.1} {:>7.2}x {:>9}",
+            s.name, s.universe_size, s.extend_wall_ms, s.rebuild_wall_ms, s.speedup, s.identical
+        );
+    }
+    std::fs::write(out_path, report.to_json())?;
+    println!("report → {out_path}");
+
+    let gate = report.incremental_gate(min_speedup);
+    for w in &gate.warnings {
+        println!("warning: {w}");
+    }
+    if gate.regressions.is_empty() {
+        println!(
+            "incremental gate: {} record(s) byte-identical and at or above the \
+             {min_speedup:.2}x speedup floor",
+            report.incremental_scenarios.len()
+        );
+        Ok(())
+    } else {
+        for r in &gate.regressions {
+            eprintln!("INCREMENTAL GATE FAILURE: {r}");
+        }
+        std::process::exit(EXIT_INCREMENTAL);
+    }
 }
 
 /// §5 application 3: the termination-detection overhead table.

@@ -157,6 +157,42 @@ pub struct QueryScenario {
     pub determinism_ok: bool,
 }
 
+/// One measured growth schedule (schema v8): a universe enumerated at
+/// a shallow horizon and grown in place to the deepest one with
+/// `extend_sharded`, timed against a from-scratch rebuild at that
+/// deepest horizon.
+///
+/// `extend_wall_ms` is deliberately **not** named `wall_ms`: wall-time
+/// scanners ([`PerfReport::parse_wall_times`]) must stay blind to
+/// incremental records — their gate is the baseline-free
+/// [`PerfReport::incremental_gate`] (a speedup floor plus the
+/// byte-identity witness), not a wall-time ceiling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncrementalScenario {
+    /// Stable identifier (e.g. `incremental_token_bus_quotient_d12_d14`).
+    pub name: String,
+    /// The growth schedule: strictly increasing horizons, first enumerated
+    /// from scratch (untimed), the rest reached by timed extension steps.
+    pub depths: Vec<usize>,
+    /// Wall time of the extension chain (milliseconds): every
+    /// `extend_sharded` step from `depths[0]` to the deepest horizon.
+    pub extend_wall_ms: f64,
+    /// Wall time of from-scratch enumeration at the deepest horizon
+    /// (milliseconds), same configuration.
+    pub rebuild_wall_ms: f64,
+    /// `rebuild_wall_ms / extend_wall_ms` — the gated metric: growth
+    /// must beat a rebuild, or checkpointing is pure overhead.
+    pub speedup: f64,
+    /// Frontier nodes replayed (not re-explored) by the final step.
+    pub resumed: usize,
+    /// Universe size at the deepest horizon.
+    pub universe_size: usize,
+    /// Whether the grown universe was byte-identical to the from-scratch
+    /// one (computations, id order, payload table) — a correctness
+    /// claim checked per run like the fault witness.
+    pub identical: bool,
+}
+
 /// The complete report: schema tag, host facts, scenarios.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PerfReport {
@@ -172,9 +208,18 @@ pub struct PerfReport {
     /// Query-service throughput records (schema v6); empty for reports
     /// that do not run the query bench.
     pub query_scenarios: Vec<QueryScenario>,
+    /// Incremental-growth records (schema v8); empty for reports that
+    /// do not run `repro sweep --incremental`.
+    pub incremental_scenarios: Vec<IncrementalScenario>,
 }
 
-/// Schema identifier stamped into every report. `v7` added the
+/// Schema identifier stamped into every report. `v8` added the
+/// `incremental_scenarios` array — growth-schedule records from
+/// `repro sweep --incremental` (`extend_wall_ms` for the extension
+/// chain vs `rebuild_wall_ms` for a from-scratch enumeration at the
+/// deepest horizon, the gated `speedup` ratio, and the per-run
+/// byte-identity witness `identical`) gated **baseline-free** as a
+/// floor via [`PerfReport::incremental_gate`]; `v7` added the
 /// per-scenario `telemetry` object — recorder readings from a separate
 /// instrumented pass (stage wall breakdown, `stall_share`,
 /// `telemetry_wall_ms`) gated **absolutely** via
@@ -199,7 +244,7 @@ pub struct PerfReport {
 /// scenarios; `v1` parsers that scan `scenarios[].name`/`wall_ms` still
 /// work (fault and query records carry no `wall_ms`, so wall-time
 /// scanners skip them).
-pub const SCHEMA: &str = "hpl-bench-report/v7";
+pub const SCHEMA: &str = "hpl-bench-report/v8";
 
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
@@ -240,6 +285,11 @@ impl PerfReport {
     /// Appends a query-service throughput record.
     pub fn push_query(&mut self, s: QueryScenario) {
         self.query_scenarios.push(s);
+    }
+
+    /// Appends an incremental-growth record.
+    pub fn push_incremental(&mut self, s: IncrementalScenario) {
+        self.incremental_scenarios.push(s);
     }
 
     /// Renders the report as pretty-printed JSON.
@@ -334,6 +384,36 @@ impl PerfReport {
                 let _ = writeln!(out, ",");
                 let _ = writeln!(out, "      \"determinism_ok\": {}", s.determinism_ok);
                 out.push_str(if i + 1 < self.query_scenarios.len() {
+                    "    },\n"
+                } else {
+                    "    }\n"
+                });
+            }
+            out.push_str("  ]");
+        }
+        if !self.incremental_scenarios.is_empty() {
+            out.push_str(",\n  \"incremental_scenarios\": [\n");
+            for (i, s) in self.incremental_scenarios.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"name\": \"{}\",", escape(&s.name));
+                out.push_str("      \"depths\": [");
+                for (j, d) in s.depths.iter().enumerate() {
+                    let _ = write!(out, "{d}");
+                    if j + 1 < s.depths.len() {
+                        out.push_str(", ");
+                    }
+                }
+                out.push_str("],\n      \"extend_wall_ms\": ");
+                write_f64(&mut out, s.extend_wall_ms);
+                out.push_str(",\n      \"rebuild_wall_ms\": ");
+                write_f64(&mut out, s.rebuild_wall_ms);
+                out.push_str(",\n      \"speedup\": ");
+                write_f64(&mut out, s.speedup);
+                let _ = writeln!(out, ",");
+                let _ = writeln!(out, "      \"resumed\": {},", s.resumed);
+                let _ = writeln!(out, "      \"universe_size\": {},", s.universe_size);
+                let _ = writeln!(out, "      \"identical\": {}", s.identical);
+                out.push_str(if i + 1 < self.incremental_scenarios.len() {
                     "    },\n"
                 } else {
                     "    }\n"
@@ -702,6 +782,62 @@ impl PerfReport {
         }
         report
     }
+
+    /// The incremental-growth gate (schema v8). Two claims per record:
+    ///
+    /// * **byte-identity** — `identical` must be `true`; a grown
+    ///   universe that diverges from from-scratch enumeration is a
+    ///   correctness regression whatever the wall times say;
+    /// * **speedup floor** — `speedup` (rebuild wall over extend wall)
+    ///   must reach `floor`: growing a checkpointed universe to the
+    ///   deepest horizon has to beat rebuilding it from scratch, or
+    ///   frontier checkpointing is pure overhead.
+    ///
+    /// Baseline-free like the stall and hit-rate gates — the claim is
+    /// about this run, not about last week's. On bootstrap (no
+    /// incremental records, e.g. the sweep did not run) the gate
+    /// skips with a warning instead of passing silently. Records with
+    /// a non-finite speedup (degenerate timing) also warn rather than
+    /// fail.
+    #[must_use]
+    pub fn incremental_gate(&self, floor: f64) -> GateReport {
+        let mut report = GateReport::default();
+        if self.incremental_scenarios.is_empty() {
+            report.warnings.push(
+                "incremental: no growth records — gate covered nothing (bootstrap: \
+                 `repro sweep --incremental` did not run or produced no scenarios)"
+                    .to_owned(),
+            );
+            return report;
+        }
+        for s in &self.incremental_scenarios {
+            if !s.identical {
+                report.regressions.push(format!(
+                    "{}: grown universe diverged from from-scratch enumeration at depth {} \
+                     (incremental growth is unsound — see tests/incremental.rs)",
+                    s.name,
+                    s.depths.last().copied().unwrap_or(0)
+                ));
+            }
+            if !s.speedup.is_finite() {
+                report.warnings.push(format!(
+                    "{}: non-finite speedup (extend {} ms, rebuild {} ms) — skipped \
+                     (degenerate timing; the workload is too small to gate)",
+                    s.name, s.extend_wall_ms, s.rebuild_wall_ms
+                ));
+                continue;
+            }
+            if s.speedup < floor {
+                report.regressions.push(format!(
+                    "{}: extend {:.1} ms vs rebuild {:.1} ms — speedup {:.2}x below the \
+                     {floor:.2}x floor (growing in place no longer beats a from-scratch \
+                     rebuild at the deepest horizon)",
+                    s.name, s.extend_wall_ms, s.rebuild_wall_ms, s.speedup
+                ));
+            }
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -1064,6 +1200,80 @@ mod tests {
         assert!(gate.warnings.is_empty(), "{gate:?}");
         // a NaN rate renders as null so v7 consumers see "not measured"
         assert!(r.to_json().contains("\"cache_hit_rate\": null"));
+    }
+
+    fn incremental_record(name: &str, speedup: f64, identical: bool) -> IncrementalScenario {
+        IncrementalScenario {
+            name: name.to_owned(),
+            depths: vec![12, 14],
+            extend_wall_ms: 100.0,
+            rebuild_wall_ms: 100.0 * speedup,
+            speedup,
+            resumed: 5000,
+            universe_size: 20000,
+            identical,
+        }
+    }
+
+    #[test]
+    fn incremental_scenarios_render_and_stay_invisible_to_wall_gates() {
+        let mut r = sample();
+        r.push_incremental(incremental_record(
+            "incremental_token_bus_d12_d14",
+            2.5,
+            true,
+        ));
+        let json = r.to_json();
+        assert!(json.contains("\"incremental_scenarios\": ["));
+        assert!(json.contains("\"depths\": [12, 14]"));
+        assert!(json.contains("\"extend_wall_ms\": 100"));
+        assert!(json.contains("\"speedup\": 2.5"));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains(SCHEMA));
+        // growth records carry extend_wall_ms, not wall_ms: scanners skip them
+        let walls = PerfReport::parse_wall_times(&json);
+        assert_eq!(walls.len(), 2, "{walls:?}");
+        assert!(walls
+            .iter()
+            .all(|(n, _)| n != "incremental_token_bus_d12_d14"));
+        // the speedup is reachable by the generic metric scanner
+        // (enumerate_x in the sample carries a speedup metric too)
+        assert_eq!(
+            PerfReport::parse_metric(&json, "speedup"),
+            vec![
+                ("enumerate_x".to_owned(), 2.25),
+                ("incremental_token_bus_d12_d14".to_owned(), 2.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn incremental_gate_is_a_floor_with_identity_and_bootstrap() {
+        let r = PerfReport::default();
+        // bootstrap: no records means warn, never pass silently
+        let empty = r.incremental_gate(1.0);
+        assert!(empty.regressions.is_empty());
+        assert_eq!(empty.warnings.len(), 1, "{empty:?}");
+        assert!(empty.warnings[0].contains("covered nothing"));
+
+        let mut r = PerfReport::default();
+        r.push_incremental(incremental_record("fast", 3.0, true));
+        r.push_incremental(incremental_record("slow", 0.8, true));
+        r.push_incremental(incremental_record("degenerate", f64::NAN, true));
+        r.push_incremental(incremental_record("diverged", 4.0, false));
+        let gate = r.incremental_gate(1.0);
+        assert_eq!(gate.regressions.len(), 2, "{gate:?}");
+        assert!(gate
+            .regressions
+            .iter()
+            .any(|m| m.starts_with("slow") && m.contains("below the 1.00x floor")));
+        // identity failure is a regression even at a winning speedup
+        assert!(gate
+            .regressions
+            .iter()
+            .any(|m| m.starts_with("diverged") && m.contains("depth 14")));
+        assert_eq!(gate.warnings.len(), 1, "{gate:?}");
+        assert!(gate.warnings[0].starts_with("degenerate"));
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub enum CoreError {
         /// Human-readable rejection reason.
         reason: String,
     },
+    /// An incremental enumeration was handed a frontier that does not
+    /// match the protocol or configuration it is being resumed under
+    /// (wrong system size, wrong dedupe/quotient mode, or a horizon
+    /// shallower than the frontier's own); see
+    /// [`extend_sharded`](crate::extend_sharded).
+    FrontierMismatch {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
     /// An underlying model-layer error.
     Model(ModelError),
 }
@@ -70,6 +79,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidFaultModel { reason } => {
                 write!(f, "invalid fault model: {reason}")
+            }
+            CoreError::FrontierMismatch { reason } => {
+                write!(f, "frontier does not match this extension: {reason}")
             }
             CoreError::Model(e) => write!(f, "invalid computation: {e}"),
         }

@@ -12,11 +12,14 @@
 //! algebraic properties of isomorphism relations ([`properties`]).
 
 use crate::bitset::CompSet;
-use crate::universe::{CompId, Universe};
+use crate::universe::{CompId, GrowthMap, Universe};
 use hpl_model::ProcessSet;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Sentinel for "not yet assigned" in the grow pass's tag arrays.
+const UNASSIGNED: u32 = u32::MAX;
 
 /// The `[P]`-partition of a universe: each computation's class, and each
 /// class's members.
@@ -141,6 +144,19 @@ struct CacheInner {
     /// Generations currently cached, most recently served last.
     recent: Vec<u64>,
     map: HashMap<(u64, u128), Arc<Classes>>,
+    /// Growth edges between cached universe states
+    /// ([`ClassCache::note_growth`]): a partition miss for `to` rebuilds
+    /// incrementally from `from`'s cached partition instead of cold.
+    links: Vec<GrowthLink>,
+}
+
+/// One recorded growth edge (see [`ClassCache::note_growth`]).
+#[derive(Debug)]
+struct GrowthLink {
+    from: u64,
+    to: u64,
+    /// Old member index → new member index, strictly increasing.
+    map: Arc<Vec<u32>>,
 }
 
 impl ClassCache {
@@ -162,6 +178,38 @@ impl ClassCache {
         self.len() == 0
     }
 
+    /// The universe generations this cache currently retains partitions
+    /// for, least recently served first (diagnostics and tests: the
+    /// length is bounded by [`MAX_CACHED_GENERATIONS`] even across a
+    /// long growth sweep).
+    #[must_use]
+    pub fn cached_generations(&self) -> Vec<u64> {
+        self.inner.lock().recent.clone()
+    }
+
+    /// Records that the universe grew in place: `growth` (from
+    /// [`extend_sharded`](crate::extend_sharded)) maps every member of
+    /// the source state into the grown one. The next partition request
+    /// for the grown generation then **diffs the suffix** against the
+    /// source's cached partition — old members inherit their class
+    /// through the map (one signature per surviving class instead of one
+    /// per member) — rather than rebuilding from scratch. Links are
+    /// bounded like partitions: at most [`MAX_CACHED_GENERATIONS`] are
+    /// retained, and links touching an evicted generation die with it.
+    pub fn note_growth(&self, growth: &GrowthMap) {
+        let mut inner = self.inner.lock();
+        let link = GrowthLink {
+            from: growth.from_generation(),
+            to: growth.to_generation(),
+            map: Arc::new(growth.raw().to_vec()),
+        };
+        inner.links.retain(|l| l.to != link.to);
+        inner.links.push(link);
+        if inner.links.len() > MAX_CACHED_GENERATIONS {
+            inner.links.remove(0);
+        }
+    }
+
     /// Fetches the `[P]`-partition for `universe`, building it with
     /// `build` on a miss. Partitions of up to [`MAX_CACHED_GENERATIONS`]
     /// universe states are kept; serving a generation beyond the window
@@ -171,6 +219,7 @@ impl ClassCache {
         universe: &Universe,
         p: ProcessSet,
         build: impl FnOnce() -> Classes,
+        grow: impl FnOnce(&Classes, &[u32]) -> Classes,
     ) -> Arc<Classes> {
         let generation = universe.generation();
         let mut inner = self.inner.lock();
@@ -185,6 +234,7 @@ impl ClassCache {
                 if inner.recent.len() > MAX_CACHED_GENERATIONS {
                     let evicted = inner.recent.remove(0);
                     inner.map.retain(|&(g, _), _| g != evicted);
+                    inner.links.retain(|l| l.from != evicted && l.to != evicted);
                 }
             }
         }
@@ -192,8 +242,28 @@ impl ClassCache {
             hpl_telemetry::counter_add("eval.class_cache_hit", 1);
             return Arc::clone(c);
         }
-        hpl_telemetry::counter_add("eval.class_cache_miss", 1);
-        let classes = Arc::new(build());
+        // a recorded growth edge into this generation whose source
+        // partition is still cached → incremental rebuild
+        let source = inner
+            .links
+            .iter()
+            .find(|l| l.to == generation)
+            .and_then(|l| {
+                inner
+                    .map
+                    .get(&(l.from, p.bits()))
+                    .map(|c| (Arc::clone(c), Arc::clone(&l.map)))
+            });
+        let classes = Arc::new(match source {
+            Some((old, map)) => {
+                hpl_telemetry::counter_add("eval.class_cache_grow", 1);
+                grow(&old, &map)
+            }
+            None => {
+                hpl_telemetry::counter_add("eval.class_cache_miss", 1);
+                build()
+            }
+        });
         inner
             .map
             .insert((generation, p.bits()), Arc::clone(&classes));
@@ -223,11 +293,17 @@ impl<'u> IsoIndex<'u> {
         self.universe
     }
 
-    /// The `[P]`-partition (cached).
+    /// The `[P]`-partition (cached; rebuilt incrementally when the cache
+    /// holds the source partition of a recorded growth edge — see
+    /// [`ClassCache::note_growth`]).
     #[must_use]
     pub fn classes(&self, p: ProcessSet) -> Arc<Classes> {
-        self.cache
-            .get_or_build(self.universe, p, || self.build_classes(p))
+        self.cache.get_or_build(
+            self.universe,
+            p,
+            || self.build_classes(p),
+            |old, map| self.grow_classes(p, old, map),
+        )
     }
 
     fn build_classes(&self, p: ProcessSet) -> Classes {
@@ -259,6 +335,71 @@ impl<'u> IsoIndex<'u> {
             member_sets[class as usize].insert(id.index());
         }
 
+        Classes {
+            class_of,
+            members,
+            member_sets,
+        }
+    }
+
+    /// Rebuilds the `[P]`-partition after an in-place growth, diffing the
+    /// new generation against the source partition `old` instead of
+    /// re-keying every member: growth renumbers event ids *injectively*,
+    /// so two old members share a projection signature in the grown
+    /// space iff they did in the source space — each surviving class
+    /// therefore needs exactly **one** signature computation (its first
+    /// surviving member, to anchor the class among the new members),
+    /// and every later surviving member inherits its class through the
+    /// growth map with no signature at all. New (non-image) members are
+    /// keyed normally; one may be `[P]`-isomorphic to an old class and
+    /// even precede that class's first surviving member, which the
+    /// shared key table resolves to the same class index a cold build
+    /// would pick. The output is byte-equal to [`IsoIndex::build_classes`]
+    /// (certified in `tests/incremental.rs`).
+    fn grow_classes(&self, p: ProcessSet, old: &Classes, map: &[u32]) -> Classes {
+        let n = self.universe.len();
+        // which new ids are images of old members, and of which
+        let mut image_of = vec![UNASSIGNED; n];
+        for (old_idx, &new_idx) in map.iter().enumerate() {
+            image_of[new_idx as usize] = u32::try_from(old_idx).expect("members fit u32");
+        }
+        let mut key_to_class: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut old_to_new_class = vec![UNASSIGNED; old.class_count()];
+        let mut class_of = vec![0u32; n];
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut member_sets: Vec<CompSet> = Vec::new();
+        let mut key: Vec<u64> = Vec::new();
+        for (id, c) in self.universe.iter() {
+            let idx = id.index();
+            let inherited = (image_of[idx] != UNASSIGNED)
+                .then(|| old.class_of[image_of[idx] as usize] as usize)
+                .filter(|&ocl| old_to_new_class[ocl] != UNASSIGNED)
+                .map(|ocl| old_to_new_class[ocl]);
+            let class = match inherited {
+                Some(class) => class,
+                None => {
+                    key.clear();
+                    projection_signature_into(&mut key, c.events(), p.iter());
+                    let class = match key_to_class.get(&key) {
+                        Some(&class) => class,
+                        None => {
+                            let class = members.len() as u32;
+                            key_to_class.insert(key.clone(), class);
+                            members.push(Vec::new());
+                            member_sets.push(CompSet::new(n));
+                            class
+                        }
+                    };
+                    if image_of[idx] != UNASSIGNED {
+                        old_to_new_class[old.class_of[image_of[idx] as usize] as usize] = class;
+                    }
+                    class
+                }
+            };
+            class_of[idx] = class;
+            members[class as usize].push(idx as u32);
+            member_sets[class as usize].insert(idx);
+        }
         Classes {
             class_of,
             members,
@@ -751,6 +892,105 @@ mod tests {
             "evictions bound the cache ({} entries)",
             cache.len()
         );
+    }
+
+    /// Two clocks, up to three internal steps each — the growth fixture.
+    struct GrowClocks;
+    impl crate::enumerate::Protocol for GrowClocks {
+        fn system_size(&self) -> usize {
+            2
+        }
+        fn actions(
+            &self,
+            _p: ProcessId,
+            view: &crate::enumerate::LocalView,
+        ) -> Vec<crate::enumerate::ProtoAction> {
+            if view.len() < 3 {
+                vec![crate::enumerate::ProtoAction::Internal {
+                    action: hpl_model::ActionId::new(view.len() as u32),
+                }]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn grown_partition_matches_cold_build() {
+        use crate::enumerate::EnumerationLimits;
+        use crate::parallel::{enumerate_sharded, extend_sharded, ShardConfig};
+
+        let cfg = ShardConfig::with_shards(1).checkpoint();
+        let shallow = enumerate_sharded(&GrowClocks, EnumerationLimits::depth(3), &cfg).unwrap();
+        let grown = extend_sharded(
+            &GrowClocks,
+            shallow.frontier.as_ref().unwrap(),
+            EnumerationLimits::depth(5),
+            &cfg,
+        )
+        .unwrap();
+
+        let cache = ClassCache::shared();
+        // warm the source partitions, then record the growth edge
+        let src = IsoIndex::with_cache(shallow.universe.universe(), Arc::clone(&cache));
+        for p in [ps(0), ps(1), ProcessSet::full(2)] {
+            let _ = src.classes(p);
+        }
+        cache.note_growth(grown.growth.as_ref().unwrap());
+
+        let inc = IsoIndex::with_cache(grown.universe.universe(), Arc::clone(&cache));
+        let cold = IsoIndex::new(grown.universe.universe());
+        // EMPTY was never warmed at the source: its request falls back to
+        // a cold build; the warmed sets take the incremental path. All
+        // must be byte-equal to a cold build.
+        for p in [ps(0), ps(1), ProcessSet::full(2), ProcessSet::EMPTY] {
+            let a = inc.classes(p);
+            let b = cold.classes(p);
+            assert_eq!(a.class_of, b.class_of, "class_of for {p}");
+            assert_eq!(a.members, b.members, "members for {p}");
+            for cl in 0..a.class_count() {
+                assert_eq!(a.member_set(cl), b.member_set(cl), "set {cl} for {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_growth_keeps_retention_bounded() {
+        use crate::enumerate::EnumerationLimits;
+        use crate::parallel::{enumerate_sharded, extend_sharded, ShardConfig};
+
+        // a long growth sweep: every step records its edge and serves a
+        // partition; retained generations (and their partitions) must
+        // stay within the window instead of creeping with sweep length
+        let cfg = ShardConfig::with_shards(1).checkpoint();
+        let cache = ClassCache::shared();
+        let mut cur = enumerate_sharded(&GrowClocks, EnumerationLimits::depth(2), &cfg).unwrap();
+        let _ = IsoIndex::with_cache(cur.universe.universe(), Arc::clone(&cache)).classes(ps(0));
+        for d in 3..=8 {
+            let next = extend_sharded(
+                &GrowClocks,
+                cur.frontier.as_ref().unwrap(),
+                EnumerationLimits::depth(d),
+                &cfg,
+            )
+            .unwrap();
+            cache.note_growth(next.growth.as_ref().unwrap());
+            let grown_classes =
+                IsoIndex::with_cache(next.universe.universe(), Arc::clone(&cache)).classes(ps(0));
+            let cold = IsoIndex::new(next.universe.universe()).classes(ps(0));
+            assert_eq!(grown_classes.class_of, cold.class_of, "depth {d}");
+            assert!(
+                cache.cached_generations().len() <= MAX_CACHED_GENERATIONS,
+                "depth {d}: retained generations crept to {:?}",
+                cache.cached_generations()
+            );
+            assert!(
+                cache.len() <= MAX_CACHED_GENERATIONS,
+                "depth {d}: {} partitions retained",
+                cache.len()
+            );
+            cur = next;
+        }
     }
 
     #[test]

@@ -101,19 +101,19 @@ pub use enumerate::{
     enumerate, EnumerationLimits, LocalStep, LocalView, ProtoAction, Protocol, ProtocolUniverse,
 };
 pub use error::CoreError;
-pub use eval::{Evaluator, MemoStats, QuotientPolicy, SatCache, SatCacheStats};
+pub use eval::{eval_propositional, Evaluator, MemoStats, QuotientPolicy, SatCache, SatCacheStats};
 pub use fault_universe::{build_fault_universe, FaultModel, FaultStats, FaultUniverse};
 pub use formula::{AtomId, Formula, Interpretation};
 pub use fusion::{fuse_lemma1, fuse_theorem2, FusionError};
 pub use isomorphism::{ClassCache, IsoIndex};
 pub use parallel::{
-    enumerate_sharded, EnumerationStats, ShardConfig, ShardedEnumeration, DEFAULT_BATCH_NODES,
-    DEFAULT_MAX_BUFFERED_BATCHES,
+    enumerate_sharded, extend_sharded, EnumerationStats, Frontier, ShardConfig, ShardedEnumeration,
+    DEFAULT_BATCH_NODES, DEFAULT_MAX_BUFFERED_BATCHES,
 };
 pub use parser::parse;
 pub use soundness::{
     classify_invariance, classify_subformulas, Invariance, SoundnessViolation, VarianceCause,
 };
 pub use symmetry::{canonical_key, check_closure, OrbitClasses, OrbitIndex, Orbits};
-pub use universe::{CompId, Universe};
+pub use universe::{CompId, GrowthMap, Universe};
 pub use views::{BoundedMemory, EventCounts, FullHistory, ViewAbstraction, ViewIndex};

@@ -75,9 +75,9 @@ use crate::enumerate::{
 };
 use crate::error::CoreError;
 use crate::symmetry::{OrbitDecision, Orbits, QuotientState};
-use crate::universe::Universe;
+use crate::universe::{GrowthMap, Universe};
 use crossbeam::channel::{self, Sender};
-use hpl_model::{ActionId, Computation, Event, EventId, ProcessId};
+use hpl_model::{ActionId, Computation, Event, EventId, EventKind, MessageId, ProcessId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -140,6 +140,14 @@ pub struct ShardConfig {
     /// `2 × max_buffered_batches`. The output is independent of this
     /// knob. Clamped to at least 1.
     pub max_buffered_batches: usize,
+    /// Capture a [`Frontier`] checkpoint alongside the result
+    /// ([`ShardedEnumeration::frontier`]): the run's full pre-order node
+    /// journal plus the interning tables, everything
+    /// [`extend_sharded`] needs to resume the enumeration at a deeper
+    /// horizon without re-exploring the old tree. Costs one journal
+    /// record per explored node and one clone of the event and payload
+    /// tables at the end; the enumerated universe itself is unaffected.
+    pub checkpoint: bool,
 }
 
 /// Default [`ShardConfig::batch_nodes`]: large enough that channel and
@@ -165,6 +173,7 @@ impl ShardConfig {
             dedupe: false,
             quotient: false,
             max_buffered_batches: DEFAULT_MAX_BUFFERED_BATCHES,
+            checkpoint: false,
         }
     }
 
@@ -188,6 +197,15 @@ impl ShardConfig {
     #[must_use]
     pub fn dedupe(mut self) -> Self {
         self.dedupe = true;
+        self
+    }
+
+    /// Enables frontier checkpointing (see [`ShardConfig::checkpoint`]):
+    /// the result carries a [`Frontier`] that [`extend_sharded`] can
+    /// resume from.
+    #[must_use]
+    pub fn checkpoint(mut self) -> Self {
+        self.checkpoint = true;
         self
     }
 
@@ -243,8 +261,15 @@ impl Default for ShardConfig {
 /// Counters describing one sharded enumeration run.
 #[derive(Clone, Copy, Debug)]
 pub struct EnumerationStats {
-    /// Tree nodes explored (computations before dedupe/quotient).
+    /// Tree nodes explored (computations before dedupe/quotient). For
+    /// extensions this counts the whole tree at the deeper horizon —
+    /// replayed nodes included — so it is comparable with a from-scratch
+    /// run's count.
     pub explored: usize,
+    /// Nodes replayed from a resumed [`Frontier`] instead of explored
+    /// against the protocol (`0` for from-scratch enumerations; always
+    /// `≤ explored`).
+    pub resumed: usize,
     /// Computations kept in the universe (equals `explored` without
     /// dedupe or quotient).
     pub unique: usize,
@@ -303,6 +328,108 @@ pub struct ShardedEnumeration {
     /// multiplicities) — present exactly in quotient mode; feed it to
     /// [`Evaluator::with_symmetry`](crate::Evaluator::with_symmetry).
     pub orbits: Option<Orbits>,
+    /// The resumable checkpoint at this run's horizon — present exactly
+    /// when [`ShardConfig::checkpoint`] was set; feed it to
+    /// [`extend_sharded`] to grow this universe in place.
+    pub frontier: Option<Frontier>,
+    /// For extensions ([`extend_sharded`]): where every member of the
+    /// source universe landed in the grown one. `None` for from-scratch
+    /// enumerations.
+    pub growth: Option<GrowthMap>,
+}
+
+/// Which merge mode produced a [`Frontier`] — an extension must resume
+/// under the same mode, because the frontier's journal records which
+/// nodes that mode kept.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FrontierMode {
+    Exact,
+    Dedupe,
+    Quotient,
+}
+
+/// One journaled pre-order node of a checkpointed run: its depth (events
+/// in the computation), the global id of its edge event in the producing
+/// run's event space, and whether the merge kept it as a universe member
+/// (representative) or collapsed it onto an earlier one.
+#[derive(Clone, Copy, Debug)]
+struct FrontierRec {
+    depth: u32,
+    event: u32,
+    kept: bool,
+}
+
+/// A resumable enumeration checkpoint: the persisted pre-order journal of
+/// a finished [`enumerate_sharded`] (or [`extend_sharded`]) run plus the
+/// interning tables that anchor it — the event table, the message payload
+/// table and (in quotient mode) the per-representative multiplicities.
+///
+/// [`extend_sharded`] replays the journal through a fresh event space —
+/// re-interning each event at its first pre-order edge encounter, exactly
+/// where a from-scratch merge would intern it, so every old event keeps
+/// its id — and then explores **only below the depth-`d` leaf cut**,
+/// where `d` is the producing run's horizon. The grown universe is
+/// byte-identical to a from-scratch enumeration at the deeper horizon.
+///
+/// Capture is requested with [`ShardConfig::checkpoint`]; a frontier is
+/// self-contained (it borrows nothing from the universe it came from) and
+/// cheap to keep around: one compact record per explored node plus one
+/// copy of the event table.
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    system_size: usize,
+    /// The producing run's horizon (`limits.max_events`).
+    depth: usize,
+    mode: FrontierMode,
+    /// Generation of the universe state this frontier was captured from
+    /// — extensions stamp it into their [`GrowthMap`].
+    generation: u64,
+    /// The producing run's full event table, in global id order.
+    events: Vec<Event>,
+    /// Message payload tags of the producing run.
+    payloads: HashMap<MessageId, u32>,
+    /// Every explored node (the root excluded) in pre-order.
+    records: Vec<FrontierRec>,
+    /// Quotient mode only: multiplicity per kept representative, in
+    /// `CompId` order (index 0 is the root's orbit).
+    multiplicities: Vec<u64>,
+}
+
+impl Frontier {
+    /// The horizon (maximum events per computation) the producing run
+    /// explored to; extensions must use a horizon at least this deep.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The generation of the universe this frontier was captured from.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Explored nodes the frontier will replay instead of re-exploring
+    /// (the root included).
+    #[must_use]
+    pub fn resumed_nodes(&self) -> usize {
+        self.records.len() + 1
+    }
+
+    /// Leaf-cut size: the depth-`d` nodes an extension resumes
+    /// exploration below (collapsed nodes included — collapse affects
+    /// storage, not the tree shape).
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        if self.depth == 0 {
+            1
+        } else {
+            self.records
+                .iter()
+                .filter(|r| r.depth as usize == self.depth)
+                .count()
+        }
+    }
 }
 
 /// A partition-local event id: a dense index into one task's id table
@@ -339,8 +466,9 @@ struct EventDef {
 }
 
 /// One protocol step, as recorded in task *paths*: enough to replay the
-/// edge without consulting the protocol again.
-#[derive(Clone, Copy, Debug)]
+/// edge without consulting the protocol again. (`PartialEq` lets the
+/// extension's leaf walker find the common prefix of two paths.)
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum StepDesc {
     /// A spontaneous step by `p`.
     Spont { p: ProcessId, action: ProtoAction },
@@ -848,6 +976,33 @@ impl<'a, P: Protocol + ?Sized> Explorer<'a, P> {
         )
     }
 
+    /// Worker phase for the single-shard extension: exhaustively expand
+    /// the subtree below the current node (at `depth`), handing each
+    /// pre-order record straight to `emit` together with the partition
+    /// table — no [`BatchBuf`], no per-subtree allocation. A sequential
+    /// caller splices records into the merge the moment they are
+    /// discovered; shipping the leaf cut's many tiny subtrees as
+    /// [`TaskBatch`]es would pay two allocations per leaf for batches
+    /// that average a handful of nodes.
+    fn explore_direct(
+        &mut self,
+        depth: usize,
+        emit: &mut dyn FnMut(&[EventDef], u32, LocalId),
+    ) -> Result<(), ()> {
+        if depth >= self.max_events {
+            return Ok(());
+        }
+        let mut emit = emit;
+        self.for_each_child(
+            |ex, _desc, local, emit| {
+                ex.budget.charge()?;
+                (**emit)(&ex.defs, (depth + 1) as u32, local);
+                ex.explore_direct(depth + 1, &mut **emit)
+            },
+            &mut emit,
+        )
+    }
+
     /// Enumerates the children of the current node in the sequential
     /// engine's order — spontaneous steps by process, then receives by
     /// in-flight slot — applying/undoing state around each visit. The
@@ -909,6 +1064,9 @@ struct Merger {
     events: Vec<Event>,
     system_size: usize,
     mode: MergeMode,
+    /// Pre-order journal of every node (frontier capture); `None` when
+    /// not checkpointing.
+    journal: Option<Vec<FrontierRec>>,
 }
 
 /// How the merge treats isomorphic computations.
@@ -931,13 +1089,14 @@ enum MergeMode {
 }
 
 impl Merger {
-    fn new(system_size: usize, mode: MergeMode) -> Self {
+    fn new(system_size: usize, mode: MergeMode, checkpoint: bool) -> Self {
         Merger {
             space: EventSpace::default(),
             universe: Universe::new(system_size),
             events: Vec::new(),
             system_size,
             mode,
+            journal: checkpoint.then(Vec::new),
         }
     }
 
@@ -972,7 +1131,57 @@ impl Merger {
     fn apply(&mut self, depth: u32, e: Event) {
         self.events.truncate(depth as usize - 1);
         self.events.push(e);
-        self.insert_current();
+        let kept = self.insert_current();
+        self.journal_current(depth, e, kept);
+    }
+
+    /// Replays one pre-order record of a resumed frontier: path
+    /// maintenance always; kept records re-enter the universe as
+    /// previously-decided representatives via [`Merger::adopt_current`].
+    /// Collapsed records still journal (a chained frontier needs the
+    /// full tree) and still extend the path stack — exploration resumes
+    /// below collapsed leaves too, exactly as a from-scratch run would
+    /// explore them.
+    fn replay_resumed(&mut self, depth: u32, e: Event, kept: bool, multiplicity: Option<u64>) {
+        self.events.truncate(depth as usize - 1);
+        self.events.push(e);
+        if kept {
+            self.adopt_current(multiplicity);
+        }
+        self.journal_current(depth, e, kept);
+    }
+
+    /// Inserts the computation at the replay head as a
+    /// previously-decided representative, skipping the dedupe/quotient
+    /// decision: no node explored past the frontier can collapse onto it
+    /// (every such node is strictly longer, and both dedupe signatures
+    /// and canonical keys determine length), so re-deciding would only
+    /// re-derive what the frontier already recorded. Quotient mode
+    /// re-registers the representative's descriptors and adopts its
+    /// captured multiplicity as final.
+    fn adopt_current(&mut self, multiplicity: Option<u64>) {
+        if let MergeMode::Quotient(q) = &mut self.mode {
+            let payloads = &self.space.payloads;
+            q.adopt_representative(
+                self.system_size,
+                &self.events,
+                &mut |m| payloads.get(&m).copied().unwrap_or(0),
+                multiplicity.unwrap_or(1),
+            );
+        }
+        let c = Computation::from_events_trusted(self.system_size, self.events.clone());
+        self.universe.insert_trusted(c);
+    }
+
+    fn journal_current(&mut self, depth: u32, e: Event, kept: bool) {
+        if let Some(j) = &mut self.journal {
+            #[allow(clippy::cast_possible_truncation)] // ids fit u32 (LocalId invariant)
+            j.push(FrontierRec {
+                depth,
+                event: e.id().index() as u32,
+                kept,
+            });
+        }
     }
 
     /// Grows the universe's tables toward the live explored count — in
@@ -1000,13 +1209,14 @@ impl Merger {
     }
 
     /// Inserts the computation at the replay head, unless dedupe or the
-    /// symmetry quotient finds an isomorphic member already present.
-    fn insert_current(&mut self) {
+    /// symmetry quotient finds an isomorphic member already present;
+    /// returns whether the node was kept.
+    fn insert_current(&mut self) -> bool {
         match &mut self.mode {
             MergeMode::Exact => {}
             MergeMode::Dedupe(seen) => {
                 if !seen.insert(canonical_signature(self.system_size, &self.events)) {
-                    return;
+                    return false;
                 }
             }
             MergeMode::Quotient(q) => {
@@ -1015,15 +1225,32 @@ impl Merger {
                     payloads.get(&m).copied().unwrap_or(0)
                 });
                 if matches!(decision, OrbitDecision::Collapsed) {
-                    return;
+                    return false;
                 }
             }
         }
         let c = Computation::from_events_trusted(self.system_size, self.events.clone());
         self.universe.insert_trusted(c);
+        true
     }
 
-    fn finish(mut self) -> (ProtocolUniverse, Option<Orbits>) {
+    /// Finalizes the run. `horizon` is the run's `max_events`, stamped
+    /// into the captured [`Frontier`] (if checkpointing) as the depth of
+    /// the leaf cut an extension resumes from.
+    fn finish(mut self, horizon: usize) -> (ProtocolUniverse, Option<Orbits>, Option<Frontier>) {
+        // snapshot the interning tables before the space is dismantled
+        let checkpoint = self.journal.take().map(|records| {
+            (
+                records,
+                self.space.events.clone(),
+                self.space.payloads.clone(),
+                match self.mode {
+                    MergeMode::Exact => FrontierMode::Exact,
+                    MergeMode::Dedupe(_) => FrontierMode::Dedupe,
+                    MergeMode::Quotient(_) => FrontierMode::Quotient,
+                },
+            )
+        });
         let EventSpace {
             events, payloads, ..
         } = self.space;
@@ -1036,10 +1263,22 @@ impl Merger {
             MergeMode::Quotient(q) => Some(q.into_orbits()),
             MergeMode::Exact | MergeMode::Dedupe(_) => None,
         };
-        (
-            ProtocolUniverse::from_parts(self.universe, payloads),
-            orbits,
-        )
+        let system_size = self.system_size;
+        let universe = ProtocolUniverse::from_parts(self.universe, payloads);
+        let frontier = checkpoint.map(|(records, events, payloads, mode)| Frontier {
+            system_size,
+            depth: horizon,
+            mode,
+            generation: universe.universe().generation(),
+            events,
+            payloads,
+            records,
+            multiplicities: orbits
+                .as_ref()
+                .map(|o| o.multiplicities().to_vec())
+                .unwrap_or_default(),
+        });
+        (universe, orbits, frontier)
     }
 }
 
@@ -1165,6 +1404,59 @@ fn worker_loop<P: Protocol + ?Sized>(
     }
 }
 
+/// Splices one task's streamed batches into the merge: pulls from the
+/// reorder buffer first, then the live result channel (parking batches
+/// of other tasks), until the task's `last` batch has been consumed.
+/// Shared by [`enumerate_sharded`] and [`extend_sharded`]; `Err` means
+/// the workers vanished without finishing — a budget abort.
+#[allow(clippy::too_many_arguments)] // exactly the merge-side context
+fn consume_task_batches(
+    merger: &mut Merger,
+    id: usize,
+    metrics: &mut MergeMetrics,
+    gate: &ReorderGate,
+    res_rx: &channel::Receiver<(usize, TaskBatch)>,
+    parked: &mut HashMap<usize, VecDeque<TaskBatch>>,
+    task_map: &mut Vec<EventId>,
+    budget: &Budget,
+) -> Result<(), ()> {
+    task_map.clear();
+    gate.set_head(id);
+    loop {
+        let batch = match parked.get_mut(&id).and_then(VecDeque::pop_front) {
+            Some(b) => {
+                metrics.on_unbuffer(&b);
+                b
+            }
+            None => loop {
+                match res_rx.recv() {
+                    Ok((t, b)) if t == id => break b,
+                    Ok((t, b)) => {
+                        metrics.on_buffer(&b);
+                        parked.entry(t).or_default().push_back(b);
+                    }
+                    // workers gone without finishing: budget abort
+                    Err(_) => return Err(()),
+                }
+            },
+        };
+        metrics.on_consume(&batch);
+        if batch.credited {
+            gate.release();
+        } else {
+            gate.release_head();
+        }
+        let last = batch.last;
+        let t = Instant::now();
+        merger.forecast(budget.explored.load(Ordering::Relaxed));
+        merger.consume(&batch, task_map);
+        metrics.merge_wall += t.elapsed();
+        if last {
+            return Ok(());
+        }
+    }
+}
+
 /// Enumerates every system computation of `protocol` (depth-bounded, like
 /// [`enumerate`](crate::enumerate::enumerate)) using `config.shards`
 /// worker threads, per-task id partitions and a streaming deterministic
@@ -1235,21 +1527,11 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
 
     // Phases 2+3, fused: workers explore disjoint id partitions while the
     // coordinator streams their batches through the merge in splice order.
-    let mode = if config.quotient {
-        let group = protocol.symmetry();
-        let elements = group.elements_for(protocol.system_size());
-        let generators = group.generators_for(protocol.system_size());
-        MergeMode::Quotient(Box::new(QuotientState::new(
-            elements,
-            generators,
-            protocol.system_size(),
-        )))
-    } else if config.dedupe {
-        MergeMode::Dedupe(HashSet::new())
-    } else {
-        MergeMode::Exact
-    };
-    let mut merger = Merger::new(protocol.system_size(), mode);
+    let mut merger = Merger::new(
+        protocol.system_size(),
+        merge_mode(protocol, config),
+        config.checkpoint,
+    );
     let mut metrics = MergeMetrics::default();
     if outcome.is_ok() {
         let mut task_map: Vec<EventId> = Vec::new();
@@ -1321,42 +1603,16 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
                     &mut merger,
                     &mut metrics,
                     |merger, id, metrics| {
-                        task_map.clear();
-                        gate.set_head(id);
-                        loop {
-                            let batch = match parked.get_mut(&id).and_then(VecDeque::pop_front) {
-                                Some(b) => {
-                                    metrics.on_unbuffer(&b);
-                                    b
-                                }
-                                None => loop {
-                                    match res_rx.recv() {
-                                        Ok((t, b)) if t == id => break b,
-                                        Ok((t, b)) => {
-                                            metrics.on_buffer(&b);
-                                            parked.entry(t).or_default().push_back(b);
-                                        }
-                                        // workers gone without finishing:
-                                        // budget abort — bail out
-                                        Err(_) => return Err(()),
-                                    }
-                                },
-                            };
-                            metrics.on_consume(&batch);
-                            if batch.credited {
-                                gate.release();
-                            } else {
-                                gate.release_head();
-                            }
-                            let last = batch.last;
-                            let t = Instant::now();
-                            merger.forecast(budget.explored.load(Ordering::Relaxed));
-                            merger.consume(&batch, &mut task_map);
-                            metrics.merge_wall += t.elapsed();
-                            if last {
-                                return Ok(());
-                            }
-                        }
+                        consume_task_batches(
+                            merger,
+                            id,
+                            metrics,
+                            &gate,
+                            &res_rx,
+                            &mut parked,
+                            &mut task_map,
+                            &budget,
+                        )
                     },
                 );
                 // teardown: wake any worker still blocked on a credit
@@ -1372,11 +1628,12 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
     }
 
     let unique = merger.universe.len();
-    let (universe, orbits) = merger.finish();
+    let (universe, orbits, frontier) = merger.finish(limits.max_events);
     Ok(ShardedEnumeration {
         universe,
         stats: EnumerationStats {
             explored,
+            resumed: 0,
             unique,
             tasks: task_count,
             shards,
@@ -1387,6 +1644,513 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
             largest_batch_bytes: metrics.largest_batch,
         },
         orbits,
+        frontier,
+        growth: None,
+    })
+}
+
+/// The merge mode a config selects (shared by [`enumerate_sharded`] and
+/// [`extend_sharded`] so the two cannot drift).
+fn merge_mode<P: Protocol + ?Sized>(protocol: &P, config: &ShardConfig) -> MergeMode {
+    if config.quotient {
+        let group = protocol.symmetry();
+        let elements = group.elements_for(protocol.system_size());
+        let generators = group.generators_for(protocol.system_size());
+        MergeMode::Quotient(Box::new(QuotientState::new(
+            elements,
+            generators,
+            protocol.system_size(),
+        )))
+    } else if config.dedupe {
+        MergeMode::Dedupe(HashSet::new())
+    } else {
+        MergeMode::Exact
+    }
+}
+
+/// Re-interns a frontier's events into a fresh global event space during
+/// replay, memoized by old event id. An event's identity — its process,
+/// its process-predecessor and its step key — is intrinsic to the event,
+/// so interning each one at its **first pre-order edge encounter** (the
+/// same position a from-scratch merge would intern it) reproduces the
+/// producing run's event ids, message ids and payload table exactly.
+struct Reinterner<'f> {
+    frontier: &'f Frontier,
+    /// Old event id → new-space event, filled at first encounter.
+    renumbered: Vec<Option<Event>>,
+    /// Message → old id of its send event (a receive names its peer by
+    /// message; the send precedes every receive of it on every path).
+    send_of: HashMap<MessageId, u32>,
+}
+
+impl<'f> Reinterner<'f> {
+    fn new(frontier: &'f Frontier) -> Self {
+        let mut send_of = HashMap::new();
+        for (i, e) in frontier.events.iter().enumerate() {
+            if let EventKind::Send { message, .. } = e.kind() {
+                #[allow(clippy::cast_possible_truncation)] // ids fit u32
+                send_of.insert(message, i as u32);
+            }
+        }
+        Reinterner {
+            frontier,
+            renumbered: vec![None; frontier.events.len()],
+            send_of,
+        }
+    }
+
+    /// The new-space event for a replayed record's edge, interning on
+    /// first encounter. Pre-order guarantees the record's parent path is
+    /// exactly `merger.events[..depth-1]` when this is called (the merge
+    /// stack still holds the previous record's path, which shares it).
+    fn event(&mut self, merger: &mut Merger, rec: FrontierRec) -> Event {
+        let idx = rec.event as usize;
+        if let Some(e) = self.renumbered[idx] {
+            return e;
+        }
+        let old = self.frontier.events[idx];
+        let p = old.process();
+        // the previous event of `p` along the parent path — intrinsic to
+        // the event, recoverable from any path containing it as an edge
+        let prev = merger.events[..rec.depth as usize - 1]
+            .iter()
+            .rev()
+            .find(|e| e.process() == p)
+            .map(|e| e.id());
+        let key = match old.kind() {
+            EventKind::Send { to, message } => StepKey::Send {
+                to,
+                payload: self.frontier.payloads[&message],
+            },
+            EventKind::Receive { message, .. } => {
+                let send = self.renumbered[self.send_of[&message] as usize]
+                    .expect("a send precedes every receive of its message in pre-order");
+                StepKey::Recv {
+                    send_event: send.id(),
+                }
+            }
+            EventKind::Internal { action } => StepKey::Internal { action },
+        };
+        let e = merger.space.intern(p, prev, key);
+        self.renumbered[idx] = Some(e);
+        e
+    }
+}
+
+/// The step paths (from the root) of a frontier's leaf cut: every
+/// depth-`d` node of the journal, kept and collapsed alike — collapse
+/// affects storage, not the tree, and a from-scratch run explores below
+/// collapsed nodes too. At depth 0 the cut is the root itself.
+fn leaf_step_paths(frontier: &Frontier) -> Vec<Vec<StepDesc>> {
+    if frontier.depth == 0 {
+        return vec![Vec::new()];
+    }
+    let mut paths = Vec::new();
+    let mut stack: Vec<u32> = Vec::new(); // old event ids along the current path
+    for rec in &frontier.records {
+        stack.truncate(rec.depth as usize - 1);
+        stack.push(rec.event);
+        if rec.depth as usize == frontier.depth {
+            paths.push(steps_of(frontier, &stack));
+        }
+    }
+    paths
+}
+
+/// Converts an old-event path into the [`StepDesc`] replay language by
+/// forward-simulating the in-flight message queue (which evolves
+/// deterministically, so receive slots are recoverable).
+fn steps_of(frontier: &Frontier, path: &[u32]) -> Vec<StepDesc> {
+    let mut in_flight: Vec<MessageId> = Vec::new();
+    let mut steps = Vec::with_capacity(path.len());
+    for &idx in path {
+        let e = frontier.events[idx as usize];
+        let desc = match e.kind() {
+            EventKind::Send { to, message } => {
+                in_flight.push(message);
+                StepDesc::Spont {
+                    p: e.process(),
+                    action: ProtoAction::Send {
+                        to,
+                        payload: frontier.payloads[&message],
+                    },
+                }
+            }
+            EventKind::Receive { message, .. } => {
+                let slot = in_flight
+                    .iter()
+                    .position(|&m| m == message)
+                    .expect("received messages are in flight");
+                in_flight.remove(slot);
+                #[allow(clippy::cast_possible_truncation)] // slots fit u32
+                StepDesc::Recv { slot: slot as u32 }
+            }
+            EventKind::Internal { action } => StepDesc::Spont {
+                p: e.process(),
+                action: ProtoAction::Internal { action },
+            },
+        };
+        steps.push(desc);
+    }
+    steps
+}
+
+/// Replays a frontier's journal through the merger — re-adopting kept
+/// representatives, re-interning events in their original order and
+/// collecting the [`GrowthMap`] — and invokes `run_leaf` at every
+/// depth-`d` node so new exploration splices in at exactly the pre-order
+/// position a from-scratch run would reach it.
+fn drive_extend(
+    frontier: &Frontier,
+    merger: &mut Merger,
+    metrics: &mut MergeMetrics,
+    growth: &mut Vec<u32>,
+    mut run_leaf: impl FnMut(&mut Merger, usize, &mut MergeMetrics) -> Result<(), ()>,
+) -> Result<(), ()> {
+    let mut reintern = Reinterner::new(frontier);
+    let mut mult = frontier.multiplicities.iter().copied();
+    // the root (empty computation): always kept, orbit index 0
+    merger.adopt_current(mult.next());
+    growth.push(0);
+    if frontier.depth == 0 {
+        return run_leaf(merger, 0, metrics);
+    }
+    let mut leaf = 0usize;
+    // `merge_wall` is timed per contiguous replay segment between leaf
+    // calls, not per record — two clock reads per million-record replay
+    // segment instead of two million
+    let mut seg = Instant::now();
+    for &rec in &frontier.records {
+        let e = reintern.event(merger, rec);
+        let multiplicity = if rec.kept { mult.next() } else { None };
+        merger.replay_resumed(rec.depth, e, rec.kept, multiplicity);
+        if rec.kept {
+            #[allow(clippy::cast_possible_truncation)] // members fit u32 (CompId invariant)
+            growth.push((merger.universe.len() - 1) as u32);
+        }
+        if rec.depth as usize == frontier.depth {
+            metrics.merge_wall += seg.elapsed();
+            run_leaf(merger, leaf, metrics)?;
+            leaf += 1;
+            seg = Instant::now();
+        }
+    }
+    metrics.merge_wall += seg.elapsed();
+    Ok(())
+}
+
+/// Undo data for one step applied by the extension's leaf walker.
+enum AppliedUndo {
+    Spont(SpontUndo),
+    Recv(RecvUndo),
+}
+
+/// Single-shard leaf navigation: one persistent [`Explorer`] serves
+/// every leaf subtree, repositioned between consecutive leaves by
+/// undoing to the longest common step prefix and applying the divergent
+/// suffix — the total navigation cost over all leaves is the size of
+/// the frontier *tree* (each edge applied/undone once), not
+/// `leaves × depth`, and undo restores cached action lists without
+/// consulting the protocol at all.
+struct LeafWalker<'a, P: ?Sized> {
+    ex: Explorer<'a, P>,
+    applied: Vec<(StepDesc, AppliedUndo)>,
+}
+
+impl<'a, P: Protocol + ?Sized> LeafWalker<'a, P> {
+    fn new(protocol: &'a P, max_events: usize, budget: &'a Budget) -> Self {
+        LeafWalker {
+            ex: Explorer::new(protocol, max_events, budget),
+            applied: Vec::new(),
+        }
+    }
+
+    /// Repositions the explorer at the node reached by `target` from the
+    /// root.
+    fn goto(&mut self, target: &[StepDesc]) {
+        let common = self
+            .applied
+            .iter()
+            .zip(target)
+            .take_while(|(pair, step)| pair.0 == **step)
+            .count();
+        while self.applied.len() > common {
+            let (desc, undo) = self.applied.pop().expect("walker stack non-empty");
+            match (desc, undo) {
+                (StepDesc::Spont { p, action }, AppliedUndo::Spont(u)) => {
+                    self.ex.undo_spont(p, action, u);
+                }
+                (StepDesc::Recv { slot }, AppliedUndo::Recv(u)) => {
+                    self.ex.undo_recv(slot as usize, u);
+                }
+                _ => unreachable!("undo data matches its step kind"),
+            }
+        }
+        for &desc in &target[common..] {
+            let undo = match desc {
+                StepDesc::Spont { p, action } => {
+                    AppliedUndo::Spont(self.ex.apply_spont(p, action).0)
+                }
+                StepDesc::Recv { slot } => AppliedUndo::Recv(self.ex.apply_recv(slot as usize).0),
+            };
+            self.applied.push((desc, undo));
+        }
+    }
+}
+
+/// Resumes a checkpointed enumeration from its [`Frontier`], exploring
+/// only below the depth-`d` leaf cut (where `d` is the frontier's
+/// horizon) up to the deeper horizon `limits.max_events`, and splicing
+/// the new records into the existing id space.
+///
+/// The grown universe is **byte-identical** to a from-scratch
+/// [`enumerate_sharded`] run at the deeper horizon — same `CompId`
+/// order, event ids, payload table, orbit representatives and
+/// multiplicities — for every shard count, split depth, batch size and
+/// dedupe/quotient mode, because replayed events re-intern at their
+/// original pre-order positions and new subtrees splice in at exactly
+/// the pre-order slots a from-scratch merge would reach them. What an
+/// extension never re-pays is the old tree's *decisions*: replayed
+/// representatives re-enter the universe without dedupe signatures or
+/// canonical keys (every newly explored node is strictly longer than
+/// every frontier-era node, so their keys cannot collide), and orbit
+/// multiplicities are adopted as captured instead of recanonicalizing
+/// the old tree.
+///
+/// The result's [`ShardedEnumeration::growth`] maps every member of the
+/// source universe to its id in the grown one (useful for carrying
+/// generation-keyed caches forward — see
+/// [`ClassCache::note_growth`](crate::ClassCache)); with
+/// [`ShardConfig::checkpoint`] set, a fresh frontier at the deeper
+/// horizon is captured too, so growth chains (4 → 6 → 9 → …).
+///
+/// # Example
+///
+/// ```
+/// use hpl_core::{enumerate_sharded, extend_sharded, EnumerationLimits, ShardConfig};
+/// use hpl_core::{LocalView, ProtoAction, Protocol};
+/// use hpl_model::{ActionId, ProcessId};
+///
+/// struct Clocks;
+/// impl Protocol for Clocks {
+///     fn system_size(&self) -> usize { 2 }
+///     fn actions(&self, _p: ProcessId, view: &LocalView) -> Vec<ProtoAction> {
+///         if view.len() < 3 {
+///             vec![ProtoAction::Internal { action: ActionId::new(view.len() as u32) }]
+///         } else { vec![] }
+///     }
+/// }
+///
+/// let cfg = ShardConfig::with_shards(2).checkpoint();
+/// let shallow = enumerate_sharded(&Clocks, EnumerationLimits::depth(4), &cfg)?;
+/// let frontier = shallow.frontier.expect("checkpoint requested");
+///
+/// let grown = extend_sharded(&Clocks, &frontier, EnumerationLimits::depth(6), &cfg)?;
+/// let scratch = enumerate_sharded(&Clocks, EnumerationLimits::depth(6), &cfg)?;
+/// assert_eq!(grown.universe.universe().len(), scratch.universe.universe().len());
+/// assert_eq!(grown.stats.explored, scratch.stats.explored);
+/// assert!(grown.stats.resumed > 0);
+/// // every old member kept its identity
+/// let growth = grown.growth.expect("extensions report growth");
+/// assert_eq!(growth.len(), shallow.universe.universe().len());
+/// # Ok::<(), hpl_core::CoreError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`CoreError::FrontierMismatch`] if the frontier disagrees with the
+/// protocol's system size or the config's dedupe/quotient mode, or the
+/// new horizon is shallower than the frontier's;
+/// [`CoreError::EnumerationBudgetExceeded`] if replayed plus newly
+/// explored nodes exceed `limits.max_computations`.
+pub fn extend_sharded<P: Protocol + Sync + ?Sized>(
+    protocol: &P,
+    frontier: &Frontier,
+    limits: EnumerationLimits,
+    config: &ShardConfig,
+) -> Result<ShardedEnumeration, CoreError> {
+    let _extend = hpl_telemetry::span("enum.extend");
+    let mismatch = |reason: String| CoreError::FrontierMismatch { reason };
+    if frontier.system_size != protocol.system_size() {
+        return Err(mismatch(format!(
+            "frontier is over {} processes, the protocol over {}",
+            frontier.system_size,
+            protocol.system_size()
+        )));
+    }
+    let mode_wanted = if config.quotient {
+        FrontierMode::Quotient
+    } else if config.dedupe {
+        FrontierMode::Dedupe
+    } else {
+        FrontierMode::Exact
+    };
+    if frontier.mode != mode_wanted {
+        return Err(mismatch(format!(
+            "frontier was captured in {:?} mode, the extension is configured for {:?}",
+            frontier.mode, mode_wanted
+        )));
+    }
+    if limits.max_events < frontier.depth {
+        return Err(mismatch(format!(
+            "extension horizon {} is shallower than the frontier's {}",
+            limits.max_events, frontier.depth
+        )));
+    }
+    let resumed = frontier.resumed_nodes();
+    if resumed > limits.max_computations {
+        return Err(CoreError::EnumerationBudgetExceeded {
+            max_computations: limits.max_computations,
+        });
+    }
+
+    let shards = config.shards.max(1);
+    let batch_nodes = config.batch_nodes.max(1);
+    let budget = Budget::new(limits.max_computations);
+    // the replayed tree is pre-charged: a from-scratch run counts every
+    // one of these nodes, so `explored` stays comparable
+    budget.explored.store(resumed, Ordering::Relaxed);
+    hpl_telemetry::counter_add("enum.extend.resumed", resumed as u64);
+
+    let mut merger = Merger::new(
+        protocol.system_size(),
+        merge_mode(protocol, config),
+        config.checkpoint,
+    );
+    let mut metrics = MergeMetrics::default();
+    let mut growth: Vec<u32> = Vec::new();
+    let leaf_paths = leaf_step_paths(frontier);
+    hpl_telemetry::counter_add("enum.extend.leaves", leaf_paths.len() as u64);
+
+    if shards == 1 || leaf_paths.len() <= 1 {
+        // Single-shard: one persistent explorer serves every leaf at its
+        // splice point (repositioned via undo, not root replay), one id
+        // partition covers the whole extension, and explored records
+        // splice into the merge the moment they are discovered — the
+        // leaf cut has one subtree per leaf, so routing them through
+        // `TaskBatch` would allocate twice per (tiny) batch. Explore and
+        // merge are fused here, so `merge_wall` covers only the replayed
+        // prefix.
+        let mut walker = LeafWalker::new(protocol, limits.max_events, &budget);
+        let mut task_map: Vec<EventId> = Vec::new();
+        let _merge = hpl_telemetry::span("enum.merge");
+        let _ = drive_extend(
+            frontier,
+            &mut merger,
+            &mut metrics,
+            &mut growth,
+            |merger, leaf, _metrics| {
+                let _explore = hpl_telemetry::span("enum.explore");
+                walker.goto(&leaf_paths[leaf]);
+                let depth = leaf_paths[leaf].len();
+                merger.forecast(budget.explored.load(Ordering::Relaxed));
+                let mut emit = |defs: &[EventDef], d: u32, local: LocalId| {
+                    let local = local as usize;
+                    if local >= task_map.len() {
+                        merger.renumber(&defs[task_map.len()..=local], &mut task_map);
+                    }
+                    let e = merger.event(task_map[local]);
+                    merger.apply(d, e);
+                };
+                walker.ex.explore_direct(depth, &mut emit)
+            },
+        );
+    } else {
+        // Multi-shard: one task per leaf, pushed in splice order; the
+        // stock worker pool explores them (replaying each leaf path in
+        // parallel) while the merge interleaves replayed old records
+        // with each task's streamed batches.
+        let tasks: Vec<Task> = leaf_paths
+            .iter()
+            .enumerate()
+            .map(|(id, path)| Task {
+                id,
+                path: path.clone(),
+            })
+            .collect();
+        let (task_tx, task_rx) = channel::unbounded();
+        let pending = AtomicUsize::new(tasks.len());
+        for t in tasks {
+            task_tx.send(t).expect("receiver alive");
+        }
+        drop(task_tx);
+        let queue = Mutex::new(task_rx);
+        let gate = ReorderGate::new(config.max_buffered_batches);
+        let (res_tx, res_rx) = channel::unbounded::<(usize, TaskBatch)>();
+        std::thread::scope(|s| {
+            for _ in 0..shards {
+                let res_tx = res_tx.clone();
+                let (queue, budget, gate, pending) = (&queue, &budget, &gate, &pending);
+                s.spawn(move || {
+                    worker_loop(
+                        protocol,
+                        limits.max_events,
+                        batch_nodes,
+                        budget,
+                        gate,
+                        queue,
+                        pending,
+                        &res_tx,
+                    );
+                });
+            }
+            drop(res_tx);
+            let _merge = hpl_telemetry::span("enum.merge");
+            let mut parked: HashMap<usize, VecDeque<TaskBatch>> = HashMap::new();
+            let mut task_map: Vec<EventId> = Vec::new();
+            let _ = drive_extend(
+                frontier,
+                &mut merger,
+                &mut metrics,
+                &mut growth,
+                |merger, leaf, metrics| {
+                    consume_task_batches(
+                        merger,
+                        leaf,
+                        metrics,
+                        &gate,
+                        &res_rx,
+                        &mut parked,
+                        &mut task_map,
+                        &budget,
+                    )
+                },
+            );
+            // teardown: wake any worker still blocked on a credit
+            gate.shutdown();
+        });
+    }
+
+    let explored = budget.explored.load(Ordering::Relaxed).min(budget.max);
+    if let Some(e) = budget.into_error() {
+        return Err(e);
+    }
+
+    let unique = merger.universe.len();
+    let leaves = leaf_paths.len();
+    let (universe, orbits, new_frontier) = merger.finish(limits.max_events);
+    let growth_map = GrowthMap::new(
+        frontier.generation,
+        universe.universe().generation(),
+        growth,
+    );
+    Ok(ShardedEnumeration {
+        universe,
+        stats: EnumerationStats {
+            explored,
+            resumed,
+            unique,
+            tasks: leaves,
+            shards,
+            group_order: orbits.as_ref().map_or(1, Orbits::group_order),
+            batches: metrics.batches,
+            merge_wall_ms: metrics.merge_wall.as_secs_f64() * 1e3,
+            peak_buffered_bytes: metrics.peak_buffered,
+            largest_batch_bytes: metrics.largest_batch,
+        },
+        orbits,
+        frontier: new_frontier,
+        growth: Some(growth_map),
     })
 }
 
@@ -1847,6 +2611,275 @@ mod tests {
         // frontier at depth 1: one internal step per process → 2 tasks
         assert_eq!(out.stats.tasks, 2);
         assert_eq!(out.stats.shards, 2);
+    }
+
+    /// Asserts quotient structure matches: same representative event-id
+    /// sequences, same multiplicities in `CompId` order.
+    fn assert_same_orbits(a: &ShardedEnumeration, b: &ShardedEnumeration) {
+        let project = |out: &ShardedEnumeration| -> (Vec<Vec<u64>>, Vec<u64>) {
+            let ids = out
+                .universe
+                .universe()
+                .iter()
+                .map(|(_, c)| c.iter().map(|e| e.id().index() as u64).collect())
+                .collect();
+            let mults = out
+                .universe
+                .universe()
+                .ids()
+                .map(|i| out.orbits.as_ref().unwrap().multiplicity(i))
+                .collect();
+            (ids, mults)
+        };
+        assert_eq!(project(a), project(b), "orbit structure");
+    }
+
+    /// The step structure of a computation, independent of global event
+    /// ids (which the deeper horizon may legitimately reassign — new
+    /// events below early leaves intern before later old events' first
+    /// encounters, exactly as a from-scratch run at that horizon would).
+    fn shape(pu: &ProtocolUniverse, c: &hpl_model::Computation) -> Vec<(usize, usize, u32)> {
+        c.iter()
+            .map(|e| match e.kind() {
+                hpl_model::EventKind::Send { to, message } => (
+                    e.process().index(),
+                    to.index(),
+                    pu.payload_of(message).unwrap(),
+                ),
+                hpl_model::EventKind::Receive { from, message } => (
+                    e.process().index() + 1000,
+                    from.index(),
+                    pu.payload_of(message).unwrap(),
+                ),
+                hpl_model::EventKind::Internal { action } => {
+                    (e.process().index() + 2000, 0, action.tag())
+                }
+            })
+            .collect()
+    }
+
+    /// The growth contract, end to end: the map covers the whole source
+    /// universe in order, and every old member reappears at its mapped id
+    /// with the same step structure (global event ids may shift — the
+    /// grown space is the *deeper* horizon's id space).
+    fn assert_growth_faithful(old: &ProtocolUniverse, out: &ShardedEnumeration) {
+        let growth = out.growth.as_ref().expect("extensions report growth");
+        assert_eq!(growth.len(), old.universe().len(), "map covers the source");
+        assert_eq!(growth.to_generation(), out.universe.universe().generation());
+        let mut prev: Option<u32> = None;
+        for (old_id, new_id) in growth.iter() {
+            assert_eq!(
+                shape(old, old.universe().get(old_id)),
+                shape(&out.universe, out.universe.universe().get(new_id)),
+                "member {old_id} changed structure at {new_id}"
+            );
+            let raw = new_id.index() as u32;
+            assert!(prev.is_none_or(|p| p < raw), "map preserves member order");
+            prev = Some(raw);
+        }
+    }
+
+    fn extend_configs(shards: usize) -> [ShardConfig; 3] {
+        [
+            ShardConfig::with_shards(shards).checkpoint(),
+            ShardConfig::with_shards(shards).checkpoint().dedupe(),
+            ShardConfig::with_shards(shards).checkpoint().quotient(),
+        ]
+    }
+
+    #[test]
+    fn extend_matches_scratch_across_shards_and_modes() {
+        let p = SymmetricClocks { n: 2, k: 3 };
+        for shards in [1usize, 2, 8] {
+            for cfg in extend_configs(shards) {
+                let shallow = enumerate_sharded(&p, EnumerationLimits::depth(3), &cfg).unwrap();
+                let frontier = shallow.frontier.as_ref().expect("checkpoint requested");
+                assert_eq!(frontier.resumed_nodes(), shallow.stats.explored);
+
+                let grown =
+                    extend_sharded(&p, frontier, EnumerationLimits::depth(6), &cfg).unwrap();
+                let scratch = enumerate_sharded(&p, EnumerationLimits::depth(6), &cfg).unwrap();
+                assert_identical(&grown.universe, &scratch.universe);
+                assert_eq!(grown.stats.explored, scratch.stats.explored, "tree size");
+                assert_eq!(grown.stats.resumed, shallow.stats.explored);
+                if cfg.quotient {
+                    assert_same_orbits(&grown, &scratch);
+                }
+                assert_growth_faithful(&shallow.universe, &grown);
+            }
+        }
+    }
+
+    #[test]
+    fn extend_matches_scratch_with_messages() {
+        // PingPong mixes sends, receives and internals, so the replay
+        // exercises message re-interning and receive-slot recovery.
+        for shards in [1usize, 2] {
+            for cfg in extend_configs(shards) {
+                let shallow =
+                    enumerate_sharded(&PingPong, EnumerationLimits::depth(3), &cfg).unwrap();
+                let grown = extend_sharded(
+                    &PingPong,
+                    shallow.frontier.as_ref().unwrap(),
+                    EnumerationLimits::depth(6),
+                    &cfg,
+                )
+                .unwrap();
+                let scratch =
+                    enumerate_sharded(&PingPong, EnumerationLimits::depth(6), &cfg).unwrap();
+                assert_identical(&grown.universe, &scratch.universe);
+                assert_growth_faithful(&shallow.universe, &grown);
+            }
+        }
+    }
+
+    #[test]
+    fn growth_chains_across_three_horizons() {
+        // 2 → 4 → 6: each extension re-checkpoints, and the end state is
+        // byte-identical to enumerating depth 6 from scratch.
+        let p = SymmetricClocks { n: 3, k: 2 };
+        for cfg in extend_configs(2) {
+            let d2 = enumerate_sharded(&p, EnumerationLimits::depth(2), &cfg).unwrap();
+            let d4 = extend_sharded(
+                &p,
+                d2.frontier.as_ref().unwrap(),
+                EnumerationLimits::depth(4),
+                &cfg,
+            )
+            .unwrap();
+            assert_growth_faithful(&d2.universe, &d4);
+            let d6 = extend_sharded(
+                &p,
+                d4.frontier.as_ref().unwrap(),
+                EnumerationLimits::depth(6),
+                &cfg,
+            )
+            .unwrap();
+            assert_growth_faithful(&d4.universe, &d6);
+            let scratch = enumerate_sharded(&p, EnumerationLimits::depth(6), &cfg).unwrap();
+            assert_identical(&d6.universe, &scratch.universe);
+            assert_eq!(d6.stats.explored, scratch.stats.explored);
+            if cfg.quotient {
+                assert_same_orbits(&d6, &scratch);
+            }
+        }
+    }
+
+    #[test]
+    fn extension_at_same_horizon_is_identity() {
+        let cfg = ShardConfig::with_shards(2).checkpoint().quotient();
+        let base = enumerate_sharded(
+            &SymmetricClocks { n: 2, k: 2 },
+            EnumerationLimits::depth(4),
+            &cfg,
+        )
+        .unwrap();
+        let same = extend_sharded(
+            &SymmetricClocks { n: 2, k: 2 },
+            base.frontier.as_ref().unwrap(),
+            EnumerationLimits::depth(4),
+            &cfg,
+        )
+        .unwrap();
+        assert_identical(&same.universe, &base.universe);
+        assert_eq!(
+            same.stats.resumed, same.stats.explored,
+            "nothing re-explored"
+        );
+        assert_same_orbits(&same, &base);
+    }
+
+    #[test]
+    fn extend_rejects_mismatched_frontiers() {
+        let ck = ShardConfig::with_shards(1).checkpoint();
+        let base =
+            enumerate_sharded(&Clocks { n: 2, k: 2 }, EnumerationLimits::depth(4), &ck).unwrap();
+        let frontier = base.frontier.unwrap();
+        // wrong mode
+        let err = extend_sharded(
+            &Clocks { n: 2, k: 2 },
+            &frontier,
+            EnumerationLimits::depth(6),
+            &ShardConfig::with_shards(1).dedupe(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::FrontierMismatch { .. }), "{err}");
+        // shallower horizon
+        let err = extend_sharded(
+            &Clocks { n: 2, k: 2 },
+            &frontier,
+            EnumerationLimits::depth(3),
+            &ck,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::FrontierMismatch { .. }), "{err}");
+        // wrong system size
+        let err = extend_sharded(
+            &Clocks { n: 3, k: 2 },
+            &frontier,
+            EnumerationLimits::depth(6),
+            &ck,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::FrontierMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn extend_budget_guard_trips() {
+        let ck = ShardConfig::with_shards(1).checkpoint();
+        let base =
+            enumerate_sharded(&Clocks { n: 2, k: 3 }, EnumerationLimits::depth(3), &ck).unwrap();
+        let frontier = base.frontier.unwrap();
+        // budget below the replayed tree: rejected before any work
+        let err = extend_sharded(
+            &Clocks { n: 2, k: 3 },
+            &frontier,
+            EnumerationLimits {
+                max_events: 6,
+                max_computations: frontier.resumed_nodes() - 1,
+            },
+            &ck,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::EnumerationBudgetExceeded { .. }));
+        // budget covering the replay but not the growth: trips mid-run,
+        // across shard counts
+        for shards in [1usize, 4] {
+            let cfg = ShardConfig::with_shards(shards).checkpoint();
+            let err = extend_sharded(
+                &Clocks { n: 2, k: 3 },
+                &frontier,
+                EnumerationLimits {
+                    max_events: 6,
+                    max_computations: frontier.resumed_nodes() + 3,
+                },
+                &cfg,
+            )
+            .unwrap_err();
+            assert!(matches!(err, CoreError::EnumerationBudgetExceeded { .. }));
+        }
+    }
+
+    #[test]
+    fn frontier_reports_its_shape() {
+        let cfg = ShardConfig::with_shards(1).checkpoint();
+        let out =
+            enumerate_sharded(&Clocks { n: 2, k: 2 }, EnumerationLimits::depth(2), &cfg).unwrap();
+        let f = out.frontier.unwrap();
+        assert_eq!(f.depth(), 2);
+        assert_eq!(f.generation(), out.universe.universe().generation());
+        assert_eq!(f.resumed_nodes(), out.stats.explored);
+        // depth-2 cut of two clocks: (2,0), (1,1), (1,1), (0,2) → 4 leaves
+        assert_eq!(f.leaf_count(), 4);
+        // without the flag, no frontier is captured
+        let plain = enumerate_sharded(
+            &Clocks { n: 2, k: 2 },
+            EnumerationLimits::depth(2),
+            &ShardConfig::with_shards(1),
+        )
+        .unwrap();
+        assert!(plain.frontier.is_none());
+        assert!(plain.growth.is_none());
     }
 
     #[test]

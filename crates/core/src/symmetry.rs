@@ -352,6 +352,39 @@ impl QuotientState {
         OrbitDecision::Representative
     }
 
+    /// Adopts a representative decided by an earlier enumeration with
+    /// its final multiplicity, **without** canonicalizing it or entering
+    /// it in the key table. Sound during incremental extension
+    /// ([`extend_sharded`](crate::extend_sharded)) because every
+    /// computation explored past the frontier is strictly longer than
+    /// every adopted one, and canonical keys of different-length
+    /// computations differ — no new node can collapse onto an adopted
+    /// orbit, and its multiplicity is already final. The descriptors are
+    /// still computed: orbit-aware evaluation
+    /// ([`OrbitIndex`](crate::OrbitIndex)) reads them for adopted and
+    /// fresh representatives alike.
+    ///
+    /// The caller must keep the representative-id invariant: adopt in
+    /// universe insertion order, so the adopted rep's id equals the
+    /// number of representatives seen before it.
+    pub(crate) fn adopt_representative(
+        &mut self,
+        system_size: usize,
+        events: &[Event],
+        payload_of: &mut dyn FnMut(MessageId) -> u32,
+        multiplicity: u64,
+    ) {
+        descriptors_into(
+            system_size,
+            events,
+            payload_of,
+            &mut self.send_info,
+            &mut self.scratch,
+        );
+        self.multiplicity.push(multiplicity);
+        self.descs.push(std::mem::take(&mut self.scratch));
+    }
+
     pub(crate) fn into_orbits(self) -> Orbits {
         Orbits {
             elements: self.canon.elements,
@@ -410,6 +443,13 @@ impl Orbits {
     #[must_use]
     pub fn multiplicity(&self, id: CompId) -> u64 {
         self.multiplicity[id.index()]
+    }
+
+    /// The full per-representative multiplicity table, in id order —
+    /// what frontier checkpoints persist so an extension can adopt old
+    /// representatives with their final counts.
+    pub(crate) fn multiplicities(&self) -> &[u64] {
+        &self.multiplicity
     }
 
     /// The size of the full (un-quotiented) universe: the sum of all

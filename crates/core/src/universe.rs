@@ -55,6 +55,86 @@ impl fmt::Display for CompId {
     }
 }
 
+/// The id correspondence produced by growing a universe in place
+/// ([`extend_sharded`](crate::extend_sharded)): for every member of the
+/// source state (generation `from_generation`), the [`CompId`] it holds
+/// in the grown state (generation `to_generation`). New computations
+/// splice *between* surviving members in pre-order, so the map is
+/// strictly increasing but not the identity; membership order of the old
+/// members is preserved, which is what lets generation-keyed caches
+/// rebuild incrementally ([`crate::isomorphism::ClassCache::note_growth`])
+/// instead of from scratch.
+#[derive(Clone, Debug)]
+pub struct GrowthMap {
+    from_generation: u64,
+    to_generation: u64,
+    /// `map[old.index()]` = raw index of the member in the grown state.
+    map: Vec<u32>,
+}
+
+impl GrowthMap {
+    pub(crate) fn new(from_generation: u64, to_generation: u64, map: Vec<u32>) -> Self {
+        debug_assert!(
+            map.windows(2).all(|w| w[0] < w[1]),
+            "growth maps preserve member order"
+        );
+        GrowthMap {
+            from_generation,
+            to_generation,
+            map,
+        }
+    }
+
+    /// The generation of the universe state the frontier was captured
+    /// from.
+    #[must_use]
+    pub fn from_generation(&self) -> u64 {
+        self.from_generation
+    }
+
+    /// The generation of the grown universe state.
+    #[must_use]
+    pub fn to_generation(&self) -> u64 {
+        self.to_generation
+    }
+
+    /// Number of members of the source state (all of which survive).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the source state had no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The id an old member holds in the grown universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is not a member of the source state.
+    #[must_use]
+    pub fn new_id_of(&self, old: CompId) -> CompId {
+        CompId(self.map[old.index()])
+    }
+
+    /// All `(old id, new id)` pairs, in old-member order.
+    pub fn iter(&self) -> impl Iterator<Item = (CompId, CompId)> + '_ {
+        self.map
+            .iter()
+            .enumerate()
+            .map(|(old, &new)| (CompId::new(old), CompId(new)))
+    }
+
+    /// The raw old-index → new-index table.
+    #[must_use]
+    pub(crate) fn raw(&self) -> &[u32] {
+        &self.map
+    }
+}
+
 /// A finite, deduplicated set of computations over a shared event space.
 ///
 /// Insertion enforces the paper's "all events are distinguished"

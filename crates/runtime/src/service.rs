@@ -26,8 +26,8 @@ use crate::session::Session;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hpl_core::isomorphism::ClassCache;
 use hpl_core::{
-    CompSet, CoreError, Evaluator, Formula, Interpretation, Orbits, QuotientPolicy, SatCache,
-    SatCacheStats, Universe,
+    eval_propositional, CompSet, CoreError, Evaluator, Formula, GrowthMap, Interpretation, Orbits,
+    QuotientPolicy, SatCache, SatCacheStats, Universe,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -63,6 +63,9 @@ pub enum QueryError {
     Unsound(String),
     /// The service's worker pool has shut down.
     ServiceStopped,
+    /// A [`QueryService::reregister`] growth map did not connect the
+    /// currently registered snapshot to the offered universe.
+    GrowthMismatch(String),
     /// An unexpected evaluation failure.
     Internal(String),
 }
@@ -74,6 +77,9 @@ impl fmt::Display for QueryError {
             QueryError::UnknownScenario(s) => write!(f, "unknown scenario: {s}"),
             QueryError::Unsound(m) => write!(f, "query rejected: {m}"),
             QueryError::ServiceStopped => write!(f, "query service stopped"),
+            QueryError::GrowthMismatch(m) => {
+                write!(f, "growth map does not connect the snapshots: {m}")
+            }
             QueryError::Internal(m) => write!(f, "internal evaluation error: {m}"),
         }
     }
@@ -109,6 +115,11 @@ pub struct Snapshot {
     /// Shared with the owning service (one knob for all scenarios).
     high_water: Arc<AtomicUsize>,
     warned: AtomicBool,
+    /// Raised when a later registration replaces this snapshot under
+    /// its name. Sessions holding the snapshot keep working against it
+    /// (results stay internally consistent); [`Session::is_current`]
+    /// lets them notice and reopen.
+    stale: AtomicBool,
 }
 
 impl Snapshot {
@@ -140,6 +151,14 @@ impl Snapshot {
     #[must_use]
     pub fn policy(&self) -> QuotientPolicy {
         self.policy
+    }
+
+    /// Whether this snapshot is still the one registered under its
+    /// name, i.e. no later [`QueryService::register`] or
+    /// [`QueryService::reregister`] has replaced it.
+    #[must_use]
+    pub fn is_current(&self) -> bool {
+        !self.stale.load(Ordering::Relaxed)
     }
 
     /// Hit/miss counters of the cross-query satisfaction-set cache.
@@ -307,7 +326,15 @@ impl QueryService {
         universe: Arc<Universe>,
         interp: Arc<Interpretation>,
     ) -> u64 {
-        self.install(name, universe, interp, None, QuotientPolicy::default())
+        self.install(
+            name,
+            universe,
+            interp,
+            None,
+            QuotientPolicy::default(),
+            ClassCache::shared(),
+            SatCache::shared(),
+        )
     }
 
     /// Registers (or replaces) a **symmetry-quotient** scenario
@@ -322,9 +349,164 @@ impl QueryService {
         orbits: Arc<Orbits>,
         policy: QuotientPolicy,
     ) -> u64 {
-        self.install(name, universe, interp, Some(orbits), policy)
+        self.install(
+            name,
+            universe,
+            interp,
+            Some(orbits),
+            policy,
+            ClassCache::shared(),
+            SatCache::shared(),
+        )
     }
 
+    /// Replaces a registered plain scenario with a **grown** universe,
+    /// hot-swapping the snapshot while carrying its caches forward:
+    ///
+    /// * the [`ClassCache`] learns the growth edge
+    ///   ([`ClassCache::note_growth`]), so `[P]`-partitions of the new
+    ///   generation are rebuilt incrementally from the cached ones
+    ///   instead of from scratch;
+    /// * **propositional** [`SatCache`] entries are carried — surviving
+    ///   members keep their verdicts through the growth map and only
+    ///   newly enumerated computations are decided
+    ///   ([`SatCache::carry_forward`]); epistemic entries are dropped
+    ///   (growth can change them anywhere).
+    ///
+    /// Sessions opened before the swap keep answering against the old
+    /// snapshot (internally consistent); they can notice via
+    /// [`Session::is_current`](crate::Session::is_current) and reopen.
+    ///
+    /// Returns the new pinned generation.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownScenario`] if `name` is not registered;
+    /// [`QueryError::GrowthMismatch`] if `growth` does not connect the
+    /// registered snapshot's generation to `universe`'s, does not cover
+    /// the registered universe, or the scenario kind (plain vs
+    /// quotient) changes.
+    pub fn reregister(
+        &self,
+        name: &str,
+        universe: Arc<Universe>,
+        interp: Arc<Interpretation>,
+        growth: &GrowthMap,
+    ) -> Result<u64, QueryError> {
+        self.reinstall(
+            name,
+            universe,
+            interp,
+            None,
+            QuotientPolicy::default(),
+            growth,
+        )
+    }
+
+    /// [`QueryService::reregister`] for quotient scenarios: the grown
+    /// representative universe plus its orbit structure. Cache
+    /// carry-over and staleness semantics are identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryService::reregister`].
+    pub fn reregister_quotient(
+        &self,
+        name: &str,
+        universe: Arc<Universe>,
+        interp: Arc<Interpretation>,
+        orbits: Arc<Orbits>,
+        policy: QuotientPolicy,
+        growth: &GrowthMap,
+    ) -> Result<u64, QueryError> {
+        self.reinstall(name, universe, interp, Some(orbits), policy, growth)
+    }
+
+    #[allow(clippy::needless_pass_by_value)]
+    fn reinstall(
+        &self,
+        name: &str,
+        universe: Arc<Universe>,
+        interp: Arc<Interpretation>,
+        orbits: Option<Arc<Orbits>>,
+        policy: QuotientPolicy,
+        growth: &GrowthMap,
+    ) -> Result<u64, QueryError> {
+        let old = self
+            .snapshot(name)
+            .ok_or_else(|| QueryError::UnknownScenario(name.to_owned()))?;
+        if growth.from_generation() != old.generation {
+            return Err(QueryError::GrowthMismatch(format!(
+                "growth starts at generation {} but '{name}' is registered at {}",
+                growth.from_generation(),
+                old.generation
+            )));
+        }
+        let generation = universe.generation();
+        if growth.to_generation() != generation {
+            return Err(QueryError::GrowthMismatch(format!(
+                "growth ends at generation {} but the offered universe is at {generation}",
+                growth.to_generation()
+            )));
+        }
+        if growth.len() != old.universe.len() {
+            return Err(QueryError::GrowthMismatch(format!(
+                "growth maps {} computations but '{name}' holds {}",
+                growth.len(),
+                old.universe.len()
+            )));
+        }
+        if old.orbits.is_some() != orbits.is_some() {
+            return Err(QueryError::GrowthMismatch(format!(
+                "'{name}' cannot change kind ({} registered, {} offered)",
+                if old.orbits.is_some() {
+                    "quotient"
+                } else {
+                    "plain"
+                },
+                if orbits.is_some() {
+                    "quotient"
+                } else {
+                    "plain"
+                },
+            )));
+        }
+
+        // carry the partition cache: record the edge so the next
+        // classes() call on the new generation grows incrementally
+        let classes = Arc::clone(&old.classes);
+        classes.note_growth(growth);
+
+        // carry propositional satisfaction sets: remap survivors, decide
+        // only the newly enumerated computations
+        let sats = Arc::clone(&old.sats);
+        let mut image = vec![false; universe.len()];
+        for (_, new) in growth.iter() {
+            image[new.index()] = true;
+        }
+        let carried = sats.carry_forward(old.generation, generation, |f, old_sat| {
+            if !f.is_propositional() {
+                return None;
+            }
+            let mut sat = CompSet::new(universe.len());
+            for (o, n) in growth.iter() {
+                if old_sat.contains(o.index()) {
+                    sat.insert(n.index());
+                }
+            }
+            for (id, c) in universe.iter() {
+                if !image[id.index()] && eval_propositional(f, &interp, c)? {
+                    sat.insert(id.index());
+                }
+            }
+            Some(sat)
+        });
+        hpl_telemetry::counter_add("service.sat_carried", carried as u64);
+
+        Ok(self.install(name, universe, interp, orbits, policy, classes, sats))
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn install(
         &self,
         name: &str,
@@ -332,6 +514,8 @@ impl QueryService {
         interp: Arc<Interpretation>,
         orbits: Option<Arc<Orbits>>,
         policy: QuotientPolicy,
+        classes: Arc<ClassCache>,
+        sats: Arc<SatCache>,
     ) -> u64 {
         let generation = universe.generation();
         let snapshot = Arc::new(Snapshot {
@@ -341,13 +525,16 @@ impl QueryService {
             orbits,
             policy,
             generation,
-            classes: ClassCache::shared(),
-            sats: SatCache::shared(),
+            classes,
+            sats,
             admission: Admission::new(),
             high_water: Arc::clone(&self.sat_cache_high_water),
             warned: AtomicBool::new(false),
+            stale: AtomicBool::new(false),
         });
-        self.snapshots.lock().insert(name.to_owned(), snapshot);
+        if let Some(replaced) = self.snapshots.lock().insert(name.to_owned(), snapshot) {
+            replaced.stale.store(true, Ordering::Relaxed);
+        }
         generation
     }
 

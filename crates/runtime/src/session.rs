@@ -72,6 +72,17 @@ impl Session {
         &self.snapshot
     }
 
+    /// Whether this session's snapshot is still the one registered
+    /// under its scenario name. After a hot-swap
+    /// ([`crate::QueryService::reregister`]) this turns `false`: the
+    /// session keeps answering against its pinned (old) snapshot, and
+    /// the client reopens via [`crate::QueryService::session`] when it
+    /// wants the grown universe.
+    #[must_use]
+    pub fn is_current(&self) -> bool {
+        self.snapshot.is_current()
+    }
+
     /// Parses and serves a formula, e.g. `"K{p0} token-at-p0"`.
     ///
     /// # Errors

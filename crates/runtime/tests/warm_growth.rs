@@ -1,0 +1,295 @@
+//! Warm growth of the query service: register a scenario at a shallow
+//! horizon, grow its universe in place with `extend_sharded`, hot-swap
+//! the snapshot via `reregister`, and certify that
+//!
+//! * answers from the swapped service are **byte-identical** to a
+//!   fresh service registered directly on the grown universe,
+//! * propositional satisfaction-cache entries survive the swap (the
+//!   first post-swap query is a cache *hit*, observed on the snapshot's
+//!   hit counters and the `service.sat_carried` telemetry counter),
+//! * sessions opened before the swap notice via `is_current` and keep
+//!   answering against their pinned snapshot, and
+//! * disconnected growth maps are rejected with `GrowthMismatch`.
+
+use hpl_core::{
+    enumerate_sharded, extend_sharded, EnumerationLimits, Formula, GrowthMap, Interpretation,
+    QuotientPolicy, ShardConfig, Universe,
+};
+use hpl_model::ProcessSet;
+use hpl_protocols::token_bus::{self, TokenBus};
+use hpl_runtime::{QueryError, QueryService};
+use std::sync::Arc;
+
+const SHALLOW: usize = 6;
+const DEEP: usize = 8;
+
+/// Shallow + grown universes of the 3-process token bus, the growth
+/// map connecting them, and the shared interpretation.
+struct Grown {
+    old_universe: Arc<Universe>,
+    new_universe: Arc<Universe>,
+    growth: GrowthMap,
+    interp: Arc<Interpretation>,
+    atoms: Vec<Formula>,
+}
+
+fn grow_token_bus(shards: usize) -> Grown {
+    let protocol = TokenBus::with_chatter(3, 1);
+    let cfg = ShardConfig::with_shards(shards).checkpoint();
+    let shallow = enumerate_sharded(&protocol, EnumerationLimits::depth(SHALLOW), &cfg)
+        .expect("shallow enumeration");
+    let frontier = shallow.frontier.as_ref().expect("checkpoint requested");
+    let grown = extend_sharded(&protocol, frontier, EnumerationLimits::depth(DEEP), &cfg)
+        .expect("extension");
+    let mut interp = Interpretation::new();
+    let atoms = token_bus::token_atoms(&mut interp, 3);
+    Grown {
+        old_universe: Arc::new(shallow.universe.into_universe()),
+        new_universe: Arc::new(grown.universe.into_universe()),
+        growth: grown.growth.expect("extension yields a growth map"),
+        interp: Arc::new(interp),
+        atoms,
+    }
+}
+
+/// Propositional formulas (carry-forward candidates) followed by
+/// epistemic ones (must be recomputed on the grown universe).
+fn corpus(atoms: &[Formula]) -> Vec<Formula> {
+    let t0 = atoms[0].clone();
+    let t1 = atoms[1].clone();
+    let p0 = ProcessSet::from_indices([0]);
+    let p1 = ProcessSet::from_indices([1]);
+    vec![
+        t0.clone(),
+        t0.clone().and(t1.clone()),
+        t0.clone().or(t1.clone().not()),
+        t1.clone().implies(t0.clone()),
+        Formula::knows(p0, t0.clone()),
+        Formula::knows(p1, t1.clone()),
+        Formula::sure(p1, t0.clone()),
+        Formula::everyone(t0.clone()),
+        Formula::common(t0),
+    ]
+}
+
+#[test]
+fn hot_swap_matches_fresh_service_and_reuses_sat_entries() {
+    hpl_telemetry::set_enabled(true);
+    let g = grow_token_bus(2);
+    let queries = corpus(&g.atoms);
+
+    let service = QueryService::start(2);
+    let old_gen = service.register("bus", Arc::clone(&g.old_universe), Arc::clone(&g.interp));
+    let stale_session = service.session("bus").expect("registered");
+    assert!(stale_session.is_current());
+
+    // warm the shallow snapshot's caches
+    for f in &queries {
+        stale_session.query_formula(f).expect("warm query");
+    }
+
+    // hot-swap to the grown universe
+    let new_gen = service
+        .reregister(
+            "bus",
+            Arc::clone(&g.new_universe),
+            Arc::clone(&g.interp),
+            &g.growth,
+        )
+        .expect("growth map connects the snapshots");
+    assert_eq!(new_gen, g.new_universe.generation());
+    assert_ne!(new_gen, old_gen);
+    assert!(
+        hpl_telemetry::snapshot().counter("service.sat_carried") >= 4,
+        "the four propositional corpus entries should carry"
+    );
+
+    // the pre-swap session keeps its pinned snapshot, and knows it
+    assert!(!stale_session.is_current());
+    assert_eq!(stale_session.generation(), old_gen);
+    let old_resp = stale_session
+        .query_formula(&queries[0])
+        .expect("stale sessions keep answering");
+    assert_eq!(old_resp.generation, old_gen);
+    assert_eq!(old_resp.universe_len, g.old_universe.len());
+
+    // a fresh session serves the grown universe...
+    let session = service.session("bus").expect("still registered");
+    assert!(session.is_current());
+    assert_eq!(session.generation(), new_gen);
+
+    // ...and its first propositional query is answered from the
+    // carried cache: hits move, misses don't
+    let snap = service.snapshot("bus").expect("registered");
+    let before = snap.sat_cache_stats();
+    let carried_resp = session.query_formula(&queries[1]).expect("carried query");
+    let after = snap.sat_cache_stats();
+    assert_eq!(carried_resp.generation, new_gen);
+    assert!(
+        after.hits > before.hits,
+        "carried propositional entry should hit ({before:?} -> {after:?})"
+    );
+
+    // every answer matches a cold service registered on the grown
+    // universe directly — including the carried ones
+    let fresh = QueryService::start(2);
+    fresh.register("bus", Arc::clone(&g.new_universe), Arc::clone(&g.interp));
+    let fresh_session = fresh.session("bus").expect("registered");
+    for f in &queries {
+        let warm = session.query_formula(f).expect("warm service");
+        let cold = fresh_session.query_formula(f).expect("fresh service");
+        assert_eq!(warm.count, cold.count, "count for {}", f.display_raw());
+        assert_eq!(
+            warm.sat.words(),
+            cold.sat.words(),
+            "satisfaction set for {}",
+            f.display_raw()
+        );
+        assert_eq!(warm.universe_len, g.new_universe.len());
+    }
+}
+
+#[test]
+fn quotient_hot_swap_matches_fresh_service() {
+    let protocol = TokenBus::with_chatter(3, 1);
+    let cfg = ShardConfig::with_shards(2).quotient().checkpoint();
+    let shallow = enumerate_sharded(&protocol, EnumerationLimits::depth(SHALLOW), &cfg)
+        .expect("shallow quotient enumeration");
+    let frontier = shallow.frontier.as_ref().expect("checkpoint requested");
+    let grown = extend_sharded(&protocol, frontier, EnumerationLimits::depth(DEEP), &cfg)
+        .expect("quotient extension");
+    let growth = grown.growth.expect("growth map");
+    let new_orbits = Arc::new(grown.orbits.expect("quotient orbits"));
+    let old_orbits = Arc::new(shallow.orbits.expect("quotient orbits"));
+    let old_universe = Arc::new(shallow.universe.into_universe());
+    let new_universe = Arc::new(grown.universe.into_universe());
+    let mut interp = Interpretation::new();
+    let atoms = token_bus::token_atoms(&mut interp, 3);
+    let interp = Arc::new(interp);
+    // sound-on-the-quotient corpus: propositional + invariant-atom
+    // knowledge (t0 is the invariant atom)
+    let t0 = atoms[0].clone();
+    let queries = vec![
+        t0.clone(),
+        t0.clone().not().or(t0.clone()),
+        Formula::knows(ProcessSet::from_indices([0]), t0.clone()),
+        Formula::common(t0),
+    ];
+
+    let service = QueryService::start(2);
+    service.register_quotient(
+        "bus",
+        Arc::clone(&old_universe),
+        Arc::clone(&interp),
+        old_orbits,
+        QuotientPolicy::Expand,
+    );
+    let session = service.session("bus").expect("registered");
+    for f in &queries {
+        session.query_formula(f).expect("warm query");
+    }
+
+    let new_gen = service
+        .reregister_quotient(
+            "bus",
+            Arc::clone(&new_universe),
+            Arc::clone(&interp),
+            Arc::clone(&new_orbits),
+            QuotientPolicy::Expand,
+            &growth,
+        )
+        .expect("quotient growth map connects");
+    assert!(!session.is_current());
+
+    let fresh = QueryService::start(2);
+    fresh.register_quotient(
+        "bus",
+        Arc::clone(&new_universe),
+        Arc::clone(&interp),
+        new_orbits,
+        QuotientPolicy::Expand,
+    );
+    let warm_session = service.session("bus").expect("swapped");
+    let fresh_session = fresh.session("bus").expect("registered");
+    assert_eq!(warm_session.generation(), new_gen);
+    for f in &queries {
+        let warm = warm_session.query_formula(f).expect("warm service");
+        let cold = fresh_session.query_formula(f).expect("fresh service");
+        assert_eq!(
+            warm.sat.words(),
+            cold.sat.words(),
+            "satisfaction set for {}",
+            f.display_raw()
+        );
+    }
+}
+
+#[test]
+fn reregister_rejects_disconnected_growth() {
+    let g = grow_token_bus(1);
+    let service = QueryService::start(1);
+
+    // nothing registered under the name yet
+    assert!(matches!(
+        service.reregister(
+            "bus",
+            Arc::clone(&g.new_universe),
+            Arc::clone(&g.interp),
+            &g.growth
+        ),
+        Err(QueryError::UnknownScenario(_))
+    ));
+
+    // registered at the *deep* generation: a map starting from the
+    // shallow one does not connect
+    service.register("bus", Arc::clone(&g.new_universe), Arc::clone(&g.interp));
+    let err = service
+        .reregister(
+            "bus",
+            Arc::clone(&g.new_universe),
+            Arc::clone(&g.interp),
+            &g.growth,
+        )
+        .expect_err("growth starts at the wrong generation");
+    assert!(matches!(err, QueryError::GrowthMismatch(_)), "{err}");
+
+    // correctly anchored source, but the offered universe is not the
+    // map's target
+    service.register("bus", Arc::clone(&g.old_universe), Arc::clone(&g.interp));
+    let err = service
+        .reregister(
+            "bus",
+            Arc::clone(&g.old_universe),
+            Arc::clone(&g.interp),
+            &g.growth,
+        )
+        .expect_err("growth ends past the offered universe");
+    assert!(matches!(err, QueryError::GrowthMismatch(_)), "{err}");
+
+    // kind change: plain scenario cannot be swapped for a quotient one
+    let cfg = ShardConfig::with_shards(1).quotient().checkpoint();
+    let protocol = TokenBus::with_chatter(3, 1);
+    let shallow = enumerate_sharded(&protocol, EnumerationLimits::depth(SHALLOW), &cfg)
+        .expect("quotient enumeration");
+    let frontier = shallow.frontier.as_ref().expect("checkpoint");
+    let grown = extend_sharded(&protocol, frontier, EnumerationLimits::depth(DEEP), &cfg)
+        .expect("extension");
+    let q_growth = grown.growth.expect("growth map");
+    let q_orbits = Arc::new(grown.orbits.expect("orbits"));
+    service.register(
+        "qbus",
+        Arc::new(shallow.universe.into_universe()),
+        Arc::clone(&g.interp),
+    );
+    let err = service
+        .reregister_quotient(
+            "qbus",
+            Arc::new(grown.universe.into_universe()),
+            Arc::clone(&g.interp),
+            q_orbits,
+            QuotientPolicy::Expand,
+            &q_growth,
+        )
+        .expect_err("kind change must be rejected");
+    assert!(matches!(err, QueryError::GrowthMismatch(_)), "{err}");
+}
