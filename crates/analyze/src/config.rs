@@ -1,0 +1,286 @@
+//! `analysis.toml` — the committed rule configuration.
+//!
+//! The workspace is offline (no serde/toml crates), so this module
+//! parses the small TOML subset the config actually uses: `[section]`
+//! headers, `key = "string"`, `key = true|false`, and arrays of strings
+//! (single- or multi-line). Keys may be quoted (per-file allowlist
+//! entries are paths).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A parse failure, with the offending line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigError {
+    /// 1-based line number in the config file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The analysis configuration: scan scope, per-rule module lists, and
+/// per-file rule allowlists.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Directories (relative to the analysis root) whose `.rs` files the
+    /// lexical passes scan. `target` and `vendor` segments are always
+    /// skipped.
+    pub scan_roots: Vec<String>,
+    /// Declared deterministic regions: files whose enumeration output
+    /// must be byte-identical, where hash-order iteration is banned.
+    pub regions: Vec<String>,
+    /// Library paths whose non-test code must not call `.unwrap()`.
+    pub hot_paths: Vec<String>,
+    /// Path prefixes allowed to read wall clocks (`Instant::now`,
+    /// `SystemTime`).
+    pub clock_exempt: Vec<String>,
+    /// Path prefixes allowed to spawn threads (sanctioned schedulers).
+    pub scheduler_modules: Vec<String>,
+    /// Whether the protocol-contract audit runs (the repo config turns
+    /// it on; fixture configs leave it off).
+    pub audit_protocols: bool,
+    /// Per-file rule allowlists: findings of a listed rule in that file
+    /// are suppressed wholesale. Prefer inline waivers, which carry a
+    /// reason and a line.
+    pub allow: BTreeMap<String, Vec<String>>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            scan_roots: vec!["crates".to_owned()],
+            regions: Vec::new(),
+            hot_paths: Vec::new(),
+            clock_exempt: Vec::new(),
+            scheduler_modules: Vec::new(),
+            audit_protocols: false,
+            allow: BTreeMap::new(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Loads and parses a config file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and [`ConfigError`]s, boxed.
+    pub fn load(path: &Path) -> Result<Self, Box<dyn std::error::Error>> {
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(Self::parse(&raw)?)
+    }
+
+    /// Parses config text.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the first malformed line.
+    pub fn parse(raw: &str) -> Result<Self, ConfigError> {
+        let mut cfg = AnalysisConfig::default();
+        let mut section = String::new();
+        let mut lines = raw.lines().enumerate().peekable();
+        while let Some((i, line)) = lines.next() {
+            let lineno = i + 1;
+            let line = strip_comment(line).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_owned();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = unquote(key.trim());
+            let mut value = value.trim().to_owned();
+            // multi-line array: accumulate until the closing bracket
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, next) in lines.by_ref() {
+                    let next = strip_comment(next);
+                    value.push_str(next.trim());
+                    if next.trim_end().ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unterminated array for key `{key}`"),
+                    });
+                }
+            }
+            cfg.assign(&section, &key, &value, lineno)?;
+        }
+        Ok(cfg)
+    }
+
+    fn assign(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: &str,
+        line: usize,
+    ) -> Result<(), ConfigError> {
+        let err = |message: String| ConfigError { line, message };
+        match (section, key) {
+            ("scan", "roots") => self.scan_roots = parse_string_array(value, line)?,
+            ("determinism", "regions") => self.regions = parse_string_array(value, line)?,
+            ("determinism", "hot_paths") => self.hot_paths = parse_string_array(value, line)?,
+            ("determinism", "clock_exempt") => {
+                self.clock_exempt = parse_string_array(value, line)?;
+            }
+            ("determinism", "scheduler_modules") => {
+                self.scheduler_modules = parse_string_array(value, line)?;
+            }
+            ("contract", "audit_protocols") => {
+                self.audit_protocols = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(err(format!("expected true/false, got `{other}`"))),
+                };
+            }
+            ("allow", file) => {
+                self.allow
+                    .insert(file.to_owned(), parse_string_array(value, line)?);
+            }
+            _ => {
+                return Err(err(format!("unknown key `{key}` in section `[{section}]`")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `rule` findings in `file` are allowlisted.
+    #[must_use]
+    pub fn allows(&self, file: &str, rule: &str) -> bool {
+        self.allow
+            .get(file)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+
+    /// Whether `file` (root-relative, `/`-separated) lies under any of
+    /// the given path prefixes.
+    #[must_use]
+    pub fn under(file: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| {
+            let p = p.trim_end_matches('/');
+            file == p || file.starts_with(&format!("{p}/"))
+        })
+    }
+}
+
+/// Strips a `#`-comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(s: &str) -> String {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_owned()
+}
+
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ConfigError {
+            line,
+            message: format!("expected a [\"…\"] array, got `{value}`"),
+        })?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if !(item.starts_with('"') && item.ends_with('"') && item.len() >= 2) {
+            return Err(ConfigError {
+                line,
+                message: format!("array items must be quoted strings, got `{item}`"),
+            });
+        }
+        out.push(unquote(item));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_repo_shaped_config() {
+        let cfg = AnalysisConfig::parse(
+            r#"
+# comment
+[scan]
+roots = ["crates"]
+
+[determinism]
+regions = [
+    "crates/core/src/parallel.rs", # trailing comment
+    "crates/core/src/fault_universe.rs",
+]
+hot_paths = ["crates/core/src", "crates/runtime/src"]
+clock_exempt = ["crates/telemetry"]
+scheduler_modules = []
+
+[contract]
+audit_protocols = true
+
+[allow]
+"crates/core/src/x.rs" = ["wall-clock"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.regions.len(), 2);
+        assert_eq!(cfg.hot_paths.len(), 2);
+        assert!(cfg.audit_protocols);
+        assert!(cfg.allows("crates/core/src/x.rs", "wall-clock"));
+        assert!(!cfg.allows("crates/core/src/x.rs", "thread-spawn"));
+        assert!(AnalysisConfig::under(
+            "crates/core/src/parallel.rs",
+            &cfg.regions
+        ));
+        assert!(AnalysisConfig::under(
+            "crates/core/src/eval.rs",
+            &cfg.hot_paths
+        ));
+        assert!(!AnalysisConfig::under(
+            "crates/model/src/id.rs",
+            &cfg.hot_paths
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(AnalysisConfig::parse("[scan]\nroots = nope").is_err());
+        assert!(AnalysisConfig::parse("[bogus]\nkey = true").is_err());
+        assert!(AnalysisConfig::parse("just words").is_err());
+        assert!(AnalysisConfig::parse("[scan]\nroots = [\"a\"").is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! The determinism lint: banned constructs in deterministic code.
+//!
+//! The engine's headline guarantees — byte-identical merges across
+//! shard counts, seed-coupled fault sweeps, replayable frontiers — hold
+//! only if the code paths that produce them are deterministic. This
+//! pass bans the constructs that silently break that, scoped by
+//! `analysis.toml`:
+//!
+//! | rule | fires on | scope |
+//! |------|----------|-------|
+//! | `nondet-iteration` | iterating a `HashMap`/`HashSet` binding | declared deterministic regions |
+//! | `wall-clock` | `Instant::now` / `SystemTime` | everywhere except `clock_exempt` |
+//! | `thread-spawn` | `thread::spawn` / `thread::scope` | everywhere except `scheduler_modules` |
+//! | `unseeded-rng` | `thread_rng`, `from_entropy`, `OsRng`, `rand::random` | everywhere |
+//! | `unwrap-hot-path` | `.unwrap()` in library code | declared hot paths |
+//! | `waiver-missing-reason` | `analyze:allow(rule)` with no reason | everywhere |
+//!
+//! All rules skip `#[cfg(test)]` code — tests may time, spawn, and
+//! unwrap freely. Inline waivers (`// analyze:allow(rule) reason`) on
+//! the offending line or the line above suppress a finding and are
+//! echoed in the report.
+
+use crate::config::AnalysisConfig;
+use crate::report::{AnalysisReport, Finding, Pass};
+use crate::source::{Directive, SourceFile};
+
+/// Runs the determinism lint over lexed files.
+#[must_use]
+pub fn lint(files: &[SourceFile], cfg: &AnalysisConfig) -> AnalysisReport {
+    let mut report = AnalysisReport {
+        files_scanned: files.len(),
+        ..AnalysisReport::default()
+    };
+    for file in files {
+        lint_file(file, cfg, &mut report);
+    }
+    report
+}
+
+fn lint_file(file: &SourceFile, cfg: &AnalysisConfig, report: &mut AnalysisReport) {
+    let in_region = AnalysisConfig::under(&file.path, &cfg.regions);
+    let in_hot = AnalysisConfig::under(&file.path, &cfg.hot_paths);
+    let clock_ok = AnalysisConfig::under(&file.path, &cfg.clock_exempt);
+    let sched_ok = AnalysisConfig::under(&file.path, &cfg.scheduler_modules);
+    let hashy = if in_region {
+        hash_bindings(file)
+    } else {
+        Vec::new()
+    };
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        // waiver hygiene applies everywhere, test code included
+        for d in file.directives(lineno) {
+            if let Directive::Allow { rule, reason } = d {
+                if reason.is_empty() {
+                    report.findings.push(Finding {
+                        pass: Pass::Determinism,
+                        rule: "waiver-missing-reason",
+                        file: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "analyze:allow({rule}) carries no reason — waivers must say why"
+                        ),
+                    });
+                }
+            }
+        }
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+
+        if !clock_ok {
+            for tok in ["Instant::now", "SystemTime"] {
+                if has_token(code, tok) {
+                    emit(
+                        report,
+                        file,
+                        cfg,
+                        "wall-clock",
+                        lineno,
+                        format!("`{tok}` outside a clock-exempt module"),
+                    );
+                    break;
+                }
+            }
+        }
+        if !sched_ok {
+            for tok in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                if has_token(code, tok) {
+                    emit(
+                        report,
+                        file,
+                        cfg,
+                        "thread-spawn",
+                        lineno,
+                        format!("`{tok}` outside a sanctioned scheduler module"),
+                    );
+                    break;
+                }
+            }
+        }
+        for tok in ["thread_rng", "from_entropy", "OsRng", "rand::random"] {
+            if has_token(code, tok) {
+                emit(
+                    report,
+                    file,
+                    cfg,
+                    "unseeded-rng",
+                    lineno,
+                    format!("`{tok}` draws entropy outside seed control"),
+                );
+                break;
+            }
+        }
+        if in_hot && code.contains(".unwrap()") {
+            emit(
+                report,
+                file,
+                cfg,
+                "unwrap-hot-path",
+                lineno,
+                "`.unwrap()` in a library hot path — use a typed error or an \
+                 invariant-documented `.expect(..)`"
+                    .to_owned(),
+            );
+        }
+        if in_region {
+            for name in &hashy {
+                if iterates(code, name) {
+                    emit(
+                        report,
+                        file,
+                        cfg,
+                        "nondet-iteration",
+                        lineno,
+                        format!(
+                            "iteration over hash-ordered `{name}` inside a declared \
+                             deterministic region — sort or use an ordered container"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Pushes a finding unless it is allowlisted for the file or waived
+/// inline (waivers are echoed into the report).
+fn emit(
+    report: &mut AnalysisReport,
+    file: &SourceFile,
+    cfg: &AnalysisConfig,
+    rule: &'static str,
+    line: usize,
+    message: String,
+) {
+    if cfg.allows(&file.path, rule) {
+        return;
+    }
+    if let Some((at, reason)) = file.waiver(line, rule) {
+        report
+            .waivers_used
+            .push((file.path.clone(), at, rule.to_owned(), reason));
+        return;
+    }
+    report.findings.push(Finding {
+        pass: Pass::Determinism,
+        rule,
+        file: file.path.clone(),
+        line,
+        message,
+    });
+}
+
+/// Names bound to `HashMap`/`HashSet` values anywhere in the file's
+/// non-test code: `let x = HashMap::new()`, `let x: HashMap<..>`, and
+/// struct fields / params `x: HashMap<..>`.
+fn hash_bindings(file: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(at) = code[from..].find(ty) {
+                let at = from + at;
+                from = at + ty.len();
+                if !token_boundary(code, at, ty.len()) {
+                    continue;
+                }
+                if let Some(name) = binding_before(&code[..at]) {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Extracts the bound name from the code preceding a `HashMap`/`HashSet`
+/// token: `… let mut name = ` or `… name: ` (field, param, annotation).
+fn binding_before(prefix: &str) -> Option<String> {
+    let trimmed = prefix.trim_end();
+    // `name: HashMap<..>` or `let name: HashMap<..>`
+    if let Some(before_colon) = trimmed.strip_suffix(':') {
+        let name = last_ident(before_colon)?;
+        return Some(name);
+    }
+    // `let name = HashMap::new()` — allow `=`, `&`, `&mut` in between
+    let no_amp = trimmed
+        .trim_end_matches("&mut")
+        .trim_end_matches('&')
+        .trim_end();
+    if let Some(before_eq) = no_amp.strip_suffix('=') {
+        let before_eq = before_eq.trim_end();
+        let name = last_ident(before_eq)?;
+        return Some(name);
+    }
+    None
+}
+
+fn last_ident(s: &str) -> Option<String> {
+    let name: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit())).then_some(name)
+}
+
+/// Whether `code` iterates the binding `name` (ordered-output hazard).
+fn iterates(code: &str, name: &str) -> bool {
+    for call in [".iter()", ".keys()", ".values()", ".drain(", ".into_iter()"] {
+        let pat = format!("{name}{call}");
+        if find_token_prefixed(code, &pat, name.len()) {
+            return true;
+        }
+    }
+    for pat in [
+        format!("in {name}"),
+        format!("in &{name}"),
+        format!("in &mut {name}"),
+    ] {
+        let mut from = 0;
+        while let Some(at) = code[from..].find(&pat) {
+            let at = from + at;
+            from = at + pat.len();
+            // `in` must be its own word and the name must end at a boundary
+            let pre_ok = at == 0 || !is_word(code.as_bytes()[at - 1] as char);
+            let post_ok = code[at + pat.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !is_word(c));
+            if pre_ok && post_ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Finds `pat` (an identifier of length `ident_len` followed by a call)
+/// at an identifier boundary.
+fn find_token_prefixed(code: &str, pat: &str, ident_len: usize) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(pat) {
+        let at = from + at;
+        from = at + pat.len();
+        if token_boundary(code, at, ident_len) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `code` contains `tok` delimited by non-identifier chars.
+fn has_token(code: &str, tok: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(tok) {
+        let at = from + at;
+        from = at + tok.len();
+        if token_boundary(code, at, tok.len()) {
+            return true;
+        }
+    }
+    false
+}
+
+fn token_boundary(code: &str, at: usize, len: usize) -> bool {
+    let pre_ok = at == 0 || !is_word(code.as_bytes()[at - 1] as char);
+    let post_ok = code[at + len..].chars().next().is_none_or(|c| !is_word(c));
+    pre_ok && post_ok
+}
+
+fn is_word(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all(path: &str) -> AnalysisConfig {
+        AnalysisConfig {
+            regions: vec![path.to_owned()],
+            hot_paths: vec![path.to_owned()],
+            ..AnalysisConfig::default()
+        }
+    }
+
+    fn run(src: &str) -> AnalysisReport {
+        let f = SourceFile::parse("x.rs", src);
+        lint(&[f], &cfg_all("x.rs"))
+    }
+
+    #[test]
+    fn flags_hash_iteration_in_region() {
+        let r = run("fn f() {\n    let mut seen = HashMap::new();\n    for (k, v) in &seen { use_it(k, v); }\n}\n");
+        assert_eq!(r.of_rule("nondet-iteration").len(), 1);
+        assert_eq!(r.of_rule("nondet-iteration")[0].line, 3);
+    }
+
+    #[test]
+    fn flags_clock_spawn_rng_unwrap() {
+        let r = run(
+            "fn f() {\n    let t = Instant::now();\n    thread::spawn(|| {});\n    let r = thread_rng();\n    let v = x.lock().unwrap();\n}\n",
+        );
+        assert_eq!(r.of_rule("wall-clock").len(), 1);
+        assert_eq!(r.of_rule("thread-spawn").len(), 1);
+        assert_eq!(r.of_rule("unseeded-rng").len(), 1);
+        assert_eq!(r.of_rule("unwrap-hot-path").len(), 1);
+    }
+
+    #[test]
+    fn test_code_and_strings_are_exempt() {
+        let r = run(
+            "fn f() { let s = \"Instant::now\"; }\n#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); x.unwrap(); }\n}\n",
+        );
+        assert!(r.clean(), "unexpected findings: {:?}", r.findings);
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_and_is_reported() {
+        let r = run("fn f() {\n    // analyze:allow(wall-clock) stall diagnostics only\n    let t = Instant::now();\n}\n");
+        assert!(r.of_rule("wall-clock").is_empty());
+        assert_eq!(r.waivers_used.len(), 1);
+        assert_eq!(r.waivers_used[0].2, "wall-clock");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_finding() {
+        let r = run("fn f() {\n    let t = Instant::now(); // analyze:allow(wall-clock)\n}\n");
+        assert_eq!(r.of_rule("waiver-missing-reason").len(), 1);
+        assert_eq!(
+            r.of_rule("wall-clock").len(),
+            1,
+            "reasonless waiver must not suppress"
+        );
+    }
+
+    #[test]
+    fn allowlist_suppresses_silently() {
+        let f = SourceFile::parse("x.rs", "fn f() { let t = Instant::now(); }\n");
+        let mut cfg = cfg_all("x.rs");
+        cfg.allow
+            .insert("x.rs".to_owned(), vec!["wall-clock".to_owned()]);
+        let r = lint(&[f], &cfg);
+        assert!(r.clean());
+        assert!(r.waivers_used.is_empty());
+    }
+}

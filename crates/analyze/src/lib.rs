@@ -1,0 +1,71 @@
+//! Workspace static analysis: determinism lints, protocol-contract
+//! audits, and a lock-graph checker.
+//!
+//! Everything the engine promises — byte-identical merges across shard
+//! counts, seed-coupled fault sweeps, quotient soundness — is certified
+//! dynamically by tests and bench gates, which can only catch what the
+//! corpus exercises. This crate checks the same promises *statically,
+//! from structure*, in the spirit of the paper's program of reasoning
+//! about what a system guarantees from its description alone:
+//!
+//! * [`determinism`] — a lexical pass over workspace sources banning
+//!   nondeterministic constructs (hash-order iteration, wall clocks,
+//!   stray threads, unseeded RNG, `.unwrap()` in hot paths) where the
+//!   determinism contract applies;
+//! * [`contract`] — an exhaustive audit of every registered protocol's
+//!   declared symmetry group and atom-invariance declarations, plus a
+//!   fault-model validation cross-check;
+//! * [`lockgraph`] — a lock-acquisition-order graph built from
+//!   annotated lock sites, failing on cycles and on blocking ops under
+//!   a held lock.
+//!
+//! Scope and policy live in a committed `analysis.toml`
+//! ([`AnalysisConfig`]); intentional violations take inline waivers
+//! (`// analyze:allow(rule) reason`) that must carry a reason and are
+//! echoed into the report. The `repro analyze` subcommand drives all
+//! three passes and gates CI at exit code 8; no dependencies beyond the
+//! workspace itself (std only, consistent with the vendored-offline
+//! policy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod contract;
+pub mod determinism;
+pub mod lockgraph;
+pub mod report;
+pub mod source;
+
+pub use config::{AnalysisConfig, ConfigError};
+pub use report::{AnalysisReport, Finding, Pass};
+pub use source::{Directive, SourceFile};
+
+use std::path::Path;
+
+/// Runs every configured pass rooted at `root`: the lexical passes over
+/// the configured scan roots, and (when `cfg.audit_protocols` is set)
+/// the protocol-contract audit.
+///
+/// # Errors
+///
+/// I/O errors from the source walk and enumeration errors from the
+/// contract audit, as strings.
+pub fn analyze_workspace(root: &Path, cfg: &AnalysisConfig) -> Result<AnalysisReport, String> {
+    let files =
+        source::scan_files(root, &cfg.scan_roots).map_err(|e| format!("source walk: {e}"))?;
+    let mut report = determinism::lint(&files, cfg);
+    report.merge(lockgraph::check(&files, cfg));
+    if cfg.audit_protocols {
+        report.merge(contract::audit().map_err(|e| format!("contract audit: {e}"))?);
+    }
+    // deterministic output order regardless of pass structure
+    report.findings.sort_by(|a, b| {
+        (a.pass.id(), &a.file, a.line, a.rule).cmp(&(b.pass.id(), &b.file, b.line, b.rule))
+    });
+    report
+        .waivers_used
+        .sort_by(|a, b| (&a.0, a.1, &a.2).cmp(&(&b.0, b.1, &b.2)));
+    Ok(report)
+}

@@ -1,0 +1,192 @@
+//! Findings and the machine-readable analysis report.
+
+use std::fmt;
+
+/// Which of the three analysis passes produced a finding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pass {
+    /// The determinism lint over workspace sources.
+    Determinism,
+    /// The protocol-contract audit over registered protocols.
+    Contract,
+    /// The lock-graph checker over annotated lock sites.
+    LockGraph,
+}
+
+impl Pass {
+    /// The stable identifier used in reports and CI logs.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Pass::Determinism => "determinism",
+            Pass::Contract => "contract",
+            Pass::LockGraph => "lock-graph",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One analysis finding: a rule violation at a source location (or, for
+/// contract findings, at a protocol/atom identified in `file`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// The producing pass.
+    pub pass: Pass,
+    /// Stable rule identifier (e.g. `wall-clock`, `lock-cycle`). Tests
+    /// and waiver comments name rules by this id.
+    pub rule: &'static str,
+    /// Source path relative to the analysis root, or a logical location
+    /// (`protocol:<name>`) for contract findings.
+    pub file: String,
+    /// 1-based line, `0` when the finding has no line (contract audit).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "[{}] {} — {}: {}",
+                self.pass, self.rule, self.file, self.message
+            )
+        } else {
+            write!(
+                f,
+                "[{}] {} — {}:{}: {}",
+                self.pass, self.rule, self.file, self.line, self.message
+            )
+        }
+    }
+}
+
+/// The aggregate result of an analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisReport {
+    /// Rule violations that survived waivers and allowlists.
+    pub findings: Vec<Finding>,
+    /// Inline waivers that suppressed a finding, as
+    /// `(file, line, rule, reason)` — reported so suppressions stay
+    /// visible instead of silent.
+    pub waivers_used: Vec<(String, usize, String, String)>,
+    /// Number of source files scanned by the lexical passes.
+    pub files_scanned: usize,
+    /// Number of protocols audited by the contract pass.
+    pub protocols_audited: usize,
+}
+
+impl AnalysisReport {
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: AnalysisReport) {
+        self.findings.extend(other.findings);
+        self.waivers_used.extend(other.waivers_used);
+        self.files_scanned += other.files_scanned;
+        self.protocols_audited += other.protocols_audited;
+    }
+
+    /// `true` when no finding survived.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of one rule (test helper).
+    #[must_use]
+    pub fn of_rule(&self, rule: &str) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.rule == rule).collect()
+    }
+
+    /// The report as JSON (schema `hpl-analyze-report/v1`): findings,
+    /// waivers-in-effect and scan counts. Hand-rolled like the bench
+    /// report — the workspace is offline, so no serde.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"hpl-analyze-report/v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"protocols_audited\": {},\n",
+            self.protocols_audited
+        ));
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pass\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}",
+                f.pass,
+                f.rule,
+                escape(&f.file),
+                f.line,
+                escape(&f.message)
+            ));
+            out.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"waivers\": [\n");
+        for (i, (file, line, rule, reason)) in self.waivers_used.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {line}, \"rule\": \"{}\", \
+                 \"reason\": \"{}\"}}",
+                escape(file),
+                escape(rule),
+                escape(reason)
+            ));
+            out.push_str(if i + 1 < self.waivers_used.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = AnalysisReport::default();
+        r.findings.push(Finding {
+            pass: Pass::Determinism,
+            rule: "wall-clock",
+            file: "a\"b.rs".to_owned(),
+            line: 3,
+            message: "uses\nInstant".to_owned(),
+        });
+        r.files_scanned = 2;
+        let json = r.to_json();
+        assert!(json.contains("\\\"b.rs"));
+        assert!(json.contains("uses\\nInstant"));
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(!r.clean());
+        assert_eq!(r.of_rule("wall-clock").len(), 1);
+    }
+}

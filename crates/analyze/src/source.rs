@@ -1,0 +1,558 @@
+//! A lightweight lexer over workspace `.rs` sources.
+//!
+//! The lexical passes need three things no regex over raw text gets
+//! right: code with string/char literals and comments stripped (so a
+//! banned token inside a doc comment or an error message never fires),
+//! the comment text itself (where `analyze:` directives live), and
+//! structural context — whether a line sits inside a `#[cfg(test)]`
+//! item and which function body it belongs to. This module computes all
+//! three in one pass; it is a lexer, not a parser, and deliberately
+//! stays on the cheap side of that line.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One analysed source line.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// Code with string/char literal *contents* and all comments
+    /// removed (the enclosing quotes survive as empty literals).
+    pub code: String,
+    /// Comment text on the line (line comments and any block-comment
+    /// portion), concatenated.
+    pub comment: String,
+    /// `true` when the line is inside a `#[cfg(test)]`-gated braced
+    /// item (a test module, usually).
+    pub in_test: bool,
+    /// Index into [`SourceFile::fns`] of the innermost enclosing
+    /// function body, if any.
+    pub fn_index: Option<usize>,
+}
+
+/// A function body span (1-based, inclusive lines).
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// First line of the body.
+    pub start: usize,
+    /// Last line of the body.
+    pub end: usize,
+}
+
+/// An `analyze:` directive parsed from a comment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Directive {
+    /// `analyze:allow(rule) reason` — waives findings of `rule` on this
+    /// line and the next. An empty reason is itself a finding.
+    Allow {
+        /// The waived rule id.
+        rule: String,
+        /// Free-text justification (required by policy).
+        reason: String,
+    },
+    /// `analyze:acquire(name)` — a lock acquisition site.
+    Acquire(String),
+    /// `analyze:release(name)` — an explicit release (e.g. `drop`).
+    Release(String),
+    /// `analyze:blocking(name)` — a blocking channel/condvar operation.
+    Blocking(String),
+}
+
+/// A lexed source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the analysis root, `/`-separated.
+    pub path: String,
+    /// Per-line analysis results; index 0 is line 1.
+    pub lines: Vec<Line>,
+    /// Function body spans, in source order.
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// Lexes file text.
+    #[must_use]
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let mut lines = split_lexical(text);
+        let fns = attach_structure(&mut lines);
+        SourceFile {
+            path: path.to_owned(),
+            lines,
+            fns,
+        }
+    }
+
+    /// All `analyze:` directives on a 1-based line.
+    #[must_use]
+    pub fn directives(&self, line: usize) -> Vec<Directive> {
+        self.lines
+            .get(line - 1)
+            .map(|l| parse_directives(&l.comment))
+            .unwrap_or_default()
+    }
+
+    /// Whether a finding of `rule` at 1-based `line` is waived by an
+    /// `analyze:allow` on the same line or the line above. Returns the
+    /// waiver's `(line, reason)` when it is.
+    #[must_use]
+    pub fn waiver(&self, line: usize, rule: &str) -> Option<(usize, String)> {
+        for at in [line, line.saturating_sub(1)] {
+            if at == 0 {
+                continue;
+            }
+            for d in self.directives(at) {
+                if let Directive::Allow { rule: r, reason } = d {
+                    if r == rule && !reason.is_empty() {
+                        return Some((at, reason));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Splits text into per-line code and comment streams, tracking string,
+/// char, raw-string and (nested) block-comment state across lines.
+#[allow(clippy::too_many_lines)]
+fn split_lexical(text: &str) -> Vec<Line> {
+    let cs: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0;
+    macro_rules! newline {
+        () => {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                ..Line::default()
+            })
+        };
+    }
+    while i < cs.len() {
+        let c = cs[i];
+        match c {
+            '\n' => {
+                newline!();
+                i += 1;
+            }
+            '/' if cs.get(i + 1) == Some(&'/') => {
+                while i < cs.len() && cs[i] != '\n' {
+                    comment.push(cs[i]);
+                    i += 1;
+                }
+            }
+            '/' if cs.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                comment.push_str("/*");
+                i += 2;
+                while i < cs.len() && depth > 0 {
+                    if cs[i] == '\n' {
+                        newline!();
+                        i += 1;
+                    } else if cs[i] == '/' && cs.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        comment.push_str("/*");
+                        i += 2;
+                    } else if cs[i] == '*' && cs.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        comment.push_str("*/");
+                        i += 2;
+                    } else {
+                        comment.push(cs[i]);
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if raw_string_at(&cs, i).is_some() => {
+                let hashes = raw_string_at(&cs, i).unwrap_or(0);
+                // skip prefix + hashes + opening quote
+                while i < cs.len() && cs[i] != '"' {
+                    i += 1;
+                }
+                i += 1;
+                code.push_str("\"\"");
+                'raw: while i < cs.len() {
+                    if cs[i] == '\n' {
+                        newline!();
+                    } else if cs[i] == '"' {
+                        let mut h = 0;
+                        while h < hashes && cs.get(i + 1 + h) == Some(&'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                code.push_str("\"\"");
+                i += 1;
+                while i < cs.len() {
+                    match cs[i] {
+                        '\\' => {
+                            // an escaped newline continues the literal but
+                            // still ends a source line
+                            if cs.get(i + 1) == Some(&'\n') {
+                                newline!();
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            newline!();
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // char literal vs lifetime: a literal is 'x' or '\…'
+                let is_char = match cs.get(i + 1) {
+                    Some('\\') => true,
+                    Some(_) => cs.get(i + 2) == Some(&'\''),
+                    None => false,
+                };
+                if is_char {
+                    code.push_str("' '");
+                    i += 1;
+                    while i < cs.len() {
+                        match cs[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        newline!();
+    }
+    lines
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"`, `br##"` …);
+/// returns the hash count.
+fn raw_string_at(cs: &[char], mut i: usize) -> Option<usize> {
+    if cs.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if cs.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while cs.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    (cs.get(i) == Some(&'"')).then_some(hashes)
+}
+
+/// Second pass over stripped code: brace-depth tracking for
+/// `#[cfg(test)]` regions and function body spans.
+fn attach_structure(lines: &mut [Line]) -> Vec<FnSpan> {
+    let mut fns: Vec<FnSpan> = Vec::new();
+    // open fn bodies / test regions, by the depth their `{` produced
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new(); // (fn index, depth)
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_fn: Option<String> = None;
+    let mut pending_test = false;
+
+    for (li, line) in lines.iter_mut().enumerate() {
+        line.in_test = !test_stack.is_empty();
+        line.fn_index = fn_stack.last().map(|&(f, _)| f);
+        let toks: Vec<char> = line.code.chars().collect();
+        let mut j = 0;
+        while j < toks.len() {
+            let c = toks[j];
+            if c == '#' && starts_with_at(&toks, j, "#[cfg(test)]") {
+                pending_test = true;
+                j += "#[cfg(test)]".len();
+                continue;
+            }
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_test {
+                        test_stack.push(depth);
+                        pending_test = false;
+                        // a cfg(test)-gated item shadows every line it spans
+                        line.in_test = true;
+                    }
+                    if let Some(name) = pending_fn.take() {
+                        fns.push(FnSpan {
+                            name,
+                            start: li + 1,
+                            end: li + 1,
+                        });
+                        fn_stack.push((fns.len() - 1, depth));
+                        if line.fn_index.is_none() {
+                            line.fn_index = Some(fns.len() - 1);
+                        }
+                    }
+                }
+                '}' => {
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                    if let Some(&(f, d)) = fn_stack.last() {
+                        if d == depth {
+                            fns[f].end = li + 1;
+                            fn_stack.pop();
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' => {
+                    // `#[cfg(test)] use …;` or a bodiless trait fn
+                    pending_test = false;
+                    pending_fn = None;
+                }
+                _ if is_ident_start(c) => {
+                    let start = j;
+                    while j < toks.len() && is_ident_continue(toks[j]) {
+                        j += 1;
+                    }
+                    let word: String = toks[start..j].iter().collect();
+                    if word == "fn" {
+                        // the next identifier is the function name
+                        let mut k = j;
+                        while k < toks.len() && !is_ident_start(toks[k]) {
+                            if toks[k] == '(' || toks[k] == '{' {
+                                break;
+                            }
+                            k += 1;
+                        }
+                        let mut name = String::new();
+                        while k < toks.len() && is_ident_continue(toks[k]) {
+                            name.push(toks[k]);
+                            k += 1;
+                        }
+                        if !name.is_empty() {
+                            pending_fn = Some(name);
+                        }
+                        j = k;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    fns
+}
+
+fn starts_with_at(toks: &[char], at: usize, pat: &str) -> bool {
+    pat.chars()
+        .enumerate()
+        .all(|(k, c)| toks.get(at + k) == Some(&c))
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Parses every `analyze:` directive out of a comment string.
+#[must_use]
+pub fn parse_directives(comment: &str) -> Vec<Directive> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("analyze:") {
+        rest = &rest[at + "analyze:".len()..];
+        let Some(open) = rest.find('(') else { break };
+        let verb = rest[..open].trim().to_owned();
+        let Some(close) = rest.find(')') else { break };
+        if close < open {
+            break;
+        }
+        let arg = rest[open + 1..close].trim().to_owned();
+        rest = &rest[close + 1..];
+        match verb.as_str() {
+            "allow" => {
+                let end = rest.find("analyze:").unwrap_or(rest.len());
+                let reason = rest[..end].trim().trim_end_matches("*/").trim();
+                out.push(Directive::Allow {
+                    rule: arg,
+                    reason: reason.to_owned(),
+                });
+            }
+            "acquire" => out.push(Directive::Acquire(arg)),
+            "release" => out.push(Directive::Release(arg)),
+            "blocking" => out.push(Directive::Blocking(arg)),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Walks the scan roots and lexes every `.rs` file, skipping `target`,
+/// `vendor`, `tests`, `benches`, `examples`, and dot directories. Files
+/// come back sorted by path, so every downstream report is
+/// deterministic.
+///
+/// # Errors
+///
+/// I/O errors from directory walks or file reads.
+pub fn scan_files(root: &Path, scan_roots: &[String]) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for sub in scan_roots {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        } else if dir.extension().is_some_and(|e| e == "rs") {
+            paths.push(dir);
+        }
+    }
+    paths.sort();
+    paths.dedup();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(&p)?;
+        let rel =
+            p.strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .fold(String::new(), |mut acc, c| {
+                    if !acc.is_empty() {
+                        acc.push('/');
+                    }
+                    let _ = write!(acc, "{}", c.as_os_str().to_string_lossy());
+                    acc
+                });
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // tests/benches/examples are test code: free to time, spawn
+            // and unwrap, and not inside #[cfg(test)] mods
+            if matches!(
+                name.as_ref(),
+                "target" | "vendor" | "tests" | "benches" | "examples"
+            ) || name.starts_with('.')
+            {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_strings_and_comments() {
+        let f = SourceFile::parse(
+            "x.rs",
+            r##"let a = "Instant::now"; // Instant::now in comment
+let b = r#"thread::spawn"#; /* block
+still block */ let c = 'x';
+let d = b"bytes";
+"##,
+        );
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[0].comment.contains("Instant::now"));
+        assert!(!f.lines[1].code.contains("spawn"));
+        assert!(f.lines[1].comment.contains("block"));
+        assert!(f.lines[2].code.contains("let c"));
+        assert!(!f.lines[3].code.contains("bytes"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(f.lines[0].code.contains("str"));
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "f");
+    }
+
+    #[test]
+    fn tracks_cfg_test_regions_and_fn_spans() {
+        let src = "fn hot() {\n    work();\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { hot(); }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[1].in_test, "body of hot() is not test code");
+        assert!(f.lines[7].in_test, "test fn body is test code");
+        assert_eq!(f.fns[0].name, "hot");
+        assert_eq!((f.fns[0].start, f.fns[0].end), (1, 3));
+        assert_eq!(f.lines[1].fn_index, Some(0));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_open_a_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { x(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn parses_directives_and_waivers() {
+        let ds = parse_directives("// analyze:acquire(gate) analyze:blocking(res_rx)");
+        assert_eq!(
+            ds,
+            vec![
+                Directive::Acquire("gate".into()),
+                Directive::Blocking("res_rx".into())
+            ]
+        );
+        let ds = parse_directives("// analyze:allow(wall-clock) merge stall diagnostics only");
+        assert_eq!(
+            ds,
+            vec![Directive::Allow {
+                rule: "wall-clock".into(),
+                reason: "merge stall diagnostics only".into()
+            }]
+        );
+        let f = SourceFile::parse(
+            "x.rs",
+            "// analyze:allow(wall-clock) stats only\nlet t = Instant::now();\nlet u = Instant::now();\n",
+        );
+        assert!(f.waiver(2, "wall-clock").is_some());
+        assert!(f.waiver(3, "wall-clock").is_none());
+        // an allow without a reason does not waive
+        let g = SourceFile::parse(
+            "x.rs",
+            "let t = Instant::now(); // analyze:allow(wall-clock)\n",
+        );
+        assert!(g.waiver(1, "wall-clock").is_none());
+    }
+}

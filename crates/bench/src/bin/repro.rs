@@ -114,6 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut serve = false;
     let mut query_bench = false;
     let mut incremental = false;
+    let mut analyze = false;
+    let mut analyze_root: Option<String> = None;
+    let mut analyze_config: Option<String> = None;
+    let mut analyze_fixture: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut chrome_out: Option<String> = None;
     let mut out_path: Option<String> = None;
@@ -131,6 +135,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--json" => json = true,
             "serve" => serve = true,
             "query-bench" => query_bench = true,
+            "analyze" => analyze = true,
+            "--root" => analyze_root = Some(it.next().ok_or("--root needs a path")?),
+            "--config" => analyze_config = Some(it.next().ok_or("--config needs a path")?),
+            "--fixture" => analyze_fixture = Some(it.next().ok_or("--fixture needs a name")?),
             "--incremental" => incremental = true,
             "trace" => {
                 // optional scenario operand; flags keep their meaning
@@ -201,6 +209,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if serve {
         return serve_mode();
+    }
+    if analyze {
+        return analyze_mode(
+            analyze_root.as_deref(),
+            analyze_config.as_deref(),
+            analyze_fixture.as_deref(),
+            json,
+            out_path.as_deref(),
+        );
     }
     if incremental {
         return incremental_sweep_report(
@@ -432,7 +449,9 @@ fn query_workloads() -> Result<Vec<QueryWorkload>, Box<dyn std::error::Error>> {
     {
         let pu = enumerate(&PushGossip { n: 3 }, EnumerationLimits::depth(6))?;
         let mut interp = Interpretation::new();
-        interp.register("rumor-started", gossip::rumor_started);
+        // declared invariant via the helper: the contract audit flags a
+        // bare `register` here as atom-invariance-missing
+        gossip::rumor_atom(&mut interp);
         interp.register("p2-informed", |c| {
             c.iter()
                 .any(|e| e.is_on(ProcessId::new(2)) && e.is_receive())
@@ -910,6 +929,68 @@ const EXIT_WITNESS: i32 = 4;
 const EXIT_QUERY: i32 = 5;
 const EXIT_TELEMETRY: i32 = 6;
 const EXIT_INCREMENTAL: i32 = 7;
+const EXIT_ANALYZE: i32 = 8;
+
+/// `repro analyze [--json] [--out path] [--root dir] [--config path]
+/// [--fixture name]`: the workspace static-analysis gate.
+///
+/// Runs the determinism lint and lock-graph checker over the scan
+/// roots, plus the protocol-contract audit when the config enables it.
+/// `--fixture` instead runs one entry of the seeded-violation corpus: a
+/// contract fixture by name, or a directory under
+/// `tests/fixtures/analyze/` carrying its own `analysis.toml`. Any
+/// surviving finding exits with [`EXIT_ANALYZE`].
+fn analyze_mode(
+    root: Option<&str>,
+    config: Option<&str>,
+    fixture: Option<&str>,
+    json: bool,
+    out_path: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use std::path::{Path, PathBuf};
+    let report = if let Some(name) = fixture {
+        let base = PathBuf::from(root.unwrap_or("."));
+        let dir = base.join("tests/fixtures/analyze").join(name);
+        if dir.is_dir() {
+            let cfg = hpl_analyze::AnalysisConfig::load(&dir.join("analysis.toml"))?;
+            hpl_analyze::analyze_workspace(&dir, &cfg)?
+        } else {
+            hpl_analyze::contract::audit_fixture(name)?
+        }
+    } else {
+        let root = PathBuf::from(root.unwrap_or("."));
+        let cfg_path = config
+            .map(PathBuf::from)
+            .unwrap_or_else(|| root.join("analysis.toml"));
+        let cfg = hpl_analyze::AnalysisConfig::load(&cfg_path)?;
+        hpl_analyze::analyze_workspace(&root, &cfg)?
+    };
+
+    println!(
+        "=== static analysis: {} findings, {} waivers in effect, {} files, {} protocols ===",
+        report.findings.len(),
+        report.waivers_used.len(),
+        report.files_scanned,
+        report.protocols_audited
+    );
+    for f in &report.findings {
+        println!("  {f}");
+    }
+    for (file, line, rule, reason) in &report.waivers_used {
+        println!("  [waived] {rule} — {file}:{line}: {reason}");
+    }
+    if json {
+        let path = out_path.unwrap_or("ANALYZE_report.json");
+        std::fs::write(Path::new(path), report.to_json())?;
+        println!("report → {path}");
+    }
+    if !report.clean() {
+        println!("ANALYZE GATE FAIL: {} finding(s)", report.findings.len());
+        std::process::exit(EXIT_ANALYZE);
+    }
+    println!("analyze gate OK");
+    Ok(())
+}
 
 /// The gate thresholds behind `repro --json`, bundled so the perf
 /// runner's signature survives new gates.

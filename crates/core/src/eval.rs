@@ -128,21 +128,66 @@ pub struct MemoStats {
 /// `SatCache` without collision — but distinct interpretations over the
 /// same universe must not.
 ///
-/// Entries for up to [`MAX_CACHED_GENERATIONS`] distinct generations
-/// are retained (least-recently-served eviction), mirroring
-/// [`ClassCache`].
-#[derive(Debug, Default)]
+/// # Bounds
+///
+/// Two independent limits keep the cache finite:
+///
+/// * entries for up to [`MAX_CACHED_GENERATIONS`] distinct generations
+///   are retained (least-recently-served eviction), mirroring
+///   [`ClassCache`];
+/// * the resident-bytes estimate is capped at a fixed
+///   [`capacity`](SatCache::capacity_bytes) (default
+///   [`DEFAULT_SAT_CACHE_CAPACITY`]): publishing past it evicts
+///   least-recently-**served** entries — across all generations — until
+///   the estimate fits again, always keeping at least the entry just
+///   published. [`SatCache::carry_forward`] republishes through the
+///   same path, so a growth step can shed cold source-generation
+///   entries rather than overflow.
+#[derive(Debug)]
 pub struct SatCache {
     inner: Mutex<SatCacheInner>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for SatCache {
+    fn default() -> Self {
+        SatCache {
+            inner: Mutex::default(),
+            capacity: DEFAULT_SAT_CACHE_CAPACITY,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct SatCacheInner {
     /// Generations currently cached, most recently served last.
     recent: Vec<u64>,
-    map: HashMap<(u64, Formula), CompSet>,
+    map: HashMap<(u64, Formula), SatEntry>,
+    /// Monotone LRU clock: bumped on every hit and publish, stamped
+    /// into the touched entry.
+    clock: u64,
+    /// Running resident-bytes estimate, kept in step with `map` (sum
+    /// of [`entry_cost`] over all entries).
+    resident: usize,
+}
+
+/// One cached satisfaction set plus its last-served LRU stamp.
+#[derive(Debug)]
+struct SatEntry {
+    sat: CompSet,
+    served: u64,
+}
+
+/// Estimated resident bytes of one cache entry: bitset words plus
+/// [`SAT_ENTRY_OVERHEAD_BYTES`].
+fn entry_cost(sat: &CompSet) -> usize {
+    sat.words().len() * 8 + SAT_ENTRY_OVERHEAD_BYTES
 }
 
 /// Hit/miss/occupancy counters of a [`SatCache`], for the query
@@ -157,10 +202,14 @@ pub struct SatCacheStats {
     pub entries: usize,
     /// Estimated resident size of the cached sets in bytes (bitset
     /// words plus a fixed per-entry overhead for the key and map slot).
-    /// The cache is unbounded in formulas per generation — the query
-    /// service watches this estimate against a high-water mark until
-    /// eviction lands (see ROADMAP).
+    /// Bounded by [`capacity_bytes`](SatCacheStats::capacity_bytes)
+    /// whenever more than one entry is cached.
     pub resident_bytes: usize,
+    /// Entries evicted so far — by the generation window or by the
+    /// size cap.
+    pub evictions: u64,
+    /// The resident-bytes cap this cache evicts against.
+    pub capacity_bytes: usize,
 }
 
 impl SatCacheStats {
@@ -185,19 +234,48 @@ impl SatCacheStats {
 /// accounting.
 const SAT_ENTRY_OVERHEAD_BYTES: usize = 96;
 
+/// Default [`SatCache`] resident-bytes capacity: 64 MiB, matching the
+/// query service's default high-water mark so an untuned service never
+/// warns before the cache starts evicting.
+pub const DEFAULT_SAT_CACHE_CAPACITY: usize = 64 * 1024 * 1024;
+
 impl SatCache {
-    /// Creates an empty cache behind an [`Arc`], ready to be shared.
+    /// Creates an empty cache behind an [`Arc`], ready to be shared,
+    /// with the default capacity ([`DEFAULT_SAT_CACHE_CAPACITY`]).
     #[must_use]
     pub fn shared() -> Arc<Self> {
         Arc::new(SatCache::default())
     }
 
+    /// Creates an empty shared cache that evicts past a resident-bytes
+    /// estimate of `capacity`. A capacity smaller than one entry still
+    /// caches exactly the most recently published entry.
+    #[must_use]
+    pub fn shared_with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(SatCache {
+            capacity,
+            ..SatCache::default()
+        })
+    }
+
+    /// The resident-bytes cap this cache evicts against.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
     /// Looks up the satisfaction set of `f` over generation `generation`,
-    /// counting the outcome in [`SatCacheStats`].
+    /// counting the outcome in [`SatCacheStats`]. A hit refreshes the
+    /// entry's LRU stamp.
     #[must_use]
     pub fn lookup(&self, generation: u64, f: &Formula) -> Option<CompSet> {
-        let inner = self.inner.lock();
-        let hit = inner.map.get(&(generation, f.clone())).cloned();
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let hit = inner.map.get_mut(&(generation, f.clone())).map(|e| {
+            e.served = clock;
+            e.sat.clone()
+        });
         drop(inner);
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -212,7 +290,10 @@ impl SatCache {
     /// Publishes the satisfaction set of `f` over generation
     /// `generation`. Serving a generation beyond the
     /// [`MAX_CACHED_GENERATIONS`] window evicts the least recently
-    /// served one's entries.
+    /// served one's entries; pushing the resident-bytes estimate past
+    /// the capacity evicts least-recently-served entries (any
+    /// generation) until it fits, keeping at least the entry just
+    /// published.
     pub fn publish(&self, generation: u64, f: &Formula, sat: &CompSet) {
         let mut inner = self.inner.lock();
         match inner.recent.iter().position(|&g| g == generation) {
@@ -224,14 +305,52 @@ impl SatCache {
                 inner.recent.push(generation);
                 if inner.recent.len() > MAX_CACHED_GENERATIONS {
                     let evicted = inner.recent.remove(0);
-                    inner.map.retain(|&(g, _), _| g != evicted);
+                    let before = inner.map.len();
+                    let mut freed = 0;
+                    inner.map.retain(|&(g, _), e| {
+                        let keep = g != evicted;
+                        if !keep {
+                            freed += entry_cost(&e.sat);
+                        }
+                        keep
+                    });
+                    inner.resident -= freed;
+                    self.evictions
+                        .fetch_add((before - inner.map.len()) as u64, Ordering::Relaxed);
                 }
             }
         }
-        inner
-            .map
-            .entry((generation, f.clone()))
-            .or_insert_with(|| sat.clone());
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.entry((generation, f.clone())) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // racing workers publish the same set; just refresh
+                e.get_mut().served = clock;
+                return;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(SatEntry {
+                    sat: sat.clone(),
+                    served: clock,
+                });
+                inner.resident += entry_cost(sat);
+            }
+        }
+        // size cap: shed cold entries, never the one just published
+        // (it carries the freshest stamp, so it is scanned last)
+        while inner.resident > self.capacity && inner.map.len() > 1 {
+            let coldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.served)
+                .map(|(k, _)| k.clone());
+            let Some(k) = coldest else { break };
+            if let Some(e) = inner.map.remove(&k) {
+                inner.resident -= entry_cost(&e.sat);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                hpl_telemetry::counter_add("eval.sat_cache_evict", 1);
+            }
+        }
     }
 
     /// Carries cached satisfaction sets across a universe growth step:
@@ -260,7 +379,7 @@ impl SatCache {
                 .map
                 .iter()
                 .filter(|((g, _), _)| *g == from)
-                .map(|((_, f), s)| (f.clone(), s.clone()))
+                .map(|((_, f), e)| (f.clone(), e.sat.clone()))
                 .collect()
         };
         let mut carried = 0;
@@ -278,17 +397,15 @@ impl SatCache {
     pub fn stats(&self) -> SatCacheStats {
         let (entries, resident_bytes) = {
             let inner = self.inner.lock();
-            let words: usize = inner.map.values().map(|s| s.words().len() * 8).sum();
-            (
-                inner.map.len(),
-                words + inner.map.len() * SAT_ENTRY_OVERHEAD_BYTES,
-            )
+            (inner.map.len(), inner.resident)
         };
         SatCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
             resident_bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity_bytes: self.capacity,
         }
     }
 }

@@ -133,7 +133,17 @@ impl FaultModel {
         grid
     }
 
-    fn validate(&self, n: usize) -> Result<(), CoreError> {
+    /// Validates the model against a system of `n` processes: the
+    /// network configuration must pass the sim-layer checks and every
+    /// scheduled crash must name a process in range. This is the exact
+    /// predicate [`build_fault_universe`] gates on, exposed so the
+    /// static contract audit can cross-check it against the sim-layer
+    /// ground truth.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidFaultModel`] describing the first problem.
+    pub fn validate(&self, n: usize) -> Result<(), CoreError> {
         if let Err(e) = self.network.validate() {
             return Err(CoreError::InvalidFaultModel {
                 reason: e.to_string(),

@@ -101,7 +101,10 @@ pub use enumerate::{
     enumerate, EnumerationLimits, LocalStep, LocalView, ProtoAction, Protocol, ProtocolUniverse,
 };
 pub use error::CoreError;
-pub use eval::{eval_propositional, Evaluator, MemoStats, QuotientPolicy, SatCache, SatCacheStats};
+pub use eval::{
+    eval_propositional, Evaluator, MemoStats, QuotientPolicy, SatCache, SatCacheStats,
+    DEFAULT_SAT_CACHE_CAPACITY,
+};
 pub use fault_universe::{build_fault_universe, FaultModel, FaultStats, FaultUniverse};
 pub use formula::{AtomId, Formula, Interpretation};
 pub use fusion::{fuse_lemma1, fuse_theorem2, FusionError};

@@ -630,6 +630,7 @@ impl ReorderGate {
     /// park — head-task batches take a head slot instead and return
     /// `false`).
     fn admit(&self, task: usize) -> bool {
+        // analyze:acquire(enum.gate)
         let mut s = self.lock();
         // credit-stall accounting: first blocked iteration starts the
         // clock (telemetry observes the wait, it never alters it)
@@ -648,6 +649,7 @@ impl ReorderGate {
                 break true;
             }
             if stalled.is_none() && hpl_telemetry::enabled() {
+                // analyze:allow(wall-clock) credit-stall telemetry, gated on the recorder; never read by merge logic
                 stalled = Some(Instant::now());
             }
             s = self
@@ -655,6 +657,7 @@ impl ReorderGate {
                 .wait(s)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         };
+        // analyze:release(enum.gate)
         drop(s);
         if let Some(t) = stalled {
             #[allow(clippy::cast_possible_truncation)]
@@ -667,6 +670,7 @@ impl ReorderGate {
 
     /// Returns a consumed parked batch's credit to the pool.
     fn release(&self) {
+        // analyze:acquire(enum.gate) analyze:release(enum.gate)
         self.lock().credits += 1;
         self.cv.notify_all();
     }
@@ -676,6 +680,7 @@ impl ReorderGate {
     /// so the counter may grow past the window — harmless, the run is
     /// tearing down and `open` short-circuits every admit.)
     fn release_head(&self) {
+        // analyze:acquire(enum.gate) analyze:release(enum.gate)
         self.lock().head_slots += 1;
         self.cv.notify_all();
     }
@@ -683,6 +688,7 @@ impl ReorderGate {
     /// The merge is now splicing `task`: its batches take head slots
     /// rather than parked credits.
     fn set_head(&self, task: usize) {
+        // analyze:acquire(enum.gate) analyze:release(enum.gate)
         self.lock().head = task;
         self.cv.notify_all();
     }
@@ -690,6 +696,7 @@ impl ReorderGate {
     /// Opens the gate unconditionally (abort or teardown) so blocked
     /// workers can drain and exit.
     fn shutdown(&self) {
+        // analyze:acquire(enum.gate) analyze:release(enum.gate)
         self.lock().open = true;
         self.cv.notify_all();
     }
@@ -1349,6 +1356,7 @@ fn drive_merge(
     for entry in entries {
         match *entry {
             Entry::Node(rec) => {
+                // analyze:allow(wall-clock) merge_wall metric; timing only, output-invariant
                 let t = Instant::now();
                 let local = rec.local as usize;
                 if local >= coord_map.len() {
@@ -1377,6 +1385,9 @@ fn worker_loop<P: Protocol + ?Sized>(
     results: &Sender<(usize, TaskBatch)>,
 ) {
     loop {
+        // the queue guard is a statement temporary — dropped at the `;`,
+        // before any enumeration work, and `try_recv` never blocks
+        // analyze:acquire(enum.task_queue) analyze:release(enum.task_queue)
         let Some(task) = queue.lock().try_recv() else {
             return;
         };
@@ -1389,6 +1400,7 @@ fn worker_loop<P: Protocol + ?Sized>(
         let done = ex.run_subtree(task.path.len(), batch_nodes, &mut |mut batch| {
             // the reorder-buffer credit: blocks while the buffer is at
             // capacity and the merge is splicing another task
+            // analyze:blocking(enum.gate)
             batch.credited = gate.admit(task.id);
             // the coordinator outlives the workers; a send failure means
             // the run is being torn down
@@ -1429,6 +1441,7 @@ fn consume_task_batches(
                 b
             }
             None => loop {
+                // analyze:blocking(enum.results)
                 match res_rx.recv() {
                     Ok((t, b)) if t == id => break b,
                     Ok((t, b)) => {
@@ -1447,6 +1460,7 @@ fn consume_task_batches(
             gate.release_head();
         }
         let last = batch.last;
+        // analyze:allow(wall-clock) merge_wall metric; timing only, output-invariant
         let t = Instant::now();
         merger.forecast(budget.explored.load(Ordering::Relaxed));
         merger.consume(&batch, task_map);
@@ -1552,6 +1566,7 @@ pub fn enumerate_sharded<P: Protocol + Sync + ?Sized>(
                     task_map.clear();
                     ex.run_subtree(tasks[id].path.len(), batch_nodes, &mut |batch| {
                         metrics.on_consume(&batch);
+                        // analyze:allow(wall-clock) merge_wall metric; timing only, output-invariant
                         let t = Instant::now();
                         merger.forecast(budget.explored.load(Ordering::Relaxed));
                         merger.consume(&batch, &mut task_map);
@@ -1819,6 +1834,7 @@ fn drive_extend(
     // `merge_wall` is timed per contiguous replay segment between leaf
     // calls, not per record — two clock reads per million-record replay
     // segment instead of two million
+    // analyze:allow(wall-clock) replay-segment merge_wall metric; timing only
     let mut seg = Instant::now();
     for &rec in &frontier.records {
         let e = reintern.event(merger, rec);
@@ -1832,6 +1848,7 @@ fn drive_extend(
             metrics.merge_wall += seg.elapsed();
             run_leaf(merger, leaf, metrics)?;
             leaf += 1;
+            // analyze:allow(wall-clock) replay-segment merge_wall metric; timing only
             seg = Instant::now();
         }
     }

@@ -77,6 +77,17 @@ pub fn rumor_started(x: &Computation) -> bool {
     x.iter().any(|e| e.is_on(ProcessId::new(0)) && e.is_send())
 }
 
+/// Registers the `rumor-started` atom with its sound invariance
+/// declaration: the predicate reads only `p0`'s send events and every
+/// [`PushGossip`] symmetry group fixes `p0`, so relabeling through the
+/// group cannot change its verdict. Registration sites should use this
+/// instead of registering [`rumor_started`] by hand — a bare
+/// `register` call declares the atom relabeling-dependent and forfeits
+/// quotient evaluation over it.
+pub fn rumor_atom(interp: &mut Interpretation) -> Formula {
+    Formula::atom(interp.register_invariant("rumor-started", rumor_started))
+}
+
 /// One row of the knowledge price list.
 #[derive(Clone, Debug)]
 pub struct PriceRow {

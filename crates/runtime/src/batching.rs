@@ -61,6 +61,9 @@ impl<T: Clone> Admission<T> {
     /// arrival leads, duplicates follow.
     #[must_use]
     pub fn admit(&self, generation: u64, f: &Formula) -> Ticket<T> {
+        // held to function end; nothing under it blocks (the follower
+        // channel is created, not received on)
+        // analyze:acquire(admission.inflight)
         let mut inflight = self.inflight.lock();
         match inflight.entry((generation, f.clone())) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -83,6 +86,9 @@ impl<T: Clone> Admission<T> {
     /// or error) — an unsettled entry would leave followers blocked
     /// until their receivers disconnect.
     pub fn settle(&self, generation: u64, f: &Formula, outcome: &T) {
+        // the map guard is a statement temporary — dropped before the
+        // broadcast sends below
+        // analyze:acquire(admission.inflight) analyze:release(admission.inflight)
         let waiters = self
             .inflight
             .lock()

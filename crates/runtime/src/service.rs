@@ -27,7 +27,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use hpl_core::isomorphism::ClassCache;
 use hpl_core::{
     eval_propositional, CompSet, CoreError, Evaluator, Formula, GrowthMap, Interpretation, Orbits,
-    QuotientPolicy, SatCache, SatCacheStats, Universe,
+    QuotientPolicy, SatCache, SatCacheStats, Universe, DEFAULT_SAT_CACHE_CAPACITY,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -199,9 +199,9 @@ impl Snapshot {
         if stats.resident_bytes > mark && !self.warned.swap(true, Ordering::Relaxed) {
             eprintln!(
                 "warning: scenario '{}' sat-cache holds {} entries (~{} bytes), past the \
-                 {} byte high-water mark; eviction is a planned follow-on — consider \
-                 re-registering the scenario to reset the cache",
-                self.name, stats.entries, stats.resident_bytes, mark
+                 {} byte high-water mark; the cache evicts at its {} byte capacity — \
+                 raise the mark or lower the capacity if this is unexpected",
+                self.name, stats.entries, stats.resident_bytes, mark, stats.capacity_bytes
             );
         }
     }
@@ -284,6 +284,7 @@ pub struct QueryService {
     jobs: JobSlot,
     workers: Vec<JoinHandle<()>>,
     sat_cache_high_water: Arc<AtomicUsize>,
+    sat_cache_capacity: AtomicUsize,
 }
 
 impl QueryService {
@@ -306,15 +307,27 @@ impl QueryService {
             jobs: Arc::new(Mutex::new(Some(tx))),
             workers,
             sat_cache_high_water: Arc::new(AtomicUsize::new(DEFAULT_SAT_CACHE_HIGH_WATER)),
+            sat_cache_capacity: AtomicUsize::new(DEFAULT_SAT_CACHE_CAPACITY),
         }
     }
 
     /// Sets the [`SatCache`] resident-bytes high-water mark shared by
     /// every registered scenario (default
     /// [`DEFAULT_SAT_CACHE_HIGH_WATER`]). Crossing it triggers a
-    /// one-time warning per scenario; it does **not** evict.
+    /// one-time warning per scenario; it does **not** evict — the
+    /// per-cache capacity ([`QueryService::set_sat_cache_capacity`])
+    /// does that.
     pub fn set_sat_cache_high_water(&self, bytes: usize) {
         self.sat_cache_high_water.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Sets the [`SatCache`] resident-bytes capacity used by
+    /// scenarios registered **from now on** (default
+    /// [`DEFAULT_SAT_CACHE_CAPACITY`]). Already-registered snapshots
+    /// keep the capacity they were created with — re-register to apply
+    /// a new one.
+    pub fn set_sat_cache_capacity(&self, bytes: usize) {
+        self.sat_cache_capacity.store(bytes, Ordering::Relaxed);
     }
 
     /// Registers (or replaces) a plain scenario snapshot. Returns the
@@ -333,7 +346,7 @@ impl QueryService {
             None,
             QuotientPolicy::default(),
             ClassCache::shared(),
-            SatCache::shared(),
+            SatCache::shared_with_capacity(self.sat_cache_capacity.load(Ordering::Relaxed)),
         )
     }
 
@@ -356,7 +369,7 @@ impl QueryService {
             Some(orbits),
             policy,
             ClassCache::shared(),
-            SatCache::shared(),
+            SatCache::shared_with_capacity(self.sat_cache_capacity.load(Ordering::Relaxed)),
         )
     }
 
@@ -552,6 +565,7 @@ impl QueryService {
             .get(scenario)
             .cloned()
             .ok_or_else(|| QueryError::UnknownScenario(scenario.to_owned()))?;
+        // analyze:acquire(service.job_slot) analyze:release(service.job_slot)
         if self.jobs.lock().is_none() {
             return Err(QueryError::ServiceStopped);
         }
@@ -580,6 +594,7 @@ impl Drop for QueryService {
         // disconnects the channel, so workers drain the already-queued
         // jobs and exit — even while sessions are still alive (they
         // find the slot empty and fail fast with `ServiceStopped`)
+        // analyze:acquire(service.job_slot) analyze:release(service.job_slot)
         drop(self.jobs.lock().take());
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -598,8 +613,11 @@ fn worker_loop(index: usize, rx: &Mutex<Receiver<Job>>) {
     let jobs_total = hpl_telemetry::counter("service.jobs");
     loop {
         let job = {
+            // analyze:acquire(service.job_rx)
             let guard = rx.lock();
+            // analyze:blocking(service.jobs) analyze:allow(lock-across-blocking) the job-rx mutex IS the consume token for the single-consumer receiver; no other lock is ever taken under it and every worker blocks here identically
             guard.recv()
+            // analyze:release(service.job_rx)
         };
         let Ok(job) = job else {
             return; // channel closed: the service dropped its sender
@@ -608,6 +626,7 @@ fn worker_loop(index: usize, rx: &Mutex<Receiver<Job>>) {
             #[allow(clippy::cast_possible_truncation)]
             hpl_telemetry::record("service.queue_wait", submitted.elapsed().as_nanos() as u64);
         }
+        // analyze:allow(wall-clock) evaluate-latency telemetry, gated on the recorder
         let started = hpl_telemetry::enabled().then(Instant::now);
         let outcome = {
             let _evaluate = hpl_telemetry::span("service.evaluate");

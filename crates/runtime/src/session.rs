@@ -107,6 +107,7 @@ impl Session {
     pub fn query_formula(&self, f: &Formula) -> Result<QueryResponse, QueryError> {
         let _query = hpl_telemetry::span("query");
         hpl_telemetry::counter_add("query.requests", 1);
+        // analyze:allow(wall-clock) query-latency telemetry; never affects results
         let start = Instant::now();
         let plan = {
             let _plan = hpl_telemetry::span("query.plan");
@@ -124,6 +125,7 @@ impl Session {
                     .settle(generation, plan.root(), &outcome);
                 (outcome, false)
             }
+            // analyze:blocking(admission.broadcast)
             Ticket::Follower(rx) => match rx.recv() {
                 Ok(outcome) => (outcome, true),
                 // the leader vanished without settling: serve ourselves
@@ -170,6 +172,8 @@ impl Session {
         gauge("hpl_sat_cache_misses", stats.misses);
         gauge("hpl_sat_cache_entries", stats.entries as u64);
         gauge("hpl_sat_cache_resident_bytes", stats.resident_bytes as u64);
+        gauge("hpl_sat_cache_evictions", stats.evictions);
+        gauge("hpl_sat_cache_capacity_bytes", stats.capacity_bytes as u64);
         gauge("hpl_admission_coalesced", self.snapshot.coalesced());
         gauge("hpl_admission_led", self.snapshot.led());
         gauge("hpl_universe_len", self.snapshot.universe.len() as u64);
@@ -185,6 +189,7 @@ impl Session {
     fn submit(&self, plan: &crate::planner::QueryPlan) -> Outcome {
         let (tx, rx) = unbounded();
         let sent = {
+            // analyze:acquire(service.job_slot)
             let guard = self.jobs.lock();
             match guard.as_ref() {
                 Some(jobs) => jobs
@@ -192,15 +197,19 @@ impl Session {
                         snapshot: Arc::clone(&self.snapshot),
                         plan: plan.clone(),
                         reply: tx,
+                        // analyze:allow(wall-clock) queue-wait telemetry, gated on the recorder
                         submitted: hpl_telemetry::enabled().then(Instant::now),
                     })
                     .is_ok(),
                 None => false,
             }
+            // the slot guard drops with the block — before we wait
+            // analyze:release(service.job_slot)
         };
         if !sent {
             return Err(QueryError::ServiceStopped);
         }
+        // analyze:blocking(service.reply)
         rx.recv().map_err(|_| QueryError::ServiceStopped)?
     }
 }

@@ -319,10 +319,15 @@ impl Recorder {
     /// Renders the collected span events as Chrome trace-event JSON.
     #[must_use]
     pub fn chrome_trace(&self) -> String {
+        // the only place both buffers are held at once; acquisition
+        // order (argument order) is events -> threads
+        // analyze:acquire(telemetry.events)
+        // analyze:acquire(telemetry.threads)
         crate::export::chrome_trace_json(&self.events.lock(), &self.threads.lock())
     }
 
     fn push_event(&self, e: SpanEvent) {
+        // analyze:acquire(telemetry.events)
         let mut events = self.events.lock();
         if events.len() < MAX_TRACE_EVENTS {
             events.push(e);
@@ -333,6 +338,7 @@ impl Recorder {
 
     fn register_thread(&self, tid: u64) {
         let name = std::thread::current().name().unwrap_or("?").to_owned();
+        // analyze:acquire(telemetry.threads) analyze:release(telemetry.threads)
         self.threads.lock().push((tid, name));
     }
 }

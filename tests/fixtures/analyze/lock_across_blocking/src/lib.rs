@@ -1,0 +1,13 @@
+//! Seeded violation: a blocking channel receive while a mutex is held.
+//! Expected finding: `lock-across-blocking`.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(queue: &Mutex<Vec<u32>>, feed: &Receiver<u32>) {
+    // analyze:acquire(queue)
+    let mut guard = queue.lock().expect("unpoisoned");
+    // analyze:blocking(feed)
+    let next = feed.recv().expect("sender alive");
+    guard.push(next);
+}

@@ -1,0 +1,20 @@
+//! Seeded violation: two call paths acquiring the same pair of locks
+//! in opposite order. Expected finding: `lock-cycle`.
+
+use std::sync::Mutex;
+
+pub fn forward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    // analyze:acquire(alpha)
+    let ga = a.lock().expect("unpoisoned");
+    // analyze:acquire(beta)
+    let gb = b.lock().expect("unpoisoned");
+    *ga + *gb
+}
+
+pub fn backward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    // analyze:acquire(beta)
+    let gb = b.lock().expect("unpoisoned");
+    // analyze:acquire(alpha)
+    let ga = a.lock().expect("unpoisoned");
+    *ga + *gb
+}

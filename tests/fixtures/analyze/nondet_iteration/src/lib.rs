@@ -1,0 +1,16 @@
+//! Seeded violation: iterating a hash-ordered map inside a declared
+//! deterministic region. Expected finding: `nondet-iteration`.
+
+use std::collections::HashMap;
+
+pub fn keys_in_hash_order(input: &[(String, u32)]) -> Vec<String> {
+    let mut seen = HashMap::new();
+    for (k, v) in input {
+        seen.insert(k.clone(), *v);
+    }
+    let mut out = Vec::new();
+    for k in seen.keys() {
+        out.push(k.clone());
+    }
+    out
+}

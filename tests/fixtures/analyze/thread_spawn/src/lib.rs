@@ -1,0 +1,6 @@
+//! Seeded violation: spawning a thread outside a sanctioned scheduler
+//! module. Expected finding: `thread-spawn`.
+
+pub fn fire() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: drawing entropy outside seed control. Expected
+//! finding: `unseeded-rng`.
+
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

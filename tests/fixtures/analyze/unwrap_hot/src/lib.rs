@@ -1,0 +1,6 @@
+//! Seeded violation: `.unwrap()` in a declared library hot path.
+//! Expected finding: `unwrap-hot-path`.
+
+pub fn head(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: a waiver that does not say why. Expected finding:
+//! `waiver-missing-reason`.
+
+pub fn quiet() -> u32 {
+    // analyze:allow(unwrap-hot-path)
+    7
+}

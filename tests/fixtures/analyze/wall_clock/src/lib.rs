@@ -1,0 +1,6 @@
+//! Seeded violation: reading the wall clock outside a clock-exempt
+//! module. Expected finding: `wall-clock`.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
